@@ -1,0 +1,113 @@
+// B2: scaling of the Confluence Requirement (Definition 6.5): pairwise
+// commutativity, R1/R2 fixpoints over all unordered pairs, and the effect
+// of priority density.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/confluence.h"
+#include "analysis/incremental.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace {
+
+struct Stack {
+  GeneratedRuleSet gen;
+  PrelimAnalysis prelim;
+  PriorityOrder priority;
+};
+
+Stack MakeStack(int num_rules, double priority_density, uint64_t seed) {
+  RandomRuleSetParams params;
+  params.num_rules = num_rules;
+  params.num_tables = std::max(4, num_rules / 4);
+  params.priority_density = priority_density;
+  params.seed = seed;
+  Stack stack;
+  stack.gen = RandomRuleSetGenerator::Generate(params);
+  stack.prelim =
+      PrelimAnalysis::Compute(*stack.gen.schema, stack.gen.rules).value();
+  stack.priority =
+      PriorityOrder::Build(stack.prelim, stack.gen.rules).value();
+  return stack;
+}
+
+void BM_CommutativityMatrix(benchmark::State& state) {
+  Stack stack = MakeStack(static_cast<int>(state.range(0)), 0.1, 31);
+  for (auto _ : state) {
+    CommutativityAnalyzer analyzer(stack.prelim, *stack.gen.schema);
+    benchmark::DoNotOptimize(analyzer.Commute(0, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CommutativityMatrix)->Range(8, 256)->Complexity();
+
+void BM_ConfluenceRequirement(benchmark::State& state) {
+  Stack stack = MakeStack(static_cast<int>(state.range(0)), 0.1, 31);
+  CommutativityAnalyzer commutativity(stack.prelim, *stack.gen.schema);
+  ConfluenceAnalyzer analyzer(commutativity, stack.priority);
+  long pairs = 0;
+  for (auto _ : state) {
+    ConfluenceReport report = analyzer.Analyze(true, /*max_violations=*/0);
+    pairs += report.unordered_pairs_checked;
+    benchmark::DoNotOptimize(report.requirement_holds);
+  }
+  state.counters["unordered_pairs"] =
+      static_cast<double>(pairs) / static_cast<double>(state.iterations());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConfluenceRequirement)->Range(8, 128)->Complexity();
+
+// Priority density sweep at fixed size: denser priorities mean fewer
+// unordered pairs but larger R1/R2 fixpoints.
+void BM_ConfluenceByPriorityDensity(benchmark::State& state) {
+  double density = static_cast<double>(state.range(0)) / 10.0;
+  Stack stack = MakeStack(64, density, 37);
+  CommutativityAnalyzer commutativity(stack.prelim, *stack.gen.schema);
+  ConfluenceAnalyzer analyzer(commutativity, stack.priority);
+  size_t max_set = 0;
+  for (auto _ : state) {
+    ConfluenceReport report = analyzer.Analyze(true, 0);
+    max_set = std::max(max_set, report.max_set_size);
+    benchmark::DoNotOptimize(report.requirement_holds);
+  }
+  state.counters["max_R_set"] = static_cast<double>(max_set);
+}
+BENCHMARK(BM_ConfluenceByPriorityDensity)->DenseRange(0, 8, 2);
+
+void BM_BuildR1R2Sets(benchmark::State& state) {
+  Stack stack = MakeStack(static_cast<int>(state.range(0)), 0.4, 41);
+  CommutativityAnalyzer commutativity(stack.prelim, *stack.gen.schema);
+  ConfluenceAnalyzer analyzer(commutativity, stack.priority);
+  for (auto _ : state) {
+    auto sets = analyzer.BuildSets(0, stack.prelim.num_rules() - 1);
+    benchmark::DoNotOptimize(sets.first.size());
+  }
+}
+BENCHMARK(BM_BuildR1R2Sets)->Range(8, 256);
+
+// Incremental re-analysis after adding one rule vs from scratch.
+void BM_IncrementalAddOneRule(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RandomRuleSetParams params;
+  params.num_rules = n + 1;
+  params.num_tables = std::max(4, n / 4);
+  params.seed = 43;
+  GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+  for (auto _ : state) {
+    state.PauseTiming();
+    IncrementalAnalyzer analyzer(gen.schema.get());
+    for (int i = 0; i < n; ++i) {
+      (void)analyzer.AddRule(gen.rules[i].Clone());
+    }
+    (void)analyzer.Analyze();  // warm cache with the first n rules
+    state.ResumeTiming();
+    (void)analyzer.AddRule(gen.rules[n].Clone());
+    auto run = analyzer.Analyze();
+    benchmark::DoNotOptimize(run.ok());
+  }
+}
+BENCHMARK(BM_IncrementalAddOneRule)->Range(8, 128);
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,155 @@
+// B4: engine throughput — net-effect composition ([WF90] machinery),
+// statement execution, and end-to-end rule cascade steps per second.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/exec.h"
+#include "rulelang/parser.h"
+#include "rules/processor.h"
+#include "rules/rule_catalog.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace {
+
+void BM_NetEffectCompose(benchmark::State& state) {
+  // Compose a long chain of per-tuple updates into one net effect.
+  int updates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TableTransition net;
+    Tuple current = {Value::Int(0)};
+    (void)net.ApplyInsert(1, current);
+    for (int i = 1; i <= updates; ++i) {
+      Tuple next = {Value::Int(i % 7)};
+      (void)net.ApplyUpdate(1, current, next);
+      current = std::move(next);
+    }
+    benchmark::DoNotOptimize(net.empty());
+  }
+  state.SetItemsProcessed(state.iterations() * updates);
+}
+BENCHMARK(BM_NetEffectCompose)->Range(8, 4096);
+
+void BM_TransitionComposeManyRids(benchmark::State& state) {
+  int rids = static_cast<int>(state.range(0));
+  TableTransition base;
+  for (int r = 1; r <= rids; ++r) {
+    (void)base.ApplyInsert(static_cast<Rid>(r), {Value::Int(r)});
+  }
+  TableTransition delta;
+  for (int r = 1; r <= rids; ++r) {
+    (void)delta.ApplyUpdate(static_cast<Rid>(r), {Value::Int(r)},
+                            {Value::Int(r + 1)});
+  }
+  for (auto _ : state) {
+    TableTransition copy = base;
+    (void)copy.Compose(delta);
+    benchmark::DoNotOptimize(copy.HasInserts());
+  }
+  state.SetItemsProcessed(state.iterations() * rids);
+}
+BENCHMARK(BM_TransitionComposeManyRids)->Range(64, 4096);
+
+class EngineFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    schema_ = std::make_unique<Schema>();
+    (void)schema_->AddTable("t", {{"a", ColumnType::kInt},
+                                  {"b", ColumnType::kInt}});
+    db_ = std::make_unique<Database>(schema_.get());
+    for (int i = 0; i < state.range(0); ++i) {
+      (void)db_->storage(0).Insert({Value::Int(i % 10), Value::Int(i)});
+    }
+  }
+  void TearDown(const benchmark::State&) override {
+    db_.reset();
+    schema_.reset();
+  }
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<Database> db_;
+};
+
+BENCHMARK_DEFINE_F(EngineFixture, ScanFilterSelect)
+(benchmark::State& state) {
+  auto stmt = Parser::ParseStatement("select count(*) from t where a > 5");
+  Executor executor(db_.get());
+  for (auto _ : state) {
+    auto out = executor.Execute(*stmt.value(), nullptr, nullptr);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK_REGISTER_F(EngineFixture, ScanFilterSelect)->Range(64, 8192);
+
+BENCHMARK_DEFINE_F(EngineFixture, SetOrientedUpdate)
+(benchmark::State& state) {
+  auto up = Parser::ParseStatement("update t set b = b + 1 where a > 5");
+  Executor executor(db_.get());
+  for (auto _ : state) {
+    auto out = executor.Execute(*up.value(), nullptr, nullptr);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK_REGISTER_F(EngineFixture, SetOrientedUpdate)->Range(64, 8192);
+
+// End-to-end rule cascade: a chain of N rules, each triggering the next;
+// reports cascade steps per second.
+void BM_RuleCascade(benchmark::State& state) {
+  int chain = static_cast<int>(state.range(0));
+  Schema schema;
+  std::string rules_src;
+  for (int i = 0; i <= chain; ++i) {
+    (void)schema.AddTable("t" + std::to_string(i),
+                          {{"a", ColumnType::kInt}});
+  }
+  for (int i = 0; i < chain; ++i) {
+    rules_src += "create rule r" + std::to_string(i) + " on t" +
+                 std::to_string(i) + " when inserted then insert into t" +
+                 std::to_string(i + 1) + " values (1);";
+  }
+  auto script = Parser::ParseScript(rules_src);
+  auto catalog =
+      RuleCatalog::Build(&schema, std::move(script.value().rules));
+  Database db(&schema);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database fresh(&schema);
+    db = fresh;
+    RuleProcessor processor(&db, &catalog.value());
+    state.ResumeTiming();
+    (void)processor.ExecuteUserStatement("insert into t0 values (1)");
+    auto result = processor.AssertRules();
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_RuleCascade)->Range(2, 128);
+
+// Self-triggering fixpoint loop: counts considerations per second.
+void BM_RuleFixpointLoop(benchmark::State& state) {
+  Schema schema;
+  (void)schema.AddTable("t", {{"a", ColumnType::kInt}});
+  auto script = Parser::ParseScript(
+      "create rule inc on t when inserted, updated(a) "
+      "then update t set a = a + 1 where a < " +
+      std::to_string(state.range(0)) + ";");
+  auto catalog =
+      RuleCatalog::Build(&schema, std::move(script.value().rules));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db(&schema);
+    ProcessorOptions options;
+    options.max_steps = static_cast<int>(state.range(0)) + 8;
+    RuleProcessor processor(&db, &catalog.value(), options);
+    state.ResumeTiming();
+    (void)processor.ExecuteUserStatement("insert into t values (0)");
+    auto result = processor.AssertRules();
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RuleFixpointLoop)->Range(8, 512);
+
+}  // namespace
+}  // namespace starburst

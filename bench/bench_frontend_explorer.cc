@@ -1,0 +1,113 @@
+// B5: frontend throughput (lexer + parser) and execution-graph explorer
+// state-expansion rate.
+
+#include <benchmark/benchmark.h>
+
+#include "rulelang/lexer.h"
+#include "rulelang/parser.h"
+#include "rulelang/printer.h"
+#include "rules/explorer.h"
+#include "rules/rule_catalog.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace {
+
+std::string MakeScript(int num_rules, uint64_t seed) {
+  RandomRuleSetParams params;
+  params.num_rules = num_rules;
+  params.num_tables = std::max(4, num_rules / 4);
+  params.priority_density = 0.1;
+  params.p_condition = 0.8;
+  params.seed = seed;
+  GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+  std::string out;
+  for (const RuleDef& rule : gen.rules) {
+    out += RuleToString(rule);
+    out += ";\n";
+  }
+  return out;
+}
+
+void BM_LexerThroughput(benchmark::State& state) {
+  std::string script = MakeScript(static_cast<int>(state.range(0)), 71);
+  for (auto _ : state) {
+    auto tokens = Lexer::Tokenize(script);
+    benchmark::DoNotOptimize(tokens.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long>(script.size()));
+}
+BENCHMARK(BM_LexerThroughput)->Range(8, 256);
+
+void BM_ParserThroughput(benchmark::State& state) {
+  std::string script = MakeScript(static_cast<int>(state.range(0)), 71);
+  for (auto _ : state) {
+    auto parsed = Parser::ParseScript(script);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<long>(script.size()));
+}
+BENCHMARK(BM_ParserThroughput)->Range(8, 256);
+
+void BM_PrinterRoundTrip(benchmark::State& state) {
+  std::string script = MakeScript(64, 73);
+  auto parsed = Parser::ParseScript(script);
+  for (auto _ : state) {
+    std::string out = ScriptToString(parsed.value());
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_PrinterRoundTrip);
+
+// Explorer: N unordered commuting rules create N! interleavings but only
+// 2^N distinct states; measures state expansion with memo-free DFS.
+void BM_ExplorerUnorderedRules(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Schema schema;
+  (void)schema.AddTable("src", {{"a", ColumnType::kInt}});
+  std::string rules_src;
+  for (int i = 0; i < n; ++i) {
+    std::string table = "t" + std::to_string(i);
+    (void)schema.AddTable(table, {{"a", ColumnType::kInt}});
+    rules_src += "create rule r" + std::to_string(i) +
+                 " on src when inserted then insert into " + table +
+                 " values (1);";
+  }
+  auto script = Parser::ParseScript(rules_src);
+  auto catalog =
+      RuleCatalog::Build(&schema, std::move(script.value().rules));
+  Database db(&schema);
+  long states = 0;
+  for (auto _ : state) {
+    auto result = Explorer::ExploreAfterStatements(
+        catalog.value(), db, {"insert into src values (1)"});
+    states = result.value().states_visited;
+    benchmark::DoNotOptimize(result.value().final_states.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_ExplorerUnorderedRules)->DenseRange(1, 5);
+
+void BM_ExplorerFixpointChain(benchmark::State& state) {
+  Schema schema;
+  (void)schema.AddTable("t", {{"a", ColumnType::kInt}});
+  auto script = Parser::ParseScript(
+      "create rule inc on t when inserted, updated(a) "
+      "then update t set a = a + 1 where a < " +
+      std::to_string(state.range(0)) + ";");
+  auto catalog =
+      RuleCatalog::Build(&schema, std::move(script.value().rules));
+  Database db(&schema);
+  for (auto _ : state) {
+    auto result = Explorer::ExploreAfterStatements(
+        catalog.value(), db, {"insert into t values (0)"});
+    benchmark::DoNotOptimize(result.value().final_states.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExplorerFixpointChain)->Range(4, 32);
+
+}  // namespace
+}  // namespace starburst

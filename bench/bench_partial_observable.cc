@@ -1,0 +1,112 @@
+// B3: scaling of partial confluence (Sig(T') fixpoint, Definition 7.1) and
+// observable-determinism analysis (Section 8).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/observable.h"
+#include "analysis/partial_confluence.h"
+#include "analysis/partition.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace {
+
+struct Stack {
+  GeneratedRuleSet gen;
+  PrelimAnalysis prelim;
+  PriorityOrder priority;
+};
+
+Stack MakeStack(int num_rules, double observable_fraction, uint64_t seed) {
+  RandomRuleSetParams params;
+  params.num_rules = num_rules;
+  params.num_tables = std::max(4, num_rules / 4);
+  params.priority_density = 0.1;
+  params.observable_fraction = observable_fraction;
+  params.seed = seed;
+  Stack stack;
+  stack.gen = RandomRuleSetGenerator::Generate(params);
+  stack.prelim =
+      PrelimAnalysis::Compute(*stack.gen.schema, stack.gen.rules).value();
+  stack.priority =
+      PriorityOrder::Build(stack.prelim, stack.gen.rules).value();
+  return stack;
+}
+
+void BM_SigFixpoint(benchmark::State& state) {
+  Stack stack = MakeStack(static_cast<int>(state.range(0)), 0.0, 51);
+  CommutativityAnalyzer commutativity(stack.prelim, *stack.gen.schema);
+  PartialConfluenceAnalyzer analyzer(commutativity, stack.priority);
+  size_t sig_size = 0;
+  for (auto _ : state) {
+    auto sig = analyzer.SignificantRules({0});
+    sig_size = sig.size();
+    benchmark::DoNotOptimize(sig);
+  }
+  state.counters["sig_size"] = static_cast<double>(sig_size);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SigFixpoint)->Range(8, 256)->Complexity();
+
+void BM_PartialConfluenceFull(benchmark::State& state) {
+  Stack stack = MakeStack(static_cast<int>(state.range(0)), 0.0, 51);
+  CommutativityAnalyzer commutativity(stack.prelim, *stack.gen.schema);
+  PartialConfluenceAnalyzer analyzer(commutativity, stack.priority);
+  for (auto _ : state) {
+    auto report = analyzer.Analyze({0, 1}, {}, /*max_violations=*/0);
+    benchmark::DoNotOptimize(report.partially_confluent);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PartialConfluenceFull)->Range(8, 128)->Complexity();
+
+void BM_ObservableDeterminism(benchmark::State& state) {
+  Stack stack = MakeStack(static_cast<int>(state.range(0)), 0.3, 53);
+  for (auto _ : state) {
+    auto report = ObservableDeterminismAnalyzer::Analyze(
+        *stack.gen.schema, stack.prelim, stack.priority, {}, true, {},
+        /*max_violations=*/0);
+    benchmark::DoNotOptimize(report.deterministic);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ObservableDeterminism)->Range(8, 128)->Complexity();
+
+// Observable fraction sweep: more observable rules grow Sig(Obs).
+void BM_ObservableByFraction(benchmark::State& state) {
+  double fraction = static_cast<double>(state.range(0)) / 10.0;
+  Stack stack = MakeStack(64, fraction, 59);
+  size_t sig = 0;
+  for (auto _ : state) {
+    auto report = ObservableDeterminismAnalyzer::Analyze(
+        *stack.gen.schema, stack.prelim, stack.priority, {}, true, {}, 0);
+    sig = report.obs_confluence.significant.size();
+    benchmark::DoNotOptimize(report.deterministic);
+  }
+  state.counters["sig_obs"] = static_cast<double>(sig);
+}
+BENCHMARK(BM_ObservableByFraction)->DenseRange(0, 10, 2);
+
+// Partitioning: computing partitions, and the speedup claim of Section 9
+// is measured in exp_partition; here we time the partitioner itself.
+void BM_Partitioner(benchmark::State& state) {
+  RandomRuleSetParams params;
+  params.num_rules = static_cast<int>(state.range(0));
+  params.num_tables = std::max(8, params.num_rules / 2);
+  params.tables_per_rule = 1;
+  params.seed = 61;
+  GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+  auto prelim = PrelimAnalysis::Compute(*gen.schema, gen.rules).value();
+  auto priority = PriorityOrder::Build(prelim, gen.rules).value();
+  size_t parts = 0;
+  for (auto _ : state) {
+    auto partitions = Partitioner::Partition(prelim, priority);
+    parts = partitions.size();
+    benchmark::DoNotOptimize(partitions);
+  }
+  state.counters["partitions"] = static_cast<double>(parts);
+}
+BENCHMARK(BM_Partitioner)->Range(8, 512);
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,86 @@
+// B1: scaling of termination analysis (triggering-graph construction plus
+// Tarjan SCC + cycle isolation) with rule-set size and triggering density.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/termination.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace {
+
+GeneratedRuleSet MakeSet(int num_rules, int tables_per_rule, uint64_t seed) {
+  RandomRuleSetParams params;
+  params.num_rules = num_rules;
+  params.num_tables = std::max(4, num_rules / 4);
+  params.tables_per_rule = tables_per_rule;
+  params.seed = seed;
+  return RandomRuleSetGenerator::Generate(params);
+}
+
+void BM_PrelimAnalysis(benchmark::State& state) {
+  GeneratedRuleSet gen = MakeSet(static_cast<int>(state.range(0)), 2, 17);
+  for (auto _ : state) {
+    auto prelim = PrelimAnalysis::Compute(*gen.schema, gen.rules);
+    benchmark::DoNotOptimize(prelim);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PrelimAnalysis)->Range(8, 512)->Complexity();
+
+void BM_TriggeringGraphBuild(benchmark::State& state) {
+  GeneratedRuleSet gen = MakeSet(static_cast<int>(state.range(0)), 2, 17);
+  auto prelim = PrelimAnalysis::Compute(*gen.schema, gen.rules);
+  for (auto _ : state) {
+    TriggeringGraph graph(prelim.value());
+    benchmark::DoNotOptimize(graph.Components().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TriggeringGraphBuild)->Range(8, 512)->Complexity();
+
+void BM_TerminationAnalysis(benchmark::State& state) {
+  GeneratedRuleSet gen = MakeSet(static_cast<int>(state.range(0)), 2, 17);
+  auto prelim = PrelimAnalysis::Compute(*gen.schema, gen.rules);
+  long cycles = 0;
+  for (auto _ : state) {
+    TerminationReport report = TerminationAnalyzer::Analyze(prelim.value());
+    cycles += static_cast<long>(report.cycles.size());
+    benchmark::DoNotOptimize(report.guaranteed);
+  }
+  state.counters["cyclic_components"] =
+      static_cast<double>(cycles) / static_cast<double>(state.iterations());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TerminationAnalysis)->Range(8, 512)->Complexity();
+
+// Density sweep: rules touching more tables create denser triggering
+// graphs and larger strong components.
+void BM_TerminationByDensity(benchmark::State& state) {
+  GeneratedRuleSet gen = MakeSet(128, static_cast<int>(state.range(0)), 23);
+  auto prelim = PrelimAnalysis::Compute(*gen.schema, gen.rules);
+  for (auto _ : state) {
+    TerminationReport report = TerminationAnalyzer::Analyze(prelim.value());
+    benchmark::DoNotOptimize(report.guaranteed);
+  }
+}
+BENCHMARK(BM_TerminationByDensity)->DenseRange(1, 5);
+
+// Certification discharge: how much checking certified cycles adds.
+void BM_TerminationWithCertifications(benchmark::State& state) {
+  GeneratedRuleSet gen = MakeSet(128, 3, 29);
+  auto prelim = PrelimAnalysis::Compute(*gen.schema, gen.rules);
+  TerminationCertifications certs;
+  for (int i = 0; i < 128; i += 2) {
+    certs.quiescent_rules.insert("r" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    TerminationReport report =
+        TerminationAnalyzer::Analyze(prelim.value(), certs);
+    benchmark::DoNotOptimize(report.guaranteed);
+  }
+}
+BENCHMARK(BM_TerminationWithCertifications);
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,88 @@
+// Experiment E5 (Section 6.4): confluence analysis of medium-sized rule
+// applications.
+//
+// Paper narrative: "We used our approach (by hand) to analyze confluence
+// for several medium-sized rule applications. In most cases the rule sets
+// were initially found to be non-confluent. However, for those rule sets
+// that actually were confluent, user specification of rule commutativity
+// eventually allowed confluence to be verified. Furthermore, for some
+// rule sets the analysis uncovered previously undetected sources of
+// non-confluence."
+//
+// We run the identical loop mechanically over the three bundled
+// applications: raw analysis, then the application's certifications, then
+// the iterative ordering repair of footnote 6.
+
+#include <cstdio>
+
+#include "analysis/analyzer.h"
+#include "analysis/suggest.h"
+#include "workload/apps.h"
+
+using namespace starburst;  // NOLINT: experiment brevity
+
+int main() {
+  std::printf("== E5 / Section 6.4: application confluence ==\n\n");
+  std::printf(
+      "%-16s %6s %10s %12s %12s %10s %12s\n", "application", "rules",
+      "raw", "violations", "certified", "repaired", "orderings");
+
+  int initially_nonconfluent = 0;
+  int eventually_confluent = 0;
+  int apps_total = 0;
+
+  for (const Application& app : AllApplications()) {
+    ++apps_total;
+    auto loaded_or = LoadApplication(app);
+    if (!loaded_or.ok()) {
+      std::fprintf(stderr, "%s: %s\n", app.name.c_str(),
+                   loaded_or.status().ToString().c_str());
+      return 1;
+    }
+    LoadedApplication loaded = std::move(loaded_or).value();
+    size_t num_rules = loaded.rules.size();
+    auto analyzer_or =
+        Analyzer::Create(loaded.schema.get(), std::move(loaded.rules));
+    if (!analyzer_or.ok()) {
+      std::fprintf(stderr, "%s: %s\n", app.name.c_str(),
+                   analyzer_or.status().ToString().c_str());
+      return 1;
+    }
+    Analyzer analyzer = std::move(analyzer_or).value();
+
+    // Round 1: raw.
+    ConfluenceReport raw = analyzer.AnalyzeConfluence(64);
+    if (!raw.confluent) ++initially_nonconfluent;
+
+    // Round 2: the application's certifications (Section 5 + 6.1).
+    for (const std::string& rule : app.quiescence_certifications) {
+      analyzer.CertifyQuiescent(rule);
+    }
+    for (const auto& [x, y] : app.commute_certifications) {
+      analyzer.CertifyCommute(x, y);
+    }
+    ConfluenceReport certified = analyzer.AnalyzeConfluence(64);
+
+    // Round 3: iterative ordering repair (footnote 6).
+    TerminationReport term = analyzer.AnalyzeTermination();
+    RepairResult repair = RepairByOrdering(analyzer.commutativity(),
+                                           analyzer.catalog().priority(),
+                                           term.guaranteed);
+    bool final_ok = certified.confluent ||
+                    (repair.succeeded && term.guaranteed);
+    if (final_ok) ++eventually_confluent;
+
+    std::printf("%-16s %6zu %10s %12zu %12s %10s %12zu\n", app.name.c_str(),
+                num_rules, raw.confluent ? "confluent" : "NOT",
+                raw.violations.size(),
+                certified.confluent ? "confluent" : "NOT",
+                final_ok ? "yes" : "no", repair.added_orderings.size());
+  }
+
+  std::printf(
+      "\npaper-vs-measured: %d/%d applications initially non-confluent "
+      "(paper: most); %d/%d verified confluent after certifications and "
+      "orderings (paper: eventually verified).\n",
+      initially_nonconfluent, apps_total, eventually_confluent, apps_total);
+  return 0;
+}

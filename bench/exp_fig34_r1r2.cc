@@ -1,0 +1,96 @@
+// Experiment E3 (Figures 3/4, Definition 6.5): growth of the mutually
+// recursive sets R1/R2.
+//
+// Figures 3 and 4 illustrate how, for an unordered pair (ri, rj), the
+// paths toward a common state must first consider all triggered rules
+// with precedence over the other side — the sets R1 and R2. This
+// experiment measures how large those sets get as a function of priority
+// density and triggering density, and verifies the structural properties
+// the construction guarantees (ri ∈ R1, rj ∈ R2, rj ∉ R1, ri ∉ R2,
+// fixpoint termination).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/confluence.h"
+#include "rules/rule_catalog.h"
+#include "workload/random_gen.h"
+
+using namespace starburst;  // NOLINT: experiment brevity
+
+namespace {
+
+struct Row {
+  double priority_density = 0.0;
+  int tables_per_rule = 0;
+  double avg_set_size = 0.0;
+  size_t max_set_size = 0;
+  int pairs = 0;
+  bool structural_ok = true;
+};
+
+Row Measure(double priority_density, int tables_per_rule) {
+  Row row;
+  row.priority_density = priority_density;
+  row.tables_per_rule = tables_per_rule;
+  double total = 0.0;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    RandomRuleSetParams params;
+    params.seed = seed + 1000;
+    params.num_rules = 24;
+    params.num_tables = 6;
+    params.tables_per_rule = tables_per_rule;
+    params.priority_density = priority_density;
+    GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+    auto catalog =
+        RuleCatalog::Build(gen.schema.get(), std::move(gen.rules));
+    if (!catalog.ok()) continue;
+    CommutativityAnalyzer commutativity(catalog.value().prelim(),
+                                        catalog.value().schema());
+    ConfluenceAnalyzer analyzer(commutativity, catalog.value().priority());
+    int n = catalog.value().num_rules();
+    for (RuleIndex i = 0; i < n; ++i) {
+      for (RuleIndex j = i + 1; j < n; ++j) {
+        if (!catalog.value().priority().Unordered(i, j)) continue;
+        auto [r1, r2] = analyzer.BuildSets(i, j);
+        ++row.pairs;
+        total += static_cast<double>(r1.size() + r2.size()) / 2.0;
+        row.max_set_size = std::max({row.max_set_size, r1.size(), r2.size()});
+        bool ok =
+            std::find(r1.begin(), r1.end(), i) != r1.end() &&
+            std::find(r2.begin(), r2.end(), j) != r2.end() &&
+            std::find(r1.begin(), r1.end(), j) == r1.end() &&
+            std::find(r2.begin(), r2.end(), i) == r2.end();
+        if (!ok) row.structural_ok = false;
+      }
+    }
+  }
+  row.avg_set_size = row.pairs > 0 ? total / row.pairs : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E3 / Figures 3-4: R1/R2 fixpoint growth ==\n");
+  std::printf(
+      "priority_density  tables_per_rule  unordered_pairs  avg|R|  max|R|  "
+      "structure\n");
+  bool all_ok = true;
+  for (int tables : {1, 2, 3}) {
+    for (double density : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+      Row row = Measure(density, tables);
+      all_ok = all_ok && row.structural_ok;
+      std::printf("%14.1f  %15d  %15d  %6.2f  %6zu  %s\n",
+                  row.priority_density, row.tables_per_rule, row.pairs,
+                  row.avg_set_size, row.max_set_size,
+                  row.structural_ok ? "ok" : "VIOLATED");
+    }
+  }
+  std::printf(
+      "\nReading: with no priorities the sets stay {ri}/{rj} (avg |R| = 1, "
+      "the paper's common case); denser priorities + denser triggering grow "
+      "the fixpoint, exactly the Figure 3/4 construction.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Experiment E4 (Section 5 case study): termination of the power-network
+// design application.
+//
+// Paper narrative: the triggering graph of the [CW90] power-network rule
+// set has cycles; the interactive analysis reports them; the user
+// verifies that on each cycle some rule's condition eventually becomes
+// false or its action has no effect; termination is then guaranteed.
+// We reproduce every step and additionally validate the certified
+// verdict by exhaustively exploring the execution graph.
+
+#include <cstdio>
+
+#include "analysis/analyzer.h"
+#include "analysis/report.h"
+#include "rules/explorer.h"
+#include "workload/apps.h"
+
+using namespace starburst;  // NOLINT: experiment brevity
+
+int main() {
+  Application app = MakePowerNetworkApp();
+  auto loaded_or = LoadApplication(app);
+  if (!loaded_or.ok()) {
+    std::fprintf(stderr, "%s\n", loaded_or.status().ToString().c_str());
+    return 1;
+  }
+  LoadedApplication loaded = std::move(loaded_or).value();
+  auto analyzer_or =
+      Analyzer::Create(loaded.schema.get(), std::move(loaded.rules));
+  if (!analyzer_or.ok()) {
+    std::fprintf(stderr, "%s\n", analyzer_or.status().ToString().c_str());
+    return 1;
+  }
+  Analyzer analyzer = std::move(analyzer_or).value();
+
+  std::printf("== E4 / Section 5 case study: power network ==\n\n");
+
+  TerminationReport before = analyzer.AnalyzeTermination();
+  std::printf("step 1 — raw analysis:\n%s\n",
+              TerminationReportToString(before, analyzer.catalog()).c_str());
+
+  for (const std::string& rule : app.quiescence_certifications) {
+    analyzer.CertifyQuiescent(rule);
+  }
+  TerminationReport after = analyzer.AnalyzeTermination();
+  std::printf("step 2 — after certifying {");
+  for (size_t i = 0; i < app.quiescence_certifications.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "",
+                app.quiescence_certifications[i].c_str());
+  }
+  std::printf("}:\n%s\n",
+              TerminationReportToString(after, analyzer.catalog()).c_str());
+
+  // Step 3: empirical validation — exhaustive exploration terminates.
+  // Setup + sample run as one user transaction for the exploration.
+  std::vector<std::string> statements = app.setup_transaction;
+  statements.insert(statements.end(), app.sample_transaction.begin(),
+                    app.sample_transaction.end());
+  Database db(loaded.schema.get());
+  auto exploration = Explorer::ExploreAfterStatements(
+      analyzer.catalog(), db, statements);
+  bool explored_ok =
+      exploration.ok() && !exploration.value().may_not_terminate;
+  std::printf("step 3 — exhaustive exploration of the sample transaction: "
+              "%s (%ld states)\n\n",
+              explored_ok ? "terminates on every path" : "FAILED",
+              exploration.ok() ? exploration.value().states_visited : 0);
+
+  std::printf("paper-vs-measured summary:\n");
+  std::printf("  cycles found without certification : %zu (paper: >= 1)\n",
+              before.cycles.size());
+  std::printf("  termination before certification   : %s (paper: may not)\n",
+              before.guaranteed ? "guaranteed" : "may not terminate");
+  std::printf("  termination after certification    : %s (paper: "
+              "guaranteed)\n",
+              after.guaranteed ? "guaranteed" : "may not terminate");
+  bool match = !before.guaranteed && after.guaranteed && explored_ok &&
+               !before.cycles.empty();
+  std::printf("  narrative reproduced               : %s\n",
+              match ? "YES" : "NO");
+  return match ? 0 : 1;
+}

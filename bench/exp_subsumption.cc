@@ -1,0 +1,79 @@
+// Experiment E6 (Section 9): subsumption of previous work.
+//
+// Paper claim: "we have shown that our confluence requirements properly
+// subsume their fixed point requirements: if a rule set has the unique
+// fixed point property according to [HH91], then our methods determine
+// that the corresponding rule set is confluent, but not always
+// vice-versa. The methods in [HH91] have previously been shown to subsume
+// those in [Ras90, ZH90]."
+//
+// We verify the chain ZH90 ⊆ HH91 ⊆ ours empirically on generated rule
+// sets across a priority-density sweep, and report acceptance rates plus
+// concrete strictness witnesses (sets we accept that HH91 rejects).
+
+#include <cstdio>
+
+#include "analysis/confluence.h"
+#include "analysis/termination.h"
+#include "baseline/hh91.h"
+#include "rules/rule_catalog.h"
+#include "baseline/zh90.h"
+#include "workload/random_gen.h"
+
+using namespace starburst;  // NOLINT: experiment brevity
+
+int main() {
+  std::printf("== E6 / Section 9: subsumption of HH91 / ZH90 ==\n\n");
+  std::printf("%8s %6s %8s %8s %8s %10s %12s\n", "density", "sets", "zh90",
+              "hh91", "ours", "witnesses", "violations");
+
+  bool chain_holds = true;
+  constexpr int kSetsPerCell = 150;
+  // Two workload shapes: free triggering (cycles possible) and acyclic-by-
+  // construction DAG triggering, where the ZH90-style criterion can accept.
+  for (bool dag : {false, true}) {
+    std::printf("%s triggering:\n", dag ? "DAG" : "free");
+  for (double density : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    int zh = 0, hh = 0, ours = 0, witnesses = 0, chain_violations = 0;
+    for (uint64_t seed = 0; seed < kSetsPerCell; ++seed) {
+      RandomRuleSetParams params;
+      params.seed = seed * 31 + 7;
+      params.num_rules = 6;
+      // More tables under DAG triggering: write-write collisions become
+      // rare enough that fully-commuting acyclic sets (the only ones the
+      // ZH90-style criterion accepts) actually occur.
+      params.num_tables = dag ? 14 : 6;
+      params.tables_per_rule = 1;
+      params.priority_density = density;
+      params.dag_triggering = dag;
+      GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+      auto catalog =
+          RuleCatalog::Build(gen.schema.get(), std::move(gen.rules));
+      if (!catalog.ok()) continue;
+      CommutativityAnalyzer commutativity(catalog.value().prelim(),
+                                          catalog.value().schema());
+      bool zh_ok = ZH90Analyzer::Analyze(commutativity).accepted;
+      bool hh_ok = HH91Analyzer::Analyze(commutativity, 0).accepted;
+      ConfluenceAnalyzer analyzer(commutativity, catalog.value().priority());
+      bool ours_ok = analyzer.Analyze(true, 0).requirement_holds;
+      if (zh_ok) ++zh;
+      if (hh_ok) ++hh;
+      if (ours_ok) ++ours;
+      if (ours_ok && !hh_ok) ++witnesses;
+      if ((zh_ok && !hh_ok) || (hh_ok && !ours_ok)) ++chain_violations;
+    }
+    if (chain_violations > 0) chain_holds = false;
+    std::printf("%8.2f %6d %8d %8d %8d %10d %12d\n", density, kSetsPerCell,
+                zh, hh, ours, witnesses, chain_violations);
+  }
+  }
+
+  std::printf(
+      "\nReading: 'witnesses' counts rule sets our Confluence Requirement "
+      "accepts while HH91's priority-blind pairwise-commutativity criterion "
+      "rejects them — the paper's 'not always vice-versa'. A nonzero "
+      "'violations' column would falsify the subsumption chain.\n");
+  std::printf("subsumption chain ZH90 => HH91 => ours: %s (paper: holds)\n",
+              chain_holds ? "HOLDS" : "VIOLATED");
+  return chain_holds ? 0 : 1;
+}

@@ -1,0 +1,269 @@
+// analyzer_cli: the interactive development environment for rule
+// programmers that the paper proposes (Sections 1 and 9), as a command
+// line tool.
+//
+// Usage:
+//   analyzer_cli <script.rules> [command ...]
+//
+// The script file contains `create table` and `create rule` statements.
+// Commands (executed in order; default is `report`):
+//   report                      run all analyses and print the report
+//   json                        run all analyses and print JSON
+//   termination                 run termination analysis only
+//   confluence                  run confluence analysis only
+//   observable                  run observable-determinism analysis only
+//   partial=<t1,t2,...>         partial confluence w.r.t. the named tables
+//   quiescent=<rule>            certify a rule as eventually quiescent
+//   commute=<rule1,rule2>       certify that two rules commute
+//   explain=<rule1,rule2>       show why a pair is (non)commutative
+//   refine                      auto-certify provably-commuting pairs
+//                               (Section 6.1 special cases)
+//   discharge                   auto-certify provably-quiescent cycle
+//                               rules (Section 5 special cases)
+//   repair                      iteratively add orderings until confluent
+//   dot=<file>                  write the triggering graph as GraphViz DOT
+//   data=<file>                 load a DML script as base data (no rules)
+//   exec=<sql>                  run one statement under rule processing
+//   assert                      rule assertion point (prints the trace)
+//   dump                        print the database as a loadable script
+//
+// Example:
+//   analyzer_cli examples/data/salary.rules report quiescent=salary_cap
+//       commute=audit_raise,budget_track report
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/dot.h"
+#include "analysis/json_report.h"
+#include "analysis/refine.h"
+#include "analysis/report.h"
+#include "common/strings.h"
+#include "engine/serialize.h"
+#include "rulelang/parser.h"
+#include "rules/processor.h"
+
+using namespace starburst;  // NOLINT: example brevity
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: analyzer_cli <script.rules> [command ...]\n"
+               "commands: report | json | termination | confluence |\n"
+               "          observable | partial=<tables> | quiescent=<rule> |\n"
+               "          commute=<r1,r2> | explain=<r1,r2> | refine |\n"
+               "          discharge | repair | dot=<file> | data=<file> |\n"
+               "          exec=<sql> | assert | dump\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto script = Parser::ParseScript(buffer.str());
+  if (!script.ok()) return Fail(script.status());
+
+  Schema schema;
+  for (const StmtPtr& stmt : script.value().statements) {
+    if (stmt->kind != StmtKind::kCreateTable) {
+      return Fail(Status::InvalidArgument(
+          "script may only contain create table / create rule statements"));
+    }
+    auto added = schema.AddTable(stmt->table, stmt->create_columns);
+    if (!added.ok()) return Fail(added.status());
+  }
+  auto analyzer_or =
+      Analyzer::Create(&schema, std::move(script.value().rules));
+  if (!analyzer_or.ok()) return Fail(analyzer_or.status());
+  Analyzer analyzer = std::move(analyzer_or).value();
+  std::printf("loaded %d rules over %d tables from %s\n\n",
+              analyzer.catalog().num_rules(), schema.num_tables(), argv[1]);
+
+  // Execution context for data/exec/assert/dump commands.
+  Database db(&schema);
+  ProcessorOptions processor_options;
+  processor_options.record_trace = true;
+  RuleProcessor processor(&db, &analyzer.catalog(), processor_options);
+
+  std::vector<std::string> commands;
+  for (int i = 2; i < argc; ++i) commands.emplace_back(argv[i]);
+  if (commands.empty()) commands.emplace_back("report");
+
+  for (const std::string& command : commands) {
+    std::string name = command;
+    std::string arg;
+    if (size_t eq = command.find('='); eq != std::string::npos) {
+      name = command.substr(0, eq);
+      arg = command.substr(eq + 1);
+    }
+    if (name == "report") {
+      std::printf("%s\n",
+                  FullReportToString(analyzer.AnalyzeAll(8),
+                                     analyzer.catalog())
+                      .c_str());
+    } else if (name == "json") {
+      std::printf("%s\n",
+                  FullReportToJson(analyzer.AnalyzeAll(8), analyzer.catalog())
+                      .c_str());
+    } else if (name == "termination") {
+      std::printf("%s\n",
+                  TerminationReportToString(analyzer.AnalyzeTermination(),
+                                            analyzer.catalog())
+                      .c_str());
+    } else if (name == "confluence") {
+      std::printf("%s\n",
+                  ConfluenceReportToString(analyzer.AnalyzeConfluence(8),
+                                           analyzer.catalog())
+                      .c_str());
+    } else if (name == "observable") {
+      std::printf("%s\n",
+                  ObservableReportToString(
+                      analyzer.AnalyzeObservableDeterminism(8),
+                      analyzer.catalog())
+                      .c_str());
+    } else if (name == "partial") {
+      auto report = analyzer.AnalyzePartialConfluence(
+          SplitAndTrim(arg, ','), 8);
+      if (!report.ok()) return Fail(report.status());
+      std::printf("%s\n",
+                  PartialConfluenceReportToString(report.value(),
+                                                  analyzer.catalog())
+                      .c_str());
+    } else if (name == "quiescent") {
+      analyzer.CertifyQuiescent(arg);
+      std::printf("certified '%s' as eventually quiescent\n\n", arg.c_str());
+    } else if (name == "commute") {
+      auto pair = SplitAndTrim(arg, ',');
+      if (pair.size() != 2) return Usage();
+      analyzer.CertifyCommute(pair[0], pair[1]);
+      std::printf("certified '%s' and '%s' as commuting\n\n",
+                  pair[0].c_str(), pair[1].c_str());
+    } else if (name == "refine") {
+      int added = analyzer.ApplyAutoRefinement();
+      std::printf("automatic refinement certified %d pair(s)\n\n", added);
+    } else if (name == "explain") {
+      auto pair = SplitAndTrim(arg, ',');
+      if (pair.size() != 2) return Usage();
+      RuleIndex i = analyzer.catalog().FindRule(pair[0]);
+      RuleIndex j = analyzer.catalog().FindRule(pair[1]);
+      if (i < 0 || j < 0) {
+        std::fprintf(stderr, "error: unknown rule in '%s'\n", arg.c_str());
+        return 1;
+      }
+      const CommutativityAnalyzer& commutativity = analyzer.commutativity();
+      if (commutativity.Commute(i, j)) {
+        std::printf("'%s' and '%s' commute%s\n\n", pair[0].c_str(),
+                    pair[1].c_str(),
+                    commutativity.CertifiedOnly(i, j)
+                        ? " (by certification)"
+                        : " (Lemma 6.1)");
+      } else {
+        std::printf("'%s' and '%s' may be noncommutative:\n",
+                    pair[0].c_str(), pair[1].c_str());
+        for (const NoncommutativityCause& cause :
+             commutativity.Explain(i, j)) {
+          std::printf("  - %s\n",
+                      cause.Describe(analyzer.catalog().prelim(),
+                                     analyzer.catalog().schema())
+                          .c_str());
+        }
+        PredicateRefiner refiner(analyzer.catalog().schema(),
+                                 analyzer.catalog().rules(),
+                                 analyzer.catalog().prelim());
+        std::printf("automatic refinement: %s\n\n",
+                    refiner.PairCommutes(i, j)
+                        ? "CAN prove the pair commutes (run `refine`)"
+                        : "cannot prove the pair commutes");
+      }
+    } else if (name == "discharge") {
+      int added = analyzer.ApplyAutoDischarge();
+      std::printf("automatic discharge certified %d rule(s) as quiescent\n\n",
+                  added);
+    } else if (name == "dot") {
+      TerminationReport term = analyzer.AnalyzeTermination();
+      std::string dot = TriggeringGraphToDot(analyzer.catalog(), &term);
+      std::ofstream out(arg);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", arg.c_str());
+        return 1;
+      }
+      out << dot;
+      std::printf("wrote triggering graph to %s\n\n", arg.c_str());
+    } else if (name == "data") {
+      std::ifstream data_in(arg);
+      if (!data_in) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", arg.c_str());
+        return 1;
+      }
+      std::ostringstream data_buf;
+      data_buf << data_in.rdbuf();
+      auto loaded = LoadDatabaseScript(&schema, data_buf.str());
+      if (!loaded.ok()) return Fail(loaded.status());
+      db = std::move(loaded).value();
+      db.SyncWithSchema();
+      std::printf("loaded base data from %s\n\n", arg.c_str());
+    } else if (name == "exec") {
+      auto r = processor.ExecuteUserStatement(arg);
+      if (!r.ok()) return Fail(r.status());
+      for (const ObservableEvent& ev : r.value().observables) {
+        std::printf("  -> %s\n", ev.payload.c_str());
+      }
+      std::printf("executed: %s\n\n", arg.c_str());
+    } else if (name == "assert") {
+      auto r = processor.AssertRules();
+      if (!r.ok()) return Fail(r.status());
+      processor.Commit();
+      std::printf("rule processing %s after %d consideration(s)%s\n",
+                  r.value().terminated ? "terminated" : "stopped",
+                  r.value().steps,
+                  r.value().rolled_back ? " (ROLLED BACK)" : "");
+      if (!r.value().trace.empty()) {
+        std::printf("%s",
+                    TraceToString(r.value().trace, analyzer.catalog())
+                        .c_str());
+      }
+      for (const ObservableEvent& ev : r.value().observables) {
+        std::printf("  observable: %s\n", ev.payload.c_str());
+      }
+      std::printf("\n");
+    } else if (name == "dump") {
+      std::printf("%s\n", DumpDatabase(db).c_str());
+    } else if (name == "repair") {
+      TerminationReport term = analyzer.AnalyzeTermination();
+      RepairResult repair = RepairByOrdering(
+          analyzer.commutativity(), analyzer.catalog().priority(),
+          term.guaranteed);
+      std::printf("repair: %zu orderings added, requirement %s\n",
+                  repair.added_orderings.size(),
+                  repair.final_report.requirement_holds ? "HOLDS" : "fails");
+      for (const auto& [hi, lo] : repair.added_orderings) {
+        std::printf("  %s precedes %s\n",
+                    analyzer.catalog().prelim().rule(hi).name.c_str(),
+                    analyzer.catalog().prelim().rule(lo).name.c_str());
+      }
+      std::printf("\n");
+    } else {
+      return Usage();
+    }
+  }
+  return 0;
+}

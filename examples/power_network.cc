@@ -1,0 +1,87 @@
+// The power-network design case study referenced in Section 5 of the
+// paper (from [CW90]): the rule set's triggering graph is cyclic, and the
+// interactive termination analysis lets the user discharge each cycle by
+// certifying a quiescent rule.
+//
+// Build & run:  ./build/examples/power_network
+
+#include <cstdio>
+
+#include "analysis/analyzer.h"
+#include "analysis/report.h"
+#include "rules/processor.h"
+#include "workload/apps.h"
+
+using namespace starburst;  // NOLINT: example brevity
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  Application app = MakePowerNetworkApp();
+  auto loaded_or = LoadApplication(app);
+  if (!loaded_or.ok()) return Fail(loaded_or.status());
+  LoadedApplication loaded = std::move(loaded_or).value();
+
+  std::printf("== %s: %zu rules over %d tables ==\n\n", app.name.c_str(),
+              loaded.rules.size(), loaded.schema->num_tables());
+
+  auto analyzer_or =
+      Analyzer::Create(loaded.schema.get(), std::move(loaded.rules));
+  if (!analyzer_or.ok()) return Fail(analyzer_or.status());
+  Analyzer analyzer = std::move(analyzer_or).value();
+
+  // Round 1: the triggering graph has cycles; termination is not
+  // guaranteed.
+  std::printf("---- round 1: no certifications ----\n%s\n",
+              TerminationReportToString(analyzer.AnalyzeTermination(),
+                                        analyzer.catalog())
+                  .c_str());
+
+  // Round 2: the rule programmer inspects each reported cycle and
+  // certifies the quiescent rules (the load cap and the depth floor both
+  // reach fixpoints), exactly the [CW90] interactive process.
+  for (const std::string& rule : app.quiescence_certifications) {
+    std::printf("certifying '%s' as eventually quiescent\n", rule.c_str());
+    analyzer.CertifyQuiescent(rule);
+  }
+  std::printf("\n---- round 2: with certifications ----\n%s\n",
+              TerminationReportToString(analyzer.AnalyzeTermination(),
+                                        analyzer.catalog())
+                  .c_str());
+
+  // Run the setup + sample transactions to watch the cycles quiesce.
+  Database db(loaded.schema.get());
+  RuleProcessor processor(&db, &analyzer.catalog());
+  for (const std::string& sql : app.setup_transaction) {
+    auto r = processor.ExecuteUserStatement(sql);
+    if (!r.ok()) return Fail(r.status());
+  }
+  auto setup = processor.AssertRules();
+  if (!setup.ok()) return Fail(setup.status());
+  processor.Commit();
+  for (const std::string& sql : app.sample_transaction) {
+    auto r = processor.ExecuteUserStatement(sql);
+    if (!r.ok()) return Fail(r.status());
+  }
+  auto result = processor.AssertRules();
+  if (!result.ok()) return Fail(result.status());
+  std::printf("---- sample transaction ----\n");
+  std::printf("rule processing terminated after %d considerations\n",
+              result.value().steps);
+  TableId wire = loaded.schema->FindTable("wire");
+  for (const auto& [rid, tuple] : db.storage(wire).rows()) {
+    std::printf("wire%s\n", TupleToString(tuple).c_str());
+  }
+  TableId trench = loaded.schema->FindTable("trench");
+  for (const auto& [rid, tuple] : db.storage(trench).rows()) {
+    std::printf("trench%s\n", TupleToString(tuple).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: define a schema and a few production rules, run the static
+// analyses of the paper (termination, confluence, observable determinism),
+// act on the analyzer's feedback, and finally execute a transaction under
+// rule processing.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "analysis/report.h"
+#include "rulelang/parser.h"
+#include "rules/processor.h"
+
+using namespace starburst;  // NOLINT: example brevity
+
+namespace {
+
+constexpr const char* kSchema = R"(
+  create table emp (id int, salary int, dept int);
+  create table dept (id int, budget int);
+  create table audit (emp_id int, salary int);
+)";
+
+constexpr const char* kRules = R"(
+  -- Cap salaries at 150.
+  create rule salary_cap on emp
+  when inserted, updated(salary)
+  if exists (select * from emp where salary > 150)
+  then update emp set salary = 150 where salary > 150;
+
+  -- Log every salary change.
+  create rule audit_salary on emp
+  when updated(salary)
+  then insert into audit select id, salary from new_updated;
+)";
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Parse the schema and rules.
+  Schema schema;
+  auto ddl = Parser::ParseScript(kSchema);
+  if (!ddl.ok()) return Fail(ddl.status());
+  for (const StmtPtr& stmt : ddl.value().statements) {
+    auto added = schema.AddTable(stmt->table, stmt->create_columns);
+    if (!added.ok()) return Fail(added.status());
+  }
+  auto script = Parser::ParseScript(kRules);
+  if (!script.ok()) return Fail(script.status());
+
+  // 2. Build the analyzer and run every analysis.
+  auto analyzer_or =
+      Analyzer::Create(&schema, std::move(script.value().rules));
+  if (!analyzer_or.ok()) return Fail(analyzer_or.status());
+  Analyzer analyzer = std::move(analyzer_or).value();
+
+  std::printf("---- initial analysis ----\n%s\n",
+              FullReportToString(analyzer.AnalyzeAll(), analyzer.catalog())
+                  .c_str());
+
+  // 3. The triggering graph has a cycle (salary_cap can retrigger itself),
+  // but repeated consideration drives every salary to <= 150, after which
+  // its action has no effect. Certify that, as the paper's interactive
+  // environment would let the rule programmer do (Section 5).
+  analyzer.CertifyQuiescent("salary_cap");
+  std::printf("---- after certifying salary_cap quiescent ----\n%s\n",
+              FullReportToString(analyzer.AnalyzeAll(), analyzer.catalog())
+                  .c_str());
+
+  // 4. Run a transaction under rule processing.
+  Database db(&schema);
+  RuleProcessor processor(&db, &analyzer.catalog());
+  for (const char* sql : {
+           "insert into dept values (1, 1000)",
+           "insert into emp values (1, 120, 1), (2, 400, 1)",
+           "update emp set salary = salary + 10 where id = 1",
+       }) {
+    auto r = processor.ExecuteUserStatement(sql);
+    if (!r.ok()) return Fail(r.status());
+  }
+  auto result = processor.AssertRules();
+  if (!result.ok()) return Fail(result.status());
+  processor.Commit();
+
+  std::printf("---- rule processing ----\n");
+  std::printf("terminated: %s after %d rule considerations\n",
+              result.value().terminated ? "yes" : "no", result.value().steps);
+  TableId emp = schema.FindTable("emp");
+  for (const auto& [rid, tuple] : db.storage(emp).rows()) {
+    std::printf("emp%s\n", TupleToString(tuple).c_str());
+  }
+  TableId audit = schema.FindTable("audit");
+  std::printf("audit rows: %zu\n", db.storage(audit).size());
+  return 0;
+}

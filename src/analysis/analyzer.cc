@@ -1,0 +1,125 @@
+#include "analysis/analyzer.h"
+
+#include "analysis/auto_discharge.h"
+#include "analysis/refine.h"
+
+namespace starburst {
+
+Result<Analyzer> Analyzer::Create(const Schema* schema,
+                                  std::vector<RuleDef> rules) {
+  STARBURST_ASSIGN_OR_RETURN(RuleCatalog catalog,
+                             RuleCatalog::Build(schema, std::move(rules)));
+  return Analyzer(std::move(catalog));
+}
+
+Analyzer::Analyzer(RuleCatalog catalog) : catalog_(std::move(catalog)) {}
+
+Analyzer::Analyzer(Analyzer&& other) noexcept
+    : catalog_(std::move(other.catalog_)),
+      termination_certs_(std::move(other.termination_certs_)),
+      commutativity_certs_(std::move(other.commutativity_certs_)),
+      commutativity_(nullptr) {}
+
+Analyzer& Analyzer::operator=(Analyzer&& other) noexcept {
+  catalog_ = std::move(other.catalog_);
+  termination_certs_ = std::move(other.termination_certs_);
+  commutativity_certs_ = std::move(other.commutativity_certs_);
+  commutativity_.reset();
+  other.commutativity_.reset();
+  return *this;
+}
+
+void Analyzer::CertifyQuiescent(const std::string& rule_name) {
+  termination_certs_.quiescent_rules.insert(rule_name);
+}
+
+void Analyzer::CertifyCommute(const std::string& rule_a,
+                              const std::string& rule_b) {
+  commutativity_certs_.Certify(rule_a, rule_b);
+  commutativity_.reset();  // verdicts changed
+}
+
+int Analyzer::ApplyAutoRefinement() {
+  PredicateRefiner refiner(catalog_.schema(), catalog_.rules(),
+                           catalog_.prelim());
+  CommutativityCertifications derived = refiner.Refine();
+  int added = 0;
+  for (const auto& pair : derived.pairs()) {
+    if (!commutativity_certs_.Contains(pair.first, pair.second)) ++added;
+  }
+  if (added > 0) {
+    commutativity_certs_.Merge(derived);
+    commutativity_.reset();
+  }
+  return added;
+}
+
+int Analyzer::ApplyAutoDischarge() {
+  AutoDischargeDetector detector(catalog_.schema(), catalog_.rules(),
+                                 catalog_.prelim());
+  TerminationCertifications derived = detector.Detect();
+  int added = 0;
+  for (const std::string& name : derived.quiescent_rules) {
+    if (termination_certs_.quiescent_rules.insert(name).second) ++added;
+  }
+  return added;
+}
+
+const CommutativityAnalyzer& Analyzer::commutativity() {
+  if (commutativity_ == nullptr) {
+    commutativity_ = std::make_unique<CommutativityAnalyzer>(
+        catalog_.prelim(), catalog_.schema(), commutativity_certs_);
+  }
+  return *commutativity_;
+}
+
+TerminationReport Analyzer::AnalyzeTermination() {
+  return TerminationAnalyzer::Analyze(catalog_.prelim(), termination_certs_);
+}
+
+ConfluenceReport Analyzer::AnalyzeConfluence(int max_violations) {
+  TerminationReport termination = AnalyzeTermination();
+  ConfluenceAnalyzer analyzer(commutativity(), catalog_.priority());
+  return analyzer.Analyze(termination.guaranteed, max_violations);
+}
+
+Result<PartialConfluenceReport> Analyzer::AnalyzePartialConfluence(
+    const std::vector<std::string>& table_names, int max_violations) {
+  std::vector<TableId> tables;
+  tables.reserve(table_names.size());
+  for (const std::string& name : table_names) {
+    TableId t = catalog_.schema().FindTable(name);
+    if (t == kInvalidTableId) {
+      return Status::NotFound("no table '" + name + "'");
+    }
+    tables.push_back(t);
+  }
+  PartialConfluenceAnalyzer analyzer(commutativity(), catalog_.priority());
+  return analyzer.Analyze(tables, termination_certs_, max_violations);
+}
+
+ObservableDeterminismReport Analyzer::AnalyzeObservableDeterminism(
+    int max_violations) {
+  TerminationReport termination = AnalyzeTermination();
+  return ObservableDeterminismAnalyzer::Analyze(
+      catalog_.schema(), catalog_.prelim(), catalog_.priority(),
+      commutativity_certs_, termination.guaranteed, termination_certs_,
+      max_violations);
+}
+
+FullReport Analyzer::AnalyzeAll(int max_violations) {
+  FullReport report;
+  report.termination = AnalyzeTermination();
+  ConfluenceAnalyzer confluence(commutativity(), catalog_.priority());
+  report.confluence =
+      confluence.Analyze(report.termination.guaranteed, max_violations);
+  report.observable = ObservableDeterminismAnalyzer::Analyze(
+      catalog_.schema(), catalog_.prelim(), catalog_.priority(),
+      commutativity_certs_, report.termination.guaranteed, termination_certs_,
+      max_violations);
+  report.suggestions = SuggestForConfluence(report.confluence);
+  report.lints = CorollaryLints(commutativity(), catalog_.priority());
+  return report;
+}
+
+}  // namespace starburst

@@ -1,0 +1,112 @@
+#include "analysis/auto_discharge.h"
+
+#include "analysis/refine.h"
+#include "analysis/triggering_graph.h"
+#include "common/strings.h"
+
+namespace starburst {
+
+namespace {
+
+/// Matches `c = c + k` (or `c = k + c`) with an integer literal k >= 1;
+/// the column reference must be unqualified or qualified by `binding`.
+bool IsPositiveIncrement(const Assignment& assignment,
+                         const std::string& binding) {
+  const Expr& e = *assignment.value;
+  if (e.kind != ExprKind::kBinary || e.binary_op != BinaryOp::kAdd) {
+    return false;
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  if (e.left->kind == ExprKind::kColumnRef) {
+    col = e.left.get();
+    lit = e.right.get();
+  } else if (e.right->kind == ExprKind::kColumnRef) {
+    col = e.right.get();
+    lit = e.left.get();
+  } else {
+    return false;
+  }
+  if (!EqualsIgnoreCase(col->column, assignment.column)) return false;
+  if (!col->qualifier.empty() &&
+      !EqualsIgnoreCase(col->qualifier, binding)) {
+    return false;
+  }
+  return lit->kind == ExprKind::kLiteral &&
+         lit->literal.kind == LiteralValue::Kind::kInt &&
+         lit->literal.int_value >= 1;
+}
+
+}  // namespace
+
+bool AutoDischargeDetector::IsDeleteOnlyQuiescent(
+    RuleIndex r, const std::vector<RuleIndex>& component) const {
+  const RuleDef& rule = rules_[r];
+  if (rule.actions.empty()) return false;
+  for (const StmtPtr& stmt : rule.actions) {
+    if (stmt->kind != StmtKind::kDelete) return false;
+  }
+  // No other rule on the component may insert into any deleted table.
+  for (const Operation& op : prelim_.rule(r).performs) {
+    if (op.kind != Operation::Kind::kDelete) continue;
+    for (RuleIndex other : component) {
+      if (other == r) continue;
+      if (prelim_.rule(other).performs.count(Operation::Insert(op.table)) >
+          0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool AutoDischargeDetector::IsBoundedIncrementQuiescent(
+    RuleIndex r, const std::vector<RuleIndex>& component) const {
+  const RuleDef& rule = rules_[r];
+  if (rule.actions.empty()) return false;
+  for (const StmtPtr& stmt : rule.actions) {
+    if (stmt->kind != StmtKind::kUpdate) return false;
+    TableId t = schema_.FindTable(stmt->table);
+    if (t == kInvalidTableId) return false;
+    // Only integer columns have the discrete strictly-increasing argument.
+    ColumnConstraints constraints = PredicateRefiner::ExtractConstraints(
+        schema_, t, stmt->table, stmt->where.get());
+    if (!constraints.simple) return false;
+    for (const Assignment& assignment : stmt->assignments) {
+      if (!IsPositiveIncrement(assignment, stmt->table)) return false;
+      ColumnId c = schema_.table(t).FindColumn(assignment.column);
+      if (c == kInvalidColumnId) return false;
+      if (schema_.table(t).column(c).type != ColumnType::kInt) return false;
+      auto it = constraints.intervals.find(c);
+      if (it == constraints.intervals.end()) return false;
+      if (it->second.hi == Interval::All().hi) return false;  // unbounded
+      // No other component rule may refuel the increment: decreasing /
+      // rewriting the column, or inserting fresh rows into the table.
+      for (RuleIndex other : component) {
+        if (other == r) continue;
+        const RulePrelim& op = prelim_.rule(other);
+        if (op.performs.count(Operation::Update(t, c)) > 0 ||
+            op.performs.count(Operation::Insert(t)) > 0) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TerminationCertifications AutoDischargeDetector::Detect() const {
+  TerminationCertifications certs;
+  TriggeringGraph graph(prelim_);
+  for (const auto& component : graph.CyclicComponents()) {
+    for (RuleIndex r : component) {
+      if (IsDeleteOnlyQuiescent(r, component) ||
+          IsBoundedIncrementQuiescent(r, component)) {
+        certs.quiescent_rules.insert(prelim_.rule(r).name);
+      }
+    }
+  }
+  return certs;
+}
+
+}  // namespace starburst

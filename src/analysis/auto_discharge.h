@@ -1,0 +1,62 @@
+#ifndef STARBURST_ANALYSIS_AUTO_DISCHARGE_H_
+#define STARBURST_ANALYSIS_AUTO_DISCHARGE_H_
+
+#include <vector>
+
+#include "analysis/termination.h"
+#include "catalog/catalog.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// Automatic detection of the two Section 5 special cases in which a
+/// triggering-graph cycle is harmless — the paper lists them as examples
+/// the user would verify by hand and notes "some such cases may be
+/// detected automatically":
+///
+///   1. **Delete-only rules**: "the action of some rule r on the cycle
+///      only deletes from a table t, and no other rules on the cycle
+///      insert into t. Eventually r's action has no effect." We also
+///      require that r itself performs no inserts anywhere on those
+///      tables; updates by other cycle rules are fine (they never add
+///      rows, so r can only delete finitely often).
+///
+///   2. **Bounded monotonic updates**: every statement of r's action is an
+///      UPDATE whose assignments all have the shape `c = c + k` (integer
+///      literal k >= 1) guarded by a simple WHERE that bounds c from above
+///      (`c < B` / `c <= B` / `c = B`). Each matched row's c strictly
+///      increases and is capped, so r's action eventually has no effect —
+///      provided no other rule on the cycle can refuel it by decreasing c
+///      (updating the same column) or inserting fresh rows into the table.
+///
+/// Both checks are conservative: any doubt (non-literal increments,
+/// complex WHEREs, inserts on the cycle) leaves the rule uncertified.
+class AutoDischargeDetector {
+ public:
+  AutoDischargeDetector(const Schema& schema,
+                        const std::vector<RuleDef>& rules,
+                        const PrelimAnalysis& prelim)
+      : schema_(schema), rules_(rules), prelim_(prelim) {}
+
+  /// Quiescence certifications for rules on cyclic components that match
+  /// one of the two patterns. Feed the result into TerminationAnalyzer
+  /// (or merge via Analyzer::ApplyAutoDischarge).
+  TerminationCertifications Detect() const;
+
+  /// Pattern 1, relative to the rules of `component` (exposed for tests).
+  bool IsDeleteOnlyQuiescent(RuleIndex r,
+                             const std::vector<RuleIndex>& component) const;
+
+  /// Pattern 2, relative to the rules of `component` (exposed for tests).
+  bool IsBoundedIncrementQuiescent(
+      RuleIndex r, const std::vector<RuleIndex>& component) const;
+
+ private:
+  const Schema& schema_;
+  const std::vector<RuleDef>& rules_;
+  const PrelimAnalysis& prelim_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_AUTO_DISCHARGE_H_

@@ -1,0 +1,169 @@
+#include "analysis/commutativity.h"
+
+#include "common/strings.h"
+
+namespace starburst {
+
+void CommutativityCertifications::Certify(const std::string& a,
+                                          const std::string& b) {
+  std::string x = ToLower(a);
+  std::string y = ToLower(b);
+  if (y < x) std::swap(x, y);
+  pairs_.emplace(std::move(x), std::move(y));
+}
+
+bool CommutativityCertifications::Contains(const std::string& a,
+                                           const std::string& b) const {
+  std::string x = ToLower(a);
+  std::string y = ToLower(b);
+  if (y < x) std::swap(x, y);
+  return pairs_.count({x, y}) > 0;
+}
+
+void CommutativityCertifications::Merge(
+    const CommutativityCertifications& other) {
+  pairs_.insert(other.pairs_.begin(), other.pairs_.end());
+}
+
+std::string NoncommutativityCause::Describe(const PrelimAnalysis& prelim,
+                                            const Schema& schema) const {
+  (void)schema;
+  const std::string& a = prelim.rule(actor).name;
+  const std::string& b = prelim.rule(affected).name;
+  switch (condition) {
+    case 1:
+      return "'" + a + "' can trigger '" + b + "' (Lemma 6.1 condition 1)";
+    case 2:
+      return "'" + a + "' can untrigger '" + b + "' (Lemma 6.1 condition 2)";
+    case 3:
+      return "'" + a + "' writes data that '" + b +
+             "' reads (Lemma 6.1 condition 3)";
+    case 4:
+      return "'" + a + "' inserts into a table that '" + b +
+             "' deletes from or updates (Lemma 6.1 condition 4)";
+    case 5:
+      return "'" + a + "' and '" + b +
+             "' update the same column (Lemma 6.1 condition 5)";
+    default:
+      return "unknown condition";
+  }
+}
+
+CommutativityAnalyzer::CommutativityAnalyzer(
+    const PrelimAnalysis& prelim, const Schema& schema,
+    CommutativityCertifications certifications)
+    : prelim_(prelim),
+      schema_(schema),
+      certifications_(std::move(certifications)) {
+  int n = prelim_.num_rules();
+  syntactically_commute_.assign(n, std::vector<bool>(n, false));
+  for (RuleIndex i = 0; i < n; ++i) {
+    syntactically_commute_[i][i] = true;
+    for (RuleIndex j = i + 1; j < n; ++j) {
+      bool syntactic = SyntacticallyCommutePair(prelim_, i, j);
+      syntactically_commute_[i][j] = syntactically_commute_[j][i] = syntactic;
+    }
+  }
+  ApplyCertifications();
+}
+
+CommutativityAnalyzer::CommutativityAnalyzer(
+    const PrelimAnalysis& prelim, const Schema& schema,
+    CommutativityCertifications certifications,
+    std::vector<std::vector<bool>> syntactic_matrix)
+    : prelim_(prelim),
+      schema_(schema),
+      certifications_(std::move(certifications)),
+      syntactically_commute_(std::move(syntactic_matrix)) {
+  ApplyCertifications();
+}
+
+void CommutativityAnalyzer::ApplyCertifications() {
+  int n = prelim_.num_rules();
+  commute_.assign(n, std::vector<bool>(n, false));
+  for (RuleIndex i = 0; i < n; ++i) {
+    commute_[i][i] = true;
+    for (RuleIndex j = i + 1; j < n; ++j) {
+      bool commute = syntactically_commute_[i][j] ||
+                     certifications_.Contains(prelim_.rule(i).name,
+                                              prelim_.rule(j).name);
+      commute_[i][j] = commute_[j][i] = commute;
+    }
+  }
+}
+
+bool CommutativityAnalyzer::SyntacticallyCommutePair(
+    const PrelimAnalysis& prelim, RuleIndex i, RuleIndex j) {
+  if (i == j) return true;
+  return Directed(prelim, i, j).empty() && Directed(prelim, j, i).empty();
+}
+
+std::vector<NoncommutativityCause> CommutativityAnalyzer::Directed(
+    const PrelimAnalysis& prelim_, RuleIndex ri, RuleIndex rj) {
+  std::vector<NoncommutativityCause> causes;
+  const RulePrelim& a = prelim_.rule(ri);
+  const RulePrelim& b = prelim_.rule(rj);
+
+  // Condition 1: rj ∈ Triggers(ri).
+  if (prelim_.TriggersRule(ri, rj)) {
+    causes.push_back({1, ri, rj});
+  }
+  // Condition 2: rj ∈ Can-Untrigger(Performs(ri)).
+  if (prelim_.CanUntriggerRule(ri, rj)) {
+    causes.push_back({2, ri, rj});
+  }
+  // Condition 3: ri's operations can affect what rj reads.
+  if (WritesAnyOf(a.performs, b.reads)) {
+    causes.push_back({3, ri, rj});
+  }
+  // Condition 4: ri's insertions can affect what rj updates or deletes.
+  for (const Operation& op : a.performs) {
+    if (op.kind != Operation::Kind::kInsert) continue;
+    bool conflict = false;
+    for (const Operation& other : b.performs) {
+      if (other.table == op.table &&
+          (other.kind == Operation::Kind::kDelete ||
+           other.kind == Operation::Kind::kUpdate)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) {
+      causes.push_back({4, ri, rj});
+      break;
+    }
+  }
+  // Condition 5: ri's updates can affect rj's updates (same column).
+  bool update_conflict = false;
+  for (const Operation& op : a.performs) {
+    if (op.kind != Operation::Kind::kUpdate) continue;
+    if (b.performs.count(op) > 0) {
+      update_conflict = true;
+      break;
+    }
+  }
+  if (update_conflict) {
+    causes.push_back({5, ri, rj});
+  }
+  return causes;
+}
+
+std::vector<NoncommutativityCause> CommutativityAnalyzer::ExplainPair(
+    const PrelimAnalysis& prelim, RuleIndex i, RuleIndex j) {
+  if (i == j) return {};
+  std::vector<NoncommutativityCause> causes = Directed(prelim, i, j);
+  std::vector<NoncommutativityCause> reversed = Directed(prelim, j, i);
+  causes.insert(causes.end(), reversed.begin(), reversed.end());
+  return causes;
+}
+
+std::vector<NoncommutativityCause> CommutativityAnalyzer::Explain(
+    RuleIndex i, RuleIndex j) const {
+  return ExplainPair(prelim_, i, j);
+}
+
+bool CommutativityAnalyzer::CertifiedOnly(RuleIndex i, RuleIndex j) const {
+  return commute_[i][j] && !syntactically_commute_[i][j];
+}
+
+}  // namespace starburst

@@ -1,0 +1,118 @@
+#ifndef STARBURST_ANALYSIS_COMMUTATIVITY_H_
+#define STARBURST_ANALYSIS_COMMUTATIVITY_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/prelim.h"
+#include "catalog/catalog.h"
+
+namespace starburst {
+
+/// User declarations that pairs of rules which *appear* noncommutative by
+/// Lemma 6.1 actually do commute (Section 6.1's interactive refinement,
+/// e.g. "ri inserts into t and rj deletes from t, but the inserted tuples
+/// never satisfy the delete condition").
+class CommutativityCertifications {
+ public:
+  /// Declares that `a` and `b` commute (order-insensitive).
+  void Certify(const std::string& a, const std::string& b);
+
+  bool Contains(const std::string& a, const std::string& b) const;
+
+  size_t size() const { return pairs_.size(); }
+
+  /// The certified pairs, normalized (lowercased, lexicographic order).
+  const std::set<std::pair<std::string, std::string>>& pairs() const {
+    return pairs_;
+  }
+
+  /// Adds every pair of `other`.
+  void Merge(const CommutativityCertifications& other);
+
+ private:
+  std::set<std::pair<std::string, std::string>> pairs_;  // normalized
+};
+
+/// One violated condition of Lemma 6.1 explaining why a pair may be
+/// noncommutative. `condition` is the 1-based condition number from the
+/// paper; `actor`/`affected` give the direction (condition 6 is reported
+/// as conditions 1-5 with the roles swapped).
+struct NoncommutativityCause {
+  int condition = 0;
+  RuleIndex actor = -1;
+  RuleIndex affected = -1;
+
+  /// Human-readable description, e.g.
+  /// "r1 can trigger r2 (Lemma 6.1 condition 1)".
+  std::string Describe(const PrelimAnalysis& prelim,
+                       const Schema& schema) const;
+};
+
+/// Pairwise rule commutativity per Lemma 6.1, with user certifications.
+///
+/// Two distinct rules are commutative unless one of conditions 1-5 holds
+/// in either direction:
+///   1. rj ∈ Triggers(ri)
+///   2. rj ∈ Can-Untrigger(Performs(ri))
+///   3. ri performs an operation on a column rj reads
+///   4. ri inserts into a table rj deletes from or updates
+///   5. ri and rj update the same column
+/// Every rule commutes with itself.
+class CommutativityAnalyzer {
+ public:
+  CommutativityAnalyzer(const PrelimAnalysis& prelim, const Schema& schema,
+                        CommutativityCertifications certifications = {});
+
+  /// Constructs from a precomputed syntactic matrix (used by incremental
+  /// analysis to reuse cached pair verdicts). The matrix must be symmetric
+  /// with a true diagonal and agree with Lemma 6.1 over `prelim`.
+  CommutativityAnalyzer(const PrelimAnalysis& prelim, const Schema& schema,
+                        CommutativityCertifications certifications,
+                        std::vector<std::vector<bool>> syntactic_matrix);
+
+  /// Stateless pairwise Lemma 6.1 check (no certifications): true when the
+  /// pair is syntactically guaranteed to commute.
+  static bool SyntacticallyCommutePair(const PrelimAnalysis& prelim,
+                                       RuleIndex i, RuleIndex j);
+
+  /// Stateless variant of Explain(): all Lemma 6.1 causes in both
+  /// directions for a pair.
+  static std::vector<NoncommutativityCause> ExplainPair(
+      const PrelimAnalysis& prelim, RuleIndex i, RuleIndex j);
+
+  /// True when ri and rj are (conservatively) guaranteed to commute.
+  bool Commute(RuleIndex i, RuleIndex j) const { return commute_[i][j]; }
+
+  /// The Lemma 6.1 conditions that make the pair appear noncommutative
+  /// (empty when they commute syntactically). Certifications do not change
+  /// this — they override the verdict, not the explanation.
+  std::vector<NoncommutativityCause> Explain(RuleIndex i, RuleIndex j) const;
+
+  /// True when the pair was certified by the user rather than proven by
+  /// Lemma 6.1.
+  bool CertifiedOnly(RuleIndex i, RuleIndex j) const;
+
+  const PrelimAnalysis& prelim() const { return prelim_; }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  /// Conditions 1-5 with ri as actor (no direction swap).
+  static std::vector<NoncommutativityCause> Directed(
+      const PrelimAnalysis& prelim, RuleIndex ri, RuleIndex rj);
+
+  /// Fills commute_ from syntactically_commute_ plus certifications.
+  void ApplyCertifications();
+
+  const PrelimAnalysis& prelim_;
+  const Schema& schema_;
+  CommutativityCertifications certifications_;
+  std::vector<std::vector<bool>> commute_;
+  std::vector<std::vector<bool>> syntactically_commute_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_COMMUTATIVITY_H_

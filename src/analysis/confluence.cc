@@ -1,0 +1,137 @@
+#include "analysis/confluence.h"
+
+#include <algorithm>
+
+namespace starburst {
+
+std::pair<std::vector<RuleIndex>, std::vector<RuleIndex>>
+ConfluenceAnalyzer::BuildSets(RuleIndex ri, RuleIndex rj) const {
+  std::vector<bool> all(commutativity_.prelim().num_rules(), true);
+  return BuildSetsWithin(ri, rj, all);
+}
+
+std::pair<std::vector<RuleIndex>, std::vector<RuleIndex>>
+ConfluenceAnalyzer::BuildSetsWithin(RuleIndex ri, RuleIndex rj,
+                                    const std::vector<bool>& members) const {
+  const PrelimAnalysis& prelim = commutativity_.prelim();
+  int n = prelim.num_rules();
+  std::vector<bool> in_r1(n, false), in_r2(n, false);
+  in_r1[ri] = true;
+  in_r2[rj] = true;
+
+  // Fixpoint of Definition 6.5. Each pass adds rules triggered by the
+  // current sets that have precedence over some rule in the other set.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (RuleIndex r = 0; r < n; ++r) {
+      if (!members[r]) continue;
+      if (!in_r1[r] && r != rj) {
+        bool triggered_by_r1 = false;
+        for (RuleIndex r1 = 0; r1 < n && !triggered_by_r1; ++r1) {
+          if (in_r1[r1] && prelim.TriggersRule(r1, r)) triggered_by_r1 = true;
+        }
+        if (triggered_by_r1) {
+          bool above_some_r2 = false;
+          for (RuleIndex r2 = 0; r2 < n && !above_some_r2; ++r2) {
+            if (in_r2[r2] && priority_.Higher(r, r2)) above_some_r2 = true;
+          }
+          if (above_some_r2) {
+            in_r1[r] = true;
+            changed = true;
+          }
+        }
+      }
+      if (!in_r2[r] && r != ri) {
+        bool triggered_by_r2 = false;
+        for (RuleIndex r2 = 0; r2 < n && !triggered_by_r2; ++r2) {
+          if (in_r2[r2] && prelim.TriggersRule(r2, r)) triggered_by_r2 = true;
+        }
+        if (triggered_by_r2) {
+          bool above_some_r1 = false;
+          for (RuleIndex r1 = 0; r1 < n && !above_some_r1; ++r1) {
+            if (in_r1[r1] && priority_.Higher(r, r1)) above_some_r1 = true;
+          }
+          if (above_some_r1) {
+            in_r2[r] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  std::vector<RuleIndex> r1_set, r2_set;
+  for (RuleIndex r = 0; r < n; ++r) {
+    if (in_r1[r]) r1_set.push_back(r);
+    if (in_r2[r]) r2_set.push_back(r);
+  }
+  return {std::move(r1_set), std::move(r2_set)};
+}
+
+ConfluenceReport ConfluenceAnalyzer::Analyze(bool termination_guaranteed,
+                                             int max_violations) const {
+  std::vector<RuleIndex> all(commutativity_.prelim().num_rules());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<RuleIndex>(i);
+  return AnalyzeImpl(all, termination_guaranteed, max_violations);
+}
+
+ConfluenceReport ConfluenceAnalyzer::AnalyzeSubset(
+    const std::vector<RuleIndex>& members, bool termination_guaranteed,
+    int max_violations) const {
+  return AnalyzeImpl(members, termination_guaranteed, max_violations);
+}
+
+ConfluenceReport ConfluenceAnalyzer::AnalyzeImpl(
+    const std::vector<RuleIndex>& members, bool termination_guaranteed,
+    int max_violations) const {
+  ConfluenceReport report;
+  report.termination_guaranteed = termination_guaranteed;
+  report.requirement_holds = true;
+
+  int n = commutativity_.prelim().num_rules();
+  std::vector<bool> member_mask(n, false);
+  for (RuleIndex r : members) member_mask[r] = true;
+
+  auto violations_full = [&]() {
+    return max_violations >= 0 &&
+           static_cast<int>(report.violations.size()) >= max_violations;
+  };
+
+  for (size_t a = 0; a < members.size(); ++a) {
+    for (size_t b = a + 1; b < members.size(); ++b) {
+      RuleIndex ri = members[a];
+      RuleIndex rj = members[b];
+      if (!priority_.Unordered(ri, rj)) continue;
+      ++report.unordered_pairs_checked;
+      auto [r1_set, r2_set] = BuildSetsWithin(ri, rj, member_mask);
+      report.max_set_size =
+          std::max({report.max_set_size, r1_set.size(), r2_set.size()});
+      for (RuleIndex r1 : r1_set) {
+        for (RuleIndex r2 : r2_set) {
+          if (commutativity_.Commute(r1, r2)) continue;
+          report.requirement_holds = false;
+          if (!violations_full()) {
+            ConfluenceViolation violation;
+            violation.pair_i = ri;
+            violation.pair_j = rj;
+            violation.r1 = r1;
+            violation.r2 = r2;
+            violation.set_r1 = r1_set;
+            violation.set_r2 = r2_set;
+            violation.causes = commutativity_.Explain(r1, r2);
+            report.violations.push_back(std::move(violation));
+          }
+        }
+        if (!report.requirement_holds && violations_full()) break;
+      }
+      if (!report.requirement_holds && violations_full()) {
+        report.confluent = false;
+        return report;
+      }
+    }
+  }
+  report.confluent = report.requirement_holds && termination_guaranteed;
+  return report;
+}
+
+}  // namespace starburst

@@ -1,0 +1,87 @@
+#ifndef STARBURST_ANALYSIS_CONFLUENCE_H_
+#define STARBURST_ANALYSIS_CONFLUENCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "analysis/commutativity.h"
+#include "analysis/priority.h"
+
+namespace starburst {
+
+/// One violation of the Confluence Requirement: the unordered pair
+/// (pair_i, pair_j) generated sets R1, R2 containing a witness pair
+/// (r1, r2) that does not commute. In the most common case r1 = pair_i and
+/// r2 = pair_j (Corollary 6.8).
+struct ConfluenceViolation {
+  RuleIndex pair_i = -1;
+  RuleIndex pair_j = -1;
+  RuleIndex r1 = -1;
+  RuleIndex r2 = -1;
+  std::vector<RuleIndex> set_r1;
+  std::vector<RuleIndex> set_r2;
+  std::vector<NoncommutativityCause> causes;
+};
+
+/// Result of confluence analysis (Theorem 6.7). `confluent` requires both
+/// the Confluence Requirement and termination (passed in by the caller,
+/// since termination is analyzed separately per Section 5).
+struct ConfluenceReport {
+  /// The Confluence Requirement (Definition 6.5) holds for every unordered
+  /// pair.
+  bool requirement_holds = false;
+  /// Termination prerequisite as supplied by the caller.
+  bool termination_guaranteed = false;
+  /// requirement_holds && termination_guaranteed (Theorem 6.7).
+  bool confluent = false;
+  std::vector<ConfluenceViolation> violations;
+  /// Statistics for experiments.
+  int unordered_pairs_checked = 0;
+  size_t max_set_size = 0;  // largest |R1| or |R2| encountered
+};
+
+/// Confluence analysis per Section 6: for every pair of unordered rules,
+/// build the mutually recursive sets R1 and R2 of Definition 6.5 and check
+/// all of R1 × R2 pairwise for commutativity.
+class ConfluenceAnalyzer {
+ public:
+  /// `commutativity` and `priority` must outlive the analyzer and cover
+  /// the same rule set.
+  ConfluenceAnalyzer(const CommutativityAnalyzer& commutativity,
+                     const PriorityOrder& priority)
+      : commutativity_(commutativity), priority_(priority) {}
+
+  /// The Definition 6.5 fixpoint for the unordered pair (ri, rj), over all
+  /// rules. Exposed for the R1/R2-growth experiment (Figures 3/4).
+  std::pair<std::vector<RuleIndex>, std::vector<RuleIndex>> BuildSets(
+      RuleIndex ri, RuleIndex rj) const;
+
+  /// As above, with candidates restricted to `members` (used when R is
+  /// Sig(T') for partial confluence). `members` must contain ri and rj.
+  std::pair<std::vector<RuleIndex>, std::vector<RuleIndex>> BuildSetsWithin(
+      RuleIndex ri, RuleIndex rj, const std::vector<bool>& members) const;
+
+  /// Analyzes all rules. `termination_guaranteed` is the Section 5 verdict;
+  /// `max_violations` bounds the report size (0 = first violation stops,
+  /// negative = unlimited).
+  ConfluenceReport Analyze(bool termination_guaranteed,
+                           int max_violations = -1) const;
+
+  /// Analyzes the subset `members` only (unordered pairs within the
+  /// subset, Definition 6.5 relative to the subset).
+  ConfluenceReport AnalyzeSubset(const std::vector<RuleIndex>& members,
+                                 bool termination_guaranteed,
+                                 int max_violations = -1) const;
+
+ private:
+  ConfluenceReport AnalyzeImpl(const std::vector<RuleIndex>& members,
+                               bool termination_guaranteed,
+                               int max_violations) const;
+
+  const CommutativityAnalyzer& commutativity_;
+  const PriorityOrder& priority_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_CONFLUENCE_H_

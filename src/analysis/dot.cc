@@ -1,0 +1,105 @@
+#include "analysis/dot.h"
+
+#include <vector>
+
+#include "analysis/triggering_graph.h"
+
+namespace starburst {
+
+namespace {
+
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TriggeringGraphToDot(const RuleCatalog& catalog,
+                                 const TerminationReport* termination) {
+  const PrelimAnalysis& prelim = catalog.prelim();
+  int n = prelim.num_rules();
+
+  // Color rules on cyclic components.
+  std::vector<const char*> color(n, nullptr);
+  if (termination != nullptr) {
+    for (const CycleReport& cycle : termination->cycles) {
+      for (RuleIndex r : cycle.rules) {
+        color[r] = cycle.discharged ? "orange" : "red";
+      }
+    }
+  }
+
+  std::string out = "digraph triggering_graph {\n";
+  out += "  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (RuleIndex r = 0; r < n; ++r) {
+    out += "  r" + std::to_string(r) + " [label=\"" +
+           EscapeLabel(prelim.rule(r).name) + "\"";
+    if (color[r] != nullptr) {
+      out += ", color=";
+      out += color[r];
+      out += ", penwidth=2";
+    }
+    out += "];\n";
+  }
+  TriggeringGraph graph(prelim);
+  for (RuleIndex r = 0; r < n; ++r) {
+    for (RuleIndex target : graph.OutEdges(r)) {
+      out += "  r" + std::to_string(r) + " -> r" + std::to_string(target) +
+             ";\n";
+    }
+  }
+  // Priority edges: transitive reduction of the closure, drawn dashed.
+  const PriorityOrder& priority = catalog.priority();
+  for (RuleIndex hi = 0; hi < n; ++hi) {
+    for (RuleIndex lo = 0; lo < n; ++lo) {
+      if (hi == lo || !priority.Higher(hi, lo)) continue;
+      bool direct = true;
+      for (RuleIndex mid = 0; mid < n && direct; ++mid) {
+        if (mid != hi && mid != lo && priority.Higher(hi, mid) &&
+            priority.Higher(mid, lo)) {
+          direct = false;
+        }
+      }
+      if (direct) {
+        out += "  r" + std::to_string(hi) + " -> r" + std::to_string(lo) +
+               " [style=dashed, color=blue, label=\"precedes\"];\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ExecutionGraphToDot(const ExplorationResult& result,
+                                const RuleCatalog& catalog) {
+  std::string out = "digraph execution_graph {\n";
+  out += "  node [shape=circle, fontname=\"Helvetica\"];\n";
+  for (size_t i = 0; i < result.node_is_final.size(); ++i) {
+    out += "  s" + std::to_string(i);
+    if (result.node_is_final[i]) {
+      out += " [shape=doublecircle, color=darkgreen]";
+    }
+    out += ";\n";
+  }
+  for (const ExplorationResult::RecordedEdge& edge : result.graph_edges) {
+    std::string rule_name =
+        edge.rule >= 0 && edge.rule < catalog.num_rules()
+            ? catalog.prelim().rule(edge.rule).name
+            : "?";
+    out += "  s" + std::to_string(edge.from) + " -> s" +
+           std::to_string(edge.to) + " [label=\"" + EscapeLabel(rule_name) +
+           "\"];\n";
+  }
+  if (result.graph_truncated) {
+    out += "  truncated [shape=plaintext, label=\"(graph truncated)\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace starburst

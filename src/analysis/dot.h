@@ -1,0 +1,33 @@
+#ifndef STARBURST_ANALYSIS_DOT_H_
+#define STARBURST_ANALYSIS_DOT_H_
+
+#include <string>
+
+#include "analysis/termination.h"
+#include "rules/explorer.h"
+#include "rules/rule_catalog.h"
+
+namespace starburst {
+
+/// GraphViz DOT renderings for the interactive development environment
+/// the paper proposes (Sections 1 and 9): the rule programmer looks at the
+/// triggering graph to understand termination problems and at small
+/// execution graphs to understand divergence.
+
+/// Renders the triggering graph TG_R. Solid edges are the Triggers
+/// relation; dashed edges are the transitive reduction of the priority
+/// order (higher -> lower). When `termination` is given, rules on
+/// undischarged cyclic components are drawn red and rules on discharged
+/// components orange.
+std::string TriggeringGraphToDot(const RuleCatalog& catalog,
+                                 const TerminationReport* termination);
+
+/// Renders an execution graph recorded by the Explorer (run with
+/// ExplorerOptions::record_graph). Nodes are execution states (final
+/// states drawn as double circles); edge labels are the considered rules.
+std::string ExecutionGraphToDot(const ExplorationResult& result,
+                                const RuleCatalog& catalog);
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_DOT_H_

@@ -1,0 +1,94 @@
+#include "analysis/incremental.h"
+
+#include "analysis/priority.h"
+#include "common/strings.h"
+
+namespace starburst {
+
+namespace {
+
+std::pair<std::string, std::string> PairKey(const std::string& a,
+                                            const std::string& b) {
+  std::string x = ToLower(a);
+  std::string y = ToLower(b);
+  if (y < x) std::swap(x, y);
+  return {std::move(x), std::move(y)};
+}
+
+}  // namespace
+
+IncrementalAnalyzer::IncrementalAnalyzer(
+    const Schema* schema, CommutativityCertifications certifications)
+    : schema_(schema), certifications_(std::move(certifications)) {}
+
+Status IncrementalAnalyzer::AddRule(RuleDef rule) {
+  // Validate against the current set before committing.
+  std::vector<RuleDef> candidate;
+  candidate.reserve(rules_.size() + 1);
+  for (const RuleDef& r : rules_) candidate.push_back(r.Clone());
+  candidate.push_back(rule.Clone());
+  auto prelim = PrelimAnalysis::Compute(*schema_, candidate);
+  if (!prelim.ok()) return prelim.status();
+  auto priority = PriorityOrder::Build(prelim.value(), candidate);
+  if (!priority.ok()) return priority.status();
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Status IncrementalAnalyzer::RemoveRule(const std::string& name) {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (EqualsIgnoreCase(rules_[i].name, name)) {
+      std::string key = ToLower(name);
+      for (auto it = pair_cache_.begin(); it != pair_cache_.end();) {
+        if (it->first.first == key || it->first.second == key) {
+          it = pair_cache_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      rules_.erase(rules_.begin() + static_cast<long>(i));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no rule named '" + name + "'");
+}
+
+Result<IncrementalAnalyzer::RunResult> IncrementalAnalyzer::Analyze(
+    const TerminationCertifications& certs, int max_violations) {
+  STARBURST_ASSIGN_OR_RETURN(PrelimAnalysis prelim,
+                             PrelimAnalysis::Compute(*schema_, rules_));
+  STARBURST_ASSIGN_OR_RETURN(PriorityOrder priority,
+                             PriorityOrder::Build(prelim, rules_));
+  RunResult result;
+
+  // Build the syntactic matrix, reusing cached pair verdicts.
+  int n = prelim.num_rules();
+  std::vector<std::vector<bool>> syntactic(n, std::vector<bool>(n, false));
+  for (RuleIndex i = 0; i < n; ++i) {
+    syntactic[i][i] = true;
+    for (RuleIndex j = i + 1; j < n; ++j) {
+      auto key = PairKey(prelim.rule(i).name, prelim.rule(j).name);
+      auto it = pair_cache_.find(key);
+      bool verdict;
+      if (it != pair_cache_.end()) {
+        verdict = it->second;
+        ++result.stats.pair_checks_reused;
+      } else {
+        verdict =
+            CommutativityAnalyzer::SyntacticallyCommutePair(prelim, i, j);
+        pair_cache_.emplace(std::move(key), verdict);
+        ++result.stats.pair_checks_computed;
+      }
+      syntactic[i][j] = syntactic[j][i] = verdict;
+    }
+  }
+  CommutativityAnalyzer commutativity(prelim, *schema_, certifications_,
+                                      std::move(syntactic));
+  result.termination = TerminationAnalyzer::Analyze(prelim, certs);
+  ConfluenceAnalyzer confluence(commutativity, priority);
+  result.confluence =
+      confluence.Analyze(result.termination.guaranteed, max_violations);
+  return result;
+}
+
+}  // namespace starburst

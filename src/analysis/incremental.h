@@ -1,0 +1,70 @@
+#ifndef STARBURST_ANALYSIS_INCREMENTAL_H_
+#define STARBURST_ANALYSIS_INCREMENTAL_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/commutativity.h"
+#include "analysis/confluence.h"
+#include "analysis/termination.h"
+#include "common/status.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// Statistics showing how much work an incremental re-analysis reused.
+struct IncrementalStats {
+  long pair_checks_computed = 0;
+  long pair_checks_reused = 0;
+};
+
+/// Incremental analysis across rule-set edits (Section 9, future work,
+/// implemented here). The key observation is that Lemma 6.1 commutativity
+/// is a property of a *pair* of rules and the schema only, so pair
+/// verdicts cached by rule name stay valid until one of the two rules is
+/// redefined or removed. Adding or removing one rule therefore costs O(n)
+/// new pair checks instead of O(n²).
+class IncrementalAnalyzer {
+ public:
+  /// The schema must outlive the analyzer.
+  explicit IncrementalAnalyzer(
+      const Schema* schema, CommutativityCertifications certifications = {});
+
+  /// Adds a rule; invalidates nothing (new pairs are simply not cached
+  /// yet). Fails on semantic errors, leaving the rule set unchanged.
+  Status AddRule(RuleDef rule);
+
+  /// Removes the named rule and drops every cached pair involving it.
+  Status RemoveRule(const std::string& name);
+
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+
+  /// Runs termination + confluence over the current rule set, reusing
+  /// cached pair verdicts. Returns the reports plus reuse statistics.
+  struct RunResult {
+    TerminationReport termination;
+    ConfluenceReport confluence;
+    IncrementalStats stats;
+  };
+  Result<RunResult> Analyze(const TerminationCertifications& certs = {},
+                            int max_violations = -1);
+
+ private:
+  /// Computes (or fetches) the syntactic-commutativity verdict for the
+  /// named pair using `analyzer` for cache misses.
+  bool CachedCommute(const CommutativityAnalyzer& analyzer,
+                     const PrelimAnalysis& prelim, RuleIndex i, RuleIndex j,
+                     IncrementalStats* stats);
+
+  const Schema* schema_;
+  CommutativityCertifications certifications_;
+  std::vector<RuleDef> rules_;
+  /// Cache: normalized (name, name) -> rules commute.
+  std::map<std::pair<std::string, std::string>, bool> pair_cache_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_INCREMENTAL_H_

@@ -1,0 +1,39 @@
+#ifndef STARBURST_ANALYSIS_JSON_REPORT_H_
+#define STARBURST_ANALYSIS_JSON_REPORT_H_
+
+#include <string>
+
+#include "analysis/analyzer.h"
+
+namespace starburst {
+
+/// Machine-readable (JSON) report rendering, for IDE / tooling integration
+/// of the interactive development environment. The schema mirrors the
+/// report structs:
+///
+///   termination: {guaranteed, acyclic, cycles: [{rules, certified,
+///                 discharged}]}
+///   confluence:  {confluent, requirement_holds, termination_guaranteed,
+///                 unordered_pairs_checked, violations: [{pair, witnesses,
+///                 r1_set, r2_set, causes: [{condition, actor, affected}]}]}
+///   observable:  {deterministic, observable_rules, sig_obs,
+///                 unordered_observable_pairs}
+///   suggestions: [{kind, rules}]
+///
+/// Rule references are emitted as names.
+std::string TerminationReportToJson(const TerminationReport& report,
+                                    const RuleCatalog& catalog);
+std::string ConfluenceReportToJson(const ConfluenceReport& report,
+                                   const RuleCatalog& catalog);
+std::string ObservableReportToJson(const ObservableDeterminismReport& report,
+                                   const RuleCatalog& catalog);
+std::string FullReportToJson(const FullReport& report,
+                             const RuleCatalog& catalog);
+
+/// Escapes a string for inclusion in a JSON string literal (quotes not
+/// included). Exposed for tests.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_JSON_REPORT_H_

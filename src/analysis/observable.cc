@@ -1,0 +1,47 @@
+#include "analysis/observable.h"
+
+namespace starburst {
+
+ObservableDeterminismReport ObservableDeterminismAnalyzer::Analyze(
+    const Schema& schema, const PrelimAnalysis& prelim,
+    const PriorityOrder& priority,
+    const CommutativityCertifications& certifications,
+    bool whole_set_termination,
+    const TerminationCertifications& termination_certs, int max_violations) {
+  ObservableDeterminismReport report;
+  report.whole_set_termination = whole_set_termination;
+  for (RuleIndex r = 0; r < prelim.num_rules(); ++r) {
+    if (prelim.rule(r).observable) report.observable_rules.push_back(r);
+  }
+
+  // Extended definitions of Section 8: Obs is a pseudo table outside the
+  // schema; observable rules perform (I, Obs) and read Obs.c.
+  TableId obs_table = schema.num_tables();
+  PrelimAnalysis extended = prelim.ExtendWithObservableTable(obs_table);
+  CommutativityAnalyzer extended_commutativity(extended, schema,
+                                               certifications);
+  PartialConfluenceAnalyzer partial(extended_commutativity, priority);
+  report.obs_confluence =
+      partial.Analyze({obs_table}, termination_certs, max_violations);
+
+  // Theorem 8.1: Confluence Requirement for Sig(Obs) + termination of R.
+  // (We keep the Sig-subset termination verdict in obs_confluence for
+  // diagnostics but gate determinism on whole-set termination, matching
+  // the theorem statement.)
+  report.deterministic = report.obs_confluence.confluence.requirement_holds &&
+                         whole_set_termination;
+
+  // Corollary 8.2 lint.
+  for (size_t a = 0; a < report.observable_rules.size(); ++a) {
+    for (size_t b = a + 1; b < report.observable_rules.size(); ++b) {
+      RuleIndex i = report.observable_rules[a];
+      RuleIndex j = report.observable_rules[b];
+      if (priority.Unordered(i, j)) {
+        report.unordered_observable_pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace starburst

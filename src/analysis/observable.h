@@ -1,0 +1,53 @@
+#ifndef STARBURST_ANALYSIS_OBSERVABLE_H_
+#define STARBURST_ANALYSIS_OBSERVABLE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analysis/partial_confluence.h"
+
+namespace starburst {
+
+/// Result of observable-determinism analysis (Theorem 8.1).
+struct ObservableDeterminismReport {
+  /// Rules whose action may be observable.
+  std::vector<RuleIndex> observable_rules;
+  /// Partial-confluence analysis w.r.t. the fictional Obs table, using the
+  /// extended Reads_obs / Performs_obs definitions.
+  PartialConfluenceReport obs_confluence;
+  /// Termination of the whole rule set R, as supplied by the caller
+  /// (Theorem 8.1 requires no infinite paths in any execution graph for R).
+  bool whole_set_termination = false;
+  /// Theorem 8.1 verdict: the order and appearance of observable actions
+  /// is independent of the choice among unordered rules.
+  bool deterministic = false;
+  /// Corollary 8.2 lint: pairs of distinct observable rules that are
+  /// unordered. Non-empty implies non-determinism.
+  std::vector<std::pair<RuleIndex, RuleIndex>> unordered_observable_pairs;
+};
+
+/// Observable-determinism analysis (Section 8): adds the fictional Obs
+/// table — every observable rule also "inserts a timestamped log entry
+/// into Obs and reads Obs" — and checks partial confluence with respect to
+/// {Obs}.
+///
+/// Note on certifications: a user commutativity certification between two
+/// observable rules also certifies that their *observable* actions
+/// commute; Corollary 8.2 holds only for rule sets found deterministic
+/// without such certifications.
+class ObservableDeterminismAnalyzer {
+ public:
+  /// `whole_set_termination` is the Section 5 verdict for all of R.
+  static ObservableDeterminismReport Analyze(
+      const Schema& schema, const PrelimAnalysis& prelim,
+      const PriorityOrder& priority,
+      const CommutativityCertifications& certifications,
+      bool whole_set_termination,
+      const TerminationCertifications& termination_certs = {},
+      int max_violations = -1);
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_OBSERVABLE_H_

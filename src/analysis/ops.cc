@@ -1,0 +1,80 @@
+#include "analysis/ops.h"
+
+namespace starburst {
+
+namespace {
+
+std::string TableName(const Schema& schema, TableId t) {
+  if (t >= 0 && t < schema.num_tables()) return schema.table(t).name();
+  return "<table " + std::to_string(t) + ">";
+}
+
+std::string ColumnName(const Schema& schema, TableId t, ColumnId c) {
+  if (t >= 0 && t < schema.num_tables() && c >= 0 &&
+      c < schema.table(t).num_columns()) {
+    return schema.table(t).column(c).name;
+  }
+  return "<col " + std::to_string(c) + ">";
+}
+
+}  // namespace
+
+std::string Operation::ToString(const Schema& schema) const {
+  switch (kind) {
+    case Kind::kInsert:
+      return "(I, " + TableName(schema, table) + ")";
+    case Kind::kDelete:
+      return "(D, " + TableName(schema, table) + ")";
+    case Kind::kUpdate:
+      return "(U, " + TableName(schema, table) + "." +
+             ColumnName(schema, table, column) + ")";
+  }
+  return "(?)";
+}
+
+std::string TableColumn::ToString(const Schema& schema) const {
+  return TableName(schema, table) + "." + ColumnName(schema, table, column);
+}
+
+bool Intersects(const OperationSet& a, const OperationSet& b) {
+  // Walk the smaller set, probe the larger.
+  const OperationSet& small = a.size() <= b.size() ? a : b;
+  const OperationSet& large = a.size() <= b.size() ? b : a;
+  for (const Operation& op : small) {
+    if (large.count(op) > 0) return true;
+  }
+  return false;
+}
+
+bool WritesAnyOf(const OperationSet& ops, const TableColumnSet& reads) {
+  for (const Operation& op : ops) {
+    switch (op.kind) {
+      case Operation::Kind::kInsert:
+      case Operation::Kind::kDelete: {
+        // Touches every column of op.table: check any read on that table.
+        auto it = reads.lower_bound(TableColumn{op.table, 0});
+        if (it != reads.end() && it->table == op.table) return true;
+        break;
+      }
+      case Operation::Kind::kUpdate:
+        if (reads.count(TableColumn{op.table, op.column}) > 0) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+std::string OperationSetToString(const OperationSet& ops,
+                                 const Schema& schema) {
+  std::string out = "{";
+  bool first = true;
+  for (const Operation& op : ops) {
+    if (!first) out += ", ";
+    first = false;
+    out += op.ToString(schema);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace starburst

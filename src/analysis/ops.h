@@ -1,0 +1,65 @@
+#ifndef STARBURST_ANALYSIS_OPS_H_
+#define STARBURST_ANALYSIS_OPS_H_
+
+#include <compare>
+#include <set>
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace starburst {
+
+/// A database modification operation from the set O of Section 3:
+/// (I, t) insertions into t, (D, t) deletions from t, (U, t.c) updates to
+/// column c of table t.
+struct Operation {
+  enum class Kind { kInsert, kDelete, kUpdate };
+  Kind kind = Kind::kInsert;
+  TableId table = kInvalidTableId;
+  ColumnId column = kInvalidColumnId;  // valid only for kUpdate
+
+  static Operation Insert(TableId t) {
+    return Operation{Kind::kInsert, t, kInvalidColumnId};
+  }
+  static Operation Delete(TableId t) {
+    return Operation{Kind::kDelete, t, kInvalidColumnId};
+  }
+  static Operation Update(TableId t, ColumnId c) {
+    return Operation{Kind::kUpdate, t, c};
+  }
+
+  auto operator<=>(const Operation&) const = default;
+
+  /// "(I, t)" / "(D, t)" / "(U, t.c)" with names from `schema`.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// A set of operations, ordered for deterministic iteration.
+using OperationSet = std::set<Operation>;
+
+/// A column of a specific table (member of the set C of Section 3).
+struct TableColumn {
+  TableId table = kInvalidTableId;
+  ColumnId column = kInvalidColumnId;
+
+  auto operator<=>(const TableColumn&) const = default;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+using TableColumnSet = std::set<TableColumn>;
+
+/// True when the sets share at least one element.
+bool Intersects(const OperationSet& a, const OperationSet& b);
+
+/// True when some operation in `ops` writes a column read in `reads`:
+/// (I,t)/(D,t) touch every column of t; (U,t.c) touches t.c.
+bool WritesAnyOf(const OperationSet& ops, const TableColumnSet& reads);
+
+/// Renders "{(I, t), (U, t.c)}".
+std::string OperationSetToString(const OperationSet& ops,
+                                 const Schema& schema);
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_OPS_H_

@@ -1,0 +1,63 @@
+#include "analysis/partial_confluence.h"
+
+namespace starburst {
+
+std::vector<RuleIndex> PartialConfluenceAnalyzer::SignificantRules(
+    const std::vector<TableId>& tables) const {
+  const PrelimAnalysis& prelim = commutativity_.prelim();
+  int n = prelim.num_rules();
+  std::vector<bool> significant(n, false);
+
+  // Seed: rules that modify any table in T'.
+  for (RuleIndex r = 0; r < n; ++r) {
+    for (const Operation& op : prelim.rule(r).performs) {
+      for (TableId t : tables) {
+        if (op.table == t) {
+          significant[r] = true;
+          break;
+        }
+      }
+      if (significant[r]) break;
+    }
+  }
+  // Fixpoint: add rules that do not commute with a significant rule.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (RuleIndex r = 0; r < n; ++r) {
+      if (significant[r]) continue;
+      for (RuleIndex s = 0; s < n; ++s) {
+        if (significant[s] && !commutativity_.Commute(r, s)) {
+          significant[r] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<RuleIndex> out;
+  for (RuleIndex r = 0; r < n; ++r) {
+    if (significant[r]) out.push_back(r);
+  }
+  return out;
+}
+
+PartialConfluenceReport PartialConfluenceAnalyzer::Analyze(
+    const std::vector<TableId>& tables,
+    const TerminationCertifications& termination_certs,
+    int max_violations) const {
+  PartialConfluenceReport report;
+  report.tables = tables;
+  report.significant = SignificantRules(tables);
+  // Theorem 7.2 prerequisite: even though Sig(T') is never processed on
+  // its own, it must be established that if it were, it would terminate.
+  report.termination = TerminationAnalyzer::AnalyzeSubset(
+      commutativity_.prelim(), report.significant, termination_certs);
+  ConfluenceAnalyzer confluence(commutativity_, priority_);
+  report.confluence = confluence.AnalyzeSubset(
+      report.significant, report.termination.guaranteed, max_violations);
+  report.partially_confluent = report.confluence.confluent;
+  return report;
+}
+
+}  // namespace starburst

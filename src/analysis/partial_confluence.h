@@ -1,0 +1,57 @@
+#ifndef STARBURST_ANALYSIS_PARTIAL_CONFLUENCE_H_
+#define STARBURST_ANALYSIS_PARTIAL_CONFLUENCE_H_
+
+#include <vector>
+
+#include "analysis/commutativity.h"
+#include "analysis/confluence.h"
+#include "analysis/termination.h"
+
+namespace starburst {
+
+/// Result of partial-confluence analysis w.r.t. a table set T'
+/// (Theorem 7.2).
+struct PartialConfluenceReport {
+  /// The tables T' the rule set must agree on.
+  std::vector<TableId> tables;
+  /// Sig(T'): rules that modify T' plus, recursively, rules that do not
+  /// commute with rules already in the set (Definition 7.1).
+  std::vector<RuleIndex> significant;
+  /// Termination of Sig(T') processed on its own (prerequisite of
+  /// Theorem 7.2).
+  TerminationReport termination;
+  /// Confluence Requirement over the unordered pairs of Sig(T').
+  ConfluenceReport confluence;
+  /// Both prerequisites hold: all final states agree on T'.
+  bool partially_confluent = false;
+};
+
+/// Partial confluence (Section 7): confluence restricted to the tables the
+/// application actually cares about. Analyzed by computing the significant
+/// rules Sig(T') and applying the Section 5/6 machinery to that subset.
+class PartialConfluenceAnalyzer {
+ public:
+  PartialConfluenceAnalyzer(const CommutativityAnalyzer& commutativity,
+                            const PriorityOrder& priority)
+      : commutativity_(commutativity), priority_(priority) {}
+
+  /// The Definition 7.1 fixpoint: rules significant with respect to
+  /// `tables`. Uses the analyzer's (certification-aware) commutativity.
+  std::vector<RuleIndex> SignificantRules(
+      const std::vector<TableId>& tables) const;
+
+  /// Full Theorem 7.2 pipeline: Sig(T'), termination of Sig(T'), then the
+  /// Confluence Requirement over Sig(T').
+  PartialConfluenceReport Analyze(
+      const std::vector<TableId>& tables,
+      const TerminationCertifications& termination_certs = {},
+      int max_violations = -1) const;
+
+ private:
+  const CommutativityAnalyzer& commutativity_;
+  const PriorityOrder& priority_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_PARTIAL_CONFLUENCE_H_

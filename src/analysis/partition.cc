@@ -1,0 +1,91 @@
+#include "analysis/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace starburst {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+bool ShareTable(const RulePrelim& a, const RulePrelim& b) {
+  for (TableId t : a.referenced_tables) {
+    if (b.referenced_tables.count(t) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::vector<RuleIndex>> Partitioner::Partition(
+    const PrelimAnalysis& prelim, const PriorityOrder& priority) {
+  int n = prelim.num_rules();
+  UnionFind uf(n);
+  // Union rules sharing a table: link every rule to the first rule seen
+  // per table (linear in total table references).
+  std::map<TableId, RuleIndex> first_user;
+  for (RuleIndex r = 0; r < n; ++r) {
+    for (TableId t : prelim.rule(r).referenced_tables) {
+      auto [it, inserted] = first_user.emplace(t, r);
+      if (!inserted) uf.Union(r, it->second);
+    }
+  }
+  // Union ordered pairs.
+  for (RuleIndex i = 0; i < n; ++i) {
+    for (RuleIndex j = i + 1; j < n; ++j) {
+      if (!priority.Unordered(i, j)) uf.Union(i, j);
+    }
+  }
+  std::map<int, std::vector<RuleIndex>> groups;
+  for (RuleIndex r = 0; r < n; ++r) groups[uf.Find(r)].push_back(r);
+  std::vector<std::vector<RuleIndex>> partitions;
+  partitions.reserve(groups.size());
+  for (auto& [root, members] : groups) partitions.push_back(std::move(members));
+  std::sort(partitions.begin(), partitions.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return partitions;
+}
+
+bool Partitioner::IsValidPartitioning(
+    const PrelimAnalysis& prelim, const PriorityOrder& priority,
+    const std::vector<std::vector<RuleIndex>>& partitions) {
+  int n = prelim.num_rules();
+  std::vector<int> group(n, -1);
+  for (size_t g = 0; g < partitions.size(); ++g) {
+    for (RuleIndex r : partitions[g]) {
+      if (r < 0 || r >= n || group[r] != -1) return false;
+      group[r] = static_cast<int>(g);
+    }
+  }
+  for (RuleIndex r = 0; r < n; ++r) {
+    if (group[r] == -1) return false;
+  }
+  for (RuleIndex i = 0; i < n; ++i) {
+    for (RuleIndex j = i + 1; j < n; ++j) {
+      if (group[i] == group[j]) continue;
+      if (ShareTable(prelim.rule(i), prelim.rule(j))) return false;
+      if (!priority.Unordered(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace starburst

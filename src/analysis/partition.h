@@ -1,0 +1,33 @@
+#ifndef STARBURST_ANALYSIS_PARTITION_H_
+#define STARBURST_ANALYSIS_PARTITION_H_
+
+#include <vector>
+
+#include "analysis/prelim.h"
+#include "analysis/priority.h"
+
+namespace starburst {
+
+/// Rule-set partitioning (Section 9, "Incremental methods"): rules fall in
+/// the same partition when they reference a common table or are related by
+/// a priority ordering. Rules from different partitions are processed at
+/// the same time and may interleave, but have no effect on each other, so
+/// termination/confluence analysis can be applied to each partition
+/// separately and re-run only for partitions whose rules changed.
+class Partitioner {
+ public:
+  /// Computes the partitions (each ascending; partitions ordered by their
+  /// smallest rule index).
+  static std::vector<std::vector<RuleIndex>> Partition(
+      const PrelimAnalysis& prelim, const PriorityOrder& priority);
+
+  /// Sanity check used by tests: no two rules in different partitions
+  /// share a referenced table or an ordering.
+  static bool IsValidPartitioning(
+      const PrelimAnalysis& prelim, const PriorityOrder& priority,
+      const std::vector<std::vector<RuleIndex>>& partitions);
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_PARTITION_H_

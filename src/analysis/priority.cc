@@ -1,0 +1,114 @@
+#include "analysis/priority.h"
+
+namespace starburst {
+
+namespace {
+
+/// Transitive closure + strictness check. `higher[i][j]` holds direct
+/// edges i > j on entry; on exit it is the closure. Returns SemanticError
+/// when the relation is cyclic.
+Status CloseAndCheck(std::vector<std::vector<bool>>& higher,
+                     const std::vector<std::string>* names) {
+  int n = static_cast<int>(higher.size());
+  // Floyd-Warshall style closure.
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      if (!higher[i][k]) continue;
+      for (int j = 0; j < n; ++j) {
+        if (higher[k][j]) higher[i][j] = true;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (higher[i][i]) {
+      std::string who = names != nullptr ? (*names)[i] : std::to_string(i);
+      return Status::SemanticError(
+          "priority ordering is cyclic (rule '" + who +
+          "' transitively precedes itself); precedes/follows must define a "
+          "partial order");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PriorityOrder> PriorityOrder::Build(
+    const PrelimAnalysis& prelim, const std::vector<RuleDef>& rules,
+    const std::vector<std::pair<RuleIndex, RuleIndex>>& extra) {
+  int n = prelim.num_rules();
+  PriorityOrder order;
+  order.higher_.assign(n, std::vector<bool>(n, false));
+  std::vector<std::string> names(n);
+  for (int i = 0; i < n; ++i) names[i] = prelim.rule(i).name;
+
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const RuleDef& rule = rules[i];
+    for (const std::string& other : rule.precedes) {
+      RuleIndex j = prelim.FindRule(other);
+      if (j < 0) {
+        return Status::SemanticError("rule '" + rule.name +
+                                     "' precedes unknown rule '" + other + "'");
+      }
+      order.higher_[i][j] = true;
+    }
+    for (const std::string& other : rule.follows) {
+      RuleIndex j = prelim.FindRule(other);
+      if (j < 0) {
+        return Status::SemanticError("rule '" + rule.name +
+                                     "' follows unknown rule '" + other + "'");
+      }
+      order.higher_[j][i] = true;
+    }
+  }
+  for (const auto& [hi, lo] : extra) {
+    if (hi < 0 || hi >= n || lo < 0 || lo >= n) {
+      return Status::InvalidArgument("priority edge index out of range");
+    }
+    order.higher_[hi][lo] = true;
+  }
+  STARBURST_RETURN_IF_ERROR(CloseAndCheck(order.higher_, &names));
+  return order;
+}
+
+Result<PriorityOrder> PriorityOrder::FromEdges(
+    int num_rules, const std::vector<std::pair<RuleIndex, RuleIndex>>& edges) {
+  PriorityOrder order;
+  order.higher_.assign(num_rules, std::vector<bool>(num_rules, false));
+  for (const auto& [hi, lo] : edges) {
+    if (hi < 0 || hi >= num_rules || lo < 0 || lo >= num_rules) {
+      return Status::InvalidArgument("priority edge index out of range");
+    }
+    order.higher_[hi][lo] = true;
+  }
+  STARBURST_RETURN_IF_ERROR(CloseAndCheck(order.higher_, nullptr));
+  return order;
+}
+
+std::vector<RuleIndex> PriorityOrder::Choose(
+    const std::vector<RuleIndex>& triggered) const {
+  std::vector<RuleIndex> eligible;
+  for (RuleIndex i : triggered) {
+    bool dominated = false;
+    for (RuleIndex j : triggered) {
+      if (j != i && higher_[j][i]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) eligible.push_back(i);
+  }
+  return eligible;
+}
+
+int PriorityOrder::num_ordered_pairs() const {
+  int count = 0;
+  for (const auto& row : higher_) {
+    for (bool b : row) {
+      if (b) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace starburst

@@ -1,0 +1,57 @@
+#ifndef STARBURST_ANALYSIS_PRIORITY_H_
+#define STARBURST_ANALYSIS_PRIORITY_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/prelim.h"
+#include "common/status.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// The user-defined priority ordering P of Section 3: a strict partial
+/// order over rules, built from the `precedes` / `follows` clauses and
+/// closed under transitivity.
+///
+/// `ri > rj` ("ri has precedence over rj") holds when ri names rj in its
+/// precedes list, rj names ri in its follows list, or transitively.
+class PriorityOrder {
+ public:
+  /// Builds the order from the rules' precedes/follows clauses, plus any
+  /// `extra` edges (higher, lower) used by the interactive suggestion loop.
+  /// Fails with SemanticError when a clause names an unknown rule or the
+  /// declared ordering is cyclic (not a partial order).
+  static Result<PriorityOrder> Build(
+      const PrelimAnalysis& prelim, const std::vector<RuleDef>& rules,
+      const std::vector<std::pair<RuleIndex, RuleIndex>>& extra = {});
+
+  /// Builds from explicit edges only (ignores rules' clauses); used by
+  /// generated workloads and tests.
+  static Result<PriorityOrder> FromEdges(
+      int num_rules, const std::vector<std::pair<RuleIndex, RuleIndex>>& edges);
+
+  int num_rules() const { return static_cast<int>(higher_.size()); }
+
+  /// True iff ri > rj in P (including transitively).
+  bool Higher(RuleIndex ri, RuleIndex rj) const { return higher_[ri][rj]; }
+
+  /// True when neither ri > rj nor rj > ri (Section 6.2, "unordered").
+  bool Unordered(RuleIndex ri, RuleIndex rj) const {
+    return !higher_[ri][rj] && !higher_[rj][ri];
+  }
+
+  /// Choose(R') of Section 3: the triggered rules in `triggered` with no
+  /// higher-priority rule also in `triggered`.
+  std::vector<RuleIndex> Choose(const std::vector<RuleIndex>& triggered) const;
+
+  /// Number of ordered pairs (i, j) with i > j.
+  int num_ordered_pairs() const;
+
+ private:
+  std::vector<std::vector<bool>> higher_;  // higher_[i][j]: i > j
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_PRIORITY_H_

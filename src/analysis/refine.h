@@ -1,0 +1,131 @@
+#ifndef STARBURST_ANALYSIS_REFINE_H_
+#define STARBURST_ANALYSIS_REFINE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "analysis/commutativity.h"
+#include "catalog/catalog.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// A closed integer interval [lo, hi] used by the refinement's abstract
+/// domain; unbounded sides use the int64 limits.
+struct Interval {
+  int64_t lo;
+  int64_t hi;
+
+  static Interval All();
+  static Interval AtMost(int64_t v);
+  static Interval AtLeast(int64_t v);
+  static Interval Exactly(int64_t v);
+
+  bool empty() const { return lo > hi; }
+  bool Contains(int64_t v) const { return v >= lo && v <= hi; }
+  Interval Intersect(const Interval& other) const;
+};
+
+/// Per-column interval constraints extracted from a WHERE predicate that is
+/// a pure conjunction of `column <op> integer-literal` comparisons on the
+/// statement's target table. `simple` is false when the predicate contains
+/// anything else (subqueries, OR, arithmetic, other tables, non-integer
+/// literals, ...), in which case no refinement conclusion may be drawn.
+struct ColumnConstraints {
+  bool simple = false;
+  /// Missing columns are unconstrained. An empty interval means the WHERE
+  /// is unsatisfiable.
+  std::map<ColumnId, Interval> intervals;
+};
+
+/// Automatic detection of the two Section 6.1 special cases in which rules
+/// that appear noncommutative by Lemma 6.1 actually commute:
+///
+///   1. "ri inserts into a table t and rj deletes from t, but the tuples
+///      inserted by ri never satisfy the delete condition of rj", and
+///   2. "ri and rj update the same table but never the same tuples".
+///
+/// The paper leaves these to the user ("for now we assume that they are
+/// specified by the user during the interactive analysis process"); this
+/// module implements the automatic detection the paper anticipates, via a
+/// conservative interval analysis: a pair is certified only when *every*
+/// Lemma 6.1 cause against it is refuted.
+///
+/// Soundness notes encoded in the checks:
+///  * Disjoint-update refinement additionally requires that neither rule's
+///    SET columns appear in the other's WHERE (otherwise one rule could
+///    move rows into the other's range) — and that the updated columns do
+///    not overlap the other rule's WHERE columns for the same reason.
+///  * Insert-vs-write refinement requires every inserted row to *definitely*
+///    fail the other statement's WHERE (some constrained column has a known
+///    literal value outside the allowed interval).
+///  * The read/write cause (Lemma 6.1 condition 3) raised by an insert
+///    against the other rule's WHERE columns is refuted only when the
+///    reading rule provably reads the table *nowhere else*: not in its
+///    condition, not via transition tables, not in subqueries — only in
+///    the simple WHEREs already shown to never match (checked by a
+///    conservative read walker; any doubt keeps the pair noncommutative).
+class PredicateRefiner {
+ public:
+  /// `rules` and `prelim` must describe the same rule set and outlive the
+  /// refiner.
+  PredicateRefiner(const Schema& schema, const std::vector<RuleDef>& rules,
+                   const PrelimAnalysis& prelim)
+      : schema_(schema), rules_(rules), prelim_(prelim) {}
+
+  /// Certifications for every pair provable commutative by refinement.
+  /// Pass them to CommutativityAnalyzer / Analyzer as if user-supplied.
+  CommutativityCertifications Refine() const;
+
+  /// True when the refinement can prove the (unordered) pair commutes even
+  /// though Lemma 6.1 flags it.
+  bool PairCommutes(RuleIndex i, RuleIndex j) const;
+
+  /// Extracts interval constraints from `where` for statements targeting
+  /// `table`. `binding` is the name the target row is visible under
+  /// (usually the table name). Exposed for tests.
+  static ColumnConstraints ExtractConstraints(const Schema& schema,
+                                              TableId table,
+                                              const std::string& binding,
+                                              const Expr* where);
+
+  /// True when tuple values known from `row_exprs` (an INSERT VALUES row)
+  /// definitely violate `constraints`. Exposed for tests.
+  static bool RowDefinitelyFails(const Schema& schema, TableId table,
+                                 const std::vector<ColumnId>& columns,
+                                 const std::vector<ExprPtr>& row_exprs,
+                                 const ColumnConstraints& constraints);
+
+ private:
+  /// Refutes one directed Lemma 6.1 cause; false = cannot refute.
+  bool RefuteCause(const NoncommutativityCause& cause, RuleIndex i,
+                   RuleIndex j) const;
+
+  /// Case 1 on one table: every INSERT VALUES row of `inserter` into `t`
+  /// definitely fails the WHERE of every DELETE/UPDATE of `writer` on `t`
+  /// (vacuously true when `writer` has no such statement).
+  bool InsertsNeverMatchOnTable(const RuleDef& inserter, const RuleDef& writer,
+                                TableId t) const;
+
+  /// Condition-4 refutation across every table the pair conflicts on.
+  bool RefuteInsertWriteConflict(RuleIndex actor, RuleIndex affected) const;
+
+  /// Condition-3 refutation: the actor's only writes to contested tables
+  /// are never-matching INSERT VALUES, and the affected rule reads those
+  /// tables only through its simple target WHEREs.
+  bool RefuteWriteReadConflict(RuleIndex actor, RuleIndex affected) const;
+
+  /// Case 2: all same-table update pairs of the two rules touch provably
+  /// disjoint tuples.
+  bool UpdatesDisjoint(const RuleDef& a, const RuleDef& b) const;
+
+  const Schema& schema_;
+  const std::vector<RuleDef>& rules_;
+  const PrelimAnalysis& prelim_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_REFINE_H_

@@ -1,0 +1,155 @@
+#include "analysis/report.h"
+
+namespace starburst {
+
+namespace {
+
+std::string RuleName(const RuleCatalog& catalog, RuleIndex r) {
+  if (r < 0 || r >= catalog.num_rules()) return "<rule " + std::to_string(r) + ">";
+  return catalog.prelim().rule(r).name;
+}
+
+std::string RuleList(const RuleCatalog& catalog,
+                     const std::vector<RuleIndex>& rules) {
+  std::string out = "{";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += RuleName(catalog, rules[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string TerminationReportToString(const TerminationReport& report,
+                                      const RuleCatalog& catalog) {
+  std::string out = "== Termination (Section 5) ==\n";
+  if (report.acyclic) {
+    out += "Triggering graph is acyclic: termination GUARANTEED "
+           "(Theorem 5.1).\n";
+    return out;
+  }
+  out += "Triggering graph has " + std::to_string(report.cycles.size()) +
+         " cyclic strong component(s):\n";
+  for (const CycleReport& cycle : report.cycles) {
+    out += "  component " + RuleList(catalog, cycle.rules);
+    if (cycle.discharged) {
+      out += " -- discharged by certification of " +
+             RuleList(catalog, cycle.certified) + "\n";
+    } else if (!cycle.certified.empty()) {
+      out += " -- NOT discharged (certified rules " +
+             RuleList(catalog, cycle.certified) +
+             " do not break every cycle)\n";
+    } else {
+      out += " -- NOT discharged (no certified rule on the component)\n";
+    }
+  }
+  out += report.guaranteed
+             ? "All cycles discharged: termination GUARANTEED.\n"
+             : "Termination MAY NOT hold; certify a quiescent rule on each "
+               "cycle or break the cycles.\n";
+  return out;
+}
+
+std::string ConfluenceReportToString(const ConfluenceReport& report,
+                                     const RuleCatalog& catalog) {
+  std::string out = "== Confluence (Section 6) ==\n";
+  out += "Unordered pairs checked: " +
+         std::to_string(report.unordered_pairs_checked) + "\n";
+  if (report.confluent) {
+    out += "Confluence Requirement holds and termination is guaranteed: "
+           "rule set is CONFLUENT (Theorem 6.7).\n";
+    return out;
+  }
+  if (report.requirement_holds) {
+    out += "Confluence Requirement holds, but termination is not "
+           "guaranteed: confluence NOT established.\n";
+    return out;
+  }
+  out += "Confluence Requirement VIOLATED:\n";
+  for (const ConfluenceViolation& v : report.violations) {
+    out += "  unordered pair (" + RuleName(catalog, v.pair_i) + ", " +
+           RuleName(catalog, v.pair_j) + ") generates R1=" +
+           RuleList(catalog, v.set_r1) + " R2=" + RuleList(catalog, v.set_r2) +
+           "; witnesses '" + RuleName(catalog, v.r1) + "' and '" +
+           RuleName(catalog, v.r2) + "' do not commute:\n";
+    for (const NoncommutativityCause& cause : v.causes) {
+      out += "    - " +
+             cause.Describe(catalog.prelim(), catalog.schema()) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string PartialConfluenceReportToString(
+    const PartialConfluenceReport& report, const RuleCatalog& catalog) {
+  std::string out = "== Partial confluence (Section 7) ==\n";
+  out += "T' = {";
+  for (size_t i = 0; i < report.tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    TableId t = report.tables[i];
+    out += t >= 0 && t < catalog.schema().num_tables()
+               ? catalog.schema().table(t).name()
+               : "Obs";
+  }
+  out += "}\n";
+  out += "Sig(T') = " + RuleList(catalog, report.significant) + "\n";
+  out += report.termination.guaranteed
+             ? "Sig(T') terminates when processed on its own.\n"
+             : "Sig(T') termination NOT established.\n";
+  out += report.partially_confluent
+             ? "Rule set is PARTIALLY CONFLUENT with respect to T' "
+               "(Theorem 7.2).\n"
+             : "Partial confluence NOT established.\n";
+  if (!report.confluence.violations.empty()) {
+    out += ConfluenceReportToString(report.confluence, catalog);
+  }
+  return out;
+}
+
+std::string ObservableReportToString(const ObservableDeterminismReport& report,
+                                     const RuleCatalog& catalog) {
+  std::string out = "== Observable determinism (Section 8) ==\n";
+  out += "Observable rules: " + RuleList(catalog, report.observable_rules) +
+         "\n";
+  out += "Sig(Obs) = " + RuleList(catalog, report.obs_confluence.significant) +
+         "\n";
+  if (report.deterministic) {
+    out += "Rule set is OBSERVABLY DETERMINISTIC (Theorem 8.1).\n";
+  } else {
+    out += "Observable determinism NOT established";
+    if (!report.whole_set_termination) {
+      out += " (whole-set termination not guaranteed)";
+    }
+    out += ".\n";
+    for (const auto& [i, j] : report.unordered_observable_pairs) {
+      out += "  observable rules '" + RuleName(catalog, i) + "' and '" +
+             RuleName(catalog, j) +
+             "' are unordered (violates Corollary 8.2)\n";
+    }
+  }
+  return out;
+}
+
+std::string FullReportToString(const FullReport& report,
+                               const RuleCatalog& catalog) {
+  std::string out = TerminationReportToString(report.termination, catalog);
+  out += ConfluenceReportToString(report.confluence, catalog);
+  out += ObservableReportToString(report.observable, catalog);
+  if (!report.suggestions.empty()) {
+    out += "== Suggestions (Section 6.4) ==\n";
+    for (const Suggestion& s : report.suggestions) {
+      out += "  * " + s.Describe(catalog.prelim()) + "\n";
+    }
+  }
+  if (!report.lints.empty()) {
+    out += "== Lints (Corollaries 6.9 / 6.10) ==\n";
+    for (const std::string& lint : report.lints) {
+      out += "  ! " + lint + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace starburst

@@ -1,0 +1,30 @@
+#ifndef STARBURST_ANALYSIS_REPORT_H_
+#define STARBURST_ANALYSIS_REPORT_H_
+
+#include <string>
+
+#include "analysis/analyzer.h"
+
+namespace starburst {
+
+/// Human-readable report rendering for the interactive development
+/// environment. All functions take the catalog for rule/table names.
+
+std::string TerminationReportToString(const TerminationReport& report,
+                                      const RuleCatalog& catalog);
+
+std::string ConfluenceReportToString(const ConfluenceReport& report,
+                                     const RuleCatalog& catalog);
+
+std::string PartialConfluenceReportToString(
+    const PartialConfluenceReport& report, const RuleCatalog& catalog);
+
+std::string ObservableReportToString(const ObservableDeterminismReport& report,
+                                     const RuleCatalog& catalog);
+
+std::string FullReportToString(const FullReport& report,
+                               const RuleCatalog& catalog);
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_REPORT_H_

@@ -1,0 +1,55 @@
+#include "analysis/restricted.h"
+
+#include <deque>
+
+namespace starburst {
+
+std::vector<RuleIndex> RestrictedOpsAnalyzer::RelevantRules(
+    const PrelimAnalysis& prelim, const OperationSet& allowed) {
+  int n = prelim.num_rules();
+  std::vector<bool> relevant(n, false);
+  std::deque<RuleIndex> queue;
+  for (RuleIndex r = 0; r < n; ++r) {
+    if (Intersects(prelim.rule(r).triggered_by, allowed)) {
+      relevant[r] = true;
+      queue.push_back(r);
+    }
+  }
+  while (!queue.empty()) {
+    RuleIndex r = queue.front();
+    queue.pop_front();
+    for (RuleIndex next : prelim.Triggers(r)) {
+      if (!relevant[next]) {
+        relevant[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  std::vector<RuleIndex> out;
+  for (RuleIndex r = 0; r < n; ++r) {
+    if (relevant[r]) out.push_back(r);
+  }
+  return out;
+}
+
+RestrictedAnalysisReport RestrictedOpsAnalyzer::Analyze(
+    const CommutativityAnalyzer& commutativity, const PriorityOrder& priority,
+    const OperationSet& allowed,
+    const TerminationCertifications& termination_certs, int max_violations) {
+  const PrelimAnalysis& prelim = commutativity.prelim();
+  RestrictedAnalysisReport report;
+  for (RuleIndex r = 0; r < prelim.num_rules(); ++r) {
+    if (Intersects(prelim.rule(r).triggered_by, allowed)) {
+      report.initially_triggerable.push_back(r);
+    }
+  }
+  report.relevant = RelevantRules(prelim, allowed);
+  report.termination = TerminationAnalyzer::AnalyzeSubset(
+      prelim, report.relevant, termination_certs);
+  ConfluenceAnalyzer confluence(commutativity, priority);
+  report.confluence = confluence.AnalyzeSubset(
+      report.relevant, report.termination.guaranteed, max_violations);
+  return report;
+}
+
+}  // namespace starburst

@@ -1,0 +1,45 @@
+#ifndef STARBURST_ANALYSIS_RESTRICTED_H_
+#define STARBURST_ANALYSIS_RESTRICTED_H_
+
+#include <vector>
+
+#include "analysis/commutativity.h"
+#include "analysis/confluence.h"
+#include "analysis/termination.h"
+
+namespace starburst {
+
+/// Analysis under restricted user operations (Section 9, future work,
+/// implemented here): when users are known to perform only the operations
+/// in `allowed` on certain tables, only rules reachable in the triggering
+/// graph from the initially-triggerable rules can ever run. Analyzing that
+/// subset may guarantee properties that do not hold for arbitrary
+/// operations.
+struct RestrictedAnalysisReport {
+  /// Rules triggerable directly by the allowed user operations.
+  std::vector<RuleIndex> initially_triggerable;
+  /// Closure of the above under the Triggers relation — the rules that can
+  /// ever be considered.
+  std::vector<RuleIndex> relevant;
+  /// Termination of the relevant subset.
+  TerminationReport termination;
+  /// Confluence Requirement over the relevant subset.
+  ConfluenceReport confluence;
+};
+
+class RestrictedOpsAnalyzer {
+ public:
+  /// Rules whose Triggered-By intersects `allowed`, closed under Triggers.
+  static std::vector<RuleIndex> RelevantRules(const PrelimAnalysis& prelim,
+                                              const OperationSet& allowed);
+
+  static RestrictedAnalysisReport Analyze(
+      const CommutativityAnalyzer& commutativity,
+      const PriorityOrder& priority, const OperationSet& allowed,
+      const TerminationCertifications& termination_certs = {},
+      int max_violations = -1);
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_RESTRICTED_H_

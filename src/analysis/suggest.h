@@ -1,0 +1,73 @@
+#ifndef STARBURST_ANALYSIS_SUGGEST_H_
+#define STARBURST_ANALYSIS_SUGGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/confluence.h"
+
+namespace starburst {
+
+/// One suggested user action towards confluence (Section 6.4). Approach 3
+/// of the paper (removing orderings) is intentionally never suggested —
+/// the paper shows it is useless.
+struct Suggestion {
+  enum class Kind {
+    /// Approach 1: certify that `rule_a` and `rule_b` actually commute.
+    kCertifyCommute,
+    /// Approach 2: add a priority ordering between `rule_a` and `rule_b`
+    /// (either direction removes the pair from the Confluence
+    /// Requirement's unordered-pair obligation).
+    kAddPriority,
+  };
+  Kind kind = Kind::kCertifyCommute;
+  RuleIndex rule_a = -1;
+  RuleIndex rule_b = -1;
+
+  std::string Describe(const PrelimAnalysis& prelim) const;
+};
+
+/// Derives suggestions from confluence violations: for each violation,
+/// certifying the witness pair (when the user can argue they commute) or
+/// ordering the generating unordered pair. Duplicates are removed.
+std::vector<Suggestion> SuggestForConfluence(const ConfluenceReport& report);
+
+/// Fast structural lints from the Section 6.4 corollaries, usable before
+/// running the full (quadratic-with-fixpoints) confluence analysis:
+///  * Corollary 6.10 — if ri may trigger rj and the two are unordered, the
+///    rule set cannot be found confluent; each such pair yields a warning.
+///  * Corollary 6.9 — with no priorities at all, every noncommuting pair
+///    is immediately fatal to confluence (reported like 6.10).
+/// Returns human-readable warnings (empty = no obvious obstruction).
+std::vector<std::string> CorollaryLints(
+    const CommutativityAnalyzer& commutativity, const PriorityOrder& priority);
+
+/// The outcome of the iterative ordering process of footnote 6: orderings
+/// are added one at a time (each re-analysis can surface new violations —
+/// "a source of non-confluence can appear to move around") until the rule
+/// set passes the Confluence Requirement or no progress can be made.
+struct RepairResult {
+  /// Priority edges (higher, lower) that were added.
+  std::vector<std::pair<RuleIndex, RuleIndex>> added_orderings;
+  /// The final report after all additions.
+  ConfluenceReport final_report;
+  /// Rounds of re-analysis performed.
+  int iterations = 0;
+  /// True when the requirement holds at the end.
+  bool succeeded = false;
+};
+
+/// Iteratively adds priority orderings between violating unordered pairs
+/// until the Confluence Requirement holds. Each round orders the first
+/// violation's generating pair (lower rule index gets precedence, a
+/// deterministic but arbitrary choice the user would make interactively).
+/// Gives up after `max_iterations` rounds or when adding an edge would
+/// make the priority relation cyclic.
+RepairResult RepairByOrdering(const CommutativityAnalyzer& commutativity,
+                              const PriorityOrder& initial_priority,
+                              bool termination_guaranteed,
+                              int max_iterations = 1000);
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_SUGGEST_H_

@@ -1,0 +1,50 @@
+#include "analysis/termination.h"
+
+#include "common/strings.h"
+
+namespace starburst {
+
+namespace {
+
+TerminationReport AnalyzeGraph(const PrelimAnalysis& prelim,
+                               const TriggeringGraph& graph,
+                               const TerminationCertifications& certs) {
+  TerminationReport report;
+  auto cyclic = graph.CyclicComponents();
+  report.acyclic = cyclic.empty();
+  report.guaranteed = true;
+  for (auto& component : cyclic) {
+    CycleReport cycle;
+    cycle.rules = component;
+    for (RuleIndex r : component) {
+      for (const std::string& name : certs.quiescent_rules) {
+        if (EqualsIgnoreCase(prelim.rule(r).name, name)) {
+          cycle.certified.push_back(r);
+          break;
+        }
+      }
+    }
+    cycle.discharged = !cycle.certified.empty() &&
+                       graph.AcyclicWithout(cycle.rules, cycle.certified);
+    if (!cycle.discharged) report.guaranteed = false;
+    report.cycles.push_back(std::move(cycle));
+  }
+  return report;
+}
+
+}  // namespace
+
+TerminationReport TerminationAnalyzer::Analyze(
+    const PrelimAnalysis& prelim, const TerminationCertifications& certs) {
+  TriggeringGraph graph(prelim);
+  return AnalyzeGraph(prelim, graph, certs);
+}
+
+TerminationReport TerminationAnalyzer::AnalyzeSubset(
+    const PrelimAnalysis& prelim, const std::vector<RuleIndex>& members,
+    const TerminationCertifications& certs) {
+  TriggeringGraph graph(prelim, members);
+  return AnalyzeGraph(prelim, graph, certs);
+}
+
+}  // namespace starburst

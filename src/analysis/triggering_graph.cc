@@ -1,0 +1,135 @@
+#include "analysis/triggering_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace starburst {
+
+TriggeringGraph::TriggeringGraph(const PrelimAnalysis& prelim) {
+  int n = prelim.num_rules();
+  is_member_.assign(n, true);
+  adjacency_.assign(n, {});
+  for (RuleIndex i = 0; i < n; ++i) adjacency_[i] = prelim.Triggers(i);
+  ComputeComponents();
+}
+
+TriggeringGraph::TriggeringGraph(const PrelimAnalysis& prelim,
+                                 const std::vector<RuleIndex>& members) {
+  int n = prelim.num_rules();
+  is_member_.assign(n, false);
+  for (RuleIndex r : members) is_member_[r] = true;
+  adjacency_.assign(n, {});
+  for (RuleIndex i = 0; i < n; ++i) {
+    if (!is_member_[i]) continue;
+    for (RuleIndex j : prelim.Triggers(i)) {
+      if (is_member_[j]) adjacency_[i].push_back(j);
+    }
+  }
+  ComputeComponents();
+}
+
+const std::vector<RuleIndex>& TriggeringGraph::OutEdges(RuleIndex r) const {
+  return adjacency_[r];
+}
+
+bool TriggeringGraph::HasEdge(RuleIndex from, RuleIndex to) const {
+  const auto& edges = adjacency_[from];
+  return std::binary_search(edges.begin(), edges.end(), to);
+}
+
+void TriggeringGraph::ComputeComponents() {
+  // Iterative Tarjan SCC.
+  int n = num_rules();
+  components_.clear();
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  struct Frame {
+    int v;
+    size_t edge;
+  };
+
+  for (int root = 0; root < n; ++root) {
+    if (!is_member_[root] || index[root] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.edge < adjacency_[frame.v].size()) {
+        int w = adjacency_[frame.v][frame.edge++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[frame.v] = std::min(lowlink[frame.v], index[w]);
+        }
+      } else {
+        int v = frame.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] = std::min(lowlink[frames.back().v],
+                                              lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<RuleIndex> component;
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(component.begin(), component.end());
+          components_.push_back(std::move(component));
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::vector<RuleIndex>> TriggeringGraph::CyclicComponents() const {
+  std::vector<std::vector<RuleIndex>> cyclic;
+  for (const auto& component : components_) {
+    if (component.size() > 1) {
+      cyclic.push_back(component);
+    } else if (component.size() == 1) {
+      RuleIndex r = component[0];
+      if (HasEdge(r, r)) cyclic.push_back(component);
+    }
+  }
+  return cyclic;
+}
+
+bool TriggeringGraph::AcyclicWithout(
+    const std::vector<RuleIndex>& nodes,
+    const std::vector<RuleIndex>& removed) const {
+  std::vector<bool> active(num_rules(), false);
+  for (RuleIndex r : nodes) active[r] = true;
+  for (RuleIndex r : removed) active[r] = false;
+  // DFS cycle check over the active subgraph.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(num_rules(), Color::kWhite);
+  std::function<bool(RuleIndex)> has_cycle = [&](RuleIndex v) -> bool {
+    color[v] = Color::kGray;
+    for (RuleIndex w : adjacency_[v]) {
+      if (!active[w]) continue;
+      if (color[w] == Color::kGray) return true;
+      if (color[w] == Color::kWhite && has_cycle(w)) return true;
+    }
+    color[v] = Color::kBlack;
+    return false;
+  };
+  for (RuleIndex r : nodes) {
+    if (active[r] && color[r] == Color::kWhite && has_cycle(r)) return false;
+  }
+  return true;
+}
+
+}  // namespace starburst

@@ -1,0 +1,60 @@
+#ifndef STARBURST_ANALYSIS_TRIGGERING_GRAPH_H_
+#define STARBURST_ANALYSIS_TRIGGERING_GRAPH_H_
+
+#include <vector>
+
+#include "analysis/prelim.h"
+
+namespace starburst {
+
+/// The triggering graph TG_R of Section 5: nodes are rules, with an edge
+/// ri -> rj iff rj ∈ Triggers(ri). Theorem 5.1: if TG_R is acyclic the
+/// rule set is guaranteed to terminate.
+class TriggeringGraph {
+ public:
+  /// Builds the graph over all rules of `prelim`.
+  explicit TriggeringGraph(const PrelimAnalysis& prelim);
+
+  /// Builds the graph over the subset `members` only (edges within the
+  /// subset). Used for partial confluence, which needs termination of
+  /// Sig(T') in isolation (Section 7), and for restricted-operation
+  /// analysis.
+  TriggeringGraph(const PrelimAnalysis& prelim,
+                  const std::vector<RuleIndex>& members);
+
+  int num_rules() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Out-edges of rule `r` (global rule indices, ascending).
+  const std::vector<RuleIndex>& OutEdges(RuleIndex r) const;
+
+  bool HasEdge(RuleIndex from, RuleIndex to) const;
+
+  /// Strongly connected components (Tarjan), in reverse topological order.
+  /// Each component lists global rule indices.
+  const std::vector<std::vector<RuleIndex>>& Components() const {
+    return components_;
+  }
+
+  /// Components that contain a cycle: size > 1, or a single rule with a
+  /// self-loop (a rule that can trigger itself).
+  std::vector<std::vector<RuleIndex>> CyclicComponents() const;
+
+  bool IsAcyclic() const { return CyclicComponents().empty(); }
+
+  /// True when the subgraph of `nodes` minus the rules in `removed`
+  /// is acyclic. Used to check that user cycle certifications discharge
+  /// every cycle of a component (Section 5's interactive analysis).
+  bool AcyclicWithout(const std::vector<RuleIndex>& nodes,
+                      const std::vector<RuleIndex>& removed) const;
+
+ private:
+  void ComputeComponents();
+
+  std::vector<bool> is_member_;                    // global index -> in graph
+  std::vector<std::vector<RuleIndex>> adjacency_;  // global index -> edges
+  std::vector<std::vector<RuleIndex>> components_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ANALYSIS_TRIGGERING_GRAPH_H_

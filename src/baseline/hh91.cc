@@ -1,0 +1,25 @@
+#include "baseline/hh91.h"
+
+namespace starburst {
+
+HH91Report HH91Analyzer::Analyze(const CommutativityAnalyzer& commutativity,
+                                 int max_pairs) {
+  HH91Report report;
+  report.accepted = true;
+  int n = commutativity.prelim().num_rules();
+  for (RuleIndex i = 0; i < n; ++i) {
+    for (RuleIndex j = i + 1; j < n; ++j) {
+      if (commutativity.Commute(i, j)) continue;
+      report.accepted = false;
+      if (max_pairs < 0 ||
+          static_cast<int>(report.noncommuting_pairs.size()) < max_pairs) {
+        report.noncommuting_pairs.emplace_back(i, j);
+      } else {
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace starburst

@@ -1,0 +1,37 @@
+#ifndef STARBURST_BASELINE_HH91_H_
+#define STARBURST_BASELINE_HH91_H_
+
+#include <utility>
+#include <vector>
+
+#include "analysis/commutativity.h"
+
+namespace starburst {
+
+/// A reconstruction of the unique-fixed-point criterion of
+/// [HH91] (Hellerstein & Hsu, "Determinism in partially ordered production
+/// systems"), mapped onto our rule language as sketched in Section 9 of
+/// the paper: a rule set is guaranteed a unique fixed point when every
+/// pair of distinct rules commutes, regardless of priorities.
+///
+/// Section 9's claim, which exp_subsumption verifies empirically: whenever
+/// this criterion accepts, the Confluence Requirement of Definition 6.5
+/// also holds (every R1 × R2 witness pair commutes), but not vice-versa —
+/// our analysis additionally accepts sets whose noncommuting pairs are
+/// protected by priority orderings.
+struct HH91Report {
+  bool accepted = false;
+  /// The first (or all, up to a bound) noncommuting pairs found.
+  std::vector<std::pair<RuleIndex, RuleIndex>> noncommuting_pairs;
+};
+
+class HH91Analyzer {
+ public:
+  /// `max_pairs` bounds the reported pairs (negative = unlimited).
+  static HH91Report Analyze(const CommutativityAnalyzer& commutativity,
+                            int max_pairs = 8);
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_BASELINE_HH91_H_

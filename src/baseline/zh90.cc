@@ -1,0 +1,18 @@
+#include "baseline/zh90.h"
+
+#include "analysis/triggering_graph.h"
+
+namespace starburst {
+
+ZH90Report ZH90Analyzer::Analyze(const CommutativityAnalyzer& commutativity) {
+  ZH90Report report;
+  TriggeringGraph graph(commutativity.prelim());
+  report.triggering_graph_acyclic = graph.IsAcyclic();
+  report.all_pairs_commute =
+      HH91Analyzer::Analyze(commutativity, /*max_pairs=*/0).accepted;
+  report.accepted =
+      report.triggering_graph_acyclic && report.all_pairs_commute;
+  return report;
+}
+
+}  // namespace starburst

@@ -1,0 +1,27 @@
+#ifndef STARBURST_BASELINE_ZH90_H_
+#define STARBURST_BASELINE_ZH90_H_
+
+#include "analysis/commutativity.h"
+#include "baseline/hh91.h"
+
+namespace starburst {
+
+/// A reconstruction of the rule-triggering-system criterion of [ZH90]
+/// (Zhou & Hsu, "A theory for rule triggering systems"): accept only rule
+/// sets whose triggering graph is acyclic AND whose rules pairwise
+/// commute. [HH91] was shown to subsume [ZH90] (Section 9), which this
+/// reconstruction preserves: ZH90-accepted ⇒ HH91-accepted.
+struct ZH90Report {
+  bool accepted = false;
+  bool triggering_graph_acyclic = false;
+  bool all_pairs_commute = false;
+};
+
+class ZH90Analyzer {
+ public:
+  static ZH90Report Analyze(const CommutativityAnalyzer& commutativity);
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_BASELINE_ZH90_H_

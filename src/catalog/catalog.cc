@@ -1,0 +1,66 @@
+#include "catalog/catalog.h"
+
+#include "common/strings.h"
+
+namespace starburst {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+TableDef::TableDef(TableId id, std::string name, std::vector<Column> columns)
+    : id_(id), name_(std::move(name)), columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    column_index_[ToLower(columns_[i].name)] = static_cast<ColumnId>(i);
+  }
+}
+
+ColumnId TableDef::FindColumn(const std::string& name) const {
+  auto it = column_index_.find(ToLower(name));
+  return it == column_index_.end() ? kInvalidColumnId : it->second;
+}
+
+Result<TableId> Schema::AddTable(const std::string& name,
+                                 std::vector<Column> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("table '" + name + "' has no columns");
+  }
+  std::string key = ToLower(name);
+  if (table_index_.count(key) > 0) {
+    return Status::InvalidArgument("duplicate table '" + name + "'");
+  }
+  std::unordered_map<std::string, int> seen;
+  for (const Column& c : columns) {
+    if (!seen.emplace(ToLower(c.name), 1).second) {
+      return Status::InvalidArgument("duplicate column '" + c.name +
+                                     "' in table '" + name + "'");
+    }
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  tables_.emplace_back(id, name, std::move(columns));
+  table_index_[key] = id;
+  return id;
+}
+
+TableId Schema::FindTable(const std::string& name) const {
+  auto it = table_index_.find(ToLower(name));
+  return it == table_index_.end() ? kInvalidTableId : it->second;
+}
+
+int Schema::total_columns() const {
+  int total = 0;
+  for (const TableDef& t : tables_) total += t.num_columns();
+  return total;
+}
+
+}  // namespace starburst

@@ -1,0 +1,98 @@
+#ifndef STARBURST_CATALOG_CATALOG_H_
+#define STARBURST_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starburst {
+
+/// Index of a table within a Schema. Dense, assigned in creation order.
+using TableId = int32_t;
+/// Index of a column within its table.
+using ColumnId = int32_t;
+
+inline constexpr TableId kInvalidTableId = -1;
+inline constexpr ColumnId kInvalidColumnId = -1;
+
+/// Column value type. The engine's Value can hold any of these plus NULL.
+enum class ColumnType {
+  kInt,
+  kDouble,
+  kString,
+  kBool,
+};
+
+/// Returns "int" / "double" / "string" / "bool".
+const char* ColumnTypeToString(ColumnType type);
+
+/// A column definition: name plus declared type.
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// A table definition: name plus an ordered list of columns.
+///
+/// TableDefs are owned by a Schema and referenced by TableId; code that
+/// needs a stable handle should store the id, not a pointer.
+class TableDef {
+ public:
+  TableDef(TableId id, std::string name, std::vector<Column> columns);
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Returns the column's index, or kInvalidColumnId if absent.
+  /// Lookup is case-insensitive (folded to lower case at construction).
+  ColumnId FindColumn(const std::string& name) const;
+
+  const Column& column(ColumnId id) const { return columns_[id]; }
+
+ private:
+  TableId id_;
+  std::string name_;
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, ColumnId> column_index_;  // lowercased
+};
+
+/// The database schema: the set T of tables and C of columns from Section 3
+/// of the paper. Table and column names are case-insensitive.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Creates a table. Fails with InvalidArgument on duplicate table name,
+  /// duplicate column name, or an empty column list.
+  Result<TableId> AddTable(const std::string& name,
+                           std::vector<Column> columns);
+
+  /// Returns the table's id, or kInvalidTableId if absent.
+  TableId FindTable(const std::string& name) const;
+
+  /// Precondition: id is valid.
+  const TableDef& table(TableId id) const { return tables_[id]; }
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const std::deque<TableDef>& tables() const { return tables_; }
+
+  /// Total number of columns across all tables (the size of C).
+  int total_columns() const;
+
+ private:
+  /// Deque, not vector: TableStorage objects hold pointers to TableDefs,
+  /// which must stay valid when tables are added to a live schema
+  /// (deque push_back never invalidates references to existing elements).
+  std::deque<TableDef> tables_;
+  std::unordered_map<std::string, TableId> table_index_;  // lowercased
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_CATALOG_CATALOG_H_

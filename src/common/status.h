@@ -1,0 +1,150 @@
+#ifndef STARBURST_COMMON_STATUS_H_
+#define STARBURST_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace starburst {
+
+/// Error category for a failed operation.
+///
+/// The library does not throw exceptions across its public API; fallible
+/// operations return a Status (or a Result<T>, see below), following the
+/// idiom used by Arrow and RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument was malformed or out of range.
+  kInvalidArgument,
+  /// A named entity (table, column, rule) does not exist.
+  kNotFound,
+  /// The rule-language lexer or parser rejected the input text.
+  kParseError,
+  /// The input parsed but failed semantic validation (e.g., a rule reads a
+  /// transition table that does not correspond to one of its triggering
+  /// operations, or the priority declarations are cyclic).
+  kSemanticError,
+  /// A runtime failure while evaluating an expression or executing a
+  /// statement (type mismatch, division by zero, ...).
+  kExecutionError,
+  /// A configured resource limit was exceeded (rule processing step bound,
+  /// execution-graph state bound, ...).
+  kLimitExceeded,
+  /// Internal invariant violation; indicates a bug in this library.
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail: a code plus a message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (two
+/// words plus a string that is empty in the OK case).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status LimitExceeded(std::string msg) {
+    return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so functions can
+  /// `return value;` or `return Status::ParseError(...);` directly.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define STARBURST_RETURN_IF_ERROR(expr)       \
+  do {                                        \
+    ::starburst::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a Result-returning expression, propagating errors; on success
+/// assigns the value to `lhs` (which must be a declaration or lvalue).
+#define STARBURST_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value();
+
+#define STARBURST_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define STARBURST_ASSIGN_OR_RETURN_NAME(a, b) \
+  STARBURST_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define STARBURST_ASSIGN_OR_RETURN(lhs, expr)                               \
+  STARBURST_ASSIGN_OR_RETURN_IMPL(                                          \
+      STARBURST_ASSIGN_OR_RETURN_NAME(_starburst_result_, __LINE__), lhs,   \
+      expr)
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_STATUS_H_

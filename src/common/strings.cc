@@ -1,0 +1,62 @@
+#include "common/strings.h"
+
+#include <cctype>
+
+namespace starburst {
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) pos = s.size();
+    std::string_view piece = Trim(s.substr(start, pos - start));
+    if (!piece.empty()) out.emplace_back(piece);
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace starburst

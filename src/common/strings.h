@@ -1,0 +1,29 @@
+#ifndef STARBURST_COMMON_STRINGS_H_
+#define STARBURST_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace starburst {
+
+/// Returns `s` lowercased (ASCII only; the rule language is case-insensitive
+/// for keywords and identifiers, matching SQL convention).
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, trimming ASCII whitespace from each piece and
+/// dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_STRINGS_H_

@@ -1,0 +1,35 @@
+#include "engine/database.h"
+
+namespace starburst {
+
+Database::Database(const Schema* schema) : schema_(schema) {
+  SyncWithSchema();
+}
+
+void Database::SyncWithSchema() {
+  for (int i = static_cast<int>(storages_.size()); i < schema_->num_tables();
+       ++i) {
+    storages_.emplace_back(&schema_->table(i));
+  }
+}
+
+std::string Database::CanonicalString() const {
+  std::string out;
+  for (const TableStorage& s : storages_) {
+    out += s.CanonicalString();
+    out += "|";
+  }
+  return out;
+}
+
+std::string Database::CanonicalStringFor(
+    const std::vector<TableId>& tables) const {
+  std::string out;
+  for (TableId t : tables) {
+    out += storages_[t].CanonicalString();
+    out += "|";
+  }
+  return out;
+}
+
+}  // namespace starburst

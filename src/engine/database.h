@@ -1,0 +1,49 @@
+#ifndef STARBURST_ENGINE_DATABASE_H_
+#define STARBURST_ENGINE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace starburst {
+
+/// An in-memory relational database over a Schema.
+///
+/// Value-copyable: copying a Database is how snapshots are taken for
+/// rollback and for execution-graph exploration. The Schema must outlive
+/// every Database (and every copy) created over it.
+class Database {
+ public:
+  explicit Database(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Storage for `table`; precondition: valid id. If tables were added to
+  /// the schema after construction, call SyncWithSchema() first.
+  TableStorage& storage(TableId table) { return storages_[table]; }
+  const TableStorage& storage(TableId table) const { return storages_[table]; }
+
+  /// Adds storages for schema tables created after this Database was
+  /// constructed.
+  void SyncWithSchema();
+
+  /// Logical-equality fingerprint: concatenated canonical strings of all
+  /// tables (rid-independent). Two databases with the same schema and equal
+  /// CanonicalString() hold the same logical contents.
+  std::string CanonicalString() const;
+
+  /// As above but restricted to `tables` (used by partial-confluence
+  /// experiments: compare only the tables in T').
+  std::string CanonicalStringFor(const std::vector<TableId>& tables) const;
+
+ private:
+  const Schema* schema_;
+  std::vector<TableStorage> storages_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_DATABASE_H_

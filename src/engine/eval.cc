@@ -1,0 +1,428 @@
+#include "engine/eval.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace starburst {
+
+namespace {
+
+std::string RowToString(const std::vector<Value>& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+/// Three-valued AND/OR over Value::Bool / NULL.
+Result<Value> TriboolAnd(const Value& a, const Value& b) {
+  auto is_false = [](const Value& v) { return v.is_bool() && !v.bool_value(); };
+  auto is_true = [](const Value& v) { return v.is_bool() && v.bool_value(); };
+  if (is_false(a) || is_false(b)) return Value::Bool(false);
+  if (is_true(a) && is_true(b)) return Value::Bool(true);
+  return Value::Null();
+}
+
+Result<Value> TriboolOr(const Value& a, const Value& b) {
+  auto is_false = [](const Value& v) { return v.is_bool() && !v.bool_value(); };
+  auto is_true = [](const Value& v) { return v.is_bool() && v.bool_value(); };
+  if (is_true(a) || is_true(b)) return Value::Bool(true);
+  if (is_false(a) && is_false(b)) return Value::Bool(false);
+  return Value::Null();
+}
+
+Status CheckBoolOperand(const Value& v, const char* what) {
+  if (!v.is_bool() && !v.is_null()) {
+    return Status::ExecutionError(std::string("operand of ") + what +
+                                  " is not boolean: " + v.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SelectOutput::CanonicalString() const {
+  std::vector<std::string> rendered;
+  rendered.reserve(rows.size());
+  for (const auto& row : rows) rendered.push_back(RowToString(row));
+  std::sort(rendered.begin(), rendered.end());
+  std::string out = "[";
+  for (size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) out += ";";
+    out += rendered[i];
+  }
+  out += "]";
+  return out;
+}
+
+Result<Value> Evaluator::Eval(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return Value::FromLiteral(expr.literal);
+    case ExprKind::kColumnRef:
+      return EvalColumnRef(expr);
+    case ExprKind::kUnary:
+      return EvalUnary(expr);
+    case ExprKind::kBinary:
+      return EvalBinary(expr);
+    case ExprKind::kExists:
+      return EvalExists(expr);
+    case ExprKind::kIn:
+      return EvalIn(expr);
+    case ExprKind::kScalarSubquery:
+      return EvalScalarSubquery(expr);
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> Evaluator::EvalPredicate(const Expr& expr) {
+  STARBURST_ASSIGN_OR_RETURN(Value v, Eval(expr));
+  if (v.is_null()) return false;  // unknown filters out, per SQL WHERE
+  if (!v.is_bool()) {
+    return Status::ExecutionError("predicate did not evaluate to a boolean: " +
+                                  v.ToString());
+  }
+  return v.bool_value();
+}
+
+Result<Value> Evaluator::EvalColumnRef(const Expr& expr) {
+  // Innermost scope first.
+  for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+    const BoundRow& row = *it;
+    if (!expr.qualifier.empty() &&
+        !EqualsIgnoreCase(expr.qualifier, row.binding_name)) {
+      continue;
+    }
+    ColumnId col = row.def->FindColumn(expr.column);
+    if (col == kInvalidColumnId) {
+      if (expr.qualifier.empty()) continue;  // try outer scopes
+      return Status::ExecutionError("no column '" + expr.column +
+                                    "' in relation '" + row.binding_name + "'");
+    }
+    return (*row.tuple)[col];
+  }
+  std::string name = expr.qualifier.empty()
+                         ? expr.column
+                         : expr.qualifier + "." + expr.column;
+  return Status::ExecutionError("unresolved column reference '" + name + "'");
+}
+
+Result<Value> Evaluator::EvalUnary(const Expr& expr) {
+  STARBURST_ASSIGN_OR_RETURN(Value v, Eval(*expr.left));
+  switch (expr.unary_op) {
+    case UnaryOp::kNot:
+      STARBURST_RETURN_IF_ERROR(CheckBoolOperand(v, "NOT"));
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(!v.bool_value());
+    case UnaryOp::kNeg:
+      if (v.is_null()) return Value::Null();
+      if (v.is_int()) return Value::Int(-v.int_value());
+      if (v.is_double()) return Value::Double(-v.double_value());
+      return Status::ExecutionError("cannot negate " + v.ToString());
+    case UnaryOp::kIsNull:
+      return Value::Bool(v.is_null());
+    case UnaryOp::kIsNotNull:
+      return Value::Bool(!v.is_null());
+  }
+  return Status::Internal("unknown unary op");
+}
+
+Result<Value> Evaluator::EvalBinary(const Expr& expr) {
+  // AND/OR need three-valued logic but no short-circuit subtleties beyond
+  // evaluation-error strictness: we evaluate both sides.
+  STARBURST_ASSIGN_OR_RETURN(Value a, Eval(*expr.left));
+  STARBURST_ASSIGN_OR_RETURN(Value b, Eval(*expr.right));
+  switch (expr.binary_op) {
+    case BinaryOp::kAnd:
+      STARBURST_RETURN_IF_ERROR(CheckBoolOperand(a, "AND"));
+      STARBURST_RETURN_IF_ERROR(CheckBoolOperand(b, "AND"));
+      return TriboolAnd(a, b);
+    case BinaryOp::kOr:
+      STARBURST_RETURN_IF_ERROR(CheckBoolOperand(a, "OR"));
+      STARBURST_RETURN_IF_ERROR(CheckBoolOperand(b, "OR"));
+      return TriboolOr(a, b);
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: {
+      STARBURST_ASSIGN_OR_RETURN(Tribool eq, SqlEquals(a, b));
+      if (eq == Tribool::kUnknown) return Value::Null();
+      bool is_eq = (eq == Tribool::kTrue);
+      return Value::Bool(expr.binary_op == BinaryOp::kEq ? is_eq : !is_eq);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      STARBURST_ASSIGN_OR_RETURN(SqlCompareResult cmp, SqlCompare(a, b));
+      if (cmp.unknown) return Value::Null();
+      switch (expr.binary_op) {
+        case BinaryOp::kLt:
+          return Value::Bool(cmp.cmp < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(cmp.cmp <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(cmp.cmp > 0);
+        default:
+          return Value::Bool(cmp.cmp >= 0);
+      }
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return SqlArithmetic(expr.binary_op, a, b);
+  }
+  return Status::Internal("unknown binary op");
+}
+
+Result<Value> Evaluator::EvalExists(const Expr& expr) {
+  bool found = false;
+  STARBURST_RETURN_IF_ERROR(
+      ForEachMatch(*expr.subquery, [&]() -> Result<bool> {
+        found = true;
+        return false;  // stop
+      }));
+  return Value::Bool(found);
+}
+
+Result<Value> Evaluator::EvalIn(const Expr& expr) {
+  if (expr.subquery->items.size() != 1 || expr.subquery->items[0].is_star ||
+      expr.subquery->items[0].func != AggFunc::kNone) {
+    return Status::ExecutionError(
+        "IN subquery must select exactly one plain column/expression");
+  }
+  STARBURST_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.left));
+  if (lhs.is_null()) return Value::Null();
+  bool found = false;
+  bool saw_null = false;
+  const Expr& item = *expr.subquery->items[0].expr;
+  STARBURST_RETURN_IF_ERROR(
+      ForEachMatch(*expr.subquery, [&]() -> Result<bool> {
+        STARBURST_ASSIGN_OR_RETURN(Value v, Eval(item));
+        STARBURST_ASSIGN_OR_RETURN(Tribool eq, SqlEquals(lhs, v));
+        if (eq == Tribool::kTrue) {
+          found = true;
+          return false;  // stop
+        }
+        if (eq == Tribool::kUnknown) saw_null = true;
+        return true;
+      }));
+  if (found) return Value::Bool(true);
+  if (saw_null) return Value::Null();
+  return Value::Bool(false);
+}
+
+Result<Value> Evaluator::EvalScalarSubquery(const Expr& expr) {
+  STARBURST_ASSIGN_OR_RETURN(SelectOutput out, EvalSelect(*expr.subquery));
+  if (out.rows.empty()) return Value::Null();
+  if (out.rows.size() > 1) {
+    return Status::ExecutionError("scalar subquery produced " +
+                                  std::to_string(out.rows.size()) + " rows");
+  }
+  if (out.rows[0].size() != 1) {
+    return Status::ExecutionError("scalar subquery produced " +
+                                  std::to_string(out.rows[0].size()) +
+                                  " columns");
+  }
+  return out.rows[0][0];
+}
+
+Result<Evaluator::RelationRows> Evaluator::MaterializeRelation(
+    const TableRef& ref) {
+  RelationRows out;
+  out.binding_name = ref.BindingName();
+  if (ref.is_transition) {
+    if (transition_ == nullptr || transition_table_def_ == nullptr) {
+      return Status::ExecutionError(
+          "transition table referenced outside a rule context");
+    }
+    out.def = transition_table_def_;
+    switch (ref.transition) {
+      case TransitionTableKind::kInserted:
+        out.tuples = transition_->InsertedTuples();
+        break;
+      case TransitionTableKind::kDeleted:
+        out.tuples = transition_->DeletedTuples();
+        break;
+      case TransitionTableKind::kNewUpdated:
+        out.tuples = transition_->NewUpdatedTuples();
+        break;
+      case TransitionTableKind::kOldUpdated:
+        out.tuples = transition_->OldUpdatedTuples();
+        break;
+    }
+    return out;
+  }
+  TableId table = db_->schema().FindTable(ref.table);
+  if (table == kInvalidTableId) {
+    return Status::NotFound("no table '" + ref.table + "'");
+  }
+  out.def = &db_->schema().table(table);
+  const TableStorage& storage = db_->storage(table);
+  out.tuples.reserve(storage.size());
+  for (const auto& [rid, tuple] : storage.rows()) out.tuples.push_back(tuple);
+  return out;
+}
+
+Status Evaluator::ForEachMatch(const SelectStmt& select,
+                               const std::function<Result<bool>()>& body) {
+  if (select.from.empty()) {
+    return Status::ExecutionError("SELECT requires a FROM clause");
+  }
+  std::vector<RelationRows> relations;
+  relations.reserve(select.from.size());
+  for (const TableRef& ref : select.from) {
+    STARBURST_ASSIGN_OR_RETURN(RelationRows rows, MaterializeRelation(ref));
+    relations.push_back(std::move(rows));
+  }
+  // Recursive cross product over `relations`.
+  size_t n = relations.size();
+  bool stop = false;
+
+  std::function<Status(size_t)> recurse = [&](size_t depth) -> Status {
+    if (depth == n) {
+      if (select.where != nullptr) {
+        STARBURST_ASSIGN_OR_RETURN(bool match, EvalPredicate(*select.where));
+        if (!match) return Status::OK();
+      }
+      STARBURST_ASSIGN_OR_RETURN(bool keep_going, body());
+      if (!keep_going) stop = true;
+      return Status::OK();
+    }
+    RelationRows& rel = relations[depth];
+    for (const Tuple& tuple : rel.tuples) {
+      BoundRow row;
+      row.binding_name = rel.binding_name;
+      row.def = rel.def;
+      row.tuple = &tuple;
+      PushRow(row);
+      Status st = recurse(depth + 1);
+      PopRow();
+      if (!st.ok()) return st;
+      if (stop) return Status::OK();
+    }
+    return Status::OK();
+  };
+  return recurse(0);
+}
+
+Result<SelectOutput> Evaluator::EvalSelect(const SelectStmt& select) {
+  SelectOutput output;
+  if (select.IsAggregate()) {
+    // Single-group aggregation; every item must be an aggregate.
+    for (const SelectItem& item : select.items) {
+      if (item.func == AggFunc::kNone) {
+        return Status::ExecutionError(
+            "mixing aggregate and non-aggregate select items is not "
+            "supported");
+      }
+    }
+    size_t k = select.items.size();
+    std::vector<int64_t> counts(k, 0);
+    std::vector<Value> sums(k);          // running sum (int or double)
+    std::vector<Value> mins(k), maxs(k); // running extrema
+    STARBURST_RETURN_IF_ERROR(ForEachMatch(select, [&]() -> Result<bool> {
+      for (size_t i = 0; i < k; ++i) {
+        const SelectItem& item = select.items[i];
+        if (item.is_star) {  // count(*)
+          ++counts[i];
+          continue;
+        }
+        STARBURST_ASSIGN_OR_RETURN(Value v, Eval(*item.expr));
+        if (v.is_null()) continue;  // SQL: aggregates skip NULLs
+        ++counts[i];
+        switch (item.func) {
+          case AggFunc::kCount:
+            break;
+          case AggFunc::kSum:
+          case AggFunc::kAvg: {
+            if (sums[i].is_null()) {
+              sums[i] = v;
+            } else {
+              STARBURST_ASSIGN_OR_RETURN(
+                  sums[i], SqlArithmetic(BinaryOp::kAdd, sums[i], v));
+            }
+            break;
+          }
+          case AggFunc::kMin: {
+            if (mins[i].is_null()) {
+              mins[i] = v;
+            } else {
+              STARBURST_ASSIGN_OR_RETURN(SqlCompareResult c, SqlCompare(v, mins[i]));
+              if (!c.unknown && c.cmp < 0) mins[i] = v;
+            }
+            break;
+          }
+          case AggFunc::kMax: {
+            if (maxs[i].is_null()) {
+              maxs[i] = v;
+            } else {
+              STARBURST_ASSIGN_OR_RETURN(SqlCompareResult c, SqlCompare(v, maxs[i]));
+              if (!c.unknown && c.cmp > 0) maxs[i] = v;
+            }
+            break;
+          }
+          case AggFunc::kNone:
+            break;
+        }
+      }
+      return true;
+    }));
+    std::vector<Value> row(k);
+    for (size_t i = 0; i < k; ++i) {
+      switch (select.items[i].func) {
+        case AggFunc::kCount:
+          row[i] = Value::Int(counts[i]);
+          break;
+        case AggFunc::kSum:
+          row[i] = sums[i];  // NULL when no non-null inputs
+          break;
+        case AggFunc::kAvg:
+          if (counts[i] == 0 || sums[i].is_null()) {
+            row[i] = Value::Null();
+          } else {
+            row[i] = Value::Double(sums[i].AsDouble() /
+                                   static_cast<double>(counts[i]));
+          }
+          break;
+        case AggFunc::kMin:
+          row[i] = mins[i];
+          break;
+        case AggFunc::kMax:
+          row[i] = maxs[i];
+          break;
+        case AggFunc::kNone:
+          break;
+      }
+    }
+    output.rows.push_back(std::move(row));
+    return output;
+  }
+
+  // Non-aggregate select.
+  STARBURST_RETURN_IF_ERROR(ForEachMatch(select, [&]() -> Result<bool> {
+    std::vector<Value> row;
+    for (const SelectItem& item : select.items) {
+      if (item.is_star) {
+        // Expand all columns of all bound FROM relations (the innermost
+        // |select.from.size()| scopes).
+        size_t start = scope_.size() - select.from.size();
+        for (size_t s = start; s < scope_.size(); ++s) {
+          for (const Value& v : *scope_[s].tuple) row.push_back(v);
+        }
+      } else {
+        STARBURST_ASSIGN_OR_RETURN(Value v, Eval(*item.expr));
+        row.push_back(std::move(v));
+      }
+    }
+    output.rows.push_back(std::move(row));
+    return true;
+  }));
+  return output;
+}
+
+}  // namespace starburst

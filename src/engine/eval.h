@@ -1,0 +1,99 @@
+#ifndef STARBURST_ENGINE_EVAL_H_
+#define STARBURST_ENGINE_EVAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/transition.h"
+#include "engine/value.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// Result rows of a SELECT evaluation.
+struct SelectOutput {
+  std::vector<std::vector<Value>> rows;
+
+  /// Order-independent rendering (rows sorted), used for the observable
+  /// log: two executions that produce the same logical result render the
+  /// same string regardless of physical row order.
+  std::string CanonicalString() const;
+};
+
+/// A row binding visible to expression evaluation: `binding_name.column`
+/// resolves against `def`, values come from `tuple`.
+struct BoundRow {
+  std::string binding_name;  // matched case-insensitively
+  const TableDef* def = nullptr;
+  const Tuple* tuple = nullptr;
+};
+
+/// Evaluates expressions and SELECT statements against a Database, with an
+/// optional transition-table context (the rule's triggering transition) and
+/// a scope stack of bound rows for correlated subqueries.
+///
+/// The evaluator never modifies the database.
+class Evaluator {
+ public:
+  /// `transition` / `transition_table_def` provide the contents of the four
+  /// transition tables; both may be null when evaluating outside a rule
+  /// (user statements), in which case referencing a transition table is an
+  /// execution error.
+  Evaluator(const Database* db, const TableTransition* transition,
+            const TableDef* transition_table_def)
+      : db_(db),
+        transition_(transition),
+        transition_table_def_(transition_table_def) {}
+
+  /// Evaluates a scalar expression in the current scope. Boolean results
+  /// are Value::Bool; SQL `unknown` is represented as NULL.
+  Result<Value> Eval(const Expr& expr);
+
+  /// Evaluates `expr` as a predicate: NULL (unknown) and false both yield
+  /// false; a non-bool non-null result is an execution error.
+  Result<bool> EvalPredicate(const Expr& expr);
+
+  /// Evaluates a SELECT (with cross-product FROM, WHERE filter, optional
+  /// single-group aggregates).
+  Result<SelectOutput> EvalSelect(const SelectStmt& select);
+
+  /// Pushes/pops a row binding scope (innermost-last). Used by the
+  /// executor to bind the target row of UPDATE/DELETE predicates.
+  void PushRow(BoundRow row) { scope_.push_back(row); }
+  void PopRow() { scope_.pop_back(); }
+
+ private:
+  /// Materialized rows of one FROM relation.
+  struct RelationRows {
+    std::string binding_name;
+    const TableDef* def = nullptr;
+    std::vector<Tuple> tuples;
+  };
+
+  Result<Value> EvalColumnRef(const Expr& expr);
+  Result<Value> EvalUnary(const Expr& expr);
+  Result<Value> EvalBinary(const Expr& expr);
+  Result<Value> EvalExists(const Expr& expr);
+  Result<Value> EvalIn(const Expr& expr);
+  Result<Value> EvalScalarSubquery(const Expr& expr);
+
+  Result<RelationRows> MaterializeRelation(const TableRef& ref);
+
+  /// Runs the FROM cross product, calling `body` for each WHERE-satisfying
+  /// combination (with rows pushed on the scope). `body` returns false to
+  /// stop early (EXISTS short-circuit).
+  Status ForEachMatch(const SelectStmt& select,
+                      const std::function<Result<bool>()>& body);
+
+  const Database* db_;
+  const TableTransition* transition_;
+  const TableDef* transition_table_def_;
+  std::vector<BoundRow> scope_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_EVAL_H_

@@ -1,0 +1,224 @@
+#include "engine/exec.h"
+
+namespace starburst {
+
+namespace {
+
+/// Builds a full-width tuple from INSERT values: unspecified columns are
+/// NULL.
+Tuple BuildInsertTuple(const TableDef& def, const std::vector<ColumnId>& cols,
+                       const std::vector<Value>& values) {
+  Tuple tuple(def.num_columns(), Value::Null());
+  for (size_t i = 0; i < cols.size(); ++i) tuple[cols[i]] = values[i];
+  return tuple;
+}
+
+bool TuplesEqual(const Tuple& a, const Tuple& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<TableId> Executor::ResolveTable(const std::string& name) const {
+  TableId id = db_->schema().FindTable(name);
+  if (id == kInvalidTableId) return Status::NotFound("no table '" + name + "'");
+  return id;
+}
+
+Result<std::vector<ColumnId>> Executor::ResolveInsertColumns(
+    const TableDef& def, const std::vector<std::string>& names) const {
+  std::vector<ColumnId> cols;
+  if (names.empty()) {
+    cols.resize(def.num_columns());
+    for (int i = 0; i < def.num_columns(); ++i) cols[i] = i;
+    return cols;
+  }
+  cols.reserve(names.size());
+  for (const std::string& n : names) {
+    ColumnId c = def.FindColumn(n);
+    if (c == kInvalidColumnId) {
+      return Status::NotFound("no column '" + n + "' in table '" + def.name() +
+                              "'");
+    }
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+Result<ExecOutcome> Executor::Execute(const Stmt& stmt,
+                                      const TableTransition* transition,
+                                      const TableDef* transition_table_def) {
+  Evaluator eval(db_, transition, transition_table_def);
+  switch (stmt.kind) {
+    case StmtKind::kSelect:
+      return ExecuteSelect(stmt, eval);
+    case StmtKind::kInsert:
+      return ExecuteInsert(stmt, eval);
+    case StmtKind::kDelete:
+      return ExecuteDelete(stmt, eval);
+    case StmtKind::kUpdate:
+      return ExecuteUpdate(stmt, eval);
+    case StmtKind::kRollback: {
+      ExecOutcome outcome;
+      outcome.rollback = true;
+      ObservableEvent ev;
+      ev.kind = ObservableEvent::Kind::kRollback;
+      ev.payload = "rollback";
+      outcome.observables.push_back(std::move(ev));
+      return outcome;
+    }
+    case StmtKind::kCreateTable:
+      return Status::InvalidArgument(
+          "CREATE TABLE must be applied to the Schema, not executed as DML");
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<ExecOutcome> Executor::ExecuteSelect(const Stmt& stmt,
+                                            Evaluator& eval) {
+  STARBURST_ASSIGN_OR_RETURN(SelectOutput out, eval.EvalSelect(*stmt.select));
+  ExecOutcome outcome;
+  ObservableEvent ev;
+  ev.kind = ObservableEvent::Kind::kSelect;
+  ev.payload = out.CanonicalString();
+  outcome.observables.push_back(std::move(ev));
+  return outcome;
+}
+
+Result<ExecOutcome> Executor::ExecuteInsert(const Stmt& stmt,
+                                            Evaluator& eval) {
+  STARBURST_ASSIGN_OR_RETURN(TableId table, ResolveTable(stmt.table));
+  const TableDef& def = db_->schema().table(table);
+  STARBURST_ASSIGN_OR_RETURN(std::vector<ColumnId> cols,
+                             ResolveInsertColumns(def, stmt.insert_columns));
+  // Materialize all rows first (INSERT ... SELECT must read the
+  // pre-statement state).
+  std::vector<std::vector<Value>> rows;
+  if (stmt.insert_select != nullptr) {
+    STARBURST_ASSIGN_OR_RETURN(SelectOutput out,
+                               eval.EvalSelect(*stmt.insert_select));
+    rows = std::move(out.rows);
+  } else {
+    for (const auto& row_exprs : stmt.insert_rows) {
+      std::vector<Value> row;
+      row.reserve(row_exprs.size());
+      for (const ExprPtr& e : row_exprs) {
+        STARBURST_ASSIGN_OR_RETURN(Value v, eval.Eval(*e));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  // Build and validate every tuple before applying any (statement
+  // atomicity: a bad row must not leave earlier rows inserted).
+  TableStorage& storage = db_->storage(table);
+  std::vector<Tuple> tuples;
+  tuples.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (row.size() != cols.size()) {
+      return Status::ExecutionError(
+          "INSERT row has " + std::to_string(row.size()) + " values for " +
+          std::to_string(cols.size()) + " columns");
+    }
+    Tuple tuple = BuildInsertTuple(def, cols, row);
+    STARBURST_RETURN_IF_ERROR(storage.ValidateTuple(tuple));
+    tuples.push_back(std::move(tuple));
+  }
+  ExecOutcome outcome;
+  for (Tuple& tuple : tuples) {
+    STARBURST_ASSIGN_OR_RETURN(Rid rid, storage.Insert(tuple));
+    STARBURST_RETURN_IF_ERROR(
+        outcome.delta.ForTable(table).ApplyInsert(rid, std::move(tuple)));
+  }
+  return outcome;
+}
+
+Result<ExecOutcome> Executor::ExecuteDelete(const Stmt& stmt,
+                                            Evaluator& eval) {
+  STARBURST_ASSIGN_OR_RETURN(TableId table, ResolveTable(stmt.table));
+  const TableDef& def = db_->schema().table(table);
+  TableStorage& storage = db_->storage(table);
+  // Snapshot the matching rids first.
+  std::vector<std::pair<Rid, Tuple>> matched;
+  for (const auto& [rid, tuple] : storage.rows()) {
+    bool match = true;
+    if (stmt.where != nullptr) {
+      BoundRow row{def.name(), &def, &tuple};
+      eval.PushRow(row);
+      auto res = eval.EvalPredicate(*stmt.where);
+      eval.PopRow();
+      if (!res.ok()) return res.status();
+      match = res.value();
+    }
+    if (match) matched.emplace_back(rid, tuple);
+  }
+  ExecOutcome outcome;
+  for (auto& [rid, tuple] : matched) {
+    STARBURST_RETURN_IF_ERROR(storage.Delete(rid));
+    STARBURST_RETURN_IF_ERROR(
+        outcome.delta.ForTable(table).ApplyDelete(rid, std::move(tuple)));
+  }
+  return outcome;
+}
+
+Result<ExecOutcome> Executor::ExecuteUpdate(const Stmt& stmt,
+                                            Evaluator& eval) {
+  STARBURST_ASSIGN_OR_RETURN(TableId table, ResolveTable(stmt.table));
+  const TableDef& def = db_->schema().table(table);
+  TableStorage& storage = db_->storage(table);
+  // Resolve SET column ids.
+  std::vector<ColumnId> set_cols;
+  set_cols.reserve(stmt.assignments.size());
+  for (const Assignment& a : stmt.assignments) {
+    ColumnId c = def.FindColumn(a.column);
+    if (c == kInvalidColumnId) {
+      return Status::NotFound("no column '" + a.column + "' in table '" +
+                              def.name() + "'");
+    }
+    set_cols.push_back(c);
+  }
+  // Compute all new tuples against the pre-statement state.
+  std::vector<std::pair<Rid, Tuple>> updates;  // rid -> new tuple
+  for (const auto& [rid, tuple] : storage.rows()) {
+    BoundRow row{def.name(), &def, &tuple};
+    eval.PushRow(row);
+    bool match = true;
+    if (stmt.where != nullptr) {
+      auto res = eval.EvalPredicate(*stmt.where);
+      if (!res.ok()) {
+        eval.PopRow();
+        return res.status();
+      }
+      match = res.value();
+    }
+    if (match) {
+      Tuple new_tuple = tuple;
+      for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+        auto res = eval.Eval(*stmt.assignments[i].value);
+        if (!res.ok()) {
+          eval.PopRow();
+          return res.status();
+        }
+        new_tuple[set_cols[i]] = std::move(res).value();
+      }
+      if (!TuplesEqual(tuple, new_tuple)) {
+        updates.emplace_back(rid, std::move(new_tuple));
+      }
+    }
+    eval.PopRow();
+  }
+  ExecOutcome outcome;
+  for (auto& [rid, new_tuple] : updates) {
+    Tuple old_tuple = *storage.Get(rid);
+    STARBURST_RETURN_IF_ERROR(storage.Update(rid, new_tuple));
+    STARBURST_RETURN_IF_ERROR(outcome.delta.ForTable(table).ApplyUpdate(
+        rid, std::move(old_tuple), std::move(new_tuple)));
+  }
+  return outcome;
+}
+
+}  // namespace starburst

@@ -1,0 +1,79 @@
+#ifndef STARBURST_ENGINE_EXEC_H_
+#define STARBURST_ENGINE_EXEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/eval.h"
+#include "engine/transition.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// One observable event produced during statement execution (Section 1 of
+/// the paper: data retrieval and rollback are visible to the environment).
+struct ObservableEvent {
+  enum class Kind { kSelect, kRollback };
+  Kind kind = Kind::kSelect;
+  /// For kSelect: the canonical (order-independent) rendering of the rows.
+  std::string payload;
+
+  bool operator==(const ObservableEvent& other) const {
+    return kind == other.kind && payload == other.payload;
+  }
+};
+
+/// The outcome of executing one statement.
+struct ExecOutcome {
+  /// Net changes this statement made to the database (empty for SELECT,
+  /// ROLLBACK, and data changes with no effect).
+  Transition delta;
+  /// True when the statement was ROLLBACK; the caller is responsible for
+  /// restoring state and aborting rule processing.
+  bool rollback = false;
+  /// Observable events (SELECT results; ROLLBACK adds its own event).
+  std::vector<ObservableEvent> observables;
+};
+
+/// Executes DML statements against a Database, recording the resulting
+/// delta Transition.
+///
+/// Set-oriented execution with snapshot semantics: the rows affected by
+/// UPDATE/DELETE and the rows produced by INSERT..SELECT are fully
+/// determined against the pre-statement state before any change is applied
+/// (no Halloween problem). Updates that do not change a row's values are
+/// not recorded as changes.
+class Executor {
+ public:
+  explicit Executor(Database* db) : db_(db) {}
+
+  /// Executes `stmt`. `transition` / `transition_table_def` give the rule's
+  /// triggering-transition context for transition-table references; pass
+  /// nullptr for user statements. CREATE TABLE is rejected here (DDL is
+  /// applied against the Schema, not the Database).
+  Result<ExecOutcome> Execute(const Stmt& stmt,
+                              const TableTransition* transition,
+                              const TableDef* transition_table_def);
+
+ private:
+  Result<ExecOutcome> ExecuteSelect(const Stmt& stmt, Evaluator& eval);
+  Result<ExecOutcome> ExecuteInsert(const Stmt& stmt, Evaluator& eval);
+  Result<ExecOutcome> ExecuteDelete(const Stmt& stmt, Evaluator& eval);
+  Result<ExecOutcome> ExecuteUpdate(const Stmt& stmt, Evaluator& eval);
+
+  /// Resolves the target base table of an INSERT/DELETE/UPDATE.
+  Result<TableId> ResolveTable(const std::string& name) const;
+
+  /// Maps an INSERT column list (possibly empty = all columns) to column
+  /// ids and checks completeness.
+  Result<std::vector<ColumnId>> ResolveInsertColumns(
+      const TableDef& def, const std::vector<std::string>& names) const;
+
+  Database* db_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_EXEC_H_

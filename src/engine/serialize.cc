@@ -1,0 +1,72 @@
+#include "engine/serialize.h"
+
+#include "engine/exec.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+
+std::string DumpSchema(const Schema& schema) {
+  std::string out;
+  for (const TableDef& table : schema.tables()) {
+    out += "create table " + table.name() + " (";
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ", ";
+      out += table.column(c).name;
+      out += " ";
+      out += ColumnTypeToString(table.column(c).type);
+    }
+    out += ");\n";
+  }
+  return out;
+}
+
+std::string DumpData(const Database& db) {
+  std::string out;
+  for (const TableDef& table : db.schema().tables()) {
+    const TableStorage& storage = db.storage(table.id());
+    if (storage.size() == 0) continue;
+    out += "insert into " + table.name() + " values\n";
+    bool first = true;
+    for (const auto& [rid, tuple] : storage.rows()) {
+      out += first ? "  " : ",\n  ";
+      first = false;
+      out += TupleToString(tuple);
+    }
+    out += ";\n";
+  }
+  return out;
+}
+
+std::string DumpDatabase(const Database& db) {
+  return DumpSchema(db.schema()) + DumpData(db);
+}
+
+Result<Database> LoadDatabaseScript(Schema* schema,
+                                    const std::string& script) {
+  STARBURST_ASSIGN_OR_RETURN(Script parsed, Parser::ParseScript(script));
+  if (!parsed.rules.empty()) {
+    return Status::InvalidArgument(
+        "database scripts must not contain rule definitions");
+  }
+  // DDL first pass is unnecessary: statements appear in order, and a
+  // Database can sync with a growing schema.
+  Database db(schema);
+  Executor executor(&db);
+  for (const StmtPtr& stmt : parsed.statements) {
+    if (stmt->kind == StmtKind::kCreateTable) {
+      auto added = schema->AddTable(stmt->table, stmt->create_columns);
+      if (!added.ok()) return added.status();
+      db.SyncWithSchema();
+      continue;
+    }
+    STARBURST_ASSIGN_OR_RETURN(ExecOutcome outcome,
+                               executor.Execute(*stmt, nullptr, nullptr));
+    if (outcome.rollback) {
+      return Status::InvalidArgument(
+          "database scripts must not roll back");
+    }
+  }
+  return db;
+}
+
+}  // namespace starburst

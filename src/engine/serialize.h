@@ -1,0 +1,38 @@
+#ifndef STARBURST_ENGINE_SERIALIZE_H_
+#define STARBURST_ENGINE_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace starburst {
+
+/// Text serialization of schemas and database contents as a rule-language
+/// script (`create table` + `insert into ... values ...`), so dumps are
+/// both human-readable and loadable by the same parser/executor the rest
+/// of the system uses.
+///
+/// Round-trip guarantee: LoadDatabaseScript(DumpDatabase(db)) produces a
+/// database with identical logical contents (CanonicalString-equal).
+/// Rids are not preserved — they are physical identities, not data.
+
+/// Renders the schema as `create table` statements.
+std::string DumpSchema(const Schema& schema);
+
+/// Renders the database contents as multi-row INSERT statements (tables in
+/// schema order, rows in rid order; empty tables are skipped).
+std::string DumpData(const Database& db);
+
+/// DumpSchema + DumpData.
+std::string DumpDatabase(const Database& db);
+
+/// Parses `script` and applies it: `create table` statements populate
+/// `schema`, DML statements run against a Database over it. Returns the
+/// loaded database. The script must not contain rule definitions (load
+/// rules separately through RuleCatalog) or rollback statements.
+Result<Database> LoadDatabaseScript(Schema* schema, const std::string& script);
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_SERIALIZE_H_

@@ -1,0 +1,81 @@
+#include "engine/table.h"
+
+#include <algorithm>
+
+namespace starburst {
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Status TableStorage::Validate(const Tuple& tuple) const {
+  if (static_cast<int>(tuple.size()) != def_->num_columns()) {
+    return Status::ExecutionError(
+        "tuple arity " + std::to_string(tuple.size()) + " does not match table '" +
+        def_->name() + "' with " + std::to_string(def_->num_columns()) +
+        " columns");
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (!tuple[i].MatchesType(def_->columns()[i].type)) {
+      return Status::ExecutionError(
+          "value " + tuple[i].ToString() + " does not match type of column '" +
+          def_->columns()[i].name + "' in table '" + def_->name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Rid> TableStorage::Insert(Tuple tuple) {
+  STARBURST_RETURN_IF_ERROR(Validate(tuple));
+  Rid rid = next_rid_++;
+  rows_.emplace(rid, std::move(tuple));
+  return rid;
+}
+
+Status TableStorage::Delete(Rid rid) {
+  if (rows_.erase(rid) == 0) {
+    return Status::NotFound("rid " + std::to_string(rid) + " not in table '" +
+                            def_->name() + "'");
+  }
+  return Status::OK();
+}
+
+Status TableStorage::Update(Rid rid, Tuple tuple) {
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
+    return Status::NotFound("rid " + std::to_string(rid) + " not in table '" +
+                            def_->name() + "'");
+  }
+  STARBURST_RETURN_IF_ERROR(Validate(tuple));
+  it->second = std::move(tuple);
+  return Status::OK();
+}
+
+const Tuple* TableStorage::Get(Rid rid) const {
+  auto it = rows_.find(rid);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+std::string TableStorage::CanonicalString() const {
+  std::vector<std::string> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& [rid, tuple] : rows_) {
+    rendered.push_back(TupleToString(tuple));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  std::string out = def_->name() + "{";
+  for (size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) out += ";";
+    out += rendered[i];
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace starburst

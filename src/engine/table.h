@@ -1,0 +1,72 @@
+#ifndef STARBURST_ENGINE_TABLE_H_
+#define STARBURST_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/value.h"
+
+namespace starburst {
+
+/// Identity of a stored tuple. Rids are assigned from a per-table counter
+/// and never reused, which is what lets the transition machinery track the
+/// history of an individual tuple across a rule-processing run.
+using Rid = uint64_t;
+
+/// A tuple: one value per column of its table, in column order.
+using Tuple = std::vector<Value>;
+
+/// Renders "(v1, v2, ...)".
+std::string TupleToString(const Tuple& tuple);
+
+/// In-memory storage for one table: rid -> tuple.
+///
+/// Copyable by value; the explorer snapshots whole databases via plain
+/// copies. Logical equality (used for confluence checking) ignores rids and
+/// compares table contents as multisets — see CanonicalString().
+class TableStorage {
+ public:
+  explicit TableStorage(const TableDef* def) : def_(def) {}
+
+  const TableDef& def() const { return *def_; }
+
+  /// Validates arity and column types, then stores the tuple under a fresh
+  /// rid.
+  Result<Rid> Insert(Tuple tuple);
+
+  /// Checks arity and column types without storing; lets callers validate
+  /// a whole batch before applying any of it (statement atomicity).
+  Status ValidateTuple(const Tuple& tuple) const { return Validate(tuple); }
+
+  /// Removes the tuple; NotFound if absent.
+  Status Delete(Rid rid);
+
+  /// Replaces the tuple's values; validates like Insert.
+  Status Update(Rid rid, Tuple tuple);
+
+  /// Returns nullptr if absent.
+  const Tuple* Get(Rid rid) const;
+
+  size_t size() const { return rows_.size(); }
+  const std::map<Rid, Tuple>& rows() const { return rows_; }
+
+  /// Multiset-of-tuples rendering, independent of rids and insertion order.
+  /// Two storages with equal CanonicalString() are logically the same table
+  /// contents.
+  std::string CanonicalString() const;
+
+ private:
+  Status Validate(const Tuple& tuple) const;
+
+  const TableDef* def_;
+  std::map<Rid, Tuple> rows_;
+  Rid next_rid_ = 1;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_TABLE_H_

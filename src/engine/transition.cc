@@ -1,0 +1,232 @@
+#include "engine/transition.h"
+
+namespace starburst {
+
+namespace {
+
+bool TuplesEqual(const Tuple& a, const Tuple& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status TableTransition::ApplyInsert(Rid rid, Tuple tuple) {
+  auto it = changes_.find(rid);
+  if (it != changes_.end()) {
+    return Status::Internal("insert of rid " + std::to_string(rid) +
+                            " which already has a net change (rids are never "
+                            "reused)");
+  }
+  NetChange change;
+  change.kind = NetChange::Kind::kInserted;
+  change.new_tuple = std::move(tuple);
+  changes_.emplace(rid, std::move(change));
+  return Status::OK();
+}
+
+Status TableTransition::ApplyDelete(Rid rid, Tuple old_tuple) {
+  auto it = changes_.find(rid);
+  if (it == changes_.end()) {
+    NetChange change;
+    change.kind = NetChange::Kind::kDeleted;
+    change.old_tuple = std::move(old_tuple);
+    changes_.emplace(rid, std::move(change));
+    return Status::OK();
+  }
+  NetChange& existing = it->second;
+  switch (existing.kind) {
+    case NetChange::Kind::kInserted:
+      // Inserted then deleted: not considered at all.
+      changes_.erase(it);
+      return Status::OK();
+    case NetChange::Kind::kUpdated:
+      // Updated then deleted: a deletion of the original tuple.
+      existing.kind = NetChange::Kind::kDeleted;
+      existing.new_tuple.clear();
+      return Status::OK();
+    case NetChange::Kind::kDeleted:
+      return Status::Internal("double delete of rid " + std::to_string(rid));
+  }
+  return Status::Internal("corrupt net change");
+}
+
+Status TableTransition::ApplyUpdate(Rid rid, Tuple old_tuple,
+                                    Tuple new_tuple) {
+  auto it = changes_.find(rid);
+  if (it == changes_.end()) {
+    if (TuplesEqual(old_tuple, new_tuple)) return Status::OK();
+    NetChange change;
+    change.kind = NetChange::Kind::kUpdated;
+    change.old_tuple = std::move(old_tuple);
+    change.new_tuple = std::move(new_tuple);
+    changes_.emplace(rid, std::move(change));
+    return Status::OK();
+  }
+  NetChange& existing = it->second;
+  switch (existing.kind) {
+    case NetChange::Kind::kInserted:
+      // Inserted then updated: insertion of the updated tuple.
+      existing.new_tuple = std::move(new_tuple);
+      return Status::OK();
+    case NetChange::Kind::kUpdated:
+      // Composite update; drop if it nets out to no change.
+      if (TuplesEqual(existing.old_tuple, new_tuple)) {
+        changes_.erase(it);
+      } else {
+        existing.new_tuple = std::move(new_tuple);
+      }
+      return Status::OK();
+    case NetChange::Kind::kDeleted:
+      return Status::Internal("update of deleted rid " + std::to_string(rid));
+  }
+  return Status::Internal("corrupt net change");
+}
+
+Status TableTransition::Compose(const TableTransition& next) {
+  for (const auto& [rid, change] : next.changes_) {
+    switch (change.kind) {
+      case NetChange::Kind::kInserted:
+        STARBURST_RETURN_IF_ERROR(ApplyInsert(rid, change.new_tuple));
+        break;
+      case NetChange::Kind::kDeleted:
+        STARBURST_RETURN_IF_ERROR(ApplyDelete(rid, change.old_tuple));
+        break;
+      case NetChange::Kind::kUpdated:
+        STARBURST_RETURN_IF_ERROR(
+            ApplyUpdate(rid, change.old_tuple, change.new_tuple));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+bool TableTransition::HasInserts() const {
+  for (const auto& [rid, change] : changes_) {
+    if (change.kind == NetChange::Kind::kInserted) return true;
+  }
+  return false;
+}
+
+bool TableTransition::HasDeletes() const {
+  for (const auto& [rid, change] : changes_) {
+    if (change.kind == NetChange::Kind::kDeleted) return true;
+  }
+  return false;
+}
+
+std::set<ColumnId> TableTransition::UpdatedColumns() const {
+  std::set<ColumnId> cols;
+  for (const auto& [rid, change] : changes_) {
+    if (change.kind != NetChange::Kind::kUpdated) continue;
+    for (size_t c = 0; c < change.old_tuple.size(); ++c) {
+      if (!(change.old_tuple[c] == change.new_tuple[c])) {
+        cols.insert(static_cast<ColumnId>(c));
+      }
+    }
+  }
+  return cols;
+}
+
+std::vector<Tuple> TableTransition::InsertedTuples() const {
+  std::vector<Tuple> out;
+  for (const auto& [rid, change] : changes_) {
+    if (change.kind == NetChange::Kind::kInserted) {
+      out.push_back(change.new_tuple);
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> TableTransition::DeletedTuples() const {
+  std::vector<Tuple> out;
+  for (const auto& [rid, change] : changes_) {
+    if (change.kind == NetChange::Kind::kDeleted) {
+      out.push_back(change.old_tuple);
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> TableTransition::NewUpdatedTuples() const {
+  std::vector<Tuple> out;
+  for (const auto& [rid, change] : changes_) {
+    if (change.kind == NetChange::Kind::kUpdated) {
+      out.push_back(change.new_tuple);
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> TableTransition::OldUpdatedTuples() const {
+  std::vector<Tuple> out;
+  for (const auto& [rid, change] : changes_) {
+    if (change.kind == NetChange::Kind::kUpdated) {
+      out.push_back(change.old_tuple);
+    }
+  }
+  return out;
+}
+
+std::string TableTransition::CanonicalString() const {
+  std::string out = "{";
+  for (const auto& [rid, change] : changes_) {
+    out += std::to_string(rid);
+    switch (change.kind) {
+      case NetChange::Kind::kInserted:
+        out += "+";
+        out += TupleToString(change.new_tuple);
+        break;
+      case NetChange::Kind::kDeleted:
+        out += "-";
+        out += TupleToString(change.old_tuple);
+        break;
+      case NetChange::Kind::kUpdated:
+        out += "~";
+        out += TupleToString(change.old_tuple);
+        out += ">";
+        out += TupleToString(change.new_tuple);
+        break;
+    }
+    out += ";";
+  }
+  out += "}";
+  return out;
+}
+
+bool Transition::empty() const {
+  for (const auto& [table, tt] : tables_) {
+    if (!tt.empty()) return false;
+  }
+  return true;
+}
+
+TableTransition& Transition::ForTable(TableId table) {
+  return tables_[table];
+}
+
+const TableTransition* Transition::Find(TableId table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Status Transition::Compose(const Transition& next) {
+  for (const auto& [table, tt] : next.tables_) {
+    STARBURST_RETURN_IF_ERROR(tables_[table].Compose(tt));
+  }
+  return Status::OK();
+}
+
+std::string Transition::CanonicalString() const {
+  std::string out;
+  for (const auto& [table, tt] : tables_) {
+    if (tt.empty()) continue;
+    out += "t" + std::to_string(table) + tt.CanonicalString();
+  }
+  return out;
+}
+
+}  // namespace starburst

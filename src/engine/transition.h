@@ -1,0 +1,103 @@
+#ifndef STARBURST_ENGINE_TRANSITION_H_
+#define STARBURST_ENGINE_TRANSITION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace starburst {
+
+/// The net effect of a transition on one tuple, per [WF90] / Section 2 of
+/// the paper:
+///   * updated several times  -> one composite update
+///   * updated then deleted   -> a deletion (of the original tuple)
+///   * inserted then updated  -> insertion of the updated tuple
+///   * inserted then deleted  -> nothing at all (the entry is dropped)
+/// A composite update whose old and new tuples are identical is also
+/// dropped: it has no net effect (this is what makes "undo" rules able to
+/// untrigger other rules).
+struct NetChange {
+  enum class Kind { kInserted, kDeleted, kUpdated };
+  Kind kind = Kind::kInserted;
+  Tuple old_tuple;  // valid for kDeleted and kUpdated
+  Tuple new_tuple;  // valid for kInserted and kUpdated
+};
+
+/// Net effect of a transition on one table: rid -> NetChange, closed under
+/// the composition rules above.
+class TableTransition {
+ public:
+  bool empty() const { return changes_.empty(); }
+  const std::map<Rid, NetChange>& changes() const { return changes_; }
+
+  /// Records that `rid` was just inserted with value `tuple`.
+  /// Internal error if `rid` already appears (rids are never reused).
+  Status ApplyInsert(Rid rid, Tuple tuple);
+
+  /// Records that `rid` (current value `old_tuple`) was just deleted.
+  Status ApplyDelete(Rid rid, Tuple old_tuple);
+
+  /// Records that `rid` was just updated from `old_tuple` to `new_tuple`.
+  Status ApplyUpdate(Rid rid, Tuple old_tuple, Tuple new_tuple);
+
+  /// Composes `next` after this transition (this ∘ next), merging per-rid
+  /// per the net-effect rules.
+  Status Compose(const TableTransition& next);
+
+  /// Whether the net effect contains any insertion / any deletion.
+  bool HasInserts() const;
+  bool HasDeletes() const;
+
+  /// Column ids c such that some net update changes column c.
+  std::set<ColumnId> UpdatedColumns() const;
+
+  /// Transition-table contents (Section 2): `inserted` holds new tuples of
+  /// net insertions, `deleted` old tuples of net deletions, `new_updated` /
+  /// `old_updated` the new/old values of net updates. Tuples are returned
+  /// in rid order (deterministic).
+  std::vector<Tuple> InsertedTuples() const;
+  std::vector<Tuple> DeletedTuples() const;
+  std::vector<Tuple> NewUpdatedTuples() const;
+  std::vector<Tuple> OldUpdatedTuples() const;
+
+  /// Canonical rendering for state hashing in the explorer.
+  std::string CanonicalString() const;
+
+ private:
+  std::map<Rid, NetChange> changes_;
+};
+
+/// Net effect of a transition on the whole database: one TableTransition
+/// per touched table. This is the "composite transition" a rule sees
+/// between consecutive considerations (Section 2).
+class Transition {
+ public:
+  bool empty() const;
+
+  /// The per-table net effect; creates an empty entry on demand.
+  TableTransition& ForTable(TableId table);
+
+  /// Returns nullptr when the table is untouched.
+  const TableTransition* Find(TableId table) const;
+
+  const std::map<TableId, TableTransition>& tables() const { return tables_; }
+
+  /// Composes `next` after this transition.
+  Status Compose(const Transition& next);
+
+  void Clear() { tables_.clear(); }
+
+  std::string CanonicalString() const;
+
+ private:
+  std::map<TableId, TableTransition> tables_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_TRANSITION_H_

@@ -1,0 +1,182 @@
+#include "engine/value.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace starburst {
+
+Value Value::FromLiteral(const LiteralValue& lit) {
+  switch (lit.kind) {
+    case LiteralValue::Kind::kNull:
+      return Value::Null();
+    case LiteralValue::Kind::kInt:
+      return Value::Int(lit.int_value);
+    case LiteralValue::Kind::kDouble:
+      return Value::Double(lit.double_value);
+    case LiteralValue::Kind::kString:
+      return Value::String(lit.string_value);
+    case LiteralValue::Kind::kBool:
+      return Value::Bool(lit.bool_value);
+  }
+  return Value::Null();
+}
+
+bool Value::MatchesType(ColumnType type) const {
+  if (is_null()) return true;
+  switch (type) {
+    case ColumnType::kInt:
+      return is_int();
+    case ColumnType::kDouble:
+      return is_numeric();  // ints widen into double columns
+    case ColumnType::kString:
+      return is_string();
+    case ColumnType::kBool:
+      return is_bool();
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (storage_.index() != other.storage_.index()) {
+    return storage_.index() < other.storage_.index();
+  }
+  return storage_ < other.storage_;
+}
+
+std::string Value::ToString() const {
+  switch (storage_.index()) {
+    case 0:
+      return "null";
+    case 1:
+      return std::to_string(int_value());
+    case 2: {
+      // Round-trippable rendering: enough digits to reconstruct the exact
+      // value, and always re-lexes as a double literal (never as an int).
+      std::ostringstream os;
+      os << std::setprecision(17) << double_value();
+      std::string s = os.str();
+      if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+      return s;
+    }
+    case 3: {
+      std::string out = "'";
+      for (char c : string_value()) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out += "'";
+      return out;
+    }
+    case 4:
+      return bool_value() ? "true" : "false";
+  }
+  return "null";
+}
+
+namespace {
+
+Status TypeMismatch(const Value& a, const Value& b, const char* what) {
+  return Status::ExecutionError(std::string("type mismatch in ") + what +
+                                ": " + a.ToString() + " vs " + b.ToString());
+}
+
+}  // namespace
+
+Result<Tribool> SqlEquals(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Tribool::kUnknown;
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) {
+      return a.int_value() == b.int_value() ? Tribool::kTrue : Tribool::kFalse;
+    }
+    return a.AsDouble() == b.AsDouble() ? Tribool::kTrue : Tribool::kFalse;
+  }
+  if (a.is_string() && b.is_string()) {
+    return a.string_value() == b.string_value() ? Tribool::kTrue
+                                                : Tribool::kFalse;
+  }
+  if (a.is_bool() && b.is_bool()) {
+    return a.bool_value() == b.bool_value() ? Tribool::kTrue : Tribool::kFalse;
+  }
+  return TypeMismatch(a, b, "equality comparison");
+}
+
+Result<SqlCompareResult> SqlCompare(const Value& a, const Value& b) {
+  SqlCompareResult r;
+  if (a.is_null() || b.is_null()) {
+    r.unknown = true;
+    return r;
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) {
+      int64_t x = a.int_value();
+      int64_t y = b.int_value();
+      r.cmp = x < y ? -1 : (x > y ? 1 : 0);
+      return r;
+    }
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    r.cmp = x < y ? -1 : (x > y ? 1 : 0);
+    return r;
+  }
+  if (a.is_string() && b.is_string()) {
+    int c = a.string_value().compare(b.string_value());
+    r.cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+    return r;
+  }
+  if (a.is_bool() && b.is_bool()) {
+    int x = a.bool_value() ? 1 : 0;
+    int y = b.bool_value() ? 1 : 0;
+    r.cmp = x < y ? -1 : (x > y ? 1 : 0);
+    return r;
+  }
+  return TypeMismatch(a, b, "ordering comparison");
+}
+
+Result<Value> SqlArithmetic(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return TypeMismatch(a, b, "arithmetic");
+  }
+  bool both_int = a.is_int() && b.is_int();
+  if (both_int) {
+    int64_t x = a.int_value();
+    int64_t y = b.int_value();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int(x + y);
+      case BinaryOp::kSub:
+        return Value::Int(x - y);
+      case BinaryOp::kMul:
+        return Value::Int(x * y);
+      case BinaryOp::kDiv:
+        if (y == 0) return Status::ExecutionError("integer division by zero");
+        return Value::Int(x / y);
+      case BinaryOp::kMod:
+        if (y == 0) return Status::ExecutionError("integer modulo by zero");
+        return Value::Int(x % y);
+      default:
+        return Status::Internal("non-arithmetic op in SqlArithmetic");
+    }
+  }
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Double(x + y);
+    case BinaryOp::kSub:
+      return Value::Double(x - y);
+    case BinaryOp::kMul:
+      return Value::Double(x * y);
+    case BinaryOp::kDiv:
+      if (y == 0.0) return Status::ExecutionError("division by zero");
+      return Value::Double(x / y);
+    case BinaryOp::kMod:
+      if (y == 0.0) return Status::ExecutionError("modulo by zero");
+      return Value::Double(std::fmod(x, y));
+    default:
+      return Status::Internal("non-arithmetic op in SqlArithmetic");
+  }
+}
+
+}  // namespace starburst

@@ -1,0 +1,98 @@
+#ifndef STARBURST_ENGINE_VALUE_H_
+#define STARBURST_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// A runtime SQL value: NULL or one of the four column types.
+///
+/// Comparison and arithmetic follow SQL semantics: any operation with a
+/// NULL operand yields NULL; comparisons between int and double promote to
+/// double; other cross-type operations are type errors.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Storage(std::in_place_index<1>, v)); }
+  static Value Double(double v) {
+    return Value(Storage(std::in_place_index<2>, v));
+  }
+  static Value String(std::string v) {
+    return Value(Storage(std::in_place_index<3>, std::move(v)));
+  }
+  static Value Bool(bool v) { return Value(Storage(std::in_place_index<4>, v)); }
+
+  /// Converts an AST literal.
+  static Value FromLiteral(const LiteralValue& lit);
+
+  bool is_null() const { return storage_.index() == 0; }
+  bool is_int() const { return storage_.index() == 1; }
+  bool is_double() const { return storage_.index() == 2; }
+  bool is_string() const { return storage_.index() == 3; }
+  bool is_bool() const { return storage_.index() == 4; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t int_value() const { return std::get<1>(storage_); }
+  double double_value() const { return std::get<2>(storage_); }
+  const std::string& string_value() const { return std::get<3>(storage_); }
+  bool bool_value() const { return std::get<4>(storage_); }
+
+  /// Numeric value widened to double (valid for is_numeric()).
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(int_value()) : double_value();
+  }
+
+  /// True when the value's dynamic type matches the declared column type
+  /// (NULL matches every type).
+  bool MatchesType(ColumnType type) const;
+
+  /// Exact structural equality (NULL == NULL here, unlike SQL `=`); used
+  /// for state hashing and tests, with int/double NOT unified.
+  bool operator==(const Value& other) const { return storage_ == other.storage_; }
+
+  /// Total order over values for canonical serialization: by type index,
+  /// then by value.
+  bool operator<(const Value& other) const;
+
+  /// Parseable rendering: NULL as "null", strings quoted.
+  std::string ToString() const;
+
+ private:
+  using Storage =
+      std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Storage s) : storage_(std::move(s)) {}
+  Storage storage_;
+};
+
+/// Three-valued logic truth value for SQL predicates.
+enum class Tribool { kFalse, kTrue, kUnknown };
+
+/// SQL `=` comparison: NULL operands yield kUnknown; numeric types compare
+/// by value (1 = 1.0); mismatched non-numeric types are an error.
+Result<Tribool> SqlEquals(const Value& a, const Value& b);
+
+/// SQL ordering comparison: returns -1/0/+1, or Unknown for NULLs.
+/// Mismatched non-numeric types are an error.
+struct SqlCompareResult {
+  bool unknown = false;
+  int cmp = 0;  // valid when !unknown
+};
+Result<SqlCompareResult> SqlCompare(const Value& a, const Value& b);
+
+/// Arithmetic (+ - * / %). Int op int stays int except that `/` by zero and
+/// `%` by zero are execution errors; mixed numeric promotes to double.
+Result<Value> SqlArithmetic(BinaryOp op, const Value& a, const Value& b);
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_VALUE_H_

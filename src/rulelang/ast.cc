@@ -1,0 +1,255 @@
+#include "rulelang/ast.h"
+
+#include "common/strings.h"
+
+namespace starburst {
+
+Expr::~Expr() = default;
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>(kind);
+  out->literal = literal;
+  out->qualifier = qualifier;
+  out->column = column;
+  out->unary_op = unary_op;
+  out->binary_op = binary_op;
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  if (subquery) out->subquery = subquery->Clone();
+  return out;
+}
+
+ExprPtr MakeLiteral(LiteralValue v) {
+  auto e = std::make_unique<Expr>(ExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeNullLiteral() { return MakeLiteral(LiteralValue::Null()); }
+ExprPtr MakeIntLiteral(int64_t v) { return MakeLiteral(LiteralValue::Int(v)); }
+ExprPtr MakeDoubleLiteral(double v) {
+  return MakeLiteral(LiteralValue::Double(v));
+}
+ExprPtr MakeStringLiteral(std::string v) {
+  return MakeLiteral(LiteralValue::String(std::move(v)));
+}
+ExprPtr MakeBoolLiteral(bool v) { return MakeLiteral(LiteralValue::Bool(v)); }
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>(ExprKind::kColumnRef);
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>(ExprKind::kUnary);
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::make_unique<Expr>(ExprKind::kBinary);
+  e->binary_op = op;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+
+ExprPtr MakeExists(SelectPtr subquery) {
+  auto e = std::make_unique<Expr>(ExprKind::kExists);
+  e->subquery = std::move(subquery);
+  return e;
+}
+
+ExprPtr MakeIn(ExprPtr lhs, SelectPtr subquery) {
+  auto e = std::make_unique<Expr>(ExprKind::kIn);
+  e->left = std::move(lhs);
+  e->subquery = std::move(subquery);
+  return e;
+}
+
+ExprPtr MakeScalarSubquery(SelectPtr subquery) {
+  auto e = std::make_unique<Expr>(ExprKind::kScalarSubquery);
+  e->subquery = std::move(subquery);
+  return e;
+}
+
+const char* TransitionTableKindToString(TransitionTableKind kind) {
+  switch (kind) {
+    case TransitionTableKind::kInserted:
+      return "inserted";
+    case TransitionTableKind::kDeleted:
+      return "deleted";
+    case TransitionTableKind::kNewUpdated:
+      return "new_updated";
+    case TransitionTableKind::kOldUpdated:
+      return "old_updated";
+  }
+  return "unknown";
+}
+
+std::optional<TransitionTableKind> ParseTransitionTableKind(
+    const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "inserted") return TransitionTableKind::kInserted;
+  if (n == "deleted") return TransitionTableKind::kDeleted;
+  if (n == "new_updated" || n == "new-updated") {
+    return TransitionTableKind::kNewUpdated;
+  }
+  if (n == "old_updated" || n == "old-updated") {
+    return TransitionTableKind::kOldUpdated;
+  }
+  return std::nullopt;
+}
+
+std::string TableRef::BindingName() const {
+  if (!alias.empty()) return alias;
+  if (is_transition) return TransitionTableKindToString(transition);
+  return table;
+}
+
+TableRef TableRef::Base(std::string table, std::string alias) {
+  TableRef ref;
+  ref.is_transition = false;
+  ref.table = std::move(table);
+  ref.alias = std::move(alias);
+  return ref;
+}
+
+TableRef TableRef::Transition(TransitionTableKind kind, std::string alias) {
+  TableRef ref;
+  ref.is_transition = true;
+  ref.transition = kind;
+  ref.alias = std::move(alias);
+  return ref;
+}
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "";
+}
+
+SelectItem SelectItem::Clone() const {
+  return SelectItem(func, is_star, expr ? expr->Clone() : nullptr);
+}
+
+SelectPtr SelectStmt::Clone() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->items.reserve(items.size());
+  for (const SelectItem& item : items) out->items.push_back(item.Clone());
+  out->from = from;
+  if (where) out->where = where->Clone();
+  return out;
+}
+
+bool SelectStmt::IsAggregate() const {
+  for (const SelectItem& item : items) {
+    if (item.func != AggFunc::kNone) return true;
+  }
+  return false;
+}
+
+Assignment Assignment::Clone() const {
+  return Assignment(column, value ? value->Clone() : nullptr);
+}
+
+Stmt::~Stmt() = default;
+
+StmtPtr Stmt::Clone() const {
+  auto out = std::make_unique<Stmt>(kind);
+  if (select) out->select = select->Clone();
+  out->table = table;
+  out->insert_columns = insert_columns;
+  out->insert_rows.reserve(insert_rows.size());
+  for (const auto& row : insert_rows) {
+    std::vector<ExprPtr> cloned;
+    cloned.reserve(row.size());
+    for (const ExprPtr& e : row) cloned.push_back(e->Clone());
+    out->insert_rows.push_back(std::move(cloned));
+  }
+  if (insert_select) out->insert_select = insert_select->Clone();
+  if (where) out->where = where->Clone();
+  out->assignments.reserve(assignments.size());
+  for (const Assignment& a : assignments) out->assignments.push_back(a.Clone());
+  out->create_columns = create_columns;
+  return out;
+}
+
+StmtPtr MakeSelectStmt(SelectPtr select) {
+  auto s = std::make_unique<Stmt>(StmtKind::kSelect);
+  s->select = std::move(select);
+  return s;
+}
+
+StmtPtr MakeInsertValues(std::string table, std::vector<std::string> columns,
+                         std::vector<std::vector<ExprPtr>> rows) {
+  auto s = std::make_unique<Stmt>(StmtKind::kInsert);
+  s->table = std::move(table);
+  s->insert_columns = std::move(columns);
+  s->insert_rows = std::move(rows);
+  return s;
+}
+
+StmtPtr MakeInsertSelect(std::string table, std::vector<std::string> columns,
+                         SelectPtr select) {
+  auto s = std::make_unique<Stmt>(StmtKind::kInsert);
+  s->table = std::move(table);
+  s->insert_columns = std::move(columns);
+  s->insert_select = std::move(select);
+  return s;
+}
+
+StmtPtr MakeDelete(std::string table, ExprPtr where) {
+  auto s = std::make_unique<Stmt>(StmtKind::kDelete);
+  s->table = std::move(table);
+  s->where = std::move(where);
+  return s;
+}
+
+StmtPtr MakeUpdate(std::string table, std::vector<Assignment> assignments,
+                   ExprPtr where) {
+  auto s = std::make_unique<Stmt>(StmtKind::kUpdate);
+  s->table = std::move(table);
+  s->assignments = std::move(assignments);
+  s->where = std::move(where);
+  return s;
+}
+
+StmtPtr MakeRollback() { return std::make_unique<Stmt>(StmtKind::kRollback); }
+
+StmtPtr MakeCreateTable(std::string table, std::vector<Column> columns) {
+  auto s = std::make_unique<Stmt>(StmtKind::kCreateTable);
+  s->table = std::move(table);
+  s->create_columns = std::move(columns);
+  return s;
+}
+
+RuleDef RuleDef::Clone() const {
+  RuleDef out;
+  out.name = name;
+  out.table = table;
+  out.events = events;
+  if (condition) out.condition = condition->Clone();
+  out.actions.reserve(actions.size());
+  for (const StmtPtr& a : actions) out.actions.push_back(a->Clone());
+  out.precedes = precedes;
+  out.follows = follows;
+  return out;
+}
+
+}  // namespace starburst

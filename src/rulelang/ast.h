@@ -1,0 +1,354 @@
+#ifndef STARBURST_RULELANG_AST_H_
+#define STARBURST_RULELANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace starburst {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+class SelectStmt;
+using SelectPtr = std::unique_ptr<SelectStmt>;
+
+/// Literal value carried by a kLiteral expression. NULL is represented by
+/// kNull; the engine widens these into engine::Value at evaluation time.
+struct LiteralValue {
+  enum class Kind { kNull, kInt, kDouble, kString, kBool };
+  Kind kind = Kind::kNull;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  bool bool_value = false;
+
+  static LiteralValue Null() { return LiteralValue{}; }
+  static LiteralValue Int(int64_t v) {
+    LiteralValue l;
+    l.kind = Kind::kInt;
+    l.int_value = v;
+    return l;
+  }
+  static LiteralValue Double(double v) {
+    LiteralValue l;
+    l.kind = Kind::kDouble;
+    l.double_value = v;
+    return l;
+  }
+  static LiteralValue String(std::string v) {
+    LiteralValue l;
+    l.kind = Kind::kString;
+    l.string_value = std::move(v);
+    return l;
+  }
+  static LiteralValue Bool(bool v) {
+    LiteralValue l;
+    l.kind = Kind::kBool;
+    l.bool_value = v;
+    return l;
+  }
+};
+
+/// Binary operators. Comparison operators use SQL three-valued logic with
+/// respect to NULL at evaluation time.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp {
+  kNot,
+  kNeg,
+  kIsNull,
+  kIsNotNull,
+};
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,
+  /// A possibly-qualified column reference `qualifier.column` or `column`.
+  /// The qualifier may name a base table or one of the four transition
+  /// tables (`inserted`, `deleted`, `new_updated`, `old_updated`).
+  kColumnRef,
+  kUnary,
+  kBinary,
+  /// EXISTS (subquery).
+  kExists,
+  /// lhs IN (subquery).
+  kIn,
+  /// A scalar subquery: (SELECT <single item> FROM ...). Must produce at
+  /// most one row; aggregates always produce exactly one.
+  kScalarSubquery,
+};
+
+/// An expression tree node. Plain data: all members public, constructed via
+/// the factory functions below. Ownership of children is by unique_ptr.
+class Expr {
+ public:
+  ExprKind kind;
+
+  // kLiteral
+  LiteralValue literal;
+
+  // kColumnRef
+  std::string qualifier;  // empty when unqualified
+  std::string column;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr left;   // also the operand of kUnary and the lhs of kIn
+  ExprPtr right;
+
+  // kExists / kIn / kScalarSubquery
+  SelectPtr subquery;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+  ~Expr();
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+};
+
+ExprPtr MakeLiteral(LiteralValue v);
+ExprPtr MakeNullLiteral();
+ExprPtr MakeIntLiteral(int64_t v);
+ExprPtr MakeDoubleLiteral(double v);
+ExprPtr MakeStringLiteral(std::string v);
+ExprPtr MakeBoolLiteral(bool v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeExists(SelectPtr subquery);
+ExprPtr MakeIn(ExprPtr lhs, SelectPtr subquery);
+ExprPtr MakeScalarSubquery(SelectPtr subquery);
+
+// ---------------------------------------------------------------------------
+// Relations appearing in FROM clauses
+// ---------------------------------------------------------------------------
+
+/// The four transition tables of the Starburst rule language (Section 2 of
+/// the paper). They reflect the net effect of the rule's triggering
+/// transition on the rule's table.
+enum class TransitionTableKind {
+  kInserted,
+  kDeleted,
+  kNewUpdated,
+  kOldUpdated,
+};
+
+const char* TransitionTableKindToString(TransitionTableKind kind);
+
+/// Parses "inserted"/"deleted"/"new_updated"/"old_updated" (also accepting
+/// the paper's hyphenated spellings "new-updated"/"old-updated").
+std::optional<TransitionTableKind> ParseTransitionTableKind(
+    const std::string& name);
+
+/// A relation in a FROM clause: either a base table or a transition table,
+/// optionally aliased.
+struct TableRef {
+  bool is_transition = false;
+  std::string table;                 // base-table name when !is_transition
+  TransitionTableKind transition = TransitionTableKind::kInserted;
+  std::string alias;                 // empty = no alias
+
+  /// The name this relation is referred to by in expressions: the alias if
+  /// present, else the table / transition-table name.
+  std::string BindingName() const;
+
+  static TableRef Base(std::string table, std::string alias = "");
+  static TableRef Transition(TransitionTableKind kind, std::string alias = "");
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class AggFunc {
+  kNone,
+  kCount,  // COUNT(*) or COUNT(expr)
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggFuncToString(AggFunc func);
+
+/// One item of a SELECT list: either `*`, or an optional aggregate applied
+/// to an expression (COUNT(*) has is_star && func == kCount).
+struct SelectItem {
+  AggFunc func = AggFunc::kNone;
+  bool is_star = false;  // `*` (only alone or under COUNT)
+  ExprPtr expr;          // null when is_star
+
+  SelectItem() = default;
+  SelectItem(AggFunc f, bool star, ExprPtr e)
+      : func(f), is_star(star), expr(std::move(e)) {}
+  SelectItem Clone() const;
+};
+
+enum class StmtKind {
+  kSelect,
+  kInsert,
+  kDelete,
+  kUpdate,
+  kRollback,
+  kCreateTable,
+};
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// SELECT item_list FROM ref [, ref ...] [WHERE predicate].
+///
+/// Multiple FROM relations form a cross product filtered by WHERE.
+/// Subqueries may correlate with enclosing scopes by qualifier.
+class SelectStmt {
+ public:
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+
+  SelectPtr Clone() const;
+
+  /// True when any item carries an aggregate function.
+  bool IsAggregate() const;
+};
+
+/// One SET assignment of an UPDATE.
+struct Assignment {
+  std::string column;
+  ExprPtr value;
+
+  Assignment() = default;
+  Assignment(std::string c, ExprPtr v) : column(std::move(c)), value(std::move(v)) {}
+  Assignment Clone() const;
+};
+
+/// A data manipulation (or DDL) statement. Plain data, kind-discriminated,
+/// like Expr.
+class Stmt {
+ public:
+  StmtKind kind;
+
+  // kSelect
+  SelectPtr select;
+
+  // kInsert
+  std::string table;                        // also kDelete/kUpdate/kCreateTable
+  std::vector<std::string> insert_columns;  // empty = all columns in order
+  std::vector<std::vector<ExprPtr>> insert_rows;  // VALUES form
+  SelectPtr insert_select;                  // INSERT ... SELECT form
+
+  // kDelete / kUpdate
+  ExprPtr where;  // may be null
+
+  // kUpdate
+  std::vector<Assignment> assignments;
+
+  // kCreateTable
+  std::vector<Column> create_columns;
+
+  explicit Stmt(StmtKind k) : kind(k) {}
+  ~Stmt();
+
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  StmtPtr Clone() const;
+};
+
+StmtPtr MakeSelectStmt(SelectPtr select);
+StmtPtr MakeInsertValues(std::string table, std::vector<std::string> columns,
+                         std::vector<std::vector<ExprPtr>> rows);
+StmtPtr MakeInsertSelect(std::string table, std::vector<std::string> columns,
+                         SelectPtr select);
+StmtPtr MakeDelete(std::string table, ExprPtr where);
+StmtPtr MakeUpdate(std::string table, std::vector<Assignment> assignments,
+                   ExprPtr where);
+StmtPtr MakeRollback();
+StmtPtr MakeCreateTable(std::string table, std::vector<Column> columns);
+
+// ---------------------------------------------------------------------------
+// Rule definitions
+// ---------------------------------------------------------------------------
+
+/// One triggering operation in a rule's WHEN clause.
+struct TriggerEvent {
+  enum class Kind { kInserted, kDeleted, kUpdated };
+  Kind kind = Kind::kInserted;
+  /// For kUpdated: the columns listed in `updated(c1, ..., cn)`. Empty means
+  /// every column of the rule's table.
+  std::vector<std::string> columns;
+
+  static TriggerEvent Inserted() { return TriggerEvent{Kind::kInserted, {}}; }
+  static TriggerEvent Deleted() { return TriggerEvent{Kind::kDeleted, {}}; }
+  static TriggerEvent Updated(std::vector<std::string> cols) {
+    return TriggerEvent{Kind::kUpdated, std::move(cols)};
+  }
+};
+
+/// A parsed `create rule` definition (Section 2 of the paper):
+///
+///   create rule name on table
+///     when transition-predicate
+///     [if condition]
+///     then action [; action ...]
+///     [precedes rule-list]
+///     [follows rule-list]
+struct RuleDef {
+  std::string name;
+  std::string table;
+  std::vector<TriggerEvent> events;
+  ExprPtr condition;            // null = unconditional
+  std::vector<StmtPtr> actions;
+  std::vector<std::string> precedes;
+  std::vector<std::string> follows;
+
+  RuleDef() = default;
+  RuleDef(RuleDef&&) = default;
+  RuleDef& operator=(RuleDef&&) = default;
+  RuleDef(const RuleDef&) = delete;
+  RuleDef& operator=(const RuleDef&) = delete;
+
+  /// Deep copy.
+  RuleDef Clone() const;
+};
+
+/// A parsed script: interleaved DDL, rule definitions, and DML statements,
+/// in source order. `items[i]` tells which vector the i-th construct went
+/// to, so callers can replay a script in order.
+struct Script {
+  enum class ItemKind { kStatement, kRule };
+  std::vector<ItemKind> items;
+  std::vector<StmtPtr> statements;
+  std::vector<RuleDef> rules;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_RULELANG_AST_H_

@@ -1,0 +1,248 @@
+#include "rulelang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace starburst {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto& kKeywords = *new std::unordered_set<std::string>{
+      "create",   "rule",     "table",    "on",      "when",     "if",
+      "then",     "precedes", "follows",  "inserted", "deleted", "updated",
+      "select",   "from",     "where",    "insert",  "into",     "values",
+      "delete",   "update",   "set",      "rollback", "and",     "or",
+      "not",      "exists",   "in",       "is",      "null",     "true",
+      "false",    "count",    "sum",      "min",     "max",      "avg",
+      "as",       "int",      "integer",  "double",  "float",    "string",
+      "varchar",  "bool",     "boolean",  "new_updated", "old_updated",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool Lexer::IsReservedKeyword(std::string_view word) {
+  return Keywords().count(ToLower(word)) > 0;
+}
+
+Result<std::vector<Token>> Lexer::Tokenize(std::string_view src) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+
+  auto make = [&](TokenType type) {
+    Token t;
+    t.type = type;
+    t.line = line;
+    t.column = col;
+    return t;
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '-') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      Token t = make(TokenType::kIdentifier);
+      size_t start = i;
+      while (i < src.size() && IsIdentChar(src[i])) advance(1);
+      std::string word(src.substr(start, i - start));
+      if (Keywords().count(ToLower(word)) > 0) {
+        t.type = TokenType::kKeyword;
+        t.text = ToLower(word);
+      } else {
+        t.text = std::move(word);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t = make(TokenType::kIntLiteral);
+      size_t start = i;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        advance(1);
+      }
+      bool is_double = false;
+      if (i < src.size() && src[i] == '.' && i + 1 < src.size() &&
+          std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        is_double = true;
+        advance(1);
+        while (i < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[i]))) {
+          advance(1);
+        }
+      }
+      if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < src.size() && (src[j] == '+' || src[j] == '-')) ++j;
+        if (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) {
+          is_double = true;
+          advance(j - i);
+          while (i < src.size() &&
+                 std::isdigit(static_cast<unsigned char>(src[i]))) {
+            advance(1);
+          }
+        }
+      }
+      t.text = std::string(src.substr(start, i - start));
+      if (is_double) {
+        t.type = TokenType::kDoubleLiteral;
+        t.double_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      Token t = make(TokenType::kStringLiteral);
+      advance(1);  // opening quote
+      std::string value;
+      bool closed = false;
+      while (i < src.size()) {
+        if (src[i] == '\'') {
+          if (i + 1 < src.size() && src[i + 1] == '\'') {
+            value.push_back('\'');
+            advance(2);
+          } else {
+            advance(1);
+            closed = true;
+            break;
+          }
+        } else {
+          value.push_back(src[i]);
+          advance(1);
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(t.line));
+      }
+      t.text = std::move(value);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation and operators.
+    Token t = make(TokenType::kEnd);
+    switch (c) {
+      case '(':
+        t.type = TokenType::kLParen;
+        advance(1);
+        break;
+      case ')':
+        t.type = TokenType::kRParen;
+        advance(1);
+        break;
+      case ',':
+        t.type = TokenType::kComma;
+        advance(1);
+        break;
+      case ';':
+        t.type = TokenType::kSemicolon;
+        advance(1);
+        break;
+      case '.':
+        t.type = TokenType::kDot;
+        advance(1);
+        break;
+      case '*':
+        t.type = TokenType::kStar;
+        advance(1);
+        break;
+      case '+':
+        t.type = TokenType::kPlus;
+        advance(1);
+        break;
+      case '-':
+        t.type = TokenType::kMinus;
+        advance(1);
+        break;
+      case '/':
+        t.type = TokenType::kSlash;
+        advance(1);
+        break;
+      case '%':
+        t.type = TokenType::kPercent;
+        advance(1);
+        break;
+      case '=':
+        t.type = TokenType::kEq;
+        advance(1);
+        break;
+      case '!':
+        if (i + 1 < src.size() && src[i + 1] == '=') {
+          t.type = TokenType::kNe;
+          advance(2);
+        } else {
+          return Status::ParseError("unexpected '!' at line " +
+                                    std::to_string(line));
+        }
+        break;
+      case '<':
+        if (i + 1 < src.size() && src[i + 1] == '=') {
+          t.type = TokenType::kLe;
+          advance(2);
+        } else if (i + 1 < src.size() && src[i + 1] == '>') {
+          t.type = TokenType::kNe;
+          advance(2);
+        } else {
+          t.type = TokenType::kLt;
+          advance(1);
+        }
+        break;
+      case '>':
+        if (i + 1 < src.size() && src[i + 1] == '=') {
+          t.type = TokenType::kGe;
+          advance(2);
+        } else {
+          t.type = TokenType::kGt;
+          advance(1);
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+    tokens.push_back(std::move(t));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.line = line;
+  end.column = col;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace starburst

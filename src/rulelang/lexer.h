@@ -1,0 +1,29 @@
+#ifndef STARBURST_RULELANG_LEXER_H_
+#define STARBURST_RULELANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rulelang/token.h"
+
+namespace starburst {
+
+/// Tokenizes rule-language / SQL-subset source text.
+///
+/// Keywords are case-insensitive. Identifiers are [A-Za-z_][A-Za-z0-9_]*.
+/// String literals use single quotes with '' as the escape for a quote.
+/// Comments: `--` to end of line.
+class Lexer {
+ public:
+  /// Tokenizes all of `source`; the result ends with a kEnd token.
+  static Result<std::vector<Token>> Tokenize(std::string_view source);
+
+  /// True when `word` is a reserved keyword of the language.
+  static bool IsReservedKeyword(std::string_view word);
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_RULELANG_LEXER_H_

@@ -1,0 +1,263 @@
+#include "rulelang/printer.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace starburst {
+
+namespace {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+std::string LiteralToString(const LiteralValue& v) {
+  switch (v.kind) {
+    case LiteralValue::Kind::kNull:
+      return "null";
+    case LiteralValue::Kind::kInt:
+      return std::to_string(v.int_value);
+    case LiteralValue::Kind::kDouble: {
+      std::ostringstream os;
+      os << v.double_value;
+      std::string s = os.str();
+      // Ensure the text re-lexes as a double literal.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find('E') == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case LiteralValue::Kind::kString:
+      return QuoteString(v.string_value);
+    case LiteralValue::Kind::kBool:
+      return v.bool_value ? "true" : "false";
+  }
+  return "null";
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return LiteralToString(expr.literal);
+    case ExprKind::kColumnRef:
+      if (expr.qualifier.empty()) return expr.column;
+      return expr.qualifier + "." + expr.column;
+    case ExprKind::kUnary: {
+      std::string inner = ExprToString(*expr.left);
+      switch (expr.unary_op) {
+        case UnaryOp::kNot:
+          return "not (" + inner + ")";
+        case UnaryOp::kNeg:
+          return "-(" + inner + ")";
+        case UnaryOp::kIsNull:
+          return "(" + inner + ") is null";
+        case UnaryOp::kIsNotNull:
+          return "(" + inner + ") is not null";
+      }
+      return inner;
+    }
+    case ExprKind::kBinary:
+      return "(" + ExprToString(*expr.left) + " " +
+             BinaryOpToString(expr.binary_op) + " " +
+             ExprToString(*expr.right) + ")";
+    case ExprKind::kExists:
+      return "exists (" + SelectToString(*expr.subquery) + ")";
+    case ExprKind::kIn:
+      return "(" + ExprToString(*expr.left) + " in (" +
+             SelectToString(*expr.subquery) + "))";
+    case ExprKind::kScalarSubquery:
+      return "(" + SelectToString(*expr.subquery) + ")";
+  }
+  return "?";
+}
+
+std::string SelectToString(const SelectStmt& select) {
+  std::string out = "select ";
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = select.items[i];
+    if (item.func != AggFunc::kNone) {
+      out += AggFuncToString(item.func);
+      out += "(";
+      out += item.is_star ? "*" : ExprToString(*item.expr);
+      out += ")";
+    } else if (item.is_star) {
+      out += "*";
+    } else {
+      out += ExprToString(*item.expr);
+    }
+  }
+  out += " from ";
+  for (size_t i = 0; i < select.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    const TableRef& ref = select.from[i];
+    out += ref.is_transition ? TransitionTableKindToString(ref.transition)
+                             : ref.table;
+    if (!ref.alias.empty()) {
+      out += " as ";
+      out += ref.alias;
+    }
+  }
+  if (select.where) {
+    out += " where ";
+    out += ExprToString(*select.where);
+  }
+  return out;
+}
+
+std::string StmtToString(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kSelect:
+      return SelectToString(*stmt.select);
+    case StmtKind::kInsert: {
+      std::string out = "insert into " + stmt.table;
+      if (!stmt.insert_columns.empty()) {
+        out += " (" + Join(stmt.insert_columns, ", ") + ")";
+      }
+      if (stmt.insert_select) {
+        out += " " + SelectToString(*stmt.insert_select);
+      } else {
+        out += " values ";
+        for (size_t r = 0; r < stmt.insert_rows.size(); ++r) {
+          if (r > 0) out += ", ";
+          out += "(";
+          const auto& row = stmt.insert_rows[r];
+          for (size_t i = 0; i < row.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += ExprToString(*row[i]);
+          }
+          out += ")";
+        }
+      }
+      return out;
+    }
+    case StmtKind::kDelete: {
+      std::string out = "delete from " + stmt.table;
+      if (stmt.where) out += " where " + ExprToString(*stmt.where);
+      return out;
+    }
+    case StmtKind::kUpdate: {
+      std::string out = "update " + stmt.table + " set ";
+      for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += stmt.assignments[i].column + " = " +
+               ExprToString(*stmt.assignments[i].value);
+      }
+      if (stmt.where) out += " where " + ExprToString(*stmt.where);
+      return out;
+    }
+    case StmtKind::kRollback:
+      return "rollback";
+    case StmtKind::kCreateTable: {
+      std::string out = "create table " + stmt.table + " (";
+      for (size_t i = 0; i < stmt.create_columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += stmt.create_columns[i].name;
+        out += " ";
+        out += ColumnTypeToString(stmt.create_columns[i].type);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string RuleToString(const RuleDef& rule) {
+  std::string out = "create rule " + rule.name + " on " + rule.table + "\n";
+  out += "when ";
+  for (size_t i = 0; i < rule.events.size(); ++i) {
+    if (i > 0) out += ", ";
+    const TriggerEvent& ev = rule.events[i];
+    switch (ev.kind) {
+      case TriggerEvent::Kind::kInserted:
+        out += "inserted";
+        break;
+      case TriggerEvent::Kind::kDeleted:
+        out += "deleted";
+        break;
+      case TriggerEvent::Kind::kUpdated:
+        out += "updated";
+        if (!ev.columns.empty()) {
+          out += "(" + Join(ev.columns, ", ") + ")";
+        }
+        break;
+    }
+  }
+  out += "\n";
+  if (rule.condition) {
+    out += "if " + ExprToString(*rule.condition) + "\n";
+  }
+  out += "then ";
+  for (size_t i = 0; i < rule.actions.size(); ++i) {
+    if (i > 0) out += ";\n     ";
+    out += StmtToString(*rule.actions[i]);
+  }
+  if (!rule.precedes.empty()) {
+    out += "\nprecedes " + Join(rule.precedes, ", ");
+  }
+  if (!rule.follows.empty()) {
+    out += "\nfollows " + Join(rule.follows, ", ");
+  }
+  return out;
+}
+
+std::string ScriptToString(const Script& script) {
+  std::string out;
+  size_t stmt_i = 0;
+  size_t rule_i = 0;
+  for (Script::ItemKind kind : script.items) {
+    if (kind == Script::ItemKind::kStatement) {
+      out += StmtToString(*script.statements[stmt_i++]);
+    } else {
+      out += RuleToString(script.rules[rule_i++]);
+    }
+    out += ";\n";
+  }
+  return out;
+}
+
+}  // namespace starburst

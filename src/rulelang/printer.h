@@ -1,0 +1,21 @@
+#ifndef STARBURST_RULELANG_PRINTER_H_
+#define STARBURST_RULELANG_PRINTER_H_
+
+#include <string>
+
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// Renders AST nodes back to parseable rule-language text. Round-tripping
+/// (parse → print → parse) yields a structurally identical AST; tests rely
+/// on this property.
+std::string ExprToString(const Expr& expr);
+std::string SelectToString(const SelectStmt& select);
+std::string StmtToString(const Stmt& stmt);
+std::string RuleToString(const RuleDef& rule);
+std::string ScriptToString(const Script& script);
+
+}  // namespace starburst
+
+#endif  // STARBURST_RULELANG_PRINTER_H_

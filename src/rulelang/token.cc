@@ -1,0 +1,61 @@
+#include "rulelang/token.h"
+
+#include "common/strings.h"
+
+namespace starburst {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "end-of-input";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kIntLiteral:
+      return "integer literal";
+    case TokenType::kDoubleLiteral:
+      return "double literal";
+    case TokenType::kStringLiteral:
+      return "string literal";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kPercent:
+      return "'%'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+  }
+  return "unknown";
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && EqualsIgnoreCase(text, kw);
+}
+
+}  // namespace starburst

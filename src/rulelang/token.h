@@ -1,0 +1,56 @@
+#ifndef STARBURST_RULELANG_TOKEN_H_
+#define STARBURST_RULELANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace starburst {
+
+/// Token categories produced by the Lexer. Keywords are recognized
+/// case-insensitively and carry their lowercased text.
+enum class TokenType {
+  kEnd,
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,       // =
+  kNe,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* TokenTypeToString(TokenType type);
+
+/// A lexed token with source position for diagnostics.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Identifier/keyword text (lowercased for keywords, original case for
+  /// identifiers), or literal text for numeric/string literals.
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;
+  int column = 1;
+
+  /// True when this is the given keyword (case-insensitive).
+  bool IsKeyword(const char* kw) const;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_RULELANG_TOKEN_H_

@@ -1,0 +1,190 @@
+#include "rules/explorer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/exec.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+
+namespace {
+
+/// Serializes an observable stream for set-of-streams comparison.
+std::string StreamToString(const std::vector<ObservableEvent>& stream) {
+  std::string out;
+  for (const ObservableEvent& ev : stream) {
+    out += ev.kind == ObservableEvent::Kind::kRollback ? "R:" : "S:";
+    out += ev.payload;
+    out += "\n";
+  }
+  return out;
+}
+
+/// Canonical key of an execution state (database + per-rule pending
+/// transitions). Rid-sensitive, so logically identical states reached with
+/// different tuple identities get distinct keys — that only costs extra
+/// exploration, never wrong results.
+std::string StateKey(const RuleProcessingState& state) {
+  std::string key = state.db.CanonicalString();
+  key += "#";
+  for (const Transition& t : state.pending) {
+    key += t.CanonicalString();
+    key += "|";
+  }
+  return key;
+}
+
+class ExplorerImpl {
+ public:
+  ExplorerImpl(const RuleCatalog& catalog, const Database& initial_db,
+               const ExplorerOptions& options)
+      : catalog_(catalog), initial_db_(initial_db), options_(options) {}
+
+  Result<ExplorationResult> Run(const Transition& initial_transition) {
+    RuleProcessingState state(&catalog_.schema(), catalog_.num_rules());
+    state.db = initial_db_;
+    for (Transition& t : state.pending) t = initial_transition;
+    std::vector<ObservableEvent> stream;
+    STARBURST_RETURN_IF_ERROR(Dfs(state, stream, 0));
+    result_.states_visited = static_cast<long>(seen_.size());
+    return std::move(result_);
+  }
+
+ private:
+  void RecordFinal(const Database& db,
+                   const std::vector<ObservableEvent>& stream) {
+    std::string key = db.CanonicalString();
+    if (result_.final_states.insert(key).second) {
+      result_.final_databases.emplace(key, db);
+    }
+    if (static_cast<int>(result_.observable_streams.size()) <
+        options_.max_streams) {
+      result_.observable_streams.insert(StreamToString(stream));
+    } else {
+      result_.complete = false;
+    }
+  }
+
+  /// Returns the recorded-graph node id for `key`, or -1 when recording is
+  /// off or the cap was hit.
+  int NodeId(const std::string& key) {
+    if (!options_.record_graph) return -1;
+    auto it = node_ids_.find(key);
+    if (it != node_ids_.end()) return it->second;
+    if (static_cast<int>(node_ids_.size()) >= options_.max_recorded_nodes) {
+      result_.graph_truncated = true;
+      return -1;
+    }
+    int id = static_cast<int>(node_ids_.size());
+    node_ids_.emplace(key, id);
+    result_.node_is_final.push_back(false);
+    return id;
+  }
+
+  void RecordEdge(int from, int to, RuleIndex rule) {
+    if (!options_.record_graph || from < 0 || to < 0) return;
+    result_.graph_edges.push_back({from, to, rule});
+  }
+
+  Status Dfs(const RuleProcessingState& state,
+             std::vector<ObservableEvent>& stream, int depth) {
+    if (result_.steps_taken >= options_.max_total_steps) {
+      result_.complete = false;
+      return Status::OK();
+    }
+    std::string key = StateKey(state);
+    int node = NodeId(key);
+    if (on_path_.count(key) > 0) {
+      // A cycle in the execution graph: an infinitely long path exists.
+      result_.may_not_terminate = true;
+      return Status::OK();
+    }
+    seen_.insert(key);
+
+    std::vector<RuleIndex> triggered = TriggeredRules(catalog_, state);
+    if (triggered.empty()) {
+      if (node >= 0) result_.node_is_final[node] = true;
+      RecordFinal(state.db, stream);
+      return Status::OK();
+    }
+    if (depth >= options_.max_depth) {
+      result_.complete = false;
+      result_.may_not_terminate = true;  // conservative
+      return Status::OK();
+    }
+    std::vector<RuleIndex> eligible = catalog_.priority().Choose(triggered);
+    on_path_.insert(key);
+    for (RuleIndex r : eligible) {
+      ++result_.steps_taken;
+      RuleProcessingState next = state;  // copy (db + pendings)
+      auto step = ConsiderRule(catalog_, &next, r);
+      if (!step.ok()) {
+        on_path_.erase(key);
+        return step.status();
+      }
+      size_t stream_before = stream.size();
+      for (const ObservableEvent& ev : step.value().observables) {
+        stream.push_back(ev);
+      }
+      if (step.value().rollback) {
+        // Transaction aborted: final database is the initial database.
+        int abort_node = NodeId("ROLLBACK#" + initial_db_.CanonicalString());
+        if (abort_node >= 0) result_.node_is_final[abort_node] = true;
+        RecordEdge(node, abort_node, r);
+        RecordFinal(initial_db_, stream);
+      } else {
+        RecordEdge(node, NodeId(StateKey(next)), r);
+        Status st = Dfs(next, stream, depth + 1);
+        if (!st.ok()) {
+          on_path_.erase(key);
+          return st;
+        }
+      }
+      stream.resize(stream_before);
+    }
+    on_path_.erase(key);
+    return Status::OK();
+  }
+
+  const RuleCatalog& catalog_;
+  const Database& initial_db_;
+  const ExplorerOptions& options_;
+  ExplorationResult result_;
+  std::unordered_set<std::string> seen_;
+  std::unordered_set<std::string> on_path_;
+  std::unordered_map<std::string, int> node_ids_;
+};
+
+}  // namespace
+
+Result<ExplorationResult> Explorer::Explore(const RuleCatalog& catalog,
+                                            const Database& initial_db,
+                                            const Transition& initial_transition,
+                                            const ExplorerOptions& options) {
+  ExplorerImpl impl(catalog, initial_db, options);
+  return impl.Run(initial_transition);
+}
+
+Result<ExplorationResult> Explorer::ExploreAfterStatements(
+    const RuleCatalog& catalog, const Database& initial_db,
+    const std::vector<std::string>& user_statements,
+    const ExplorerOptions& options) {
+  Database db = initial_db;
+  Executor executor(&db);
+  Transition initial_transition;
+  for (const std::string& sql : user_statements) {
+    STARBURST_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::ParseStatement(sql));
+    STARBURST_ASSIGN_OR_RETURN(ExecOutcome outcome,
+                               executor.Execute(*stmt, nullptr, nullptr));
+    if (outcome.rollback) {
+      return Status::InvalidArgument(
+          "user statements for exploration must not roll back");
+    }
+    STARBURST_RETURN_IF_ERROR(initial_transition.Compose(outcome.delta));
+  }
+  ExplorerImpl impl(catalog, db, options);
+  return impl.Run(initial_transition);
+}
+
+}  // namespace starburst

@@ -1,0 +1,102 @@
+#ifndef STARBURST_RULES_EXPLORER_H_
+#define STARBURST_RULES_EXPLORER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "rules/processor.h"
+
+namespace starburst {
+
+/// Limits for exhaustive execution-graph exploration. Execution graphs can
+/// be exponential in the number of unordered rules, so every dimension is
+/// bounded; hitting a bound is reported, not an error.
+struct ExplorerOptions {
+  /// Maximum depth (rule considerations) along any path.
+  int max_depth = 64;
+  /// Maximum number of path steps explored in total.
+  long max_total_steps = 200000;
+  /// Maximum number of distinct observable streams to collect.
+  int max_streams = 1024;
+  /// When true, the explorer records the execution graph's nodes and edges
+  /// (up to max_recorded_nodes) for visualization — see
+  /// ExecutionGraphToDot() in analysis/dot.h.
+  bool record_graph = false;
+  int max_recorded_nodes = 256;
+};
+
+/// The result of exhaustively exploring every rule-processing execution
+/// order from one initial state — the execution graph of Section 4.
+struct ExplorationResult {
+  /// True when exploration covered the whole graph within limits.
+  bool complete = true;
+  /// True when a cycle among execution states was found or the depth bound
+  /// was hit: rule processing may not terminate.
+  bool may_not_terminate = false;
+  /// Canonical database fingerprints of the final states (distinct).
+  /// Per Section 6: the rule set behaved confluently on this input iff
+  /// there is exactly one entry and may_not_terminate is false.
+  std::set<std::string> final_states;
+  /// One representative database per final fingerprint.
+  std::map<std::string, Database> final_databases;
+  /// Distinct observable streams over all terminating paths, serialized
+  /// (Section 8: observably deterministic iff exactly one).
+  std::set<std::string> observable_streams;
+  /// Distinct execution states visited.
+  long states_visited = 0;
+  /// Total path steps taken.
+  long steps_taken = 0;
+
+  /// Recorded execution graph (only when ExplorerOptions::record_graph).
+  /// Node ids are dense; an edge means "considering `rule` moves the state
+  /// from `from` to `to`".
+  struct RecordedEdge {
+    int from = -1;
+    int to = -1;
+    RuleIndex rule = -1;
+  };
+  std::vector<RecordedEdge> graph_edges;
+  /// Per-node: true when the node is a final state (no triggered rules, or
+  /// reached via rollback).
+  std::vector<bool> node_is_final;
+  bool graph_truncated = false;
+
+  bool unique_final_state() const {
+    return !may_not_terminate && final_states.size() == 1;
+  }
+  bool unique_observable_stream() const {
+    return !may_not_terminate && observable_streams.size() <= 1;
+  }
+};
+
+/// Exhaustively enumerates every choice of eligible rule at every step,
+/// starting from `initial_db` with every rule's pending transition equal to
+/// `initial_transition` (the user-generated initial transition of
+/// Section 4).
+///
+/// A ROLLBACK action terminates its path: the final database is
+/// `initial_db` (transaction aborted) and the path's observable stream
+/// includes the rollback event.
+class Explorer {
+ public:
+  static Result<ExplorationResult> Explore(const RuleCatalog& catalog,
+                                           const Database& initial_db,
+                                           const Transition& initial_transition,
+                                           const ExplorerOptions& options = {});
+
+  /// Convenience: applies `user_statements` (as one initial transition) to
+  /// a copy of `initial_db`, then explores. This mirrors "run these user
+  /// operations, then process rules, in every possible order".
+  static Result<ExplorationResult> ExploreAfterStatements(
+      const RuleCatalog& catalog, const Database& initial_db,
+      const std::vector<std::string>& user_statements,
+      const ExplorerOptions& options = {});
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_RULES_EXPLORER_H_

@@ -1,0 +1,278 @@
+#include "rules/processor.h"
+
+#include <cstdio>
+
+#include "rulelang/parser.h"
+
+namespace starburst {
+
+namespace {
+
+/// Derives the net-effect operation set of a table transition.
+OperationSet NetOperations(TableId table, const TableTransition& tt) {
+  OperationSet ops;
+  if (tt.HasInserts()) ops.insert(Operation::Insert(table));
+  if (tt.HasDeletes()) ops.insert(Operation::Delete(table));
+  for (ColumnId c : tt.UpdatedColumns()) {
+    ops.insert(Operation::Update(table, c));
+  }
+  return ops;
+}
+
+bool IsTriggered(const RuleCatalog& catalog, const RuleProcessingState& state,
+                 RuleIndex r) {
+  const RulePrelim& prelim = catalog.prelim().rule(r);
+  const TableTransition* tt = state.pending[r].Find(prelim.table);
+  if (tt == nullptr || tt->empty()) return false;
+  return Intersects(NetOperations(prelim.table, *tt), prelim.triggered_by);
+}
+
+}  // namespace
+
+std::vector<RuleIndex> TriggeredRules(const RuleCatalog& catalog,
+                                      const RuleProcessingState& state) {
+  std::vector<RuleIndex> out;
+  for (RuleIndex r = 0; r < catalog.num_rules(); ++r) {
+    if (IsTriggered(catalog, state, r)) out.push_back(r);
+  }
+  return out;
+}
+
+Result<StepOutcome> ConsiderRule(const RuleCatalog& catalog,
+                                 RuleProcessingState* state, RuleIndex r) {
+  const RuleDef& rule = catalog.rule(r);
+  const RulePrelim& prelim = catalog.prelim().rule(r);
+  const TableDef& table_def = catalog.schema().table(prelim.table);
+
+  // Snapshot the rule's triggering transition: condition and action see the
+  // transition tables of the composite transition since last consideration.
+  TableTransition triggering;
+  if (const TableTransition* tt = state->pending[r].Find(prelim.table)) {
+    triggering = *tt;
+  }
+  // The rule is now considered: it has processed its pending transition.
+  state->pending[r].Clear();
+
+  StepOutcome outcome;
+
+  if (rule.condition != nullptr) {
+    Evaluator eval(&state->db, &triggering, &table_def);
+    STARBURST_ASSIGN_OR_RETURN(bool cond, eval.EvalPredicate(*rule.condition));
+    if (!cond) {
+      outcome.condition_was_true = false;
+      return outcome;
+    }
+  }
+  outcome.condition_was_true = true;
+
+  Executor executor(&state->db);
+  for (const StmtPtr& stmt : rule.actions) {
+    STARBURST_ASSIGN_OR_RETURN(ExecOutcome exec,
+                               executor.Execute(*stmt, &triggering, &table_def));
+    for (ObservableEvent& ev : exec.observables) {
+      outcome.observables.push_back(std::move(ev));
+    }
+    if (exec.rollback) {
+      outcome.rollback = true;
+      return outcome;  // caller restores state and aborts
+    }
+    // Tally net tuple changes for tracing.
+    for (const auto& [table, tt] : exec.delta.tables()) {
+      for (const auto& [rid, change] : tt.changes()) {
+        switch (change.kind) {
+          case NetChange::Kind::kInserted:
+            ++outcome.tuples_inserted;
+            break;
+          case NetChange::Kind::kDeleted:
+            ++outcome.tuples_deleted;
+            break;
+          case NetChange::Kind::kUpdated:
+            ++outcome.tuples_updated;
+            break;
+        }
+      }
+    }
+    // Compose the action's changes into every rule's pending transition
+    // (including r's own, reset above): rules not yet considered see the
+    // action as part of their composite transition.
+    for (Transition& pending : state->pending) {
+      STARBURST_RETURN_IF_ERROR(pending.Compose(exec.delta));
+    }
+  }
+  return outcome;
+}
+
+std::string TraceToString(const std::vector<ConsiderationTrace>& trace,
+                          const RuleCatalog& catalog) {
+  std::string out =
+      "step  rule                 cond   ins  del  upd  trig  elig\n";
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const ConsiderationTrace& t = trace[i];
+    std::string name = t.rule >= 0 && t.rule < catalog.num_rules()
+                           ? catalog.prelim().rule(t.rule).name
+                           : "?";
+    name.resize(20, ' ');
+    char line[128];
+    std::snprintf(line, sizeof(line), "%4zu  %s %s %5d %4d %4d %5d %5d%s\n",
+                  i, name.c_str(), t.condition_was_true ? "true " : "false",
+                  t.tuples_inserted, t.tuples_deleted, t.tuples_updated,
+                  t.triggered_count, t.eligible_count,
+                  t.rolled_back ? "  ROLLBACK" : "");
+    out += line;
+  }
+  return out;
+}
+
+ChoiceStrategy FirstEligibleStrategy() {
+  return [](const std::vector<RuleIndex>& eligible, int /*step*/) -> size_t {
+    (void)eligible;
+    return 0;
+  };
+}
+
+ChoiceStrategy SeededRandomStrategy(uint64_t seed) {
+  return [seed](const std::vector<RuleIndex>& eligible, int step) -> size_t {
+    // SplitMix64 on (seed, step) — deterministic per (seed, step) pair.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(step) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return static_cast<size_t>(z % eligible.size());
+  };
+}
+
+RuleProcessor::RuleProcessor(Database* db, const RuleCatalog* catalog,
+                             ProcessorOptions options)
+    : db_(db),
+      catalog_(catalog),
+      options_(std::move(options)),
+      snapshot_(*db),
+      pending_(catalog->num_rules()),
+      enabled_(catalog->num_rules(), true) {
+  if (!options_.choice) options_.choice = FirstEligibleStrategy();
+}
+
+Status RuleProcessor::SetRuleEnabled(const std::string& name, bool enabled) {
+  RuleIndex r = catalog_->FindRule(name);
+  if (r < 0) return Status::NotFound("no rule named '" + name + "'");
+  enabled_[r] = enabled;
+  return Status::OK();
+}
+
+void RuleProcessor::Begin() {
+  if (in_transaction_) return;
+  snapshot_ = *db_;
+  for (Transition& t : pending_) t.Clear();
+  in_transaction_ = true;
+}
+
+Result<ExecOutcome> RuleProcessor::ExecuteUserStatement(const Stmt& stmt) {
+  Begin();
+  Executor executor(db_);
+  STARBURST_ASSIGN_OR_RETURN(ExecOutcome outcome,
+                             executor.Execute(stmt, nullptr, nullptr));
+  if (outcome.rollback) {
+    *db_ = snapshot_;
+    for (Transition& t : pending_) t.Clear();
+    in_transaction_ = false;
+    return outcome;
+  }
+  for (Transition& pending : pending_) {
+    STARBURST_RETURN_IF_ERROR(pending.Compose(outcome.delta));
+  }
+  return outcome;
+}
+
+Result<ExecOutcome> RuleProcessor::ExecuteUserStatement(std::string_view sql) {
+  STARBURST_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::ParseStatement(sql));
+  return ExecuteUserStatement(*stmt);
+}
+
+Result<ProcessingResult> RuleProcessor::AssertRules() {
+  Begin();
+  ProcessingResult result;
+  // Borrow the database into a processing state; pendings are shared via
+  // move in/out to avoid copies.
+  RuleProcessingState state(&db_->schema(), 0);
+  state.db = std::move(*db_);
+  state.pending = std::move(pending_);
+
+  auto restore = [&]() {
+    *db_ = std::move(state.db);
+    pending_ = std::move(state.pending);
+  };
+
+  while (true) {
+    std::vector<RuleIndex> triggered;
+    for (RuleIndex r : TriggeredRules(*catalog_, state)) {
+      if (enabled_[r]) triggered.push_back(r);
+    }
+    if (triggered.empty()) {
+      result.terminated = true;
+      break;
+    }
+    if (result.steps >= options_.max_steps) {
+      restore();
+      return Status::LimitExceeded(
+          "rule processing exceeded " + std::to_string(options_.max_steps) +
+          " considerations; the rule set may not terminate");
+    }
+    std::vector<RuleIndex> eligible = catalog_->priority().Choose(triggered);
+    size_t pick = options_.choice(eligible, result.steps);
+    if (pick >= eligible.size()) pick = 0;
+    RuleIndex r = eligible[pick];
+    result.considered.push_back(r);
+    ++result.steps;
+    if (options_.record_trace) {
+      ConsiderationTrace entry;
+      entry.rule = r;
+      entry.triggered_count = static_cast<int>(triggered.size());
+      entry.eligible_count = static_cast<int>(eligible.size());
+      result.trace.push_back(entry);
+    }
+
+    auto step = ConsiderRule(*catalog_, &state, r);
+    if (!step.ok()) {
+      // A failed rule action may have applied part of its statements;
+      // abort the transaction so no partial effects survive.
+      *db_ = snapshot_;
+      for (Transition& t : state.pending) t.Clear();
+      pending_ = std::move(state.pending);
+      in_transaction_ = false;
+      return step.status();
+    }
+    if (options_.record_trace) {
+      ConsiderationTrace& entry = result.trace.back();
+      entry.condition_was_true = step.value().condition_was_true;
+      entry.rolled_back = step.value().rollback;
+      entry.tuples_inserted = step.value().tuples_inserted;
+      entry.tuples_deleted = step.value().tuples_deleted;
+      entry.tuples_updated = step.value().tuples_updated;
+    }
+    for (ObservableEvent& ev : step.value().observables) {
+      result.observables.push_back(std::move(ev));
+    }
+    if (step.value().rollback) {
+      // Restore to transaction start and abort.
+      *db_ = snapshot_;
+      for (Transition& t : state.pending) t.Clear();
+      pending_ = std::move(state.pending);
+      in_transaction_ = false;
+      result.rolled_back = true;
+      result.terminated = true;
+      return result;
+    }
+  }
+  restore();
+  // Processing terminated: the next assertion point starts a fresh
+  // composite transition for every rule.
+  for (Transition& t : pending_) t.Clear();
+  return result;
+}
+
+void RuleProcessor::Commit() {
+  for (Transition& t : pending_) t.Clear();
+  in_transaction_ = false;
+}
+
+}  // namespace starburst

@@ -1,0 +1,17 @@
+#include "rules/rule_catalog.h"
+
+namespace starburst {
+
+Result<RuleCatalog> RuleCatalog::Build(const Schema* schema,
+                                       std::vector<RuleDef> rules) {
+  RuleCatalog catalog;
+  catalog.schema_ = schema;
+  STARBURST_ASSIGN_OR_RETURN(catalog.prelim_,
+                             PrelimAnalysis::Compute(*schema, rules));
+  STARBURST_ASSIGN_OR_RETURN(catalog.priority_,
+                             PriorityOrder::Build(catalog.prelim_, rules));
+  catalog.rules_ = std::move(rules);
+  return catalog;
+}
+
+}  // namespace starburst

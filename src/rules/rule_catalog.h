@@ -1,0 +1,51 @@
+#ifndef STARBURST_RULES_RULE_CATALOG_H_
+#define STARBURST_RULES_RULE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/prelim.h"
+#include "analysis/priority.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// A validated, analysis-ready rule set: the parsed definitions plus the
+/// preliminary analysis (Section 3) and the priority partial order P.
+///
+/// Building the catalog performs all semantic validation: table/column
+/// resolution, transition-table usage checks, priority acyclicity.
+class RuleCatalog {
+ public:
+  /// Validates and compiles `rules` against `schema`. The schema must
+  /// outlive the catalog.
+  static Result<RuleCatalog> Build(const Schema* schema,
+                                   std::vector<RuleDef> rules);
+
+  const Schema& schema() const { return *schema_; }
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+  const std::vector<RuleDef>& rules() const { return rules_; }
+  const RuleDef& rule(RuleIndex i) const { return rules_[i]; }
+  const PrelimAnalysis& prelim() const { return prelim_; }
+  const PriorityOrder& priority() const { return priority_; }
+
+  /// Finds a rule by (case-insensitive) name; -1 if absent.
+  RuleIndex FindRule(const std::string& name) const {
+    return prelim_.FindRule(name);
+  }
+
+ private:
+  RuleCatalog() = default;
+
+  const Schema* schema_ = nullptr;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+  PriorityOrder priority_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_RULES_RULE_CATALOG_H_

@@ -1,0 +1,211 @@
+#include "workload/apps.h"
+
+#include "rulelang/parser.h"
+
+namespace starburst {
+
+Application MakePowerNetworkApp() {
+  Application app;
+  app.name = "power_network";
+  app.schema_sql = R"(
+    create table node (id int, voltage int);
+    create table wire (id int, src int, dst int, capacity int, load int);
+    create table trench (id int, wire_id int, depth int);
+  )";
+  app.rules_sql = R"(
+    create rule wire_overload on wire
+    when updated(load)
+    if exists (select * from new_updated where load > capacity)
+    then update wire set load = capacity where load > capacity;
+
+    create rule node_voltage_drop on node
+    when updated(voltage)
+    then update wire set load = load + 1
+         where src in (select id from new_updated);
+
+    create rule wire_added on wire
+    when inserted
+    then insert into trench (id, wire_id, depth) select id, id, 5 from inserted;
+
+    create rule trench_min_depth on trench
+    when inserted, updated(depth)
+    if exists (select * from trench where depth < 3)
+    then update trench set depth = 3 where depth < 3;
+  )";
+  app.setup_transaction = {
+      "insert into node values (1, 110), (2, 110), (3, 220)",
+      "insert into wire values (1, 1, 2, 10, 9), (2, 2, 3, 8, 8)",
+  };
+  app.sample_transaction = {
+      "update node set voltage = 100 where id = 1",
+  };
+  // The [CW90]-style interactive discharge: both self-triggering rules
+  // quiesce (caps reach their fixpoints), certified by the user.
+  app.quiescence_certifications = {"wire_overload", "trench_min_depth"};
+  app.important_tables = {"wire", "node", "trench"};
+  return app;
+}
+
+Application MakeSalaryControlApp() {
+  Application app;
+  app.name = "salary_control";
+  app.schema_sql = R"(
+    create table emp (id int, salary int, dept int);
+    create table dept (id int, budget int, spent int);
+    create table audit (id int, amount int);
+  )";
+  app.rules_sql = R"(
+    create rule salary_cap on emp
+    when inserted, updated(salary)
+    if exists (select * from emp where salary > 200)
+    then update emp set salary = 200 where salary > 200
+    precedes budget_track;
+
+    create rule budget_track on emp
+    when inserted, deleted, updated(salary)
+    then update dept set spent =
+         (select sum(emp.salary) from emp where emp.dept = dept.id);
+
+    create rule overbudget_cut on dept
+    when updated(spent)
+    if exists (select * from new_updated where spent > budget)
+    then update emp set salary = salary - 10
+         where salary > 0
+           and dept in (select id from new_updated where spent > budget);
+
+    create rule audit_raise on emp
+    when updated(salary)
+    then insert into audit select id, salary from new_updated;
+         select count(*) from audit;
+  )";
+  app.setup_transaction = {
+      "insert into dept values (1, 500, 0), (2, 300, 0)",
+      "insert into emp values (1, 250, 1), (2, 180, 1), (3, 260, 2)",
+  };
+  app.sample_transaction = {
+      "update emp set salary = salary + 50 where id = 2",
+  };
+  app.quiescence_certifications = {"salary_cap", "overbudget_cut"};
+  // The user argues the audit insert commutes with the budget update
+  // (they touch different tables and audit content is keyed by emp id).
+  app.commute_certifications = {{"audit_raise", "budget_track"}};
+  app.important_tables = {"emp", "dept"};
+  return app;
+}
+
+Application MakeInventoryApp() {
+  Application app;
+  app.name = "inventory";
+  app.schema_sql = R"(
+    create table orders (id int, item int, qty int);
+    create table stock (item int, qty int, reorder int);
+    create table reorder_log (item int, qty int);
+    create table shipments (id int, item int, qty int);
+  )";
+  app.rules_sql = R"(
+    create rule order_placed on orders
+    when inserted
+    then update stock set qty = qty -
+           (select sum(o.qty) from inserted as o where o.item = stock.item)
+         where item in (select item from inserted);
+
+    create rule low_stock on stock
+    when updated(qty)
+    if exists (select * from new_updated where qty < reorder)
+    then insert into reorder_log
+         select item, reorder - qty from new_updated where qty < reorder;
+
+    create rule restock on reorder_log
+    when inserted
+    then update stock set qty = qty + 5
+         where item in (select item from inserted) and qty < reorder;
+
+    create rule ship_order on orders
+    when inserted
+    then insert into shipments select id, item, qty from inserted;
+  )";
+  app.setup_transaction = {
+      "insert into stock values (1, 12, 10), (2, 6, 8)",
+  };
+  app.sample_transaction = {
+      "insert into orders values (100, 1, 4), (101, 2, 1)",
+  };
+  app.quiescence_certifications = {"restock"};
+  app.important_tables = {"shipments"};
+  return app;
+}
+
+Application MakeVersioningApp() {
+  Application app;
+  app.name = "versioning";
+  app.schema_sql = R"(
+    create table doc (id int, body int, version int, published int);
+    create table history (doc_id int, version int, body int);
+  )";
+  app.rules_sql = R"(
+    create rule snapshot_version on doc
+    when updated(body)
+    then insert into history
+         select id, version, body from old_updated
+    precedes bump_version;
+
+    create rule bump_version on doc
+    when updated(body)
+    then update doc set version = version + 1
+         where id in (select id from new_updated);
+
+    create rule publish_audit on doc
+    when updated(published)
+    if exists (select * from new_updated where published = 1)
+    then select id, version from doc where published = 1;
+
+    create rule history_cap on history
+    when inserted
+    if (select count(*) from history) > 100
+    then delete from history
+         where version + 10 < (select max(version) from history);
+  )";
+  app.setup_transaction = {
+      "insert into doc values (1, 10, 1, 0), (2, 20, 1, 0)",
+  };
+  app.sample_transaction = {
+      "update doc set body = 11 where id = 1",
+      "update doc set published = 1 where id = 1",
+  };
+  // snapshot_version reads the version column bump_version writes; the
+  // precedes clause orders them. The history cleanup's reads make it
+  // appear noncommutative with the snapshot inserter; the user argues the
+  // cap only removes versions at least 10 behind the maximum, which a
+  // single snapshot can never produce.
+  app.commute_certifications = {{"snapshot_version", "history_cap"}};
+  app.important_tables = {"doc", "history"};
+  return app;
+}
+
+std::vector<Application> AllApplications() {
+  return {MakePowerNetworkApp(), MakeSalaryControlApp(), MakeInventoryApp(),
+          MakeVersioningApp()};
+}
+
+Result<LoadedApplication> LoadApplication(const Application& app) {
+  LoadedApplication loaded;
+  loaded.schema = std::make_unique<Schema>();
+  STARBURST_ASSIGN_OR_RETURN(Script ddl, Parser::ParseScript(app.schema_sql));
+  for (const StmtPtr& stmt : ddl.statements) {
+    if (stmt->kind != StmtKind::kCreateTable) {
+      return Status::InvalidArgument("application schema_sql must contain "
+                                     "only create table statements");
+    }
+    auto added = loaded.schema->AddTable(stmt->table, stmt->create_columns);
+    if (!added.ok()) return added.status();
+  }
+  STARBURST_ASSIGN_OR_RETURN(Script rules, Parser::ParseScript(app.rules_sql));
+  if (!rules.statements.empty()) {
+    return Status::InvalidArgument(
+        "application rules_sql must contain only create rule statements");
+  }
+  loaded.rules = std::move(rules.rules);
+  return loaded;
+}
+
+}  // namespace starburst

@@ -1,0 +1,112 @@
+#include "workload/constraint_deriver.h"
+
+#include "rulelang/parser.h"
+
+namespace starburst {
+
+namespace {
+
+Status ValidateConstraint(const Schema& schema,
+                          const ReferentialConstraint& c) {
+  TableId child = schema.FindTable(c.child_table);
+  if (child == kInvalidTableId) {
+    return Status::NotFound("no table '" + c.child_table + "'");
+  }
+  if (schema.table(child).FindColumn(c.fk_column) == kInvalidColumnId) {
+    return Status::NotFound("no column '" + c.fk_column + "' in '" +
+                            c.child_table + "'");
+  }
+  TableId parent = schema.FindTable(c.parent_table);
+  if (parent == kInvalidTableId) {
+    return Status::NotFound("no table '" + c.parent_table + "'");
+  }
+  if (schema.table(parent).FindColumn(c.pk_column) == kInvalidColumnId) {
+    return Status::NotFound("no column '" + c.pk_column + "' in '" +
+                            c.parent_table + "'");
+  }
+  return Status::OK();
+}
+
+Result<RuleDef> ParseOne(const std::string& text) {
+  return Parser::ParseRule(text);
+}
+
+}  // namespace
+
+Result<std::vector<RuleDef>> ConstraintRuleDeriver::Derive(
+    const Schema& schema, const ReferentialConstraint& c,
+    const std::string& prefix) {
+  STARBURST_RETURN_IF_ERROR(ValidateConstraint(schema, c));
+  std::vector<RuleDef> rules;
+
+  // Rule 1: parent deletion.
+  std::string del_action;
+  switch (c.on_delete) {
+    case ReferentialConstraint::DeleteAction::kCascade:
+      del_action = "delete from " + c.child_table + " where " + c.fk_column +
+                   " in (select " + c.pk_column + " from deleted)";
+      break;
+    case ReferentialConstraint::DeleteAction::kSetNull:
+      del_action = "update " + c.child_table + " set " + c.fk_column +
+                   " = null where " + c.fk_column + " in (select " +
+                   c.pk_column + " from deleted)";
+      break;
+    case ReferentialConstraint::DeleteAction::kAbort:
+      del_action = "rollback";
+      break;
+  }
+  std::string del_rule = "create rule " + prefix + "_del on " +
+                         c.parent_table + " when deleted ";
+  if (c.on_delete == ReferentialConstraint::DeleteAction::kAbort) {
+    del_rule += "if exists (select * from " + c.child_table +
+                ", deleted where " + c.child_table + "." + c.fk_column +
+                " = deleted." + c.pk_column + ") ";
+  }
+  del_rule += "then " + del_action;
+  STARBURST_ASSIGN_OR_RETURN(RuleDef r1, ParseOne(del_rule));
+  rules.push_back(std::move(r1));
+
+  // Rule 2: parent key update — conservative abort.
+  STARBURST_ASSIGN_OR_RETURN(
+      RuleDef r2,
+      ParseOne("create rule " + prefix + "_updparent on " + c.parent_table +
+               " when updated(" + c.pk_column + ") then rollback"));
+  rules.push_back(std::move(r2));
+
+  // Rule 3: child insertion with dangling fk.
+  STARBURST_ASSIGN_OR_RETURN(
+      RuleDef r3,
+      ParseOne("create rule " + prefix + "_ins on " + c.child_table +
+               " when inserted if exists (select * from inserted where " +
+               c.fk_column + " is not null and " + c.fk_column +
+               " not in (select " + c.pk_column + " from " + c.parent_table +
+               ")) then rollback"));
+  rules.push_back(std::move(r3));
+
+  // Rule 4: child fk update with dangling fk.
+  STARBURST_ASSIGN_OR_RETURN(
+      RuleDef r4,
+      ParseOne("create rule " + prefix + "_updchild on " + c.child_table +
+               " when updated(" + c.fk_column +
+               ") if exists (select * from new_updated where " + c.fk_column +
+               " is not null and " + c.fk_column + " not in (select " +
+               c.pk_column + " from " + c.parent_table + ")) then rollback"));
+  rules.push_back(std::move(r4));
+
+  return rules;
+}
+
+Result<std::vector<RuleDef>> ConstraintRuleDeriver::DeriveAll(
+    const Schema& schema,
+    const std::vector<ReferentialConstraint>& constraints) {
+  std::vector<RuleDef> all;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    STARBURST_ASSIGN_OR_RETURN(
+        std::vector<RuleDef> rules,
+        Derive(schema, constraints[i], "fk" + std::to_string(i)));
+    for (RuleDef& r : rules) all.push_back(std::move(r));
+  }
+  return all;
+}
+
+}  // namespace starburst

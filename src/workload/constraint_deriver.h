@@ -1,0 +1,54 @@
+#ifndef STARBURST_WORKLOAD_CONSTRAINT_DERIVER_H_
+#define STARBURST_WORKLOAD_CONSTRAINT_DERIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// A referential-integrity constraint: every child.fk_column value must
+/// appear in parent.pk_column.
+struct ReferentialConstraint {
+  std::string child_table;
+  std::string fk_column;
+  std::string parent_table;
+  std::string pk_column;
+
+  /// What the derived rules do when a parent deletion orphans children.
+  enum class DeleteAction { kCascade, kSetNull, kAbort };
+  DeleteAction on_delete = DeleteAction::kCascade;
+};
+
+/// Derives production rules that maintain referential integrity, in the
+/// style of [CW90] ("Deriving production rules for constraint
+/// maintenance"), the paper's own earlier work that Section 5's
+/// termination analysis grew out of.
+///
+/// Per constraint the deriver emits:
+///  * `<name>_del`: on delete from parent — cascade / set-null / abort
+///  * `<name>_updparent`: on update of parent.pk — abort (conservative)
+///  * `<name>_ins`: on insert into child — abort when the new fk has no
+///    matching parent
+///  * `<name>_updchild`: on update of child.fk — same check over
+///    new_updated
+class ConstraintRuleDeriver {
+ public:
+  /// `name_prefix` distinguishes rules from multiple constraints. Fails if
+  /// tables/columns are missing from the schema.
+  static Result<std::vector<RuleDef>> Derive(
+      const Schema& schema, const ReferentialConstraint& constraint,
+      const std::string& name_prefix);
+
+  /// Derives rules for several constraints (prefixes "fk0", "fk1", ...).
+  static Result<std::vector<RuleDef>> DeriveAll(
+      const Schema& schema,
+      const std::vector<ReferentialConstraint>& constraints);
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_WORKLOAD_CONSTRAINT_DERIVER_H_

@@ -1,0 +1,201 @@
+#include "workload/random_gen.h"
+
+#include <random>
+
+namespace starburst {
+
+namespace {
+
+std::string TableName(int k) { return "t" + std::to_string(k); }
+std::string ColumnName(int k) { return "c" + std::to_string(k); }
+
+/// `exists (select * from <trans> where <col> > <threshold>)`.
+ExprPtr TransitionCondition(TransitionTableKind kind, const std::string& col,
+                            int threshold) {
+  auto select = std::make_unique<SelectStmt>();
+  select->items.emplace_back(AggFunc::kNone, /*star=*/true, nullptr);
+  select->from.push_back(TableRef::Transition(kind));
+  select->where = MakeBinary(BinaryOp::kGt, MakeColumnRef("", col),
+                             MakeIntLiteral(threshold));
+  return MakeExists(std::move(select));
+}
+
+}  // namespace
+
+GeneratedRuleSet RandomRuleSetGenerator::Generate(
+    const RandomRuleSetParams& params) {
+  std::mt19937_64 rng(params.seed);
+  auto pick = [&rng](int n) {
+    return static_cast<int>(rng() % static_cast<uint64_t>(n));
+  };
+  auto chance = [&rng](double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+  };
+
+  GeneratedRuleSet out;
+  out.schema = std::make_unique<Schema>();
+  for (int t = 0; t < params.num_tables; ++t) {
+    std::vector<Column> columns;
+    columns.reserve(params.columns_per_table);
+    for (int c = 0; c < params.columns_per_table; ++c) {
+      columns.push_back(Column{ColumnName(c), ColumnType::kInt});
+    }
+    auto added = out.schema->AddTable(TableName(t), std::move(columns));
+    (void)added;  // cannot fail: names are unique by construction
+  }
+
+  for (int i = 0; i < params.num_rules; ++i) {
+    RuleDef rule;
+    rule.name = "r" + std::to_string(i);
+    int own_table = params.dag_triggering
+                        ? pick(std::max(1, params.num_tables - 1))
+                        : pick(params.num_tables);
+    rule.table = TableName(own_table);
+
+    // Triggering event.
+    int trigger_col = pick(params.columns_per_table);
+    int event_kind = pick(3);
+    TransitionTableKind trans_kind = TransitionTableKind::kInserted;
+    switch (event_kind) {
+      case 0:
+        rule.events.push_back(TriggerEvent::Inserted());
+        trans_kind = TransitionTableKind::kInserted;
+        break;
+      case 1:
+        rule.events.push_back(TriggerEvent::Deleted());
+        trans_kind = TransitionTableKind::kDeleted;
+        break;
+      default:
+        rule.events.push_back(
+            TriggerEvent::Updated({ColumnName(trigger_col)}));
+        trans_kind = TransitionTableKind::kNewUpdated;
+        break;
+    }
+
+    if (chance(params.p_condition)) {
+      std::string cond_col = event_kind == 2 ? ColumnName(trigger_col)
+                                             : ColumnName(0);
+      rule.condition =
+          TransitionCondition(trans_kind, cond_col, pick(params.update_bound));
+    }
+
+    // Pool of tables this rule's actions may touch. Under dag_triggering
+    // only strictly-higher tables are written, so no rule can (even
+    // transitively) retrigger a rule on its own or an earlier table.
+    std::vector<int> pool;
+    int pool_size = 1 + pick(std::max(1, params.tables_per_rule));
+    if (params.dag_triggering) {
+      while (static_cast<int>(pool.size()) < pool_size) {
+        int higher = own_table + 1 +
+                     pick(params.num_tables - own_table - 1);
+        pool.push_back(higher);
+      }
+    } else {
+      pool.push_back(own_table);
+      while (static_cast<int>(pool.size()) < pool_size) {
+        pool.push_back(pick(params.num_tables));
+      }
+    }
+
+    int num_actions = 1 + pick(params.max_actions_per_rule);
+    for (int a = 0; a < num_actions; ++a) {
+      int target = pool[pick(static_cast<int>(pool.size()))];
+      std::string table = TableName(target);
+      double roll = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+      if (roll < params.p_update_action) {
+        // Bounded update, quiescing in both shapes:
+        //   absolute: `update t set ck = B     where ck < B`
+        //   relative: `update t set ck = ck + k where ck < B`
+        // Relative increments with different step sizes make execution
+        // order matter near the bound, which non-confluence experiments
+        // rely on.
+        std::string col = ColumnName(pick(params.columns_per_table));
+        int bound = params.update_bound;
+        std::vector<Assignment> sets;
+        if (pick(2) == 0) {
+          sets.emplace_back(col, MakeIntLiteral(bound));
+        } else {
+          int step = 1 + pick(2);
+          sets.emplace_back(col,
+                            MakeBinary(BinaryOp::kAdd, MakeColumnRef("", col),
+                                       MakeIntLiteral(step)));
+        }
+        ExprPtr where = MakeBinary(BinaryOp::kLt, MakeColumnRef("", col),
+                                   MakeIntLiteral(bound));
+        rule.actions.push_back(
+            MakeUpdate(table, std::move(sets), std::move(where)));
+      } else if (roll < params.p_update_action + params.p_insert_action) {
+        std::vector<ExprPtr> row;
+        for (int c = 0; c < params.columns_per_table; ++c) {
+          row.push_back(MakeIntLiteral(pick(params.update_bound + 2)));
+        }
+        std::vector<std::vector<ExprPtr>> rows;
+        rows.push_back(std::move(row));
+        rule.actions.push_back(MakeInsertValues(table, {}, std::move(rows)));
+      } else {
+        // Bounded delete: removes only out-of-range rows.
+        ExprPtr where =
+            MakeBinary(BinaryOp::kGt, MakeColumnRef("", ColumnName(0)),
+                       MakeIntLiteral(params.update_bound));
+        rule.actions.push_back(MakeDelete(table, std::move(where)));
+      }
+    }
+
+    if (chance(params.observable_fraction)) {
+      auto select = std::make_unique<SelectStmt>();
+      select->items.emplace_back(AggFunc::kCount, /*star=*/true, nullptr);
+      select->from.push_back(TableRef::Base(TableName(own_table)));
+      rule.actions.push_back(MakeSelectStmt(std::move(select)));
+    }
+
+    out.rules.push_back(std::move(rule));
+  }
+
+  // Priorities: orient by index so P stays acyclic. The ordering is
+  // declared via `follows` on the later rule so every reference points
+  // backwards — rule sets can then be defined one rule at a time (the
+  // incremental-analysis workflow) without dangling names.
+  for (int i = 0; i < params.num_rules; ++i) {
+    for (int j = i + 1; j < params.num_rules; ++j) {
+      if (chance(params.priority_density)) {
+        out.rules[j].follows.push_back(out.rules[i].name);
+      }
+    }
+  }
+  return out;
+}
+
+Status PopulateRandomDatabase(Database* db, int rows_per_table,
+                              uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const Schema& schema = db->schema();
+  for (TableId t = 0; t < schema.num_tables(); ++t) {
+    const TableDef& def = schema.table(t);
+    for (int r = 0; r < rows_per_table; ++r) {
+      Tuple tuple;
+      tuple.reserve(def.num_columns());
+      for (const Column& col : def.columns()) {
+        switch (col.type) {
+          case ColumnType::kInt:
+            tuple.push_back(Value::Int(static_cast<int64_t>(rng() % 10)));
+            break;
+          case ColumnType::kDouble:
+            tuple.push_back(
+                Value::Double(static_cast<double>(rng() % 100) / 10.0));
+            break;
+          case ColumnType::kString:
+            tuple.push_back(Value::String("s" + std::to_string(rng() % 10)));
+            break;
+          case ColumnType::kBool:
+            tuple.push_back(Value::Bool(rng() % 2 == 0));
+            break;
+        }
+      }
+      auto rid = db->storage(t).Insert(std::move(tuple));
+      if (!rid.ok()) return rid.status();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace starburst

@@ -1,0 +1,71 @@
+#ifndef STARBURST_WORKLOAD_RANDOM_GEN_H_
+#define STARBURST_WORKLOAD_RANDOM_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// Parameters controlling the shape of a generated rule set. The knobs map
+/// directly onto the analysis-relevant structure: which tables rules write
+/// (commutativity conflicts), how often actions trigger other rules
+/// (triggering-graph density), and how many pairs are ordered (the
+/// unordered pairs the Confluence Requirement must check).
+struct RandomRuleSetParams {
+  int num_tables = 5;
+  int columns_per_table = 3;
+  int num_rules = 10;
+  /// Actions per rule, 1..max.
+  int max_actions_per_rule = 2;
+  /// Action mix (remaining probability mass goes to deletes).
+  double p_update_action = 0.6;
+  double p_insert_action = 0.2;
+  /// Probability a rule gets an `if` condition.
+  double p_condition = 0.5;
+  /// Probability that each (i, j), i < j, pair of rules is ordered
+  /// (rule i precedes rule j; orientation by index keeps P acyclic).
+  double priority_density = 0.0;
+  /// Fraction of rules whose action ends with an observable SELECT.
+  double observable_fraction = 0.0;
+  /// How many distinct tables a single rule touches at most; 1 produces
+  /// highly partitionable sets, larger values increase conflicts.
+  int tables_per_rule = 2;
+  /// Updates are bounded (`set c = K where c < K`) with this bound,
+  /// making generated update cycles quiesce on real data.
+  int update_bound = 8;
+  /// When true, a rule on table t_i only writes tables with a strictly
+  /// larger index, making the triggering graph acyclic by construction.
+  /// Useful for baseline comparisons: [ZH90]-style criteria require an
+  /// acyclic triggering graph. Requires num_tables >= 2.
+  bool dag_triggering = false;
+  uint64_t seed = 1;
+};
+
+/// A generated workload: schema plus rules (priorities embedded in the
+/// rules' precedes lists).
+struct GeneratedRuleSet {
+  std::unique_ptr<Schema> schema;
+  std::vector<RuleDef> rules;
+};
+
+/// Deterministic (seeded) random rule-set generator used by tests,
+/// property sweeps, and the benchmark harness.
+class RandomRuleSetGenerator {
+ public:
+  static GeneratedRuleSet Generate(const RandomRuleSetParams& params);
+};
+
+/// Fills every table of `db` with `rows_per_table` rows of small integers
+/// drawn deterministically from `seed` (int columns; the generator only
+/// creates int columns).
+Status PopulateRandomDatabase(Database* db, int rows_per_table, uint64_t seed);
+
+}  // namespace starburst
+
+#endif  // STARBURST_WORKLOAD_RANDOM_GEN_H_

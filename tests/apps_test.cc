@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/report.h"
+#include "rules/processor.h"
+#include "workload/apps.h"
+
+namespace starburst {
+namespace {
+
+Analyzer MakeAnalyzer(const Application& app, LoadedApplication& loaded,
+                      bool with_certifications) {
+  auto result = LoadApplication(app);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  loaded = std::move(result).value();
+  std::vector<RuleDef> rules;
+  for (const RuleDef& r : loaded.rules) rules.push_back(r.Clone());
+  auto analyzer = Analyzer::Create(loaded.schema.get(), std::move(rules));
+  EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+  Analyzer a = std::move(analyzer).value();
+  if (with_certifications) {
+    for (const std::string& rule : app.quiescence_certifications) {
+      a.CertifyQuiescent(rule);
+    }
+    for (const auto& [x, y] : app.commute_certifications) {
+      a.CertifyCommute(x, y);
+    }
+  }
+  return a;
+}
+
+TEST(AppsTest, AllApplicationsLoadAndValidate) {
+  for (const Application& app : AllApplications()) {
+    auto loaded = LoadApplication(app);
+    ASSERT_TRUE(loaded.ok()) << app.name << ": " << loaded.status().ToString();
+    EXPECT_GE(loaded.value().rules.size(), 3u) << app.name;
+    auto catalog = RuleCatalog::Build(loaded.value().schema.get(),
+                                      std::move(loaded.value().rules));
+    EXPECT_TRUE(catalog.ok()) << app.name << ": "
+                              << catalog.status().ToString();
+  }
+}
+
+TEST(AppsTest, PowerNetworkHasCyclesDischargedByCertification) {
+  LoadedApplication loaded;
+  Analyzer without = MakeAnalyzer(MakePowerNetworkApp(), loaded, false);
+  TerminationReport before = without.AnalyzeTermination();
+  EXPECT_FALSE(before.guaranteed);
+  EXPECT_FALSE(before.acyclic);
+  EXPECT_GE(before.cycles.size(), 2u);  // wire_overload + trench_min_depth
+
+  LoadedApplication loaded2;
+  Analyzer with = MakeAnalyzer(MakePowerNetworkApp(), loaded2, true);
+  TerminationReport after = with.AnalyzeTermination();
+  EXPECT_TRUE(after.guaranteed) << TerminationReportToString(
+      after, with.catalog());
+}
+
+/// Runs the app's setup transaction (with rule processing + commit), then
+/// the sample transaction, and returns the sample's processing result.
+ProcessingResult RunAppTransactions(const Application& app,
+                                    RuleProcessor& processor) {
+  for (const std::string& sql : app.setup_transaction) {
+    auto r = processor.ExecuteUserStatement(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << sql;
+  }
+  auto setup = processor.AssertRules();
+  EXPECT_TRUE(setup.ok()) << setup.status().ToString();
+  processor.Commit();
+  for (const std::string& sql : app.sample_transaction) {
+    auto r = processor.ExecuteUserStatement(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << sql;
+  }
+  auto result = processor.AssertRules();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : ProcessingResult{};
+}
+
+TEST(AppsTest, PowerNetworkSampleTransactionTerminates) {
+  Application app = MakePowerNetworkApp();
+  LoadedApplication loaded;
+  Analyzer analyzer = MakeAnalyzer(app, loaded, true);
+  Database db(loaded.schema.get());
+  RuleProcessor processor(&db, &analyzer.catalog());
+  ProcessingResult result = RunAppTransactions(app, processor);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_FALSE(result.rolled_back);
+  // The overload rule capped wire loads at capacity.
+  TableId wire = loaded.schema->FindTable("wire");
+  for (const auto& [rid, tuple] : db.storage(wire).rows()) {
+    EXPECT_LE(tuple[4].int_value(), tuple[3].int_value())
+        << "load exceeds capacity";
+  }
+  // Every wire got a trench of depth >= 3.
+  TableId trench = loaded.schema->FindTable("trench");
+  EXPECT_EQ(db.storage(trench).size(), db.storage(wire).size());
+  for (const auto& [rid, tuple] : db.storage(trench).rows()) {
+    EXPECT_GE(tuple[2].int_value(), 3);
+  }
+}
+
+TEST(AppsTest, SalaryControlInitiallyNonConfluent) {
+  LoadedApplication loaded;
+  Analyzer analyzer = MakeAnalyzer(MakeSalaryControlApp(), loaded, false);
+  ConfluenceReport report = analyzer.AnalyzeConfluence(8);
+  EXPECT_FALSE(report.confluent);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(AppsTest, SalaryControlSampleTransactionRuns) {
+  Application app = MakeSalaryControlApp();
+  LoadedApplication loaded;
+  Analyzer analyzer = MakeAnalyzer(app, loaded, true);
+  Database db(loaded.schema.get());
+  RuleProcessor processor(&db, &analyzer.catalog());
+  ProcessingResult result = RunAppTransactions(app, processor);
+  EXPECT_TRUE(result.terminated);
+  // Salary cap enforced.
+  TableId emp = loaded.schema->FindTable("emp");
+  for (const auto& [rid, tuple] : db.storage(emp).rows()) {
+    EXPECT_LE(tuple[1].int_value(), 200);
+  }
+  // The audit rule observed the sample's salary change.
+  EXPECT_FALSE(result.observables.empty());
+}
+
+TEST(AppsTest, InventorySampleKeepsStockAboveZero) {
+  Application app = MakeInventoryApp();
+  LoadedApplication loaded;
+  Analyzer analyzer = MakeAnalyzer(app, loaded, true);
+  Database db(loaded.schema.get());
+  RuleProcessor processor(&db, &analyzer.catalog());
+  ProcessingResult result = RunAppTransactions(app, processor);
+  EXPECT_TRUE(result.terminated);
+  // The restock loop must have brought every item back to its reorder
+  // level or above.
+  TableId stock = loaded.schema->FindTable("stock");
+  for (const auto& [rid, tuple] : db.storage(stock).rows()) {
+    EXPECT_GE(tuple[1].int_value(), tuple[2].int_value())
+        << "stock below reorder level after rules ran";
+  }
+  // Shipments were recorded for both orders.
+  TableId shipments = loaded.schema->FindTable("shipments");
+  EXPECT_EQ(db.storage(shipments).size(), 2u);
+}
+
+TEST(AppsTest, InventoryPartiallyConfluentOnShipmentsOnly) {
+  LoadedApplication loaded;
+  Analyzer analyzer = MakeAnalyzer(MakeInventoryApp(), loaded, true);
+  // All execution orders agree on the shipments table even though the
+  // stock/reorder pipeline is unordered (Section 7 partial confluence).
+  auto good = analyzer.AnalyzePartialConfluence({"shipments"});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.value().partially_confluent);
+  // But not on stock: order_placed / low_stock / restock form unordered
+  // triggering chains.
+  auto bad = analyzer.AnalyzePartialConfluence({"stock"});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad.value().partially_confluent);
+  EXPECT_GE(bad.value().significant.size(), 3u);
+}
+
+TEST(AppsTest, InventoryTerminationNeedsRestockCertification) {
+  LoadedApplication loaded;
+  Analyzer without = MakeAnalyzer(MakeInventoryApp(), loaded, false);
+  EXPECT_FALSE(without.AnalyzeTermination().guaranteed);
+  LoadedApplication loaded2;
+  Analyzer with = MakeAnalyzer(MakeInventoryApp(), loaded2, true);
+  EXPECT_TRUE(with.AnalyzeTermination().guaranteed);
+}
+
+TEST(AppsTest, VersioningSnapshotsOldVersionsAndAudits) {
+  Application app = MakeVersioningApp();
+  LoadedApplication loaded;
+  Analyzer analyzer = MakeAnalyzer(app, loaded, true);
+  // Acyclic triggering graph: no certifications needed for termination.
+  EXPECT_TRUE(analyzer.AnalyzeTermination().acyclic);
+
+  Database db(loaded.schema.get());
+  RuleProcessor processor(&db, &analyzer.catalog());
+  ProcessingResult result = RunAppTransactions(app, processor);
+  EXPECT_TRUE(result.terminated);
+  // The old body/version pair was archived.
+  TableId history = loaded.schema->FindTable("history");
+  ASSERT_EQ(db.storage(history).size(), 1u);
+  const Tuple& archived = db.storage(history).rows().begin()->second;
+  EXPECT_EQ(archived[1], Value::Int(1));   // old version
+  EXPECT_EQ(archived[2], Value::Int(10));  // old body
+  // The live doc got a bumped version.
+  TableId doc = loaded.schema->FindTable("doc");
+  for (const auto& [rid, tuple] : db.storage(doc).rows()) {
+    if (tuple[0] == Value::Int(1)) {
+      EXPECT_EQ(tuple[2], Value::Int(2));
+    }
+  }
+  // The publication was observable.
+  ASSERT_FALSE(result.observables.empty());
+  EXPECT_EQ(result.observables.back().kind, ObservableEvent::Kind::kSelect);
+}
+
+TEST(AppsTest, VersioningOrderingMattersForSnapshots) {
+  // Without the precedes clause, snapshot_version and bump_version would
+  // be an unordered noncommuting pair (bump writes the version column the
+  // snapshot reads): the analyzer must flag exactly that when the
+  // ordering is stripped.
+  Application app = MakeVersioningApp();
+  auto loaded_or = LoadApplication(app);
+  ASSERT_TRUE(loaded_or.ok());
+  LoadedApplication loaded = std::move(loaded_or).value();
+  for (RuleDef& rule : loaded.rules) {
+    rule.precedes.clear();
+    rule.follows.clear();
+  }
+  auto analyzer_or =
+      Analyzer::Create(loaded.schema.get(), std::move(loaded.rules));
+  ASSERT_TRUE(analyzer_or.ok());
+  Analyzer analyzer = std::move(analyzer_or).value();
+  ConfluenceReport report = analyzer.AnalyzeConfluence(16);
+  bool flagged = false;
+  for (const ConfluenceViolation& v : report.violations) {
+    const std::string& a = analyzer.catalog().prelim().rule(v.r1).name;
+    const std::string& b = analyzer.catalog().prelim().rule(v.r2).name;
+    if ((a == "snapshot_version" && b == "bump_version") ||
+        (a == "bump_version" && b == "snapshot_version")) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(AppsTest, ImportantTablesExistInSchema) {
+  for (const Application& app : AllApplications()) {
+    auto loaded = LoadApplication(app);
+    ASSERT_TRUE(loaded.ok());
+    for (const std::string& table : app.important_tables) {
+      EXPECT_NE(loaded.value().schema->FindTable(table), kInvalidTableId)
+          << app.name << " table " << table;
+    }
+  }
+}
+
+TEST(AppsTest, CertificationNamesReferToRealRules) {
+  for (const Application& app : AllApplications()) {
+    auto loaded = LoadApplication(app);
+    ASSERT_TRUE(loaded.ok());
+    auto prelim =
+        PrelimAnalysis::Compute(*loaded.value().schema, loaded.value().rules);
+    ASSERT_TRUE(prelim.ok());
+    for (const std::string& name : app.quiescence_certifications) {
+      EXPECT_GE(prelim.value().FindRule(name), 0) << app.name << " " << name;
+    }
+    for (const auto& [x, y] : app.commute_certifications) {
+      EXPECT_GE(prelim.value().FindRule(x), 0) << app.name << " " << x;
+      EXPECT_GE(prelim.value().FindRule(y), 0) << app.name << " " << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/auto_discharge.h"
+#include "rulelang/parser.h"
+#include "rules/explorer.h"
+
+namespace starburst {
+namespace {
+
+class AutoDischargeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_
+                    .AddTable("t", {{"k", ColumnType::kInt},
+                                    {"v", ColumnType::kInt}})
+                    .ok());
+    ASSERT_TRUE(schema_
+                    .AddTable("s", {{"k", ColumnType::kInt},
+                                    {"v", ColumnType::kInt}})
+                    .ok());
+    ASSERT_TRUE(schema_
+                    .AddTable("d", {{"x", ColumnType::kDouble}})
+                    .ok());
+  }
+
+  void Load(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    ASSERT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+    prelim_ = std::move(prelim).value();
+  }
+
+  TerminationCertifications Detect() {
+    AutoDischargeDetector detector(schema_, rules_, prelim_);
+    return detector.Detect();
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+};
+
+TEST_F(AutoDischargeTest, BoundedIncrementSelfLoopIsDischarged) {
+  Load("create rule inc on t when inserted, updated(v) "
+       "then update t set v = v + 1 where v < 10;");
+  auto certs = Detect();
+  EXPECT_EQ(certs.quiescent_rules.count("inc"), 1u);
+  TerminationReport report = TerminationAnalyzer::Analyze(prelim_, certs);
+  EXPECT_TRUE(report.guaranteed);
+}
+
+TEST_F(AutoDischargeTest, UnboundedIncrementIsNotDischarged) {
+  Load("create rule inc on t when updated(v) "
+       "then update t set v = v + 1;");
+  EXPECT_TRUE(Detect().quiescent_rules.empty());
+}
+
+TEST_F(AutoDischargeTest, DecrementIsNotDischarged) {
+  // `v = v - 1 where v < 10` runs forever (v only moves away from the
+  // bound's far side); the pattern requires a positive increment toward
+  // an upper bound.
+  Load("create rule dec on t when updated(v) "
+       "then update t set v = v - 1 where v < 10;");
+  EXPECT_TRUE(Detect().quiescent_rules.empty());
+}
+
+TEST_F(AutoDischargeTest, NonIntegerColumnIsNotDischarged) {
+  // Doubles can approach a bound forever without crossing it via += k?
+  // (They cannot with k >= 1, but the conservative check only reasons
+  // about int columns.)
+  Load("create rule inc on d when updated(x) "
+       "then update d set x = x + 1 where x < 10;");
+  EXPECT_TRUE(Detect().quiescent_rules.empty());
+}
+
+TEST_F(AutoDischargeTest, RefueledIncrementIsNotDischarged) {
+  // reset writes the same column on the same cycle: inc can run forever.
+  Load("create rule inc on t when updated(v) "
+       "then update t set v = v + 1 where v < 10; "
+       "create rule reset on t when updated(v) "
+       "then update t set v = 0 where v >= 10;");
+  auto certs = Detect();
+  EXPECT_EQ(certs.quiescent_rules.count("inc"), 0u);
+  EXPECT_EQ(certs.quiescent_rules.count("reset"), 0u);
+}
+
+TEST_F(AutoDischargeTest, DeleteOnlyCycleIsDischarged) {
+  // mirror triggers reaper; reaper deletes from s and retriggers nothing
+  // that inserts into s: the cycle drains.
+  Load("create rule mirror on s when deleted "
+       "then update t set v = 1 where v < 1; "
+       "create rule reaper on t when updated(v) "
+       "then delete from s where v > 3;");
+  // Build the actual cycle: mirror -> reaper -> mirror.
+  auto certs = Detect();
+  EXPECT_EQ(certs.quiescent_rules.count("reaper"), 1u);
+  TerminationReport report = TerminationAnalyzer::Analyze(prelim_, certs);
+  EXPECT_TRUE(report.guaranteed);
+}
+
+TEST_F(AutoDischargeTest, DeleteWithCycleInsertIsNotDischarged) {
+  // refill inserts into s on the same cycle: the reaper never drains it.
+  Load("create rule refill on s when deleted "
+       "then insert into s values (1, 9); "
+       "create rule reaper on s when inserted "
+       "then delete from s where v > 3;");
+  EXPECT_EQ(Detect().quiescent_rules.count("reaper"), 0u);
+  EXPECT_EQ(Detect().quiescent_rules.count("refill"), 0u);
+}
+
+TEST_F(AutoDischargeTest, RulesOffCyclesAreIgnored) {
+  Load("create rule lonely on t when inserted "
+       "then delete from s where v > 3;");
+  // Delete-only, but not on any cycle: no certification needed or given.
+  EXPECT_TRUE(Detect().quiescent_rules.empty());
+}
+
+TEST_F(AutoDischargeTest, AnalyzerIntegration) {
+  auto script = Parser::ParseScript(
+      "create rule inc on t when inserted, updated(v) "
+      "then update t set v = v + 1 where v < 5;");
+  ASSERT_TRUE(script.ok());
+  auto analyzer_or =
+      Analyzer::Create(&schema_, std::move(script.value().rules));
+  ASSERT_TRUE(analyzer_or.ok());
+  Analyzer analyzer = std::move(analyzer_or).value();
+  EXPECT_FALSE(analyzer.AnalyzeTermination().guaranteed);
+  EXPECT_EQ(analyzer.ApplyAutoDischarge(), 1);
+  EXPECT_TRUE(analyzer.AnalyzeTermination().guaranteed);
+  EXPECT_EQ(analyzer.ApplyAutoDischarge(), 0);  // idempotent
+}
+
+/// The discharge verdicts must be right: exhaustively explore discharged
+/// rule sets and confirm every execution terminates.
+TEST_F(AutoDischargeTest, DischargedSetsTerminateEmpirically) {
+  const char* sources[] = {
+      "create rule inc on t when inserted, updated(v) "
+      "then update t set v = v + 1 where v < 6;",
+      "create rule mirror on s when deleted "
+      "then update t set v = 1 where v < 1; "
+      "create rule reaper on t when updated(v) "
+      "then delete from s where v > 3;",
+  };
+  for (const char* src : sources) {
+    Load(src);
+    auto certs = Detect();
+    TerminationReport verdict = TerminationAnalyzer::Analyze(prelim_, certs);
+    ASSERT_TRUE(verdict.guaranteed) << src;
+
+    std::vector<RuleDef> cloned;
+    for (const RuleDef& r : rules_) cloned.push_back(r.Clone());
+    auto catalog = RuleCatalog::Build(&schema_, std::move(cloned));
+    ASSERT_TRUE(catalog.ok());
+    Database db(&schema_);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          db.storage(0).Insert({Value::Int(i), Value::Int(i)}).ok());
+      ASSERT_TRUE(
+          db.storage(1).Insert({Value::Int(i), Value::Int(i + 3)}).ok());
+    }
+    auto result = Explorer::ExploreAfterStatements(
+        catalog.value(), db,
+        {"insert into t values (9, 0)", "delete from s where k = 0",
+         "update t set v = v + 1 where k = 1"});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result.value().may_not_terminate) << src;
+    EXPECT_TRUE(result.value().complete) << src;
+  }
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "analysis/confluence.h"
+#include "baseline/hh91.h"
+#include "baseline/zh90.h"
+#include "rulelang/parser.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"t", "s", "u"}) {
+      ASSERT_TRUE(schema_
+                      .AddTable(name, {{"a", ColumnType::kInt},
+                                       {"b", ColumnType::kInt}})
+                      .ok());
+    }
+  }
+
+  void Load(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    ASSERT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+    prelim_ = std::move(prelim).value();
+    auto priority = PriorityOrder::Build(prelim_, rules_);
+    ASSERT_TRUE(priority.ok()) << priority.status().ToString();
+    priority_ = std::move(priority).value();
+    commutativity_ =
+        std::make_unique<CommutativityAnalyzer>(prelim_, schema_);
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+  PriorityOrder priority_;
+  std::unique_ptr<CommutativityAnalyzer> commutativity_;
+};
+
+TEST_F(BaselineTest, HH91AcceptsFullyCommutingSets) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update u set a = 1;");
+  auto report = HH91Analyzer::Analyze(*commutativity_);
+  EXPECT_TRUE(report.accepted);
+  EXPECT_TRUE(report.noncommuting_pairs.empty());
+}
+
+TEST_F(BaselineTest, HH91RejectsAnyNoncommutingPairEvenOrdered) {
+  // Ordered pairs do not save HH91: it ignores priorities.
+  Load("create rule r0 on t when inserted then update s set a = 1 "
+       "precedes r1; "
+       "create rule r1 on t when inserted then update s set a = 2;");
+  auto hh = HH91Analyzer::Analyze(*commutativity_);
+  EXPECT_FALSE(hh.accepted);
+  ASSERT_EQ(hh.noncommuting_pairs.size(), 1u);
+  // Our analysis accepts: the pair is ordered.
+  ConfluenceAnalyzer ours(*commutativity_, priority_);
+  EXPECT_TRUE(ours.Analyze(true).requirement_holds);
+}
+
+TEST_F(BaselineTest, ZH90AdditionallyRequiresAcyclicTriggering) {
+  // All pairs commute but one rule triggers itself: HH91 accepts,
+  // ZH90 rejects.
+  Load("create rule grow on t when inserted "
+       "then insert into t values (1, 2);");
+  EXPECT_TRUE(HH91Analyzer::Analyze(*commutativity_).accepted);
+  auto zh = ZH90Analyzer::Analyze(*commutativity_);
+  EXPECT_FALSE(zh.accepted);
+  EXPECT_FALSE(zh.triggering_graph_acyclic);
+  EXPECT_TRUE(zh.all_pairs_commute);
+}
+
+TEST_F(BaselineTest, SubsumptionChainOnGeneratedSets) {
+  // Section 9: ZH90-accepted => HH91-accepted => our Confluence
+  // Requirement holds. Checked over a sweep of generated rule sets.
+  int zh_accepted = 0, hh_accepted = 0, ours_accepted = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    RandomRuleSetParams params;
+    params.num_rules = 6;
+    params.num_tables = 6;
+    params.tables_per_rule = 1;
+    params.priority_density = 0.2;
+    params.seed = seed;
+    GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+    auto prelim = PrelimAnalysis::Compute(*gen.schema, gen.rules);
+    ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+    auto priority = PriorityOrder::Build(prelim.value(), gen.rules);
+    ASSERT_TRUE(priority.ok());
+    CommutativityAnalyzer commutativity(prelim.value(), *gen.schema);
+    auto hh = HH91Analyzer::Analyze(commutativity);
+    auto zh = ZH90Analyzer::Analyze(commutativity);
+    ConfluenceAnalyzer ours(commutativity, priority.value());
+    bool ours_ok = ours.Analyze(true).requirement_holds;
+    if (zh.accepted) {
+      ++zh_accepted;
+      EXPECT_TRUE(hh.accepted) << "seed " << seed;
+    }
+    if (hh.accepted) {
+      ++hh_accepted;
+      EXPECT_TRUE(ours_ok) << "seed " << seed;
+    }
+    if (ours_ok) ++ours_accepted;
+  }
+  // Our analysis accepts at least as many sets as HH91, which accepts at
+  // least as many as ZH90.
+  EXPECT_GE(ours_accepted, hh_accepted);
+  EXPECT_GE(hh_accepted, zh_accepted);
+}
+
+TEST_F(BaselineTest, OursStrictlyMoreAccepting) {
+  // A concrete witness: noncommuting pair protected by an ordering.
+  Load("create rule hi on t when inserted then update s set a = 1 "
+       "precedes lo; "
+       "create rule lo on t when inserted then update s set a = 2;");
+  EXPECT_FALSE(HH91Analyzer::Analyze(*commutativity_).accepted);
+  EXPECT_FALSE(ZH90Analyzer::Analyze(*commutativity_).accepted);
+  ConfluenceAnalyzer ours(*commutativity_, priority_);
+  EXPECT_TRUE(ours.Analyze(true).confluent);
+}
+
+TEST_F(BaselineTest, HH91MaxPairsBound) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update s set a = 2; "
+       "create rule r2 on t when inserted then update s set a = 3;");
+  auto bounded = HH91Analyzer::Analyze(*commutativity_, /*max_pairs=*/1);
+  EXPECT_FALSE(bounded.accepted);
+  EXPECT_EQ(bounded.noncommuting_pairs.size(), 1u);
+  auto all = HH91Analyzer::Analyze(*commutativity_, -1);
+  EXPECT_EQ(all.noncommuting_pairs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace starburst

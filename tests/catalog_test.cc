@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace starburst {
+namespace {
+
+TEST(CatalogTest, AddAndFindTable) {
+  Schema schema;
+  auto id = schema.AddTable(
+      "Emp", {{"id", ColumnType::kInt}, {"name", ColumnType::kString}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 0);
+  EXPECT_EQ(schema.num_tables(), 1);
+  EXPECT_EQ(schema.FindTable("emp"), 0);
+  EXPECT_EQ(schema.FindTable("EMP"), 0);
+  EXPECT_EQ(schema.FindTable("dept"), kInvalidTableId);
+}
+
+TEST(CatalogTest, ColumnLookupIsCaseInsensitive) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddTable("t", {{"Alpha", ColumnType::kInt}}).ok());
+  const TableDef& def = schema.table(0);
+  EXPECT_EQ(def.FindColumn("alpha"), 0);
+  EXPECT_EQ(def.FindColumn("ALPHA"), 0);
+  EXPECT_EQ(def.FindColumn("beta"), kInvalidColumnId);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddTable("t", {{"a", ColumnType::kInt}}).ok());
+  auto dup = schema.AddTable("T", {{"a", ColumnType::kInt}});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, DuplicateColumnRejected) {
+  Schema schema;
+  auto r = schema.AddTable(
+      "t", {{"a", ColumnType::kInt}, {"A", ColumnType::kString}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CatalogTest, EmptyColumnListRejected) {
+  Schema schema;
+  EXPECT_FALSE(schema.AddTable("t", {}).ok());
+}
+
+TEST(CatalogTest, TotalColumns) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddTable("a", {{"x", ColumnType::kInt}}).ok());
+  ASSERT_TRUE(
+      schema.AddTable("b", {{"x", ColumnType::kInt}, {"y", ColumnType::kDouble}})
+          .ok());
+  EXPECT_EQ(schema.total_columns(), 3);
+}
+
+TEST(CatalogTest, TableIdsAreDense) {
+  Schema schema;
+  for (int i = 0; i < 5; ++i) {
+    auto id =
+        schema.AddTable("t" + std::to_string(i), {{"c", ColumnType::kInt}});
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), i);
+    EXPECT_EQ(schema.table(i).name(), "t" + std::to_string(i));
+  }
+}
+
+TEST(CatalogTest, ColumnTypeNames) {
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kInt), "int");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kDouble), "double");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kString), "string");
+  EXPECT_STREQ(ColumnTypeToString(ColumnType::kBool), "bool");
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "analysis/commutativity.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class CommutativityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_
+                    .AddTable("t", {{"a", ColumnType::kInt},
+                                    {"b", ColumnType::kInt}})
+                    .ok());
+    ASSERT_TRUE(schema_
+                    .AddTable("s", {{"x", ColumnType::kInt},
+                                    {"y", ColumnType::kInt}})
+                    .ok());
+    ASSERT_TRUE(schema_.AddTable("u", {{"z", ColumnType::kInt}}).ok());
+  }
+
+  CommutativityAnalyzer Analyze(const std::string& rules_src,
+                                CommutativityCertifications certs = {}) {
+    auto script = Parser::ParseScript(rules_src);
+    EXPECT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    EXPECT_TRUE(prelim.ok()) << prelim.status().ToString();
+    prelim_ = std::move(prelim).value();
+    return CommutativityAnalyzer(prelim_, schema_, std::move(certs));
+  }
+
+  bool HasCondition(const CommutativityAnalyzer& an, int i, int j,
+                    int condition) {
+    for (const NoncommutativityCause& c : an.Explain(i, j)) {
+      if (c.condition == condition) return true;
+    }
+    return false;
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+};
+
+TEST_F(CommutativityTest, DisjointRulesCommute) {
+  auto an = Analyze(
+      "create rule r0 on t when inserted then update s set x = 1; "
+      "create rule r1 on u when inserted then delete from u;");
+  // r1 deletes from u and reads nothing of s/t; r0 writes s only.
+  // But r1 deleting u... r0 doesn't touch u. Commute.
+  EXPECT_TRUE(an.Commute(0, 1));
+  EXPECT_TRUE(an.Explain(0, 1).empty());
+}
+
+TEST_F(CommutativityTest, RuleCommutesWithItself) {
+  auto an = Analyze(
+      "create rule r0 on t when inserted then update t set a = 1;");
+  EXPECT_TRUE(an.Commute(0, 0));
+  EXPECT_TRUE(an.Explain(0, 0).empty());
+}
+
+TEST_F(CommutativityTest, Condition1Triggering) {
+  auto an = Analyze(
+      "create rule r0 on t when inserted then insert into s values (1, 2); "
+      "create rule r1 on s when inserted then delete from u;");
+  EXPECT_FALSE(an.Commute(0, 1));
+  EXPECT_TRUE(HasCondition(an, 0, 1, 1));
+}
+
+TEST_F(CommutativityTest, Condition2Untriggering) {
+  // r0 deletes from s; r1 is triggered by inserts into s: r0 can untrigger
+  // r1 (condition 2). Their writes don't otherwise conflict.
+  auto an = Analyze(
+      "create rule r0 on t when inserted then delete from s; "
+      "create rule r1 on s when inserted then insert into u values (1);");
+  EXPECT_FALSE(an.Commute(0, 1));
+  EXPECT_TRUE(HasCondition(an, 0, 1, 2));
+}
+
+TEST_F(CommutativityTest, Condition3WriteRead) {
+  // r0 updates s.x; r1 reads s.x in its action's WHERE.
+  auto an = Analyze(
+      "create rule r0 on t when inserted then update s set x = 1; "
+      "create rule r1 on u when inserted "
+      "then delete from u where z in (select x from s);");
+  EXPECT_FALSE(an.Commute(0, 1));
+  EXPECT_TRUE(HasCondition(an, 0, 1, 3));
+}
+
+TEST_F(CommutativityTest, Condition4InsertVsDelete) {
+  // r0 inserts into s (no reads); r1 deletes from s without reading it.
+  auto an = Analyze(
+      "create rule r0 on t when inserted then insert into s values (1, 2); "
+      "create rule r1 on t when deleted then delete from s;");
+  EXPECT_FALSE(an.Commute(0, 1));
+  EXPECT_TRUE(HasCondition(an, 0, 1, 4));
+}
+
+TEST_F(CommutativityTest, Condition5UpdateSameColumn) {
+  auto an = Analyze(
+      "create rule r0 on t when inserted then update s set x = 1; "
+      "create rule r1 on t when deleted then update s set x = 2;");
+  EXPECT_FALSE(an.Commute(0, 1));
+  EXPECT_TRUE(HasCondition(an, 0, 1, 5));
+}
+
+TEST_F(CommutativityTest, UpdatesOfDifferentColumnsCommute) {
+  auto an = Analyze(
+      "create rule r0 on t when inserted then update s set x = 1; "
+      "create rule r1 on t when deleted then update s set y = 2;");
+  EXPECT_TRUE(an.Commute(0, 1)) << "different columns, no reads";
+}
+
+TEST_F(CommutativityTest, ConditionsAreDirectional) {
+  // r0 writes what r1 reads, but not vice versa: condition 3 must name r0
+  // as the actor.
+  auto an = Analyze(
+      "create rule r0 on t when inserted then update s set x = 1; "
+      "create rule r1 on u when inserted "
+      "then delete from u where z in (select x from s);");
+  bool found_forward = false;
+  for (const NoncommutativityCause& c : an.Explain(0, 1)) {
+    if (c.condition == 3) {
+      EXPECT_EQ(c.actor, 0);
+      EXPECT_EQ(c.affected, 1);
+      found_forward = true;
+    }
+  }
+  EXPECT_TRUE(found_forward);
+}
+
+TEST_F(CommutativityTest, CertificationOverridesVerdict) {
+  CommutativityCertifications certs;
+  certs.Certify("r0", "r1");
+  auto an = Analyze(
+      "create rule r0 on t when inserted then update s set x = 1; "
+      "create rule r1 on t when deleted then update s set x = 2;",
+      certs);
+  EXPECT_TRUE(an.Commute(0, 1));
+  EXPECT_TRUE(an.CertifiedOnly(0, 1));
+  // Explain still reports the syntactic causes.
+  EXPECT_FALSE(an.Explain(0, 1).empty());
+}
+
+TEST_F(CommutativityTest, CertificationIsOrderAndCaseInsensitive) {
+  CommutativityCertifications certs;
+  certs.Certify("B_rule", "a_rule");
+  EXPECT_TRUE(certs.Contains("A_RULE", "b_rule"));
+  EXPECT_FALSE(certs.Contains("a_rule", "c_rule"));
+}
+
+TEST_F(CommutativityTest, SymmetryOfVerdicts) {
+  auto an = Analyze(
+      "create rule r0 on t when inserted then insert into s values (1, 2); "
+      "create rule r1 on s when inserted then delete from u; "
+      "create rule r2 on u when deleted then update t set b = 1;");
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(an.Commute(i, j), an.Commute(j, i)) << i << "," << j;
+    }
+  }
+}
+
+TEST_F(CommutativityTest, CauseDescriptionsMentionRuleNames) {
+  auto an = Analyze(
+      "create rule alpha on t when inserted then insert into s values (1, 2); "
+      "create rule beta on s when inserted then delete from u;");
+  auto causes = an.Explain(0, 1);
+  ASSERT_FALSE(causes.empty());
+  std::string desc = causes[0].Describe(prelim_, schema_);
+  EXPECT_NE(desc.find("alpha"), std::string::npos);
+  EXPECT_NE(desc.find("beta"), std::string::npos);
+  EXPECT_NE(desc.find("Lemma 6.1"), std::string::npos);
+}
+
+TEST_F(CommutativityTest, StaticPairCheckMatchesAnalyzer) {
+  auto an = Analyze(
+      "create rule r0 on t when inserted then update s set x = 1; "
+      "create rule r1 on t when deleted then update s set y = 2; "
+      "create rule r2 on s when updated(x) then rollback;");
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(CommutativityAnalyzer::SyntacticallyCommutePair(prelim_, i, j),
+                an.Commute(i, j))
+          << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starburst

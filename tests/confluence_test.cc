@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "analysis/confluence.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+/// Fixture that assembles the full analysis stack from rule source.
+class ConfluenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"t", "s", "u", "v"}) {
+      ASSERT_TRUE(schema_
+                      .AddTable(name, {{"a", ColumnType::kInt},
+                                       {"b", ColumnType::kInt}})
+                      .ok());
+    }
+  }
+
+  void Load(const std::string& rules_src,
+            CommutativityCertifications certs = {}) {
+    auto script = Parser::ParseScript(rules_src);
+    ASSERT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+    prelim_ = std::move(prelim).value();
+    auto priority = PriorityOrder::Build(prelim_, rules_);
+    ASSERT_TRUE(priority.ok()) << priority.status().ToString();
+    priority_ = std::move(priority).value();
+    commutativity_ = std::make_unique<CommutativityAnalyzer>(
+        prelim_, schema_, std::move(certs));
+    analyzer_ =
+        std::make_unique<ConfluenceAnalyzer>(*commutativity_, priority_);
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+  PriorityOrder priority_;
+  std::unique_ptr<CommutativityAnalyzer> commutativity_;
+  std::unique_ptr<ConfluenceAnalyzer> analyzer_;
+};
+
+TEST_F(ConfluenceTest, AllCommutingUnorderedRulesAreConfluent) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update u set a = 1;");
+  ConfluenceReport report = analyzer_->Analyze(/*termination=*/true);
+  EXPECT_TRUE(report.requirement_holds);
+  EXPECT_TRUE(report.confluent);
+  EXPECT_EQ(report.unordered_pairs_checked, 1);
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST_F(ConfluenceTest, NoncommutingUnorderedPairViolates) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update s set a = 2;");
+  ConfluenceReport report = analyzer_->Analyze(true);
+  EXPECT_FALSE(report.requirement_holds);
+  EXPECT_FALSE(report.confluent);
+  ASSERT_FALSE(report.violations.empty());
+  // The common case (Corollary 6.8): witnesses are the pair itself.
+  EXPECT_EQ(report.violations[0].r1, report.violations[0].pair_i);
+  EXPECT_EQ(report.violations[0].r2, report.violations[0].pair_j);
+}
+
+TEST_F(ConfluenceTest, OrderingTheNoncommutingPairRestoresConfluence) {
+  Load("create rule r0 on t when inserted then update s set a = 1 "
+       "precedes r1; "
+       "create rule r1 on t when inserted then update s set a = 2;");
+  ConfluenceReport report = analyzer_->Analyze(true);
+  EXPECT_TRUE(report.requirement_holds);
+  EXPECT_TRUE(report.confluent);
+  EXPECT_EQ(report.unordered_pairs_checked, 0);
+}
+
+TEST_F(ConfluenceTest, ConfluenceNeedsTermination) {
+  Load("create rule r0 on t when inserted then update s set a = 1;");
+  ConfluenceReport report = analyzer_->Analyze(/*termination=*/false);
+  EXPECT_TRUE(report.requirement_holds);
+  EXPECT_FALSE(report.confluent);
+}
+
+TEST_F(ConfluenceTest, CertificationRemovesViolation) {
+  CommutativityCertifications certs;
+  certs.Certify("r0", "r1");
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update s set a = 2;",
+       certs);
+  ConfluenceReport report = analyzer_->Analyze(true);
+  EXPECT_TRUE(report.confluent);
+}
+
+TEST_F(ConfluenceTest, BuildSetsBaseCase) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update u set a = 1;");
+  auto [r1_set, r2_set] = analyzer_->BuildSets(0, 1);
+  EXPECT_EQ(r1_set, (std::vector<RuleIndex>{0}));
+  EXPECT_EQ(r2_set, (std::vector<RuleIndex>{1}));
+}
+
+TEST_F(ConfluenceTest, BuildSetsGrowViaTriggeringAndPriority) {
+  // r0 triggers rx (rule on s), and rx has priority over r1, so R1 of the
+  // pair (r0, r1) must absorb rx (Definition 6.5).
+  Load("create rule r0 on t when inserted then insert into s values (1, 2); "
+       "create rule r1 on t when inserted then update u set a = 1; "
+       "create rule rx on s when inserted then update v set a = 1 "
+       "precedes r1;");
+  auto [r1_set, r2_set] = analyzer_->BuildSets(0, 1);
+  EXPECT_EQ(r1_set, (std::vector<RuleIndex>{0, 2}));  // r0 and rx
+  EXPECT_EQ(r2_set, (std::vector<RuleIndex>{1}));
+}
+
+TEST_F(ConfluenceTest, BuildSetsExcludeTheOppositePairRule) {
+  // Even if r0 triggers r1 (and r1 > something in R2... the definition
+  // explicitly excludes r != rj), r1 never joins R1.
+  Load("create rule r0 on t when inserted then insert into s values (1, 2); "
+       "create rule r1 on s when inserted then update u set a = 1;");
+  auto [r1_set, r2_set] = analyzer_->BuildSets(0, 1);
+  EXPECT_EQ(r1_set, (std::vector<RuleIndex>{0}));
+  EXPECT_EQ(r2_set, (std::vector<RuleIndex>{1}));
+}
+
+TEST_F(ConfluenceTest, ViolationViaIndirectlyTriggeredRule) {
+  // Pair (r0, r1) themselves commute, but r0 triggers rx which has
+  // priority over r1 and does not commute with r1: the Confluence
+  // Requirement catches the indirect conflict.
+  Load("create rule r0 on t when inserted then insert into s values (1, 2); "
+       "create rule r1 on t when inserted then update u set a = 1; "
+       "create rule rx on s when inserted then update u set a = 2 "
+       "precedes r1;");
+  ASSERT_TRUE(commutativity_->Commute(0, 1));
+  ASSERT_FALSE(commutativity_->Commute(2, 1));
+  ConfluenceReport report = analyzer_->Analyze(true);
+  EXPECT_FALSE(report.requirement_holds);
+  bool found = false;
+  for (const ConfluenceViolation& v : report.violations) {
+    if (v.pair_i == 0 && v.pair_j == 1 && v.r1 == 2 && v.r2 == 1) found = true;
+  }
+  EXPECT_TRUE(found) << "expected witness (rx, r1) for pair (r0, r1)";
+}
+
+TEST_F(ConfluenceTest, MaxViolationsBoundsReport) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update s set a = 2; "
+       "create rule r2 on t when inserted then update s set a = 3;");
+  ConfluenceReport bounded = analyzer_->Analyze(true, /*max_violations=*/1);
+  EXPECT_FALSE(bounded.requirement_holds);
+  EXPECT_EQ(bounded.violations.size(), 1u);
+  ConfluenceReport full = analyzer_->Analyze(true, -1);
+  EXPECT_EQ(full.violations.size(), 3u);  // all three pairs
+}
+
+TEST_F(ConfluenceTest, SubsetAnalysisIgnoresOutsidePairs) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update s set a = 2; "
+       "create rule r2 on u when inserted then update v set a = 1;");
+  ConfluenceReport sub = analyzer_->AnalyzeSubset({0, 2}, true);
+  EXPECT_TRUE(sub.requirement_holds);  // r0 vs r2 commute
+  ConfluenceReport bad = analyzer_->AnalyzeSubset({0, 1}, true);
+  EXPECT_FALSE(bad.requirement_holds);
+}
+
+TEST_F(ConfluenceTest, Corollary68HoldsWhenConfluent) {
+  // If found confluent, every unordered pair commutes.
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update u set b = 1; "
+       "create rule r2 on s when updated(a) then update v set a = 1 "
+       "follows r1;");
+  ConfluenceReport report = analyzer_->Analyze(true);
+  if (report.requirement_holds) {
+    for (int i = 0; i < prelim_.num_rules(); ++i) {
+      for (int j = i + 1; j < prelim_.num_rules(); ++j) {
+        if (priority_.Unordered(i, j)) {
+          EXPECT_TRUE(commutativity_->Commute(i, j)) << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ConfluenceTest, BuildSetsWithinExcludesNonMembers) {
+  // rx would join R1 of the pair (r0, r1) over the full set, but when the
+  // analysis runs over a subset that excludes rx (e.g. Sig(T')), the
+  // fixpoint must not absorb it.
+  Load("create rule r0 on t when inserted then insert into s values (1, 2); "
+       "create rule r1 on t when inserted then update u set a = 1; "
+       "create rule rx on s when inserted then update v set a = 1 "
+       "precedes r1;");
+  auto [full_r1, full_r2] = analyzer_->BuildSets(0, 1);
+  EXPECT_EQ(full_r1, (std::vector<RuleIndex>{0, 2}));
+  std::vector<bool> members = {true, true, false};
+  auto [sub_r1, sub_r2] = analyzer_->BuildSetsWithin(0, 1, members);
+  EXPECT_EQ(sub_r1, (std::vector<RuleIndex>{0}));
+  EXPECT_EQ(sub_r2, (std::vector<RuleIndex>{1}));
+}
+
+TEST_F(ConfluenceTest, MutuallyRecursiveSetGrowth) {
+  // R1 and R2 feed each other: r0 triggers a1 (priority over r1's side),
+  // and r1 triggers b1 (priority over a1), which forces another R1 pass.
+  Load("create rule r0 on t when inserted then insert into s values (1, 2); "
+       "create rule r1 on t when inserted then insert into u values (1, 2); "
+       "create rule a1 on s when inserted then update v set a = 1 "
+       "precedes r1; "
+       "create rule b1 on u when inserted then update v set b = 1 "
+       "precedes a1;");
+  auto [r1_set, r2_set] = analyzer_->BuildSets(0, 1);
+  // a1 joins R1 (triggered by r0, above r1 in R2); b1 then joins R2
+  // (triggered by r1, above a1 which is now in R1).
+  EXPECT_EQ(r1_set, (std::vector<RuleIndex>{0, 2}));
+  EXPECT_EQ(r2_set, (std::vector<RuleIndex>{1, 3}));
+}
+
+TEST_F(ConfluenceTest, EmptyAndSingletonRuleSetsAreConfluent) {
+  Load("");
+  EXPECT_TRUE(analyzer_->Analyze(true).confluent);
+  Load("create rule only on t when inserted then update s set a = 1;");
+  EXPECT_TRUE(analyzer_->Analyze(true).confluent);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "rules/processor.h"
+#include "workload/constraint_deriver.h"
+
+namespace starburst {
+namespace {
+
+class ConstraintDeriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_
+                    .AddTable("parent", {{"pk", ColumnType::kInt},
+                                         {"info", ColumnType::kInt}})
+                    .ok());
+    ASSERT_TRUE(schema_
+                    .AddTable("child", {{"id", ColumnType::kInt},
+                                        {"fk", ColumnType::kInt}})
+                    .ok());
+  }
+
+  ReferentialConstraint Constraint(
+      ReferentialConstraint::DeleteAction action) {
+    ReferentialConstraint c;
+    c.child_table = "child";
+    c.fk_column = "fk";
+    c.parent_table = "parent";
+    c.pk_column = "pk";
+    c.on_delete = action;
+    return c;
+  }
+
+  /// Builds a processor over the derived rules.
+  void SetUpProcessor(ReferentialConstraint::DeleteAction action) {
+    auto rules = ConstraintRuleDeriver::Derive(
+        schema_, Constraint(action), "fk0");
+    ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+    auto catalog = RuleCatalog::Build(&schema_, std::move(rules).value());
+    ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+    catalog_ = std::make_unique<RuleCatalog>(std::move(catalog).value());
+    db_ = std::make_unique<Database>(&schema_);
+    processor_ = std::make_unique<RuleProcessor>(db_.get(), catalog_.get());
+  }
+
+  void Exec(const std::string& sql) {
+    auto r = processor_->ExecuteUserStatement(sql);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  size_t Count(const std::string& table) {
+    return db_->storage(schema_.FindTable(table)).size();
+  }
+
+  Schema schema_;
+  std::unique_ptr<RuleCatalog> catalog_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<RuleProcessor> processor_;
+};
+
+TEST_F(ConstraintDeriverTest, DerivesFourRulesPerConstraint) {
+  auto rules = ConstraintRuleDeriver::Derive(
+      schema_, Constraint(ReferentialConstraint::DeleteAction::kCascade),
+      "fk0");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules.value().size(), 4u);
+  EXPECT_EQ(rules.value()[0].name, "fk0_del");
+  EXPECT_EQ(rules.value()[1].name, "fk0_updparent");
+  EXPECT_EQ(rules.value()[2].name, "fk0_ins");
+  EXPECT_EQ(rules.value()[3].name, "fk0_updchild");
+}
+
+TEST_F(ConstraintDeriverTest, UnknownTableFails) {
+  ReferentialConstraint c;
+  c.child_table = "nope";
+  c.fk_column = "fk";
+  c.parent_table = "parent";
+  c.pk_column = "pk";
+  EXPECT_FALSE(ConstraintRuleDeriver::Derive(schema_, c, "x").ok());
+}
+
+TEST_F(ConstraintDeriverTest, CascadeDeletesOrphans) {
+  SetUpProcessor(ReferentialConstraint::DeleteAction::kCascade);
+  Exec("insert into parent values (1, 0), (2, 0)");
+  Exec("insert into child values (10, 1), (11, 1), (12, 2)");
+  auto r1 = processor_->AssertRules();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(r1.value().rolled_back);
+
+  Exec("delete from parent where pk = 1");
+  auto r2 = processor_->AssertRules();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2.value().rolled_back);
+  EXPECT_EQ(Count("child"), 1u);  // children of parent 1 cascaded away
+}
+
+TEST_F(ConstraintDeriverTest, SetNullNullsOrphans) {
+  SetUpProcessor(ReferentialConstraint::DeleteAction::kSetNull);
+  Exec("insert into parent values (1, 0)");
+  Exec("insert into child values (10, 1)");
+  ASSERT_TRUE(processor_->AssertRules().ok());
+  Exec("delete from parent where pk = 1");
+  auto r = processor_->AssertRules();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Count("child"), 1u);
+  const Tuple& child = db_->storage(1).rows().begin()->second;
+  EXPECT_TRUE(child[1].is_null());
+}
+
+TEST_F(ConstraintDeriverTest, AbortRollsBackViolatingDelete) {
+  SetUpProcessor(ReferentialConstraint::DeleteAction::kAbort);
+  Exec("insert into parent values (1, 0)");
+  Exec("insert into child values (10, 1)");
+  ASSERT_TRUE(processor_->AssertRules().ok());
+  processor_->Commit();
+
+  Exec("delete from parent where pk = 1");
+  auto r = processor_->AssertRules();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().rolled_back);
+  EXPECT_EQ(Count("parent"), 1u);  // delete undone
+}
+
+TEST_F(ConstraintDeriverTest, DanglingInsertRollsBack) {
+  SetUpProcessor(ReferentialConstraint::DeleteAction::kCascade);
+  Exec("insert into parent values (1, 0)");
+  ASSERT_TRUE(processor_->AssertRules().ok());
+  processor_->Commit();
+
+  Exec("insert into child values (10, 99)");  // no parent 99
+  auto r = processor_->AssertRules();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().rolled_back);
+  EXPECT_EQ(Count("child"), 0u);
+}
+
+TEST_F(ConstraintDeriverTest, ValidInsertSurvives) {
+  SetUpProcessor(ReferentialConstraint::DeleteAction::kCascade);
+  Exec("insert into parent values (1, 0)");
+  Exec("insert into child values (10, 1)");
+  auto r = processor_->AssertRules();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().rolled_back);
+  EXPECT_EQ(Count("child"), 1u);
+}
+
+TEST_F(ConstraintDeriverTest, NullFkIsAllowed) {
+  SetUpProcessor(ReferentialConstraint::DeleteAction::kCascade);
+  Exec("insert into child values (10, null)");
+  auto r = processor_->AssertRules();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().rolled_back);
+}
+
+TEST_F(ConstraintDeriverTest, DanglingFkUpdateRollsBack) {
+  SetUpProcessor(ReferentialConstraint::DeleteAction::kCascade);
+  Exec("insert into parent values (1, 0)");
+  Exec("insert into child values (10, 1)");
+  ASSERT_TRUE(processor_->AssertRules().ok());
+  processor_->Commit();
+
+  Exec("update child set fk = 42");
+  auto r = processor_->AssertRules();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().rolled_back);
+  const Tuple& child = db_->storage(1).rows().begin()->second;
+  EXPECT_EQ(child[1], Value::Int(1));
+}
+
+TEST_F(ConstraintDeriverTest, ParentKeyUpdateRollsBack) {
+  SetUpProcessor(ReferentialConstraint::DeleteAction::kCascade);
+  Exec("insert into parent values (1, 0)");
+  ASSERT_TRUE(processor_->AssertRules().ok());
+  processor_->Commit();
+
+  Exec("update parent set pk = 2");
+  auto r = processor_->AssertRules();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().rolled_back);
+}
+
+TEST_F(ConstraintDeriverTest, DeriveAllPrefixesUniquely) {
+  ASSERT_TRUE(schema_
+                  .AddTable("grandchild", {{"id", ColumnType::kInt},
+                                           {"fk", ColumnType::kInt}})
+                  .ok());
+  ReferentialConstraint c1 =
+      Constraint(ReferentialConstraint::DeleteAction::kCascade);
+  ReferentialConstraint c2 = c1;
+  c2.child_table = "grandchild";
+  c2.parent_table = "child";
+  c2.pk_column = "id";
+  auto rules = ConstraintRuleDeriver::DeriveAll(schema_, {c1, c2});
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules.value().size(), 8u);
+  // All rules build into one catalog (names unique).
+  auto catalog = RuleCatalog::Build(&schema_, std::move(rules).value());
+  EXPECT_TRUE(catalog.ok()) << catalog.status().ToString();
+}
+
+TEST_F(ConstraintDeriverTest, CascadeChainTerminationAnalysis) {
+  // Derived cascade rules across a two-level hierarchy are acyclic.
+  ASSERT_TRUE(schema_
+                  .AddTable("grandchild", {{"id", ColumnType::kInt},
+                                           {"fk", ColumnType::kInt}})
+                  .ok());
+  ReferentialConstraint c1 =
+      Constraint(ReferentialConstraint::DeleteAction::kCascade);
+  ReferentialConstraint c2 = c1;
+  c2.child_table = "grandchild";
+  c2.parent_table = "child";
+  c2.pk_column = "id";
+  auto rules = ConstraintRuleDeriver::DeriveAll(schema_, {c1, c2});
+  ASSERT_TRUE(rules.ok());
+  auto analyzer = Analyzer::Create(&schema_, std::move(rules).value());
+  ASSERT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+  TerminationReport report = analyzer.value().AnalyzeTermination();
+  EXPECT_TRUE(report.guaranteed);
+}
+
+}  // namespace
+}  // namespace starburst

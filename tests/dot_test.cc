@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dot.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class DotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"a", "b"}) {
+      ASSERT_TRUE(schema_.AddTable(name, {{"x", ColumnType::kInt}}).ok());
+    }
+  }
+
+  void Load(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    ASSERT_TRUE(script.ok()) << script.status().ToString();
+    auto catalog =
+        RuleCatalog::Build(&schema_, std::move(script.value().rules));
+    ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+    catalog_ = std::make_unique<RuleCatalog>(std::move(catalog).value());
+  }
+
+  Schema schema_;
+  std::unique_ptr<RuleCatalog> catalog_;
+};
+
+TEST_F(DotTest, TriggeringGraphContainsRulesAndEdges) {
+  Load("create rule alpha on a when inserted then insert into b values (1); "
+       "create rule beta on b when inserted then delete from b;");
+  std::string dot = TriggeringGraphToDot(*catalog_, nullptr);
+  EXPECT_NE(dot.find("digraph triggering_graph"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"alpha\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"beta\""), std::string::npos);
+  EXPECT_NE(dot.find("r0 -> r1"), std::string::npos);  // alpha triggers beta
+  EXPECT_EQ(dot.find("r1 -> r0"), std::string::npos);
+}
+
+TEST_F(DotTest, UndischargedCyclesAreRed) {
+  Load("create rule loop on a when inserted "
+       "then insert into a values (1);");
+  TerminationReport report =
+      TerminationAnalyzer::Analyze(catalog_->prelim());
+  std::string dot = TriggeringGraphToDot(*catalog_, &report);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+
+  TerminationCertifications certs;
+  certs.quiescent_rules.insert("loop");
+  TerminationReport discharged =
+      TerminationAnalyzer::Analyze(catalog_->prelim(), certs);
+  std::string dot2 = TriggeringGraphToDot(*catalog_, &discharged);
+  EXPECT_NE(dot2.find("color=orange"), std::string::npos);
+  EXPECT_EQ(dot2.find("color=red"), std::string::npos);
+}
+
+TEST_F(DotTest, PriorityEdgesAreTransitivelyReduced) {
+  Load("create rule p1 on a when inserted then delete from b precedes p2; "
+       "create rule p2 on a when inserted then delete from b precedes p3; "
+       "create rule p3 on a when inserted then delete from b;");
+  std::string dot = TriggeringGraphToDot(*catalog_, nullptr);
+  // Direct edges p1->p2 and p2->p3 drawn; transitive p1->p3 reduced away.
+  EXPECT_NE(dot.find("r0 -> r1 [style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("r1 -> r2 [style=dashed"), std::string::npos);
+  EXPECT_EQ(dot.find("r0 -> r2 [style=dashed"), std::string::npos);
+}
+
+TEST_F(DotTest, ExecutionGraphRecordsStatesAndEdges) {
+  Load("create rule w1 on a when inserted then update b set x = 1; "
+       "create rule w2 on a when inserted then update b set x = 2;");
+  Database db(&schema_);
+  ASSERT_TRUE(db.storage(1).Insert({Value::Int(0)}).ok());
+  ExplorerOptions options;
+  options.record_graph = true;
+  auto result = Explorer::ExploreAfterStatements(
+      *catalog_, db, {"insert into a values (1)"}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result.value().graph_edges.size(), 4u);  // two orders, 2 steps
+  std::string dot = ExecutionGraphToDot(result.value(), *catalog_);
+  EXPECT_NE(dot.find("digraph execution_graph"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"w1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"w2\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_FALSE(result.value().graph_truncated);
+  // Two final states (non-confluent): two doublecircle nodes.
+  int finals = 0;
+  for (bool f : result.value().node_is_final) finals += f ? 1 : 0;
+  EXPECT_EQ(finals, 2);
+}
+
+TEST_F(DotTest, RollbackPathsGetAbortNode) {
+  Load("create rule veto on a when inserted then rollback;");
+  Database db(&schema_);
+  ExplorerOptions options;
+  options.record_graph = true;
+  auto result = Explorer::ExploreAfterStatements(
+      *catalog_, db, {"insert into a values (1)"}, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().graph_edges.size(), 1u);
+  EXPECT_TRUE(
+      result.value().node_is_final[result.value().graph_edges[0].to]);
+}
+
+TEST_F(DotTest, GraphRecordingRespectsNodeCap) {
+  Load("create rule w1 on a when inserted then update b set x = 1; "
+       "create rule w2 on a when inserted then update b set x = 2; "
+       "create rule w3 on a when inserted then update b set x = 3;");
+  Database db(&schema_);
+  ASSERT_TRUE(db.storage(1).Insert({Value::Int(0)}).ok());
+  ExplorerOptions options;
+  options.record_graph = true;
+  options.max_recorded_nodes = 3;
+  auto result = Explorer::ExploreAfterStatements(
+      *catalog_, db, {"insert into a values (1)"}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().graph_truncated);
+  EXPECT_LE(result.value().node_is_final.size(), 3u);
+  std::string dot = ExecutionGraphToDot(result.value(), *catalog_);
+  EXPECT_NE(dot.find("truncated"), std::string::npos);
+}
+
+TEST_F(DotTest, RecordingOffByDefault) {
+  Load("create rule w1 on a when inserted then update b set x = 1;");
+  Database db(&schema_);
+  auto result = Explorer::ExploreAfterStatements(
+      *catalog_, db, {"insert into a values (1)"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().graph_edges.empty());
+  EXPECT_TRUE(result.value().node_is_final.empty());
+}
+
+}  // namespace
+}  // namespace starburst

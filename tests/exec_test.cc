@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "engine/exec.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_
+                    .AddTable("t", {{"a", ColumnType::kInt},
+                                    {"b", ColumnType::kInt}})
+                    .ok());
+    ASSERT_TRUE(schema_.AddTable("s", {{"x", ColumnType::kInt}}).ok());
+    db_ = std::make_unique<Database>(&schema_);
+  }
+
+  ExecOutcome Exec(const std::string& sql,
+                   const TableTransition* trans = nullptr) {
+    auto stmt = Parser::ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Executor executor(db_.get());
+    auto out = executor.Execute(*stmt.value(), trans,
+                                trans ? &schema_.table(0) : nullptr);
+    EXPECT_TRUE(out.ok()) << out.status().ToString() << " for " << sql;
+    return out.ok() ? std::move(out).value() : ExecOutcome{};
+  }
+
+  Schema schema_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExecTest, InsertValues) {
+  ExecOutcome out = Exec("insert into t values (1, 2), (3, 4)");
+  EXPECT_EQ(db_->storage(0).size(), 2u);
+  const TableTransition* tt = out.delta.Find(0);
+  ASSERT_NE(tt, nullptr);
+  EXPECT_EQ(tt->InsertedTuples().size(), 2u);
+  EXPECT_FALSE(out.rollback);
+  EXPECT_TRUE(out.observables.empty());
+}
+
+TEST_F(ExecTest, InsertWithColumnListFillsNulls) {
+  Exec("insert into t (b) values (9)");
+  ASSERT_EQ(db_->storage(0).size(), 1u);
+  const Tuple& tuple = db_->storage(0).rows().begin()->second;
+  EXPECT_TRUE(tuple[0].is_null());
+  EXPECT_EQ(tuple[1], Value::Int(9));
+}
+
+TEST_F(ExecTest, InsertSelectReadsPreStatementState) {
+  Exec("insert into t values (1, 1)");
+  // Self-referential insert must not loop: it snapshots t first.
+  Exec("insert into t select a + 1, b from t");
+  EXPECT_EQ(db_->storage(0).size(), 2u);
+}
+
+TEST_F(ExecTest, DeleteWithPredicate) {
+  Exec("insert into t values (1, 1), (2, 2), (3, 3)");
+  ExecOutcome out = Exec("delete from t where a >= 2");
+  EXPECT_EQ(db_->storage(0).size(), 1u);
+  EXPECT_EQ(out.delta.Find(0)->DeletedTuples().size(), 2u);
+}
+
+TEST_F(ExecTest, DeleteAll) {
+  Exec("insert into t values (1, 1), (2, 2)");
+  Exec("delete from t");
+  EXPECT_EQ(db_->storage(0).size(), 0u);
+}
+
+TEST_F(ExecTest, UpdateComputesAgainstPreState) {
+  Exec("insert into t values (1, 10), (2, 20)");
+  // Swap-style update referencing both columns.
+  Exec("update t set a = b, b = a");
+  std::vector<Tuple> tuples;
+  for (const auto& [rid, tuple] : db_->storage(0).rows()) {
+    tuples.push_back(tuple);
+  }
+  EXPECT_EQ(tuples[0], (Tuple{Value::Int(10), Value::Int(1)}));
+  EXPECT_EQ(tuples[1], (Tuple{Value::Int(20), Value::Int(2)}));
+}
+
+TEST_F(ExecTest, NoOpUpdateRecordsNoChanges) {
+  Exec("insert into t values (5, 5)");
+  ExecOutcome out = Exec("update t set a = 5");
+  const TableTransition* tt = out.delta.Find(0);
+  EXPECT_TRUE(tt == nullptr || tt->empty());
+}
+
+TEST_F(ExecTest, UpdateOnlyMatchingRows) {
+  Exec("insert into t values (1, 0), (5, 0), (9, 0)");
+  ExecOutcome out = Exec("update t set b = 1 where a > 4");
+  EXPECT_EQ(out.delta.Find(0)->NewUpdatedTuples().size(), 2u);
+  EXPECT_EQ(out.delta.Find(0)->UpdatedColumns().count(1), 1u);
+}
+
+TEST_F(ExecTest, SelectProducesObservable) {
+  Exec("insert into t values (1, 2)");
+  ExecOutcome out = Exec("select a from t");
+  ASSERT_EQ(out.observables.size(), 1u);
+  EXPECT_EQ(out.observables[0].kind, ObservableEvent::Kind::kSelect);
+  EXPECT_EQ(out.observables[0].payload, "[(1)]");
+  EXPECT_TRUE(out.delta.empty());
+}
+
+TEST_F(ExecTest, RollbackSignals) {
+  ExecOutcome out = Exec("rollback");
+  EXPECT_TRUE(out.rollback);
+  ASSERT_EQ(out.observables.size(), 1u);
+  EXPECT_EQ(out.observables[0].kind, ObservableEvent::Kind::kRollback);
+}
+
+TEST_F(ExecTest, CreateTableRejectedAsDml) {
+  auto stmt = Parser::ParseStatement("create table q (a int)");
+  ASSERT_TRUE(stmt.ok());
+  Executor executor(db_.get());
+  EXPECT_FALSE(executor.Execute(*stmt.value(), nullptr, nullptr).ok());
+}
+
+TEST_F(ExecTest, UnknownTableFails) {
+  auto stmt = Parser::ParseStatement("insert into nope values (1)");
+  ASSERT_TRUE(stmt.ok());
+  Executor executor(db_.get());
+  auto out = executor.Execute(*stmt.value(), nullptr, nullptr);
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecTest, ArityMismatchFails) {
+  auto stmt = Parser::ParseStatement("insert into t values (1)");
+  ASSERT_TRUE(stmt.ok());
+  Executor executor(db_.get());
+  EXPECT_FALSE(executor.Execute(*stmt.value(), nullptr, nullptr).ok());
+}
+
+TEST_F(ExecTest, TypeMismatchFails) {
+  auto stmt = Parser::ParseStatement("insert into t values ('x', 1)");
+  ASSERT_TRUE(stmt.ok());
+  Executor executor(db_.get());
+  EXPECT_FALSE(executor.Execute(*stmt.value(), nullptr, nullptr).ok());
+}
+
+TEST_F(ExecTest, InsertFromTransitionTable) {
+  TableTransition trans;
+  ASSERT_TRUE(trans.ApplyInsert(50, {Value::Int(7), Value::Int(8)}).ok());
+  Exec("insert into s select a from inserted", &trans);
+  ASSERT_EQ(db_->storage(1).size(), 1u);
+  EXPECT_EQ(db_->storage(1).rows().begin()->second[0], Value::Int(7));
+}
+
+TEST_F(ExecTest, DeleteDrivenByTransitionTable) {
+  Exec("insert into t values (1, 1), (2, 2)");
+  TableTransition trans;
+  ASSERT_TRUE(trans.ApplyDelete(99, {Value::Int(1), Value::Int(1)}).ok());
+  Exec("delete from t where a in (select a from deleted)", &trans);
+  EXPECT_EQ(db_->storage(0).size(), 1u);
+}
+
+TEST_F(ExecTest, CorrelatedUpdateFromAnotherTable) {
+  Exec("insert into t values (1, 0), (2, 0)");
+  Exec("insert into s values (1)");
+  Exec("update t set b = 99 where a in (select x from s)");
+  std::vector<Tuple> tuples;
+  for (const auto& [rid, tuple] : db_->storage(0).rows()) {
+    tuples.push_back(tuple);
+  }
+  EXPECT_EQ(tuples[0][1], Value::Int(99));
+  EXPECT_EQ(tuples[1][1], Value::Int(0));
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "rulelang/parser.h"
+#include "rules/explorer.h"
+
+namespace starburst {
+namespace {
+
+class ExplorerTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& ddl, const std::string& rules_src) {
+    auto ddl_script = Parser::ParseScript(ddl);
+    ASSERT_TRUE(ddl_script.ok()) << ddl_script.status().ToString();
+    for (const StmtPtr& stmt : ddl_script.value().statements) {
+      ASSERT_TRUE(schema_.AddTable(stmt->table, stmt->create_columns).ok());
+    }
+    auto rules_script = Parser::ParseScript(rules_src);
+    ASSERT_TRUE(rules_script.ok()) << rules_script.status().ToString();
+    auto catalog =
+        RuleCatalog::Build(&schema_, std::move(rules_script.value().rules));
+    ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+    catalog_ = std::make_unique<RuleCatalog>(std::move(catalog).value());
+    db_ = std::make_unique<Database>(&schema_);
+  }
+
+  ExplorationResult Explore(const std::vector<std::string>& stmts,
+                            ExplorerOptions options = {}) {
+    auto r = Explorer::ExploreAfterStatements(*catalog_, *db_, stmts, options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ExplorationResult{};
+  }
+
+  Schema schema_;
+  std::unique_ptr<RuleCatalog> catalog_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExplorerTest, NoTriggeredRulesIsSingleFinalState) {
+  Load("create table a (x int);", "");
+  ExplorationResult r = Explore({"insert into a values (1)"});
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.may_not_terminate);
+  EXPECT_EQ(r.final_states.size(), 1u);
+  EXPECT_TRUE(r.unique_final_state());
+}
+
+TEST_F(ExplorerTest, ConfluentPairHasOneFinalState) {
+  // Two rules writing different tables commute: any order, same result.
+  Load("create table a (x int); create table b (x int); "
+       "create table c (x int);",
+       "create rule wb on a when inserted then insert into b values (1); "
+       "create rule wc on a when inserted then insert into c values (1);");
+  ExplorationResult r = Explore({"insert into a values (1)"});
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.final_states.size(), 1u);
+  // Both orders were explored (two paths), but they converge.
+  EXPECT_GE(r.steps_taken, 3);
+}
+
+TEST_F(ExplorerTest, NonConfluentPairHasTwoFinalStates) {
+  // Both rules set the same cell to different values: last writer wins.
+  Load("create table a (x int);",
+       "create rule w1 on a when inserted then update a set x = 1; "
+       "create rule w2 on a when inserted then update a set x = 2;");
+  ExplorationResult r = Explore({"insert into a values (0)"});
+  EXPECT_FALSE(r.may_not_terminate);
+  EXPECT_EQ(r.final_states.size(), 2u);
+  EXPECT_FALSE(r.unique_final_state());
+}
+
+TEST_F(ExplorerTest, PriorityRemovesNondeterminism) {
+  Load("create table a (x int);",
+       "create rule w1 on a when inserted then update a set x = 1 "
+       "precedes w2; "
+       "create rule w2 on a when inserted then update a set x = 2;");
+  ExplorationResult r = Explore({"insert into a values (0)"});
+  EXPECT_EQ(r.final_states.size(), 1u);
+  // The only final value is 2 (w1 then w2).
+  const Database& final_db = r.final_databases.begin()->second;
+  EXPECT_EQ(final_db.storage(0).rows().begin()->second[0], Value::Int(2));
+}
+
+TEST_F(ExplorerTest, CycleIsDetectedAsNontermination) {
+  Load("create table a (x int);",
+       "create rule flip on a when updated(x) "
+       "then update a set x = 1 - x;");
+  // Pre-populate so the update is a net update (an insert composed with an
+  // update would net to an insert and not trigger the rule).
+  ASSERT_TRUE(db_->storage(0).Insert({Value::Int(0)}).ok());
+  ExplorationResult r = Explore({"update a set x = 1"});
+  EXPECT_TRUE(r.may_not_terminate);
+}
+
+TEST_F(ExplorerTest, QuiescingSelfTriggerTerminates) {
+  Load("create table a (x int);",
+       "create rule inc on a when inserted, updated(x) "
+       "then update a set x = x + 1 where x < 3;");
+  ExplorationResult r = Explore({"insert into a values (0)"});
+  EXPECT_FALSE(r.may_not_terminate);
+  EXPECT_EQ(r.final_states.size(), 1u);
+}
+
+TEST_F(ExplorerTest, RollbackPathEndsAtInitialDatabase) {
+  Load("create table a (x int);",
+       "create rule veto on a when inserted then rollback;");
+  // Note: the initial database for the exploration is the state AFTER the
+  // user statements; rollback restores to that state minus the transition?
+  // No: rollback restores the transaction start, which for exploration is
+  // the pre-rule state captured as initial_db (user changes applied).
+  ExplorationResult r = Explore({"insert into a values (1)"});
+  EXPECT_EQ(r.final_states.size(), 1u);
+  ASSERT_EQ(r.observable_streams.size(), 1u);
+  EXPECT_NE(r.observable_streams.begin()->find("R:rollback"),
+            std::string::npos);
+}
+
+TEST_F(ExplorerTest, ObservableStreamsDifferWhenOrderMatters) {
+  Load("create table a (x int);",
+       "create rule s1 on a when inserted then select 1 from a; "
+       "create rule s2 on a when inserted then select 2 from a;");
+  ExplorationResult r = Explore({"insert into a values (0)"});
+  // Same final DB state but two distinct observable streams.
+  EXPECT_EQ(r.final_states.size(), 1u);
+  EXPECT_EQ(r.observable_streams.size(), 2u);
+  EXPECT_FALSE(r.unique_observable_stream());
+}
+
+TEST_F(ExplorerTest, ObservableStreamUniqueWhenOrdered) {
+  Load("create table a (x int);",
+       "create rule s1 on a when inserted then select 1 from a precedes s2; "
+       "create rule s2 on a when inserted then select 2 from a;");
+  ExplorationResult r = Explore({"insert into a values (0)"});
+  EXPECT_EQ(r.observable_streams.size(), 1u);
+  EXPECT_TRUE(r.unique_observable_stream());
+}
+
+TEST_F(ExplorerTest, DepthLimitReportsIncomplete) {
+  Load("create table a (x int);",
+       "create rule grow on a when inserted "
+       "then insert into a values (1);");
+  ExplorerOptions options;
+  options.max_depth = 5;
+  ExplorationResult r = Explore({"insert into a values (0)"}, options);
+  EXPECT_TRUE(r.may_not_terminate);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST_F(ExplorerTest, UntriggeredRulesProduceNoBranches) {
+  Load("create table a (x int); create table b (x int);",
+       "create rule onb on b when inserted then delete from b;");
+  ExplorationResult r = Explore({"insert into a values (1)"});
+  EXPECT_EQ(r.states_visited, 1);
+  EXPECT_EQ(r.final_states.size(), 1u);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "analysis/incremental.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+RuleDef ParseRule(const std::string& src) {
+  auto r = Parser::ParseRule(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : RuleDef{};
+}
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"t", "s", "u"}) {
+      ASSERT_TRUE(schema_
+                      .AddTable(name, {{"a", ColumnType::kInt},
+                                       {"b", ColumnType::kInt}})
+                      .ok());
+    }
+  }
+  Schema schema_;
+};
+
+TEST_F(IncrementalTest, AddRuleValidates) {
+  IncrementalAnalyzer analyzer(&schema_);
+  EXPECT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r0 on t when inserted "
+                                     "then update s set a = 1"))
+                  .ok());
+  // Unknown table: rejected, rule set unchanged.
+  auto bad = analyzer.AddRule(
+      ParseRule("create rule r1 on nope when inserted then rollback"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(analyzer.num_rules(), 1);
+  // Duplicate name: rejected.
+  auto dup = analyzer.AddRule(
+      ParseRule("create rule r0 on s when inserted then rollback"));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(analyzer.num_rules(), 1);
+}
+
+TEST_F(IncrementalTest, FirstAnalysisComputesAllPairs) {
+  IncrementalAnalyzer analyzer(&schema_);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(analyzer
+                    .AddRule(ParseRule("create rule r" + std::to_string(i) +
+                                       " on t when inserted then update s "
+                                       "set a = " +
+                                       std::to_string(i)))
+                    .ok());
+  }
+  auto run = analyzer.Analyze();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().stats.pair_checks_computed, 6);  // C(4,2)
+  EXPECT_EQ(run.value().stats.pair_checks_reused, 0);
+  EXPECT_FALSE(run.value().confluence.requirement_holds);
+}
+
+TEST_F(IncrementalTest, SecondAnalysisReusesEverything) {
+  IncrementalAnalyzer analyzer(&schema_);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(analyzer
+                    .AddRule(ParseRule("create rule r" + std::to_string(i) +
+                                       " on t when inserted then update u "
+                                       "set b = 1"))
+                    .ok());
+  }
+  ASSERT_TRUE(analyzer.Analyze().ok());
+  auto second = analyzer.Analyze();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().stats.pair_checks_computed, 0);
+  EXPECT_EQ(second.value().stats.pair_checks_reused, 6);
+}
+
+TEST_F(IncrementalTest, AddingOneRuleCostsLinearPairChecks) {
+  IncrementalAnalyzer analyzer(&schema_);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(analyzer
+                    .AddRule(ParseRule("create rule r" + std::to_string(i) +
+                                       " on t when inserted then update u "
+                                       "set b = 1"))
+                    .ok());
+  }
+  ASSERT_TRUE(analyzer.Analyze().ok());  // 10 pairs computed
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule extra on s when deleted "
+                                     "then update u set a = 1"))
+                  .ok());
+  auto run = analyzer.Analyze();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().stats.pair_checks_computed, 5);  // new rule x 5 old
+  EXPECT_EQ(run.value().stats.pair_checks_reused, 10);
+}
+
+TEST_F(IncrementalTest, RemoveRuleDropsItsCacheEntries) {
+  IncrementalAnalyzer analyzer(&schema_);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(analyzer
+                    .AddRule(ParseRule("create rule r" + std::to_string(i) +
+                                       " on t when inserted then update u "
+                                       "set b = 1"))
+                    .ok());
+  }
+  ASSERT_TRUE(analyzer.Analyze().ok());  // 3 pairs
+  ASSERT_TRUE(analyzer.RemoveRule("r1").ok());
+  EXPECT_EQ(analyzer.num_rules(), 2);
+  auto run = analyzer.Analyze();
+  ASSERT_TRUE(run.ok());
+  // Only (r0, r2) was cached and survives.
+  EXPECT_EQ(run.value().stats.pair_checks_reused, 1);
+  EXPECT_EQ(run.value().stats.pair_checks_computed, 0);
+  // Re-adding a rule named r1 with a DIFFERENT definition is safe: its
+  // cache entries are gone.
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r1 on t when inserted "
+                                     "then update u set b = 2"))
+                  .ok());
+  auto run2 = analyzer.Analyze();
+  ASSERT_TRUE(run2.ok());
+  EXPECT_EQ(run2.value().stats.pair_checks_computed, 2);
+  EXPECT_FALSE(run2.value().confluence.requirement_holds);  // b=1 vs b=2
+}
+
+TEST_F(IncrementalTest, RemoveUnknownRuleFails) {
+  IncrementalAnalyzer analyzer(&schema_);
+  EXPECT_EQ(analyzer.RemoveRule("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST_F(IncrementalTest, VerdictsMatchFromScratchAnalysis) {
+  IncrementalAnalyzer incremental(&schema_);
+  std::vector<std::string> sources = {
+      "create rule a on t when inserted then update s set a = 1",
+      "create rule b on s when updated(a) then insert into u values (1, 2)",
+      "create rule c on u when inserted then update s set b = 1",
+      "create rule d on t when deleted then update s set a = 2",
+  };
+  std::vector<RuleDef> rules;
+  for (const auto& src : sources) {
+    ASSERT_TRUE(incremental.AddRule(ParseRule(src)).ok());
+    rules.push_back(ParseRule(src));
+  }
+  auto inc_run = incremental.Analyze();
+  ASSERT_TRUE(inc_run.ok());
+
+  auto prelim = PrelimAnalysis::Compute(schema_, rules);
+  ASSERT_TRUE(prelim.ok());
+  auto priority = PriorityOrder::Build(prelim.value(), rules);
+  ASSERT_TRUE(priority.ok());
+  CommutativityAnalyzer commutativity(prelim.value(), schema_);
+  ConfluenceAnalyzer scratch(commutativity, priority.value());
+  TerminationReport term = TerminationAnalyzer::Analyze(prelim.value());
+  ConfluenceReport scratch_report = scratch.Analyze(term.guaranteed);
+
+  EXPECT_EQ(inc_run.value().termination.guaranteed, term.guaranteed);
+  EXPECT_EQ(inc_run.value().confluence.requirement_holds,
+            scratch_report.requirement_holds);
+  EXPECT_EQ(inc_run.value().confluence.violations.size(),
+            scratch_report.violations.size());
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "rulelang/lexer.h"
+
+namespace starburst {
+namespace {
+
+std::vector<Token> Lex(std::string_view src) {
+  auto result = Lexer::Tokenize(src);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("SELECT select SeLeCt");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "select");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Lex("MyTable _x9");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "MyTable");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "_x9");
+}
+
+TEST(LexerTest, IntLiteral) {
+  auto tokens = Lex("0 42 123456789");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 123456789);
+}
+
+TEST(LexerTest, DoubleLiteral) {
+  auto tokens = Lex("3.25 1e3 2.5e-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 3.25);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 0.025);
+}
+
+TEST(LexerTest, IntFollowedByDotIsNotDouble) {
+  // "1." without a following digit stays an int then a dot.
+  auto tokens = Lex("t.c");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto result = Lexer::Tokenize("'oops");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= <> != < <= > >= + - * / % ( ) , ; .");
+  std::vector<TokenType> expected = {
+      TokenType::kEq,    TokenType::kNe,      TokenType::kNe,
+      TokenType::kLt,    TokenType::kLe,      TokenType::kGt,
+      TokenType::kGe,    TokenType::kPlus,    TokenType::kMinus,
+      TokenType::kStar,  TokenType::kSlash,   TokenType::kPercent,
+      TokenType::kLParen, TokenType::kRParen, TokenType::kComma,
+      TokenType::kSemicolon, TokenType::kDot, TokenType::kEnd};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Lex("a -- this is a comment\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto tokens = Lex("a\nb\n  c");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto result = Lexer::Tokenize("a @ b");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(LexerTest, BangWithoutEqualsFails) {
+  EXPECT_FALSE(Lexer::Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, TransitionTableNamesAreKeywords) {
+  auto tokens = Lex("inserted deleted new_updated old_updated");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword) << i;
+  }
+}
+
+TEST(LexerTest, IsReservedKeyword) {
+  EXPECT_TRUE(Lexer::IsReservedKeyword("SELECT"));
+  EXPECT_TRUE(Lexer::IsReservedKeyword("precedes"));
+  EXPECT_FALSE(Lexer::IsReservedKeyword("my_table"));
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "analysis/ops.h"
+
+namespace starburst {
+namespace {
+
+class OpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_
+                    .AddTable("t", {{"a", ColumnType::kInt},
+                                    {"b", ColumnType::kInt}})
+                    .ok());
+    ASSERT_TRUE(schema_.AddTable("s", {{"x", ColumnType::kInt}}).ok());
+  }
+  Schema schema_;
+};
+
+TEST_F(OpsTest, OperationOrderingAndEquality) {
+  Operation i0 = Operation::Insert(0);
+  Operation d0 = Operation::Delete(0);
+  Operation u00 = Operation::Update(0, 0);
+  Operation u01 = Operation::Update(0, 1);
+  EXPECT_EQ(i0, Operation::Insert(0));
+  EXPECT_NE(i0, Operation::Insert(1));
+  EXPECT_NE(u00, u01);
+  OperationSet set = {u01, i0, d0, u00};
+  EXPECT_EQ(set.size(), 4u);
+}
+
+TEST_F(OpsTest, IntersectsIsSymmetricAndCorrect) {
+  OperationSet a = {Operation::Insert(0), Operation::Update(0, 1)};
+  OperationSet b = {Operation::Update(0, 1), Operation::Delete(1)};
+  OperationSet c = {Operation::Delete(0)};
+  EXPECT_TRUE(Intersects(a, b));
+  EXPECT_TRUE(Intersects(b, a));
+  EXPECT_FALSE(Intersects(a, c));
+  EXPECT_FALSE(Intersects(a, {}));
+  EXPECT_FALSE(Intersects({}, {}));
+}
+
+TEST_F(OpsTest, WritesAnyOfInsertAndDeleteTouchAllColumns) {
+  TableColumnSet reads = {TableColumn{0, 1}};
+  EXPECT_TRUE(WritesAnyOf({Operation::Insert(0)}, reads));
+  EXPECT_TRUE(WritesAnyOf({Operation::Delete(0)}, reads));
+  EXPECT_FALSE(WritesAnyOf({Operation::Insert(1)}, reads));
+}
+
+TEST_F(OpsTest, WritesAnyOfUpdateIsColumnExact) {
+  TableColumnSet reads = {TableColumn{0, 1}};
+  EXPECT_TRUE(WritesAnyOf({Operation::Update(0, 1)}, reads));
+  EXPECT_FALSE(WritesAnyOf({Operation::Update(0, 0)}, reads));
+  EXPECT_FALSE(WritesAnyOf({Operation::Update(1, 0)}, reads));
+}
+
+TEST_F(OpsTest, ToStringUsesSchemaNames) {
+  EXPECT_EQ(Operation::Insert(0).ToString(schema_), "(I, t)");
+  EXPECT_EQ(Operation::Delete(1).ToString(schema_), "(D, s)");
+  EXPECT_EQ(Operation::Update(0, 1).ToString(schema_), "(U, t.b)");
+  EXPECT_EQ((TableColumn{1, 0}.ToString(schema_)), "s.x");
+}
+
+TEST_F(OpsTest, ToStringToleratesOutOfSchemaIds) {
+  // The Obs pseudo-table of Section 8 lives outside the schema.
+  TableId obs = schema_.num_tables();
+  std::string rendered = Operation::Insert(obs).ToString(schema_);
+  EXPECT_NE(rendered.find("table"), std::string::npos);
+  std::string col = Operation::Update(obs, 0).ToString(schema_);
+  EXPECT_FALSE(col.empty());
+}
+
+TEST_F(OpsTest, OperationSetToString) {
+  OperationSet ops = {Operation::Insert(0), Operation::Update(1, 0)};
+  std::string s = OperationSetToString(ops, schema_);
+  EXPECT_NE(s.find("(I, t)"), std::string::npos);
+  EXPECT_NE(s.find("(U, s.x)"), std::string::npos);
+  EXPECT_EQ(OperationSetToString({}, schema_), "{}");
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "analysis/partial_confluence.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class PartialConfluenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"data", "scratch", "other"}) {
+      ASSERT_TRUE(schema_
+                      .AddTable(name, {{"a", ColumnType::kInt},
+                                       {"b", ColumnType::kInt}})
+                      .ok());
+    }
+  }
+
+  void Load(const std::string& rules_src,
+            CommutativityCertifications certs = {}) {
+    auto script = Parser::ParseScript(rules_src);
+    ASSERT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+    prelim_ = std::move(prelim).value();
+    auto priority = PriorityOrder::Build(prelim_, rules_);
+    ASSERT_TRUE(priority.ok()) << priority.status().ToString();
+    priority_ = std::move(priority).value();
+    commutativity_ = std::make_unique<CommutativityAnalyzer>(
+        prelim_, schema_, std::move(certs));
+    analyzer_ = std::make_unique<PartialConfluenceAnalyzer>(*commutativity_,
+                                                            priority_);
+  }
+
+  TableId Table(const std::string& name) { return schema_.FindTable(name); }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+  PriorityOrder priority_;
+  std::unique_ptr<CommutativityAnalyzer> commutativity_;
+  std::unique_ptr<PartialConfluenceAnalyzer> analyzer_;
+};
+
+TEST_F(PartialConfluenceTest, SigSeedsWithWriters) {
+  Load("create rule w on data when inserted then update data set b = 1; "
+       "create rule s on scratch when inserted then update scratch set b = 1;");
+  auto sig = analyzer_->SignificantRules({Table("data")});
+  EXPECT_EQ(sig, (std::vector<RuleIndex>{0}));
+}
+
+TEST_F(PartialConfluenceTest, SigClosesOverNoncommutingRules) {
+  // w and x both write data (seeded); y commutes with both and stays out.
+  Load("create rule w on data when inserted then update data set b = 1; "
+       "create rule x on other when inserted then update data set b = 2; "
+       "create rule y on other when deleted then update other set b = 1;");
+  auto sig = analyzer_->SignificantRules({Table("data")});
+  EXPECT_EQ(sig, (std::vector<RuleIndex>{0, 1}));
+}
+
+TEST_F(PartialConfluenceTest, SigClosureIsTransitive) {
+  // c writes data; b doesn't commute with c; a doesn't commute with b but
+  // commutes with c. All three must be significant.
+  // b reads data.a, which c writes (condition 3); a conflicts with b via
+  // scratch.a (condition 5) but commutes with c.
+  Load(
+      "create rule c on other when inserted then update data set a = 1; "
+      "create rule b on other when deleted then update scratch set a = "
+      "(select max(a) from data); "
+      "create rule a on other when updated(b) then update scratch set a = 2;");
+  auto sig = analyzer_->SignificantRules({Table("data")});
+  EXPECT_EQ(sig, (std::vector<RuleIndex>{0, 1, 2}));
+}
+
+TEST_F(PartialConfluenceTest, ScratchConflictsDoNotBlockDataConfluence) {
+  // Two rules clobber scratch in conflicting ways but write data
+  // compatibly: confluent w.r.t. {data}, not w.r.t. {scratch}.
+  Load("create rule r0 on data when inserted "
+       "then update scratch set a = 1; "
+       "create rule r1 on data when inserted "
+       "then update scratch set a = 2;");
+  auto good = analyzer_->Analyze({Table("data")});
+  EXPECT_TRUE(good.partially_confluent);
+  EXPECT_TRUE(good.significant.empty());  // nobody writes data
+
+  auto bad = analyzer_->Analyze({Table("scratch")});
+  EXPECT_FALSE(bad.partially_confluent);
+  EXPECT_EQ(bad.significant.size(), 2u);
+  ASSERT_FALSE(bad.confluence.violations.empty());
+}
+
+TEST_F(PartialConfluenceTest, RequiresSigTermination) {
+  // Sig({data}) has a triggering cycle: not partially confluent without a
+  // certification.
+  Load("create rule grow on data when inserted "
+       "then insert into data values (1, 2);");
+  auto report = analyzer_->Analyze({Table("data")});
+  EXPECT_FALSE(report.termination.guaranteed);
+  EXPECT_FALSE(report.partially_confluent);
+
+  TerminationCertifications certs;
+  certs.quiescent_rules.insert("grow");
+  auto with_cert = analyzer_->Analyze({Table("data")}, certs);
+  EXPECT_TRUE(with_cert.termination.guaranteed);
+  EXPECT_TRUE(with_cert.partially_confluent);
+}
+
+TEST_F(PartialConfluenceTest, CycleOutsideSigDoesNotMatter) {
+  // A nonterminating scratch-table loop does not affect confluence
+  // w.r.t. data (the loop rule is not significant).
+  Load("create rule loop on scratch when updated(a) "
+       "then update scratch set a = a + 1; "
+       "create rule w on data when inserted then update data set b = 1;");
+  auto report = analyzer_->Analyze({Table("data")});
+  EXPECT_EQ(report.significant, (std::vector<RuleIndex>{1}));
+  EXPECT_TRUE(report.termination.guaranteed);
+  EXPECT_TRUE(report.partially_confluent);
+}
+
+TEST_F(PartialConfluenceTest, FullConfluenceImpliesPartial) {
+  Load("create rule r0 on data when inserted then update data set b = 1; "
+       "create rule r1 on data when inserted then update other set b = 1;");
+  ConfluenceAnalyzer full(*commutativity_, priority_);
+  ASSERT_TRUE(full.Analyze(true).requirement_holds);
+  for (const char* t : {"data", "scratch", "other"}) {
+    EXPECT_TRUE(analyzer_->Analyze({Table(t)}).partially_confluent) << t;
+  }
+}
+
+TEST_F(PartialConfluenceTest, CertificationShrinksSig) {
+  Load("create rule w on data when inserted then update data set b = 1; "
+       "create rule x on other when inserted then update data set b = 2;");
+  auto sig_before = analyzer_->SignificantRules({Table("data")});
+  EXPECT_EQ(sig_before.size(), 2u);
+  // Note: both write data, so both are seeded regardless of
+  // certification. Use a read-conflict rule instead.
+  Load("create rule w on data when inserted then update data set b = 1; "
+       "create rule x on other when inserted then update scratch set a = "
+       "(select max(b) from data);");
+  auto sig2 = analyzer_->SignificantRules({Table("data")});
+  EXPECT_EQ(sig2.size(), 2u);
+  CommutativityCertifications certs;
+  certs.Certify("w", "x");
+  Load("create rule w on data when inserted then update data set b = 1; "
+       "create rule x on other when inserted then update scratch set a = "
+       "(select max(b) from data);",
+       certs);
+  auto sig3 = analyzer_->SignificantRules({Table("data")});
+  EXPECT_EQ(sig3, (std::vector<RuleIndex>{0}));
+}
+
+}  // namespace
+}  // namespace starburst

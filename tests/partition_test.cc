@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "analysis/partition.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"a", "b", "c", "d"}) {
+      ASSERT_TRUE(schema_.AddTable(name, {{"x", ColumnType::kInt}}).ok());
+    }
+  }
+
+  void Load(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    ASSERT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+    prelim_ = std::move(prelim).value();
+    auto priority = PriorityOrder::Build(prelim_, rules_);
+    ASSERT_TRUE(priority.ok()) << priority.status().ToString();
+    priority_ = std::move(priority).value();
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+  PriorityOrder priority_;
+};
+
+TEST_F(PartitionTest, DisjointTablesSplit) {
+  Load("create rule r0 on a when inserted then update a set x = 1; "
+       "create rule r1 on b when inserted then update b set x = 1; "
+       "create rule r2 on c when inserted then update d set x = 1;");
+  auto parts = Partitioner::Partition(prelim_, priority_);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], (std::vector<RuleIndex>{0}));
+  EXPECT_EQ(parts[1], (std::vector<RuleIndex>{1}));
+  EXPECT_EQ(parts[2], (std::vector<RuleIndex>{2}));
+  EXPECT_TRUE(Partitioner::IsValidPartitioning(prelim_, priority_, parts));
+}
+
+TEST_F(PartitionTest, SharedTableMerges) {
+  Load("create rule r0 on a when inserted then update b set x = 1; "
+       "create rule r1 on b when inserted then update b set x = 2; "
+       "create rule r2 on c when inserted then delete from c;");
+  auto parts = Partitioner::Partition(prelim_, priority_);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], (std::vector<RuleIndex>{0, 1}));
+  EXPECT_EQ(parts[1], (std::vector<RuleIndex>{2}));
+}
+
+TEST_F(PartitionTest, ReadsAloneMerge) {
+  // r1 only reads a (which r0 writes): still one partition, because
+  // cross-partition independence requires disjoint table references.
+  Load("create rule r0 on a when inserted then update a set x = 1; "
+       "create rule r1 on b when inserted "
+       "then update b set x = (select max(x) from a);");
+  auto parts = Partitioner::Partition(prelim_, priority_);
+  ASSERT_EQ(parts.size(), 1u);
+}
+
+TEST_F(PartitionTest, PriorityMergesPartitions) {
+  Load("create rule r0 on a when inserted then update a set x = 1 "
+       "precedes r1; "
+       "create rule r1 on b when inserted then update b set x = 1;");
+  auto parts = Partitioner::Partition(prelim_, priority_);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_TRUE(Partitioner::IsValidPartitioning(prelim_, priority_, parts));
+}
+
+TEST_F(PartitionTest, TransitiveMergeThroughChain) {
+  Load("create rule r0 on a when inserted then update b set x = 1; "
+       "create rule r1 on b when inserted then update c set x = 1; "
+       "create rule r2 on c when inserted then update d set x = 1;");
+  auto parts = Partitioner::Partition(prelim_, priority_);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 3u);
+}
+
+TEST_F(PartitionTest, ValidatorRejectsBadPartitionings) {
+  Load("create rule r0 on a when inserted then update a set x = 1; "
+       "create rule r1 on a when inserted then update a set x = 2;");
+  // Splitting rules that share table `a` is invalid.
+  EXPECT_FALSE(
+      Partitioner::IsValidPartitioning(prelim_, priority_, {{0}, {1}}));
+  // Missing rules is invalid.
+  EXPECT_FALSE(Partitioner::IsValidPartitioning(prelim_, priority_, {{0}}));
+  // Duplicated rules is invalid.
+  EXPECT_FALSE(
+      Partitioner::IsValidPartitioning(prelim_, priority_, {{0, 1}, {1}}));
+  // The correct partitioning is valid.
+  EXPECT_TRUE(
+      Partitioner::IsValidPartitioning(prelim_, priority_, {{0, 1}}));
+}
+
+TEST_F(PartitionTest, EmptyRuleSet) {
+  Load("");
+  auto parts = Partitioner::Partition(prelim_, priority_);
+  EXPECT_TRUE(parts.empty());
+  EXPECT_TRUE(Partitioner::IsValidPartitioning(prelim_, priority_, parts));
+}
+
+}  // namespace
+}  // namespace starburst

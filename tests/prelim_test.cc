@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "analysis/prelim.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class PrelimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_
+                    .AddTable("emp", {{"id", ColumnType::kInt},
+                                      {"salary", ColumnType::kInt},
+                                      {"dept", ColumnType::kInt}})
+                    .ok());
+    ASSERT_TRUE(schema_
+                    .AddTable("log", {{"id", ColumnType::kInt},
+                                      {"amount", ColumnType::kInt}})
+                    .ok());
+  }
+
+  Result<PrelimAnalysis> Compute(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    if (!script.ok()) return script.status();
+    rules_ = std::move(script.value().rules);
+    return PrelimAnalysis::Compute(schema_, rules_);
+  }
+
+  PrelimAnalysis MustCompute(const std::string& rules_src) {
+    auto r = Compute(rules_src);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : PrelimAnalysis{};
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+};
+
+TEST_F(PrelimTest, TriggeredByFromEvents) {
+  PrelimAnalysis p = MustCompute(
+      "create rule r on emp when inserted, updated(salary) then rollback;");
+  const RulePrelim& r = p.rule(0);
+  EXPECT_EQ(r.table, 0);
+  EXPECT_EQ(r.triggered_by.size(), 2u);
+  EXPECT_TRUE(r.triggered_by.count(Operation::Insert(0)) > 0);
+  EXPECT_TRUE(r.triggered_by.count(Operation::Update(0, 1)) > 0);
+}
+
+TEST_F(PrelimTest, UpdatedWithoutColumnsMeansAllColumns) {
+  PrelimAnalysis p =
+      MustCompute("create rule r on emp when updated then rollback;");
+  EXPECT_EQ(p.rule(0).triggered_by.size(), 3u);  // all emp columns
+}
+
+TEST_F(PrelimTest, PerformsFromActions) {
+  PrelimAnalysis p = MustCompute(
+      "create rule r on emp when inserted "
+      "then insert into log values (1, 2); "
+      "     delete from log where amount > 5; "
+      "     update emp set salary = 0, dept = 1;");
+  const RulePrelim& r = p.rule(0);
+  EXPECT_TRUE(r.performs.count(Operation::Insert(1)) > 0);
+  EXPECT_TRUE(r.performs.count(Operation::Delete(1)) > 0);
+  EXPECT_TRUE(r.performs.count(Operation::Update(0, 1)) > 0);
+  EXPECT_TRUE(r.performs.count(Operation::Update(0, 2)) > 0);
+  EXPECT_EQ(r.performs.size(), 4u);
+}
+
+TEST_F(PrelimTest, ReadsFromConditionAndAction) {
+  PrelimAnalysis p = MustCompute(
+      "create rule r on emp when inserted "
+      "if exists (select * from inserted where salary > 10) "
+      "then delete from log where amount > 3;");
+  const RulePrelim& r = p.rule(0);
+  // Transition-table reads map to the rule's table (Section 3): `*` over
+  // `inserted` reads every emp column; `salary` too.
+  EXPECT_TRUE(r.reads.count(TableColumn{0, 0}) > 0);
+  EXPECT_TRUE(r.reads.count(TableColumn{0, 1}) > 0);
+  // The delete's WHERE reads log.amount.
+  EXPECT_TRUE(r.reads.count(TableColumn{1, 1}) > 0);
+  EXPECT_FALSE(r.reads.count(TableColumn{1, 0}) > 0);
+}
+
+TEST_F(PrelimTest, UpdateWithoutWhereOrColumnRefsReadsNothing) {
+  // Footnote 3 of the paper: SQL can update a table without reading it.
+  PrelimAnalysis p = MustCompute(
+      "create rule r on emp when inserted then update log set amount = 7;");
+  EXPECT_TRUE(p.rule(0).reads.empty());
+  EXPECT_TRUE(p.rule(0).performs.count(Operation::Update(1, 1)) > 0);
+}
+
+TEST_F(PrelimTest, ObservableFlag) {
+  PrelimAnalysis p = MustCompute(
+      "create rule quiet on emp when inserted then delete from log; "
+      "create rule loud1 on emp when inserted then rollback; "
+      "create rule loud2 on emp when inserted then select id from emp;");
+  EXPECT_FALSE(p.rule(0).observable);
+  EXPECT_TRUE(p.rule(1).observable);
+  EXPECT_TRUE(p.rule(2).observable);
+}
+
+TEST_F(PrelimTest, TriggersRelation) {
+  PrelimAnalysis p = MustCompute(
+      "create rule a on emp when inserted then insert into log values (1, 2); "
+      "create rule b on log when inserted then update emp set salary = 1; "
+      "create rule c on emp when updated(salary) then rollback;");
+  // a performs (I, log) -> triggers b; b performs (U, emp.salary) ->
+  // triggers c; c performs nothing.
+  EXPECT_TRUE(p.TriggersRule(0, 1));
+  EXPECT_FALSE(p.TriggersRule(0, 2));
+  EXPECT_TRUE(p.TriggersRule(1, 2));
+  EXPECT_FALSE(p.TriggersRule(1, 0));
+  EXPECT_TRUE(p.Triggers(2).empty());
+}
+
+TEST_F(PrelimTest, SelfTrigger) {
+  PrelimAnalysis p = MustCompute(
+      "create rule grow on log when inserted "
+      "then insert into log values (1, 1);");
+  EXPECT_TRUE(p.TriggersRule(0, 0));
+}
+
+TEST_F(PrelimTest, CanUntrigger) {
+  PrelimAnalysis p = MustCompute(
+      "create rule deleter on emp when inserted then delete from log; "
+      "create rule on_log_ins on log when inserted then rollback; "
+      "create rule on_log_del on log when deleted then rollback;");
+  // deleter performs (D, log): can untrigger rules triggered by inserts or
+  // updates on log, but not by deletes.
+  EXPECT_TRUE(p.CanUntriggerRule(0, 1));
+  EXPECT_FALSE(p.CanUntriggerRule(0, 2));
+  auto untriggered = p.CanUntrigger(p.rule(0).performs);
+  ASSERT_EQ(untriggered.size(), 1u);
+  EXPECT_EQ(untriggered[0], 1);
+}
+
+TEST_F(PrelimTest, FindRuleIsCaseInsensitive) {
+  PrelimAnalysis p =
+      MustCompute("create rule MyRule on emp when inserted then rollback;");
+  EXPECT_EQ(p.FindRule("myrule"), 0);
+  EXPECT_EQ(p.FindRule("MYRULE"), 0);
+  EXPECT_EQ(p.FindRule("other"), -1);
+}
+
+TEST_F(PrelimTest, DuplicateRuleNamesRejected) {
+  auto r = Compute(
+      "create rule r on emp when inserted then rollback; "
+      "create rule R on log when deleted then rollback;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(PrelimTest, UnknownTableRejected) {
+  EXPECT_FALSE(Compute("create rule r on nope when inserted then rollback;")
+                   .ok());
+}
+
+TEST_F(PrelimTest, UnknownEventColumnRejected) {
+  EXPECT_FALSE(
+      Compute("create rule r on emp when updated(nope) then rollback;").ok());
+}
+
+TEST_F(PrelimTest, TransitionTableRequiresMatchingEvent) {
+  // Reads `deleted` but is only triggered by inserts (Section 2 rule).
+  auto r = Compute(
+      "create rule r on emp when inserted "
+      "if exists (select * from deleted) then rollback;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(PrelimTest, NewUpdatedRequiresUpdatedEvent) {
+  EXPECT_FALSE(Compute("create rule r on emp when deleted "
+                       "if exists (select * from new_updated) then rollback;")
+                   .ok());
+  EXPECT_TRUE(Compute("create rule r on emp when updated(salary) "
+                      "if exists (select * from new_updated) then rollback;")
+                  .ok());
+}
+
+TEST_F(PrelimTest, UnqualifiedColumnFallsBackToAllTablesWithIt) {
+  // `id` exists in both emp and log; a condition with no FROM scope
+  // attributes the read to both (conservative).
+  PrelimAnalysis p = MustCompute(
+      "create rule r on emp when inserted "
+      "if (select max(id) from emp) > (select max(id) from log) "
+      "then rollback;");
+  EXPECT_TRUE(p.rule(0).reads.count(TableColumn{0, 0}) > 0);
+  EXPECT_TRUE(p.rule(0).reads.count(TableColumn{1, 0}) > 0);
+}
+
+TEST_F(PrelimTest, ReferencedTablesForPartitioning) {
+  PrelimAnalysis p = MustCompute(
+      "create rule r on emp when inserted "
+      "then insert into log select id, salary from inserted;");
+  EXPECT_EQ(p.rule(0).referenced_tables.size(), 2u);
+}
+
+TEST_F(PrelimTest, ExtendWithObservableTable) {
+  PrelimAnalysis p = MustCompute(
+      "create rule loud on emp when inserted then rollback; "
+      "create rule quiet on emp when inserted then delete from log;");
+  TableId obs = schema_.num_tables();
+  PrelimAnalysis ext = p.ExtendWithObservableTable(obs);
+  EXPECT_TRUE(ext.rule(0).performs.count(Operation::Insert(obs)) > 0);
+  EXPECT_TRUE(ext.rule(0).reads.count(TableColumn{obs, 0}) > 0);
+  EXPECT_FALSE(ext.rule(1).performs.count(Operation::Insert(obs)) > 0);
+  // Original is untouched.
+  EXPECT_FALSE(p.rule(0).performs.count(Operation::Insert(obs)) > 0);
+}
+
+}  // namespace
+}  // namespace starburst

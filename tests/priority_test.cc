@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "analysis/priority.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class PriorityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_.AddTable("t", {{"a", ColumnType::kInt}}).ok());
+  }
+
+  Result<PriorityOrder> Build(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    if (!script.ok()) return script.status();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    if (!prelim.ok()) return prelim.status();
+    prelim_ = std::move(prelim).value();
+    return PriorityOrder::Build(prelim_, rules_);
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+};
+
+TEST_F(PriorityTest, PrecedesAndFollows) {
+  auto order = Build(
+      "create rule a on t when inserted then rollback precedes b; "
+      "create rule b on t when inserted then rollback; "
+      "create rule c on t when inserted then rollback follows b;");
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  const PriorityOrder& p = order.value();
+  EXPECT_TRUE(p.Higher(0, 1));   // a > b
+  EXPECT_TRUE(p.Higher(1, 2));   // b > c (c follows b)
+  EXPECT_TRUE(p.Higher(0, 2));   // transitive
+  EXPECT_FALSE(p.Higher(1, 0));
+  EXPECT_FALSE(p.Unordered(0, 1));
+  EXPECT_EQ(p.num_ordered_pairs(), 3);
+}
+
+TEST_F(PriorityTest, UnorderedByDefault) {
+  auto order = Build(
+      "create rule a on t when inserted then rollback; "
+      "create rule b on t when inserted then rollback;");
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order.value().Unordered(0, 1));
+  EXPECT_TRUE(order.value().Unordered(1, 0));
+}
+
+TEST_F(PriorityTest, CycleRejected) {
+  auto order = Build(
+      "create rule a on t when inserted then rollback precedes b; "
+      "create rule b on t when inserted then rollback precedes a;");
+  ASSERT_FALSE(order.ok());
+  EXPECT_EQ(order.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(PriorityTest, TransitiveCycleRejected) {
+  auto order = Build(
+      "create rule a on t when inserted then rollback precedes b; "
+      "create rule b on t when inserted then rollback precedes c; "
+      "create rule c on t when inserted then rollback precedes a;");
+  EXPECT_FALSE(order.ok());
+}
+
+TEST_F(PriorityTest, UnknownRuleNameRejected) {
+  auto order = Build(
+      "create rule a on t when inserted then rollback precedes ghost;");
+  ASSERT_FALSE(order.ok());
+  EXPECT_EQ(order.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(PriorityTest, ChooseFiltersDominatedRules) {
+  auto order = Build(
+      "create rule a on t when inserted then rollback precedes b, c; "
+      "create rule b on t when inserted then rollback; "
+      "create rule c on t when inserted then rollback;");
+  ASSERT_TRUE(order.ok());
+  const PriorityOrder& p = order.value();
+  // All triggered: only a eligible.
+  EXPECT_EQ(p.Choose({0, 1, 2}), (std::vector<RuleIndex>{0}));
+  // Without a: b and c are both maximal.
+  EXPECT_EQ(p.Choose({1, 2}), (std::vector<RuleIndex>{1, 2}));
+  // Singleton.
+  EXPECT_EQ(p.Choose({2}), (std::vector<RuleIndex>{2}));
+  // Empty.
+  EXPECT_TRUE(p.Choose({}).empty());
+}
+
+TEST_F(PriorityTest, FromEdges) {
+  auto order = PriorityOrder::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order.value().Higher(0, 2));
+  EXPECT_FALSE(PriorityOrder::FromEdges(2, {{0, 1}, {1, 0}}).ok());
+  EXPECT_FALSE(PriorityOrder::FromEdges(2, {{0, 5}}).ok());
+}
+
+TEST_F(PriorityTest, ExtraEdgesComposeWithDeclared) {
+  auto script = Parser::ParseScript(
+      "create rule a on t when inserted then rollback precedes b; "
+      "create rule b on t when inserted then rollback; "
+      "create rule c on t when inserted then rollback;");
+  ASSERT_TRUE(script.ok());
+  rules_ = std::move(script.value().rules);
+  auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+  ASSERT_TRUE(prelim.ok());
+  prelim_ = std::move(prelim).value();
+  auto order = PriorityOrder::Build(prelim_, rules_, {{1, 2}});
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order.value().Higher(0, 2));  // a > b > c transitively
+  // An extra edge that closes a cycle is rejected.
+  EXPECT_FALSE(PriorityOrder::Build(prelim_, rules_, {{1, 0}}).ok());
+}
+
+}  // namespace
+}  // namespace starburst

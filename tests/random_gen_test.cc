@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "rulelang/printer.h"
+#include "rulelang/parser.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace {
+
+TEST(RandomGenTest, DeterministicForSameSeed) {
+  RandomRuleSetParams params;
+  params.seed = 7;
+  GeneratedRuleSet a = RandomRuleSetGenerator::Generate(params);
+  GeneratedRuleSet b = RandomRuleSetGenerator::Generate(params);
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(RuleToString(a.rules[i]), RuleToString(b.rules[i]));
+  }
+}
+
+TEST(RandomGenTest, DifferentSeedsDiffer) {
+  RandomRuleSetParams pa, pb;
+  pa.seed = 1;
+  pb.seed = 2;
+  pa.num_rules = pb.num_rules = 8;
+  GeneratedRuleSet a = RandomRuleSetGenerator::Generate(pa);
+  GeneratedRuleSet b = RandomRuleSetGenerator::Generate(pb);
+  std::string text_a, text_b;
+  for (const auto& r : a.rules) text_a += RuleToString(r);
+  for (const auto& r : b.rules) text_b += RuleToString(r);
+  EXPECT_NE(text_a, text_b);
+}
+
+TEST(RandomGenTest, GeneratedRulesAlwaysValidate) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    RandomRuleSetParams params;
+    params.seed = seed;
+    params.num_rules = 12;
+    params.priority_density = 0.15;
+    params.observable_fraction = 0.3;
+    GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+    auto catalog = RuleCatalog::Build(gen.schema.get(), std::move(gen.rules));
+    EXPECT_TRUE(catalog.ok())
+        << "seed " << seed << ": " << catalog.status().ToString();
+  }
+}
+
+TEST(RandomGenTest, GeneratedRulesRoundTripThroughParser) {
+  RandomRuleSetParams params;
+  params.seed = 3;
+  params.num_rules = 10;
+  params.priority_density = 0.2;
+  GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+  for (const RuleDef& rule : gen.rules) {
+    std::string text = RuleToString(rule);
+    auto parsed = Parser::ParseRule(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(RuleToString(parsed.value()), text);
+  }
+}
+
+TEST(RandomGenTest, PriorityDensityProducesOrderings) {
+  RandomRuleSetParams params;
+  params.seed = 5;
+  params.num_rules = 10;
+  params.priority_density = 1.0;  // every pair ordered
+  GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+  auto catalog = RuleCatalog::Build(gen.schema.get(), std::move(gen.rules));
+  ASSERT_TRUE(catalog.ok());
+  const PriorityOrder& p = catalog.value().priority();
+  for (int i = 0; i < 10; ++i) {
+    for (int j = i + 1; j < 10; ++j) {
+      EXPECT_FALSE(p.Unordered(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(RandomGenTest, ZeroPriorityDensityLeavesAllUnordered) {
+  RandomRuleSetParams params;
+  params.seed = 5;
+  params.num_rules = 6;
+  params.priority_density = 0.0;
+  GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+  auto catalog = RuleCatalog::Build(gen.schema.get(), std::move(gen.rules));
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog.value().priority().num_ordered_pairs(), 0);
+}
+
+TEST(RandomGenTest, ObservableFractionProducesObservableRules) {
+  RandomRuleSetParams params;
+  params.seed = 11;
+  params.num_rules = 20;
+  params.observable_fraction = 1.0;
+  GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+  auto prelim = PrelimAnalysis::Compute(*gen.schema, gen.rules);
+  ASSERT_TRUE(prelim.ok());
+  for (int i = 0; i < prelim.value().num_rules(); ++i) {
+    EXPECT_TRUE(prelim.value().rule(i).observable) << i;
+  }
+}
+
+TEST(RandomGenTest, PopulateRandomDatabaseFillsAllTables) {
+  RandomRuleSetParams params;
+  params.num_tables = 3;
+  GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+  Database db(gen.schema.get());
+  ASSERT_TRUE(PopulateRandomDatabase(&db, 5, 42).ok());
+  for (TableId t = 0; t < gen.schema->num_tables(); ++t) {
+    EXPECT_EQ(db.storage(t).size(), 5u);
+  }
+  // Deterministic per seed.
+  Database db2(gen.schema.get());
+  ASSERT_TRUE(PopulateRandomDatabase(&db2, 5, 42).ok());
+  EXPECT_EQ(db.CanonicalString(), db2.CanonicalString());
+  Database db3(gen.schema.get());
+  ASSERT_TRUE(PopulateRandomDatabase(&db3, 5, 43).ok());
+  EXPECT_NE(db.CanonicalString(), db3.CanonicalString());
+}
+
+TEST(RandomGenTest, DagTriggeringIsAcyclic) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    RandomRuleSetParams params;
+    params.seed = seed;
+    params.num_rules = 12;
+    params.num_tables = 5;
+    params.tables_per_rule = 3;
+    params.dag_triggering = true;
+    GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+    auto prelim = PrelimAnalysis::Compute(*gen.schema, gen.rules);
+    ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+    TriggeringGraph graph(prelim.value());
+    EXPECT_TRUE(graph.IsAcyclic()) << "seed " << seed;
+  }
+}
+
+TEST(RandomGenTest, PopulateHandlesAllColumnTypes) {
+  Schema schema;
+  ASSERT_TRUE(schema
+                  .AddTable("mixed", {{"i", ColumnType::kInt},
+                                      {"d", ColumnType::kDouble},
+                                      {"s", ColumnType::kString},
+                                      {"b", ColumnType::kBool}})
+                  .ok());
+  Database db(&schema);
+  ASSERT_TRUE(PopulateRandomDatabase(&db, 3, 1).ok());
+  EXPECT_EQ(db.storage(0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/report.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"t", "s", "scratch"}) {
+      ASSERT_TRUE(schema_
+                      .AddTable(name, {{"a", ColumnType::kInt},
+                                       {"b", ColumnType::kInt}})
+                      .ok());
+    }
+  }
+
+  Analyzer Create(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    EXPECT_TRUE(script.ok()) << script.status().ToString();
+    auto analyzer =
+        Analyzer::Create(&schema_, std::move(script.value().rules));
+    EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+    return std::move(analyzer).value();
+  }
+
+  Schema schema_;
+};
+
+TEST_F(ReportTest, TerminationAcyclicReport) {
+  Analyzer a = Create(
+      "create rule r on t when inserted then update s set a = 1;");
+  std::string text =
+      TerminationReportToString(a.AnalyzeTermination(), a.catalog());
+  EXPECT_NE(text.find("acyclic"), std::string::npos);
+  EXPECT_NE(text.find("GUARANTEED"), std::string::npos);
+  EXPECT_NE(text.find("Theorem 5.1"), std::string::npos);
+}
+
+TEST_F(ReportTest, TerminationCycleReportListsComponents) {
+  Analyzer a = Create(
+      "create rule ping on t when inserted then insert into s values (1, 2); "
+      "create rule pong on s when inserted then insert into t values (1, 2);");
+  std::string text =
+      TerminationReportToString(a.AnalyzeTermination(), a.catalog());
+  EXPECT_NE(text.find("{ping, pong}"), std::string::npos);
+  EXPECT_NE(text.find("NOT discharged"), std::string::npos);
+  EXPECT_NE(text.find("MAY NOT"), std::string::npos);
+  a.CertifyQuiescent("pong");
+  std::string text2 =
+      TerminationReportToString(a.AnalyzeTermination(), a.catalog());
+  EXPECT_NE(text2.find("discharged by certification of {pong}"),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, PartiallyDischargedCertificationExplained) {
+  // Certified rule exists but does not break every cycle.
+  Analyzer a = Create(
+      "create rule hub on t when inserted then insert into s values (1, 2); "
+      "create rule back1 on s when inserted then insert into t values (1, 2); "
+      "create rule back2 on s when inserted then insert into t values (3, 4);");
+  a.CertifyQuiescent("back1");
+  std::string text =
+      TerminationReportToString(a.AnalyzeTermination(), a.catalog());
+  EXPECT_NE(text.find("do not break every cycle"), std::string::npos);
+}
+
+TEST_F(ReportTest, ConfluenceViolationNamesWitnessesAndSets) {
+  Analyzer a = Create(
+      "create rule w1 on t when inserted then update s set a = 1; "
+      "create rule w2 on t when inserted then update s set a = 2;");
+  std::string text =
+      ConfluenceReportToString(a.AnalyzeConfluence(4), a.catalog());
+  EXPECT_NE(text.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(text.find("R1={w1}"), std::string::npos);
+  EXPECT_NE(text.find("R2={w2}"), std::string::npos);
+  EXPECT_NE(text.find("condition 5"), std::string::npos);
+}
+
+TEST_F(ReportTest, ConfluenceRequirementHoldsButNoTermination) {
+  Analyzer a = Create(
+      "create rule grow on t when inserted then insert into t values (1, 2);");
+  std::string text =
+      ConfluenceReportToString(a.AnalyzeConfluence(), a.catalog());
+  EXPECT_NE(text.find("termination is not"), std::string::npos);
+}
+
+TEST_F(ReportTest, PartialConfluenceReportNamesTables) {
+  Analyzer a = Create(
+      "create rule w1 on t when inserted then update scratch set a = 1; "
+      "create rule w2 on t when inserted then update scratch set a = 2;");
+  auto report = a.AnalyzePartialConfluence({"s"});
+  ASSERT_TRUE(report.ok());
+  std::string text =
+      PartialConfluenceReportToString(report.value(), a.catalog());
+  EXPECT_NE(text.find("T' = {s}"), std::string::npos);
+  EXPECT_NE(text.find("PARTIALLY CONFLUENT"), std::string::npos);
+
+  auto bad = a.AnalyzePartialConfluence({"scratch"});
+  ASSERT_TRUE(bad.ok());
+  std::string bad_text =
+      PartialConfluenceReportToString(bad.value(), a.catalog());
+  EXPECT_NE(bad_text.find("NOT established"), std::string::npos);
+}
+
+TEST_F(ReportTest, ObservableReportExplainsCorollary82) {
+  Analyzer a = Create(
+      "create rule s1 on t when inserted then select a from t; "
+      "create rule s2 on t when inserted then select b from t;");
+  std::string text = ObservableReportToString(
+      a.AnalyzeObservableDeterminism(4), a.catalog());
+  EXPECT_NE(text.find("Corollary 8.2"), std::string::npos);
+  EXPECT_NE(text.find("s1"), std::string::npos);
+  EXPECT_NE(text.find("Sig(Obs)"), std::string::npos);
+}
+
+TEST_F(ReportTest, FullReportCoversAllSections) {
+  Analyzer a = Create(
+      "create rule w1 on t when inserted then update s set a = 1; "
+      "create rule w2 on t when inserted then update s set a = 2;");
+  std::string text = FullReportToString(a.AnalyzeAll(4), a.catalog());
+  for (const char* needle :
+       {"Termination (Section 5)", "Confluence (Section 6)",
+        "Observable determinism (Section 8)", "Suggestions (Section 6.4)"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(ReportTest, EmptyRuleSetReportsAreWellFormed) {
+  Analyzer a = Create("");
+  std::string text = FullReportToString(a.AnalyzeAll(), a.catalog());
+  EXPECT_NE(text.find("GUARANTEED"), std::string::npos);
+  EXPECT_NE(text.find("CONFLUENT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starburst

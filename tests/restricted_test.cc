@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "analysis/restricted.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class RestrictedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"a", "b", "c"}) {
+      ASSERT_TRUE(schema_.AddTable(name, {{"x", ColumnType::kInt}}).ok());
+    }
+  }
+
+  void Load(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    ASSERT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+    prelim_ = std::move(prelim).value();
+    auto priority = PriorityOrder::Build(prelim_, rules_);
+    ASSERT_TRUE(priority.ok()) << priority.status().ToString();
+    priority_ = std::move(priority).value();
+    commutativity_ =
+        std::make_unique<CommutativityAnalyzer>(prelim_, schema_);
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+  PriorityOrder priority_;
+  std::unique_ptr<CommutativityAnalyzer> commutativity_;
+};
+
+TEST_F(RestrictedTest, OnlyReachableRulesAreRelevant) {
+  Load(
+      // Reachable from inserts into a.
+      "create rule r0 on a when inserted then update b set x = 1; "
+      "create rule r1 on b when updated(x) then delete from c; "
+      // Unreachable: only triggered by deletes from a.
+      "create rule r2 on a when deleted then update c set x = 9;");
+  OperationSet allowed = {Operation::Insert(0)};
+  auto relevant = RestrictedOpsAnalyzer::RelevantRules(prelim_, allowed);
+  EXPECT_EQ(relevant, (std::vector<RuleIndex>{0, 1}));
+}
+
+TEST_F(RestrictedTest, ClosureFollowsTriggersTransitively) {
+  Load("create rule r0 on a when inserted then insert into b values (1); "
+       "create rule r1 on b when inserted then insert into c values (1); "
+       "create rule r2 on c when inserted then update c set x = 0;");
+  OperationSet allowed = {Operation::Insert(0)};
+  auto relevant = RestrictedOpsAnalyzer::RelevantRules(prelim_, allowed);
+  EXPECT_EQ(relevant.size(), 3u);
+}
+
+TEST_F(RestrictedTest, RestrictionCanRecoverTermination) {
+  // The full rule set has a cycle through deletes, but if users only ever
+  // insert into a, the cycle members are unreachable.
+  Load("create rule safe on a when inserted then update b set x = 1; "
+       "create rule loop1 on c when deleted then insert into c values (1); "
+       "create rule loop2 on c when inserted then delete from c;");
+  TerminationReport full = TerminationAnalyzer::Analyze(prelim_);
+  EXPECT_FALSE(full.guaranteed);
+
+  auto report = RestrictedOpsAnalyzer::Analyze(
+      *commutativity_, priority_, {Operation::Insert(0)});
+  EXPECT_EQ(report.relevant, (std::vector<RuleIndex>{0}));
+  EXPECT_TRUE(report.termination.guaranteed);
+  EXPECT_TRUE(report.confluence.confluent);
+}
+
+TEST_F(RestrictedTest, RestrictionCanRecoverConfluence) {
+  Load(
+      // These two conflict, but only fire on deletes from b.
+      "create rule w1 on b when deleted then update c set x = 1; "
+      "create rule w2 on b when deleted then update c set x = 2; "
+      // This one fires on inserts into a.
+      "create rule ok on a when inserted then update b set x = 5;");
+  ConfluenceAnalyzer full(*commutativity_, priority_);
+  EXPECT_FALSE(full.Analyze(true).requirement_holds);
+
+  auto report = RestrictedOpsAnalyzer::Analyze(
+      *commutativity_, priority_, {Operation::Insert(0)});
+  EXPECT_EQ(report.relevant, (std::vector<RuleIndex>{2}));
+  EXPECT_TRUE(report.confluence.requirement_holds);
+}
+
+TEST_F(RestrictedTest, UpdateGranularityRespected) {
+  ASSERT_TRUE(schema_.AddTable("wide", {{"x", ColumnType::kInt},
+                                        {"y", ColumnType::kInt}})
+                  .ok());
+  Load("create rule on_x on wide when updated(x) then delete from a; "
+       "create rule on_y on wide when updated(y) then delete from b;");
+  TableId wide = schema_.FindTable("wide");
+  auto relevant = RestrictedOpsAnalyzer::RelevantRules(
+      prelim_, {Operation::Update(wide, 0)});
+  EXPECT_EQ(relevant, (std::vector<RuleIndex>{0}));
+}
+
+TEST_F(RestrictedTest, EmptyAllowedSetMeansNothingRuns) {
+  Load("create rule r0 on a when inserted then update b set x = 1;");
+  auto report =
+      RestrictedOpsAnalyzer::Analyze(*commutativity_, priority_, {});
+  EXPECT_TRUE(report.initially_triggerable.empty());
+  EXPECT_TRUE(report.relevant.empty());
+  EXPECT_TRUE(report.termination.guaranteed);
+  EXPECT_TRUE(report.confluence.confluent);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "engine/serialize.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace {
+
+TEST(SerializeTest, DumpSchemaIsParseableDdl) {
+  Schema schema;
+  ASSERT_TRUE(schema
+                  .AddTable("emp", {{"id", ColumnType::kInt},
+                                    {"name", ColumnType::kString},
+                                    {"rate", ColumnType::kDouble},
+                                    {"active", ColumnType::kBool}})
+                  .ok());
+  std::string ddl = DumpSchema(schema);
+  Schema reloaded;
+  auto db = LoadDatabaseScript(&reloaded, ddl);
+  ASSERT_TRUE(db.ok()) << db.status().ToString() << "\n" << ddl;
+  EXPECT_EQ(reloaded.num_tables(), 1);
+  EXPECT_EQ(reloaded.table(0).num_columns(), 4);
+  EXPECT_EQ(reloaded.table(0).column(2).type, ColumnType::kDouble);
+}
+
+TEST(SerializeTest, RoundTripPreservesLogicalContents) {
+  Schema schema;
+  ASSERT_TRUE(schema
+                  .AddTable("t", {{"i", ColumnType::kInt},
+                                  {"d", ColumnType::kDouble},
+                                  {"s", ColumnType::kString},
+                                  {"b", ColumnType::kBool}})
+                  .ok());
+  Database db(&schema);
+  ASSERT_TRUE(db.storage(0)
+                  .Insert({Value::Int(-4), Value::Double(2.5),
+                           Value::String("it's"), Value::Bool(true)})
+                  .ok());
+  ASSERT_TRUE(db.storage(0)
+                  .Insert({Value::Null(), Value::Double(3.0), Value::Null(),
+                           Value::Bool(false)})
+                  .ok());
+  ASSERT_TRUE(db.storage(0)
+                  .Insert({Value::Int(7), Value::Double(0.1234567890123),
+                           Value::String(""), Value::Null()})
+                  .ok());
+
+  std::string script = DumpDatabase(db);
+  Schema reloaded_schema;
+  auto reloaded = LoadDatabaseScript(&reloaded_schema, script);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString() << "\n" << script;
+  EXPECT_EQ(reloaded.value().CanonicalString(), db.CanonicalString());
+}
+
+TEST(SerializeTest, WholeDoublesStayDoubles) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddTable("t", {{"d", ColumnType::kDouble}}).ok());
+  Database db(&schema);
+  ASSERT_TRUE(db.storage(0).Insert({Value::Double(3.0)}).ok());
+  Schema reloaded_schema;
+  auto reloaded = LoadDatabaseScript(&reloaded_schema, DumpDatabase(db));
+  ASSERT_TRUE(reloaded.ok());
+  const Tuple& tuple =
+      reloaded.value().storage(0).rows().begin()->second;
+  EXPECT_TRUE(tuple[0].is_double());
+  EXPECT_DOUBLE_EQ(tuple[0].double_value(), 3.0);
+}
+
+TEST(SerializeTest, EmptyTablesAreSkippedInDataButPresentInSchema) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddTable("empty", {{"a", ColumnType::kInt}}).ok());
+  Database db(&schema);
+  EXPECT_EQ(DumpData(db), "");
+  EXPECT_NE(DumpSchema(schema).find("create table empty"),
+            std::string::npos);
+  Schema reloaded_schema;
+  auto reloaded = LoadDatabaseScript(&reloaded_schema, DumpDatabase(db));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded_schema.num_tables(), 1);
+  EXPECT_EQ(reloaded.value().storage(0).size(), 0u);
+}
+
+TEST(SerializeTest, RejectsRuleDefinitions) {
+  Schema schema;
+  auto r = LoadDatabaseScript(
+      &schema,
+      "create table t (a int); "
+      "create rule r on t when inserted then delete from t;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RejectsRollback) {
+  Schema schema;
+  EXPECT_FALSE(
+      LoadDatabaseScript(&schema, "create table t (a int); rollback;").ok());
+}
+
+TEST(SerializeTest, ScriptsMayInterleaveDdlAndDml) {
+  Schema schema;
+  auto db = LoadDatabaseScript(&schema, R"(
+    create table a (x int);
+    insert into a values (1), (2);
+    create table b (y int);
+    insert into b select x + 10 from a;
+    delete from a where x = 1;
+    update b set y = y * 2;
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db.value().storage(0).size(), 1u);
+  EXPECT_EQ(db.value().storage(1).size(), 2u);
+}
+
+TEST(SerializeTest, RandomDatabasesRoundTrip) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    RandomRuleSetParams params;
+    params.seed = seed;
+    params.num_tables = 3;
+    GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+    Database db(gen.schema.get());
+    ASSERT_TRUE(PopulateRandomDatabase(&db, 8, seed).ok());
+    Schema reloaded_schema;
+    auto reloaded = LoadDatabaseScript(&reloaded_schema, DumpDatabase(db));
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    EXPECT_EQ(reloaded.value().CanonicalString(), db.CanonicalString())
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "analysis/suggest.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class SuggestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"t", "s", "u"}) {
+      ASSERT_TRUE(schema_
+                      .AddTable(name, {{"a", ColumnType::kInt},
+                                       {"b", ColumnType::kInt}})
+                      .ok());
+    }
+  }
+
+  void Load(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    ASSERT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+    prelim_ = std::move(prelim).value();
+    auto priority = PriorityOrder::Build(prelim_, rules_);
+    ASSERT_TRUE(priority.ok()) << priority.status().ToString();
+    priority_ = std::move(priority).value();
+    commutativity_ =
+        std::make_unique<CommutativityAnalyzer>(prelim_, schema_);
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+  PrelimAnalysis prelim_;
+  PriorityOrder priority_;
+  std::unique_ptr<CommutativityAnalyzer> commutativity_;
+};
+
+TEST_F(SuggestTest, SuggestsCertifyAndOrder) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update s set a = 2;");
+  ConfluenceAnalyzer analyzer(*commutativity_, priority_);
+  ConfluenceReport report = analyzer.Analyze(true);
+  auto suggestions = SuggestForConfluence(report);
+  ASSERT_EQ(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0].kind, Suggestion::Kind::kCertifyCommute);
+  EXPECT_EQ(suggestions[1].kind, Suggestion::Kind::kAddPriority);
+  // Descriptions are human-readable and name the rules.
+  EXPECT_NE(suggestions[0].Describe(prelim_).find("r0"), std::string::npos);
+  EXPECT_NE(suggestions[1].Describe(prelim_).find("priority"),
+            std::string::npos);
+}
+
+TEST_F(SuggestTest, NoSuggestionsWhenConfluent) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update u set a = 1;");
+  ConfluenceAnalyzer analyzer(*commutativity_, priority_);
+  auto suggestions = SuggestForConfluence(analyzer.Analyze(true));
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST_F(SuggestTest, SuggestionsAreDeduplicated) {
+  // Three mutually conflicting rules: each pair appears once.
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update s set a = 2; "
+       "create rule r2 on t when inserted then update s set a = 3;");
+  ConfluenceAnalyzer analyzer(*commutativity_, priority_);
+  auto suggestions = SuggestForConfluence(analyzer.Analyze(true));
+  int certify = 0, order = 0;
+  for (const auto& s : suggestions) {
+    if (s.kind == Suggestion::Kind::kCertifyCommute) ++certify;
+    if (s.kind == Suggestion::Kind::kAddPriority) ++order;
+  }
+  EXPECT_EQ(certify, 3);
+  EXPECT_EQ(order, 3);
+}
+
+TEST_F(SuggestTest, RepairByOrderingReachesConfluence) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update s set a = 2; "
+       "create rule r2 on t when inserted then update s set a = 3;");
+  RepairResult result =
+      RepairByOrdering(*commutativity_, priority_, /*termination=*/true);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(result.added_orderings.size(), 3u);  // one per conflicting pair
+  EXPECT_TRUE(result.final_report.requirement_holds);
+}
+
+TEST_F(SuggestTest, RepairKeepsExistingOrderings) {
+  Load("create rule r0 on t when inserted then update s set a = 1 "
+       "precedes r1; "
+       "create rule r1 on t when inserted then update s set a = 2; "
+       "create rule r2 on t when inserted then update s set a = 3;");
+  RepairResult result = RepairByOrdering(*commutativity_, priority_, true);
+  EXPECT_TRUE(result.succeeded);
+  // Only the pairs (r0, r2) and (r1, r2) needed new orderings.
+  EXPECT_EQ(result.added_orderings.size(), 2u);
+}
+
+TEST_F(SuggestTest, RepairOnAlreadyConfluentSetIsNoop) {
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update u set a = 1;");
+  RepairResult result = RepairByOrdering(*commutativity_, priority_, true);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_TRUE(result.added_orderings.empty());
+  EXPECT_EQ(result.iterations, 1);
+}
+
+TEST_F(SuggestTest, Corollary610LintFlagsUnorderedTriggerPairs) {
+  Load("create rule src on t when inserted then insert into s values (1, 2); "
+       "create rule dst on s when inserted then delete from u;");
+  auto warnings = CorollaryLints(*commutativity_, priority_);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("Corollary 6.10"), std::string::npos);
+  EXPECT_NE(warnings[0].find("src"), std::string::npos);
+  EXPECT_NE(warnings[0].find("dst"), std::string::npos);
+}
+
+TEST_F(SuggestTest, Corollary610LintSilentWhenOrdered) {
+  Load("create rule src on t when inserted then insert into s values (1, 2) "
+       "precedes dst; "
+       "create rule dst on s when inserted then delete from u;");
+  EXPECT_TRUE(CorollaryLints(*commutativity_, priority_).empty());
+}
+
+TEST_F(SuggestTest, Corollary69LintFlagsNoncommutingPairsWithoutPriorities) {
+  Load("create rule w1 on t when inserted then update s set a = 1; "
+       "create rule w2 on t when deleted then update s set a = 2;");
+  auto warnings = CorollaryLints(*commutativity_, priority_);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("Corollary 6.9"), std::string::npos);
+}
+
+TEST_F(SuggestTest, LintsEmptyForCleanRuleSet) {
+  Load("create rule w1 on t when inserted then update s set a = 1; "
+       "create rule w2 on t when deleted then update u set a = 2;");
+  EXPECT_TRUE(CorollaryLints(*commutativity_, priority_).empty());
+}
+
+TEST_F(SuggestTest, RepairIterationCountMatchesFootnote6) {
+  // Footnote 6: each added ordering can surface new violations, so the
+  // process is iterative: iterations == added orderings + 1 final check.
+  Load("create rule r0 on t when inserted then update s set a = 1; "
+       "create rule r1 on t when inserted then update s set a = 2; "
+       "create rule r2 on t when inserted then update s set a = 3; "
+       "create rule r3 on t when inserted then update s set a = 4;");
+  RepairResult result = RepairByOrdering(*commutativity_, priority_, true);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(result.iterations,
+            static_cast<int>(result.added_orderings.size()) + 1);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "analysis/termination.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class TerminationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"a", "b", "c"}) {
+      ASSERT_TRUE(schema_.AddTable(name, {{"x", ColumnType::kInt}}).ok());
+    }
+  }
+
+  PrelimAnalysis Compute(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    EXPECT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    EXPECT_TRUE(prelim.ok()) << prelim.status().ToString();
+    return prelim.ok() ? std::move(prelim).value() : PrelimAnalysis{};
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+};
+
+TEST_F(TerminationTest, AcyclicGuaranteesTermination) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then delete from c;");
+  TerminationReport report = TerminationAnalyzer::Analyze(p);
+  EXPECT_TRUE(report.guaranteed);
+  EXPECT_TRUE(report.acyclic);
+  EXPECT_TRUE(report.cycles.empty());
+}
+
+TEST_F(TerminationTest, CycleNotGuaranteedWithoutCertification) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then insert into a values (1);");
+  TerminationReport report = TerminationAnalyzer::Analyze(p);
+  EXPECT_FALSE(report.guaranteed);
+  EXPECT_FALSE(report.acyclic);
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_FALSE(report.cycles[0].discharged);
+  EXPECT_EQ(report.cycles[0].rules, (std::vector<RuleIndex>{0, 1}));
+}
+
+TEST_F(TerminationTest, CertificationDischargesCycle) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then insert into a values (1);");
+  TerminationCertifications certs;
+  certs.quiescent_rules.insert("r1");
+  TerminationReport report = TerminationAnalyzer::Analyze(p, certs);
+  EXPECT_TRUE(report.guaranteed);
+  EXPECT_FALSE(report.acyclic);  // still cyclic, but discharged
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_TRUE(report.cycles[0].discharged);
+  EXPECT_EQ(report.cycles[0].certified, (std::vector<RuleIndex>{1}));
+}
+
+TEST_F(TerminationTest, CertificationIsCaseInsensitive) {
+  PrelimAnalysis p = Compute(
+      "create rule Loop on a when inserted then insert into a values (1);");
+  TerminationCertifications certs;
+  certs.quiescent_rules.insert("LOOP");
+  EXPECT_TRUE(TerminationAnalyzer::Analyze(p, certs).guaranteed);
+}
+
+TEST_F(TerminationTest, CertificationMustBreakEveryCycle) {
+  // A component with two disjoint cycles through different rules:
+  // r0 -> r1 -> r0 and r0 -> r2 -> r0. Certifying r1 leaves the r0/r2
+  // cycle intact; the component stays undischarged.
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted "
+      "then insert into b values (1); "
+      "create rule r1 on b when inserted "
+      "then insert into a values (1); "
+      "create rule r2 on b when inserted "
+      "then insert into a values (2);");
+  TerminationCertifications certs;
+  certs.quiescent_rules.insert("r1");
+  TerminationReport report = TerminationAnalyzer::Analyze(p, certs);
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_FALSE(report.cycles[0].discharged);
+  EXPECT_FALSE(report.guaranteed);
+  // Certifying r0 breaks both cycles.
+  certs.quiescent_rules.insert("r0");
+  EXPECT_TRUE(TerminationAnalyzer::Analyze(p, certs).guaranteed);
+}
+
+TEST_F(TerminationTest, MultipleCyclesEachNeedDischarge) {
+  PrelimAnalysis p = Compute(
+      "create rule s1 on a when updated(x) then update a set x = 1; "
+      "create rule s2 on b when updated(x) then update b set x = 1;");
+  TerminationCertifications certs;
+  certs.quiescent_rules.insert("s1");
+  TerminationReport report = TerminationAnalyzer::Analyze(p, certs);
+  EXPECT_FALSE(report.guaranteed);
+  EXPECT_EQ(report.cycles.size(), 2u);
+  certs.quiescent_rules.insert("s2");
+  EXPECT_TRUE(TerminationAnalyzer::Analyze(p, certs).guaranteed);
+}
+
+TEST_F(TerminationTest, SubsetAnalysisIgnoresOutsideRules) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then insert into a values (1);");
+  // Each rule alone is acyclic.
+  EXPECT_TRUE(TerminationAnalyzer::AnalyzeSubset(p, {0}).guaranteed);
+  EXPECT_TRUE(TerminationAnalyzer::AnalyzeSubset(p, {1}).guaranteed);
+  EXPECT_FALSE(TerminationAnalyzer::AnalyzeSubset(p, {0, 1}).guaranteed);
+}
+
+TEST_F(TerminationTest, EmptyRuleSetTerminates) {
+  PrelimAnalysis p = Compute("");
+  EXPECT_TRUE(TerminationAnalyzer::Analyze(p).guaranteed);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "engine/transition.h"
+
+namespace starburst {
+namespace {
+
+Tuple T(int a, int b) { return {Value::Int(a), Value::Int(b)}; }
+
+// --- The [WF90] net-effect table, case by case (Section 2). ---
+
+TEST(TableTransitionTest, InsertThenUpdateIsInsertOfUpdated) {
+  TableTransition tt;
+  ASSERT_TRUE(tt.ApplyInsert(1, T(1, 1)).ok());
+  ASSERT_TRUE(tt.ApplyUpdate(1, T(1, 1), T(2, 2)).ok());
+  ASSERT_EQ(tt.changes().size(), 1u);
+  const NetChange& c = tt.changes().at(1);
+  EXPECT_EQ(c.kind, NetChange::Kind::kInserted);
+  EXPECT_EQ(c.new_tuple, T(2, 2));
+  EXPECT_TRUE(tt.HasInserts());
+  EXPECT_FALSE(tt.HasDeletes());
+  EXPECT_TRUE(tt.UpdatedColumns().empty());
+}
+
+TEST(TableTransitionTest, InsertThenDeleteIsNothing) {
+  TableTransition tt;
+  ASSERT_TRUE(tt.ApplyInsert(1, T(1, 1)).ok());
+  ASSERT_TRUE(tt.ApplyDelete(1, T(1, 1)).ok());
+  EXPECT_TRUE(tt.empty());
+}
+
+TEST(TableTransitionTest, UpdateThenUpdateIsComposite) {
+  TableTransition tt;
+  ASSERT_TRUE(tt.ApplyUpdate(1, T(1, 1), T(2, 1)).ok());
+  ASSERT_TRUE(tt.ApplyUpdate(1, T(2, 1), T(3, 1)).ok());
+  const NetChange& c = tt.changes().at(1);
+  EXPECT_EQ(c.kind, NetChange::Kind::kUpdated);
+  EXPECT_EQ(c.old_tuple, T(1, 1));
+  EXPECT_EQ(c.new_tuple, T(3, 1));
+  auto cols = tt.UpdatedColumns();
+  EXPECT_EQ(cols.size(), 1u);
+  EXPECT_TRUE(cols.count(0) > 0);
+}
+
+TEST(TableTransitionTest, UpdateThenReverseUpdateCancels) {
+  TableTransition tt;
+  ASSERT_TRUE(tt.ApplyUpdate(1, T(1, 1), T(2, 1)).ok());
+  ASSERT_TRUE(tt.ApplyUpdate(1, T(2, 1), T(1, 1)).ok());
+  EXPECT_TRUE(tt.empty());
+}
+
+TEST(TableTransitionTest, UpdateThenDeleteIsDeleteOfOriginal) {
+  TableTransition tt;
+  ASSERT_TRUE(tt.ApplyUpdate(1, T(1, 1), T(2, 2)).ok());
+  ASSERT_TRUE(tt.ApplyDelete(1, T(2, 2)).ok());
+  const NetChange& c = tt.changes().at(1);
+  EXPECT_EQ(c.kind, NetChange::Kind::kDeleted);
+  EXPECT_EQ(c.old_tuple, T(1, 1));
+}
+
+TEST(TableTransitionTest, IdentityUpdateIsDropped) {
+  TableTransition tt;
+  ASSERT_TRUE(tt.ApplyUpdate(1, T(1, 1), T(1, 1)).ok());
+  EXPECT_TRUE(tt.empty());
+}
+
+TEST(TableTransitionTest, DoubleDeleteIsInternalError) {
+  TableTransition tt;
+  ASSERT_TRUE(tt.ApplyDelete(1, T(1, 1)).ok());
+  EXPECT_EQ(tt.ApplyDelete(1, T(1, 1)).code(), StatusCode::kInternal);
+}
+
+TEST(TableTransitionTest, UpdateOfDeletedIsInternalError) {
+  TableTransition tt;
+  ASSERT_TRUE(tt.ApplyDelete(1, T(1, 1)).ok());
+  EXPECT_EQ(tt.ApplyUpdate(1, T(1, 1), T(2, 2)).code(), StatusCode::kInternal);
+}
+
+TEST(TableTransitionTest, TransitionTableContents) {
+  TableTransition tt;
+  ASSERT_TRUE(tt.ApplyInsert(1, T(10, 0)).ok());
+  ASSERT_TRUE(tt.ApplyDelete(2, T(20, 0)).ok());
+  ASSERT_TRUE(tt.ApplyUpdate(3, T(30, 0), T(31, 0)).ok());
+  EXPECT_EQ(tt.InsertedTuples(), std::vector<Tuple>{T(10, 0)});
+  EXPECT_EQ(tt.DeletedTuples(), std::vector<Tuple>{T(20, 0)});
+  EXPECT_EQ(tt.OldUpdatedTuples(), std::vector<Tuple>{T(30, 0)});
+  EXPECT_EQ(tt.NewUpdatedTuples(), std::vector<Tuple>{T(31, 0)});
+}
+
+TEST(TableTransitionTest, ComposeMergesPerRid) {
+  TableTransition first;
+  ASSERT_TRUE(first.ApplyInsert(1, T(1, 1)).ok());
+  ASSERT_TRUE(first.ApplyUpdate(2, T(5, 5), T(6, 5)).ok());
+
+  TableTransition second;
+  ASSERT_TRUE(second.ApplyDelete(1, T(1, 1)).ok());     // cancels insert
+  ASSERT_TRUE(second.ApplyUpdate(2, T(6, 5), T(6, 7)).ok());  // composes
+  ASSERT_TRUE(second.ApplyInsert(3, T(9, 9)).ok());     // new
+
+  ASSERT_TRUE(first.Compose(second).ok());
+  EXPECT_EQ(first.changes().size(), 2u);
+  EXPECT_EQ(first.changes().at(2).old_tuple, T(5, 5));
+  EXPECT_EQ(first.changes().at(2).new_tuple, T(6, 7));
+  EXPECT_EQ(first.changes().at(3).kind, NetChange::Kind::kInserted);
+}
+
+/// Property: composing deltas one at a time equals composing their
+/// composition (associativity of net effects over random histories).
+TEST(TableTransitionTest, ComposeIsAssociativeOverRandomHistories) {
+  // Build per-rid histories as sequences of atomic deltas; each delta is a
+  // TableTransition with one change. Group deltas arbitrarily; net effect
+  // must be identical.
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    uint64_t state = seed * 2654435761u + 17;
+    auto next = [&state](int n) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<int>((state >> 33) % static_cast<uint64_t>(n));
+    };
+    // Track a simulated table so deltas are valid.
+    std::map<Rid, Tuple> rows;
+    Rid next_rid = 1;
+    std::vector<TableTransition> deltas;
+    for (int step = 0; step < 12; ++step) {
+      TableTransition delta;
+      int op = next(3);
+      if (op == 0 || rows.empty()) {
+        Rid rid = next_rid++;
+        Tuple t = T(next(5), next(5));
+        rows[rid] = t;
+        ASSERT_TRUE(delta.ApplyInsert(rid, t).ok());
+      } else {
+        auto it = rows.begin();
+        std::advance(it, next(static_cast<int>(rows.size())));
+        if (op == 1) {
+          ASSERT_TRUE(delta.ApplyDelete(it->first, it->second).ok());
+          rows.erase(it);
+        } else {
+          Tuple updated = T(next(5), next(5));
+          ASSERT_TRUE(
+              delta.ApplyUpdate(it->first, it->second, updated).ok());
+          it->second = updated;
+        }
+      }
+      deltas.push_back(std::move(delta));
+    }
+    // Left fold one-by-one.
+    TableTransition all;
+    for (const auto& d : deltas) ASSERT_TRUE(all.Compose(d).ok());
+    // Random grouping: fold deltas into chunks first.
+    TableTransition grouped;
+    size_t i = 0;
+    while (i < deltas.size()) {
+      size_t chunk = 1 + static_cast<size_t>(next(3));
+      TableTransition part;
+      for (size_t k = 0; k < chunk && i < deltas.size(); ++k, ++i) {
+        ASSERT_TRUE(part.Compose(deltas[i]).ok());
+      }
+      ASSERT_TRUE(grouped.Compose(part).ok());
+    }
+    EXPECT_EQ(all.CanonicalString(), grouped.CanonicalString())
+        << "seed " << seed;
+  }
+}
+
+TEST(TransitionTest, PerTableIsolation) {
+  Transition tr;
+  ASSERT_TRUE(tr.ForTable(0).ApplyInsert(1, T(1, 1)).ok());
+  ASSERT_TRUE(tr.ForTable(2).ApplyDelete(5, T(2, 2)).ok());
+  EXPECT_FALSE(tr.empty());
+  EXPECT_NE(tr.Find(0), nullptr);
+  EXPECT_EQ(tr.Find(1), nullptr);
+  EXPECT_NE(tr.Find(2), nullptr);
+  tr.Clear();
+  EXPECT_TRUE(tr.empty());
+}
+
+TEST(TransitionTest, ComposeAcrossTables) {
+  Transition a;
+  ASSERT_TRUE(a.ForTable(0).ApplyInsert(1, T(1, 1)).ok());
+  Transition b;
+  ASSERT_TRUE(b.ForTable(0).ApplyDelete(1, T(1, 1)).ok());
+  ASSERT_TRUE(b.ForTable(1).ApplyInsert(2, T(3, 3)).ok());
+  ASSERT_TRUE(a.Compose(b).ok());
+  EXPECT_TRUE(a.Find(0)->empty());
+  EXPECT_FALSE(a.Find(1)->empty());
+}
+
+TEST(TransitionTest, EmptyTransitionCanonicalString) {
+  Transition tr;
+  EXPECT_EQ(tr.CanonicalString(), "");
+  ASSERT_TRUE(tr.ForTable(0).ApplyInsert(1, T(1, 1)).ok());
+  EXPECT_NE(tr.CanonicalString(), "");
+}
+
+}  // namespace
+}  // namespace starburst

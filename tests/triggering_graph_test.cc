@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "analysis/triggering_graph.h"
+#include "rulelang/parser.h"
+
+namespace starburst {
+namespace {
+
+class TriggeringGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"a", "b", "c", "d"}) {
+      ASSERT_TRUE(schema_.AddTable(name, {{"x", ColumnType::kInt}}).ok());
+    }
+  }
+
+  PrelimAnalysis Compute(const std::string& rules_src) {
+    auto script = Parser::ParseScript(rules_src);
+    EXPECT_TRUE(script.ok()) << script.status().ToString();
+    rules_ = std::move(script.value().rules);
+    auto prelim = PrelimAnalysis::Compute(schema_, rules_);
+    EXPECT_TRUE(prelim.ok()) << prelim.status().ToString();
+    return prelim.ok() ? std::move(prelim).value() : PrelimAnalysis{};
+  }
+
+  Schema schema_;
+  std::vector<RuleDef> rules_;
+};
+
+TEST_F(TriggeringGraphTest, ChainIsAcyclic) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then insert into c values (1); "
+      "create rule r2 on c when inserted then insert into d values (1);");
+  TriggeringGraph g(p);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_EQ(g.Components().size(), 3u);
+}
+
+TEST_F(TriggeringGraphTest, SelfLoopIsCyclic) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into a values (1);");
+  TriggeringGraph g(p);
+  EXPECT_FALSE(g.IsAcyclic());
+  auto cyclic = g.CyclicComponents();
+  ASSERT_EQ(cyclic.size(), 1u);
+  EXPECT_EQ(cyclic[0], (std::vector<RuleIndex>{0}));
+}
+
+TEST_F(TriggeringGraphTest, TwoRuleCycle) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then insert into a values (1);");
+  TriggeringGraph g(p);
+  auto cyclic = g.CyclicComponents();
+  ASSERT_EQ(cyclic.size(), 1u);
+  EXPECT_EQ(cyclic[0], (std::vector<RuleIndex>{0, 1}));
+}
+
+TEST_F(TriggeringGraphTest, SeparateComponentsReported) {
+  PrelimAnalysis p = Compute(
+      // Cycle 1: r0 <-> r1 via tables a, b.
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then insert into a values (1); "
+      // Cycle 2: r2 self-loop on c.
+      "create rule r2 on c when updated(x) then update c set x = 1; "
+      // Acyclic tail: r3.
+      "create rule r3 on d when inserted then delete from d;");
+  TriggeringGraph g(p);
+  auto cyclic = g.CyclicComponents();
+  EXPECT_EQ(cyclic.size(), 2u);
+  // r3: deleting from d does not trigger "when inserted".
+  EXPECT_FALSE(g.HasEdge(3, 3));
+}
+
+TEST_F(TriggeringGraphTest, UpdateColumnGranularity) {
+  // Updating b.y does not trigger a rule watching b.x.
+  ASSERT_TRUE(schema_.AddTable("wide", {{"x", ColumnType::kInt},
+                                        {"y", ColumnType::kInt}})
+                  .ok());
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then update wide set y = 1; "
+      "create rule r1 on wide when updated(x) then delete from a;");
+  TriggeringGraph g(p);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST_F(TriggeringGraphTest, DeleteDoesNotTriggerInsertRule) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then update b set x = 1; "
+      "create rule r1 on b when updated(x) then delete from a;");
+  TriggeringGraph g(p);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST_F(TriggeringGraphTest, SubsetGraphRestrictsEdges) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then insert into a values (1); "
+      "create rule r2 on c when inserted then insert into c values (1);");
+  // Whole graph: two cyclic components.
+  EXPECT_EQ(TriggeringGraph(p).CyclicComponents().size(), 2u);
+  // Subset {r0}: the a->b->a cycle is broken.
+  TriggeringGraph sub(p, {0});
+  EXPECT_TRUE(sub.IsAcyclic());
+  // Subset {r0, r1}: cycle present.
+  TriggeringGraph sub2(p, {0, 1});
+  EXPECT_FALSE(sub2.IsAcyclic());
+}
+
+TEST_F(TriggeringGraphTest, AcyclicWithoutRemovedRules) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then insert into a values (1);");
+  TriggeringGraph g(p);
+  EXPECT_FALSE(g.AcyclicWithout({0, 1}, {}));
+  EXPECT_TRUE(g.AcyclicWithout({0, 1}, {0}));
+  EXPECT_TRUE(g.AcyclicWithout({0, 1}, {1}));
+}
+
+TEST_F(TriggeringGraphTest, ComponentsInReverseTopologicalOrder) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on b when inserted then insert into c values (1);");
+  TriggeringGraph g(p);
+  // Tarjan emits components in reverse topological order: r1's component
+  // (a sink) before r0's.
+  ASSERT_EQ(g.Components().size(), 2u);
+  // The first emitted component must be a sink w.r.t. the others.
+  RuleIndex first = g.Components()[0][0];
+  for (RuleIndex other = 0; other < 2; ++other) {
+    if (other != first) {
+      EXPECT_FALSE(g.HasEdge(first, other));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starburst

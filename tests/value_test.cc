@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "engine/value.h"
+
+namespace starburst {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Double(1.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(3).is_numeric());
+  EXPECT_TRUE(Value::Double(3.0).is_numeric());
+  EXPECT_FALSE(Value::String("x").is_numeric());
+}
+
+TEST(ValueTest, FromLiteral) {
+  EXPECT_TRUE(Value::FromLiteral(LiteralValue::Null()).is_null());
+  EXPECT_EQ(Value::FromLiteral(LiteralValue::Int(7)).int_value(), 7);
+  EXPECT_EQ(Value::FromLiteral(LiteralValue::String("s")).string_value(), "s");
+  EXPECT_TRUE(Value::FromLiteral(LiteralValue::Bool(true)).bool_value());
+  EXPECT_DOUBLE_EQ(Value::FromLiteral(LiteralValue::Double(2.5)).double_value(),
+                   2.5);
+}
+
+TEST(ValueTest, MatchesType) {
+  EXPECT_TRUE(Value::Null().MatchesType(ColumnType::kInt));
+  EXPECT_TRUE(Value::Int(1).MatchesType(ColumnType::kInt));
+  EXPECT_FALSE(Value::Int(1).MatchesType(ColumnType::kString));
+  // Ints widen into double columns.
+  EXPECT_TRUE(Value::Int(1).MatchesType(ColumnType::kDouble));
+  EXPECT_FALSE(Value::Double(1.0).MatchesType(ColumnType::kInt));
+  EXPECT_TRUE(Value::Bool(false).MatchesType(ColumnType::kBool));
+}
+
+TEST(ValueTest, StructuralEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Int(2));
+  // Structural, not SQL: int 1 and double 1.0 differ.
+  EXPECT_FALSE(Value::Int(1) == Value::Double(1.0));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, ToStringQuotesStrings) {
+  EXPECT_EQ(Value::String("a'b").ToString(), "'a''b'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(-4).ToString(), "-4");
+}
+
+TEST(SqlEqualsTest, NullsAreUnknown) {
+  auto r = SqlEquals(Value::Null(), Value::Int(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Tribool::kUnknown);
+}
+
+TEST(SqlEqualsTest, CrossNumericEquality) {
+  auto r = SqlEquals(Value::Int(1), Value::Double(1.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Tribool::kTrue);
+}
+
+TEST(SqlEqualsTest, TypeMismatchIsError) {
+  EXPECT_FALSE(SqlEquals(Value::Int(1), Value::String("1")).ok());
+  EXPECT_FALSE(SqlEquals(Value::Bool(true), Value::Int(1)).ok());
+}
+
+TEST(SqlCompareTest, Ordering) {
+  auto r = SqlCompare(Value::Int(2), Value::Double(2.5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().unknown);
+  EXPECT_LT(r.value().cmp, 0);
+
+  auto s = SqlCompare(Value::String("b"), Value::String("a"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s.value().cmp, 0);
+
+  auto n = SqlCompare(Value::Null(), Value::Int(0));
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(n.value().unknown);
+}
+
+TEST(SqlArithmeticTest, IntStaysInt) {
+  auto r = SqlArithmetic(BinaryOp::kAdd, Value::Int(2), Value::Int(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().is_int());
+  EXPECT_EQ(r.value().int_value(), 5);
+}
+
+TEST(SqlArithmeticTest, MixedPromotesToDouble) {
+  auto r = SqlArithmetic(BinaryOp::kMul, Value::Int(2), Value::Double(1.5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().is_double());
+  EXPECT_DOUBLE_EQ(r.value().double_value(), 3.0);
+}
+
+TEST(SqlArithmeticTest, NullPropagates) {
+  auto r = SqlArithmetic(BinaryOp::kSub, Value::Null(), Value::Int(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().is_null());
+}
+
+TEST(SqlArithmeticTest, DivisionByZeroFails) {
+  EXPECT_FALSE(SqlArithmetic(BinaryOp::kDiv, Value::Int(1), Value::Int(0)).ok());
+  EXPECT_FALSE(SqlArithmetic(BinaryOp::kMod, Value::Int(1), Value::Int(0)).ok());
+  EXPECT_FALSE(
+      SqlArithmetic(BinaryOp::kDiv, Value::Double(1), Value::Double(0)).ok());
+}
+
+TEST(SqlArithmeticTest, NonNumericIsError) {
+  EXPECT_FALSE(
+      SqlArithmetic(BinaryOp::kAdd, Value::String("a"), Value::Int(1)).ok());
+}
+
+TEST(ValueTest, TotalOrderForCanonicalization) {
+  // Ordered by variant index first: null < int < double < string < bool.
+  EXPECT_TRUE(Value::Null() < Value::Int(0));
+  EXPECT_TRUE(Value::Int(5) < Value::Double(0.0));
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+}
+
+}  // namespace
+}  // namespace starburst
