@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_confluence.dir/bench_confluence.cc.o"
+  "CMakeFiles/bench_confluence.dir/bench_confluence.cc.o.d"
+  "bench_confluence"
+  "bench_confluence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_confluence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontend_explorer.dir/bench_frontend_explorer.cc.o"
+  "CMakeFiles/bench_frontend_explorer.dir/bench_frontend_explorer.cc.o.d"
+  "bench_frontend_explorer"
+  "bench_frontend_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontend_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_observable.dir/bench_partial_observable.cc.o"
+  "CMakeFiles/bench_partial_observable.dir/bench_partial_observable.cc.o.d"
+  "bench_partial_observable"
+  "bench_partial_observable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_observable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

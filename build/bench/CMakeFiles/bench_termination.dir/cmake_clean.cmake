@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_termination.dir/bench_termination.cc.o"
+  "CMakeFiles/bench_termination.dir/bench_termination.cc.o.d"
+  "bench_termination"
+  "bench_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_applications.dir/exp_applications.cc.o"
+  "CMakeFiles/exp_applications.dir/exp_applications.cc.o.d"
+  "exp_applications"
+  "exp_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

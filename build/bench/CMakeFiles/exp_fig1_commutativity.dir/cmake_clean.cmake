@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig1_commutativity.dir/exp_fig1_commutativity.cc.o"
+  "CMakeFiles/exp_fig1_commutativity.dir/exp_fig1_commutativity.cc.o.d"
+  "exp_fig1_commutativity"
+  "exp_fig1_commutativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig1_commutativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig2_confluence.dir/exp_fig2_confluence.cc.o"
+  "CMakeFiles/exp_fig2_confluence.dir/exp_fig2_confluence.cc.o.d"
+  "exp_fig2_confluence"
+  "exp_fig2_confluence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig2_confluence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig34_r1r2.dir/exp_fig34_r1r2.cc.o"
+  "CMakeFiles/exp_fig34_r1r2.dir/exp_fig34_r1r2.cc.o.d"
+  "exp_fig34_r1r2"
+  "exp_fig34_r1r2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig34_r1r2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

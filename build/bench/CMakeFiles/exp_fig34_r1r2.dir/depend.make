@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig34_r1r2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_incremental.dir/exp_incremental.cc.o"
+  "CMakeFiles/exp_incremental.dir/exp_incremental.cc.o.d"
+  "exp_incremental"
+  "exp_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

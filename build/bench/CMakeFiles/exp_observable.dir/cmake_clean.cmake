@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_observable.dir/exp_observable.cc.o"
+  "CMakeFiles/exp_observable.dir/exp_observable.cc.o.d"
+  "exp_observable"
+  "exp_observable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_observable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

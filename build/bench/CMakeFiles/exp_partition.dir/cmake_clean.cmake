@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_partition.dir/exp_partition.cc.o"
+  "CMakeFiles/exp_partition.dir/exp_partition.cc.o.d"
+  "exp_partition"
+  "exp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

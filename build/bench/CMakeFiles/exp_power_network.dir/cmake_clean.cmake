@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_power_network.dir/exp_power_network.cc.o"
+  "CMakeFiles/exp_power_network.dir/exp_power_network.cc.o.d"
+  "exp_power_network"
+  "exp_power_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_power_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

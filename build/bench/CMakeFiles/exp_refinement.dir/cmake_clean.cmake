@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_refinement.dir/exp_refinement.cc.o"
+  "CMakeFiles/exp_refinement.dir/exp_refinement.cc.o.d"
+  "exp_refinement"
+  "exp_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

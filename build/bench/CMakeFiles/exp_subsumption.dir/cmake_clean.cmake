@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_subsumption.dir/exp_subsumption.cc.o"
+  "CMakeFiles/exp_subsumption.dir/exp_subsumption.cc.o.d"
+  "exp_subsumption"
+  "exp_subsumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_subsumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_maintenance.dir/constraint_maintenance.cc.o"
+  "CMakeFiles/constraint_maintenance.dir/constraint_maintenance.cc.o.d"
+  "constraint_maintenance"
+  "constraint_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

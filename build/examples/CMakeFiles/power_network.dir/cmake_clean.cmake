@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_network.dir/power_network.cc.o"
+  "CMakeFiles/power_network.dir/power_network.cc.o.d"
+  "power_network"
+  "power_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salary_control.dir/salary_control.cc.o"
+  "CMakeFiles/salary_control.dir/salary_control.cc.o.d"
+  "salary_control"
+  "salary_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salary_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cc" "src/CMakeFiles/starburst.dir/analysis/analyzer.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/analyzer.cc.o.d"
+  "/root/repo/src/analysis/auto_discharge.cc" "src/CMakeFiles/starburst.dir/analysis/auto_discharge.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/auto_discharge.cc.o.d"
+  "/root/repo/src/analysis/commutativity.cc" "src/CMakeFiles/starburst.dir/analysis/commutativity.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/commutativity.cc.o.d"
+  "/root/repo/src/analysis/confluence.cc" "src/CMakeFiles/starburst.dir/analysis/confluence.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/confluence.cc.o.d"
+  "/root/repo/src/analysis/dot.cc" "src/CMakeFiles/starburst.dir/analysis/dot.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/dot.cc.o.d"
+  "/root/repo/src/analysis/incremental.cc" "src/CMakeFiles/starburst.dir/analysis/incremental.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/incremental.cc.o.d"
+  "/root/repo/src/analysis/json_report.cc" "src/CMakeFiles/starburst.dir/analysis/json_report.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/json_report.cc.o.d"
+  "/root/repo/src/analysis/observable.cc" "src/CMakeFiles/starburst.dir/analysis/observable.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/observable.cc.o.d"
+  "/root/repo/src/analysis/ops.cc" "src/CMakeFiles/starburst.dir/analysis/ops.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/ops.cc.o.d"
+  "/root/repo/src/analysis/partial_confluence.cc" "src/CMakeFiles/starburst.dir/analysis/partial_confluence.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/partial_confluence.cc.o.d"
+  "/root/repo/src/analysis/partition.cc" "src/CMakeFiles/starburst.dir/analysis/partition.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/partition.cc.o.d"
+  "/root/repo/src/analysis/prelim.cc" "src/CMakeFiles/starburst.dir/analysis/prelim.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/prelim.cc.o.d"
+  "/root/repo/src/analysis/priority.cc" "src/CMakeFiles/starburst.dir/analysis/priority.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/priority.cc.o.d"
+  "/root/repo/src/analysis/refine.cc" "src/CMakeFiles/starburst.dir/analysis/refine.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/refine.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/CMakeFiles/starburst.dir/analysis/report.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/report.cc.o.d"
+  "/root/repo/src/analysis/restricted.cc" "src/CMakeFiles/starburst.dir/analysis/restricted.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/restricted.cc.o.d"
+  "/root/repo/src/analysis/suggest.cc" "src/CMakeFiles/starburst.dir/analysis/suggest.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/suggest.cc.o.d"
+  "/root/repo/src/analysis/termination.cc" "src/CMakeFiles/starburst.dir/analysis/termination.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/termination.cc.o.d"
+  "/root/repo/src/analysis/triggering_graph.cc" "src/CMakeFiles/starburst.dir/analysis/triggering_graph.cc.o" "gcc" "src/CMakeFiles/starburst.dir/analysis/triggering_graph.cc.o.d"
+  "/root/repo/src/baseline/hh91.cc" "src/CMakeFiles/starburst.dir/baseline/hh91.cc.o" "gcc" "src/CMakeFiles/starburst.dir/baseline/hh91.cc.o.d"
+  "/root/repo/src/baseline/zh90.cc" "src/CMakeFiles/starburst.dir/baseline/zh90.cc.o" "gcc" "src/CMakeFiles/starburst.dir/baseline/zh90.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/starburst.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/starburst.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/starburst.dir/common/status.cc.o" "gcc" "src/CMakeFiles/starburst.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/starburst.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/starburst.dir/common/strings.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/starburst.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/starburst.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/eval.cc" "src/CMakeFiles/starburst.dir/engine/eval.cc.o" "gcc" "src/CMakeFiles/starburst.dir/engine/eval.cc.o.d"
+  "/root/repo/src/engine/exec.cc" "src/CMakeFiles/starburst.dir/engine/exec.cc.o" "gcc" "src/CMakeFiles/starburst.dir/engine/exec.cc.o.d"
+  "/root/repo/src/engine/serialize.cc" "src/CMakeFiles/starburst.dir/engine/serialize.cc.o" "gcc" "src/CMakeFiles/starburst.dir/engine/serialize.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/starburst.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/starburst.dir/engine/table.cc.o.d"
+  "/root/repo/src/engine/transition.cc" "src/CMakeFiles/starburst.dir/engine/transition.cc.o" "gcc" "src/CMakeFiles/starburst.dir/engine/transition.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/CMakeFiles/starburst.dir/engine/value.cc.o" "gcc" "src/CMakeFiles/starburst.dir/engine/value.cc.o.d"
+  "/root/repo/src/rulelang/ast.cc" "src/CMakeFiles/starburst.dir/rulelang/ast.cc.o" "gcc" "src/CMakeFiles/starburst.dir/rulelang/ast.cc.o.d"
+  "/root/repo/src/rulelang/lexer.cc" "src/CMakeFiles/starburst.dir/rulelang/lexer.cc.o" "gcc" "src/CMakeFiles/starburst.dir/rulelang/lexer.cc.o.d"
+  "/root/repo/src/rulelang/parser.cc" "src/CMakeFiles/starburst.dir/rulelang/parser.cc.o" "gcc" "src/CMakeFiles/starburst.dir/rulelang/parser.cc.o.d"
+  "/root/repo/src/rulelang/printer.cc" "src/CMakeFiles/starburst.dir/rulelang/printer.cc.o" "gcc" "src/CMakeFiles/starburst.dir/rulelang/printer.cc.o.d"
+  "/root/repo/src/rulelang/token.cc" "src/CMakeFiles/starburst.dir/rulelang/token.cc.o" "gcc" "src/CMakeFiles/starburst.dir/rulelang/token.cc.o.d"
+  "/root/repo/src/rules/explorer.cc" "src/CMakeFiles/starburst.dir/rules/explorer.cc.o" "gcc" "src/CMakeFiles/starburst.dir/rules/explorer.cc.o.d"
+  "/root/repo/src/rules/processor.cc" "src/CMakeFiles/starburst.dir/rules/processor.cc.o" "gcc" "src/CMakeFiles/starburst.dir/rules/processor.cc.o.d"
+  "/root/repo/src/rules/rule_catalog.cc" "src/CMakeFiles/starburst.dir/rules/rule_catalog.cc.o" "gcc" "src/CMakeFiles/starburst.dir/rules/rule_catalog.cc.o.d"
+  "/root/repo/src/workload/apps.cc" "src/CMakeFiles/starburst.dir/workload/apps.cc.o" "gcc" "src/CMakeFiles/starburst.dir/workload/apps.cc.o.d"
+  "/root/repo/src/workload/constraint_deriver.cc" "src/CMakeFiles/starburst.dir/workload/constraint_deriver.cc.o" "gcc" "src/CMakeFiles/starburst.dir/workload/constraint_deriver.cc.o.d"
+  "/root/repo/src/workload/random_gen.cc" "src/CMakeFiles/starburst.dir/workload/random_gen.cc.o" "gcc" "src/CMakeFiles/starburst.dir/workload/random_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_discharge_test.dir/auto_discharge_test.cc.o"
+  "CMakeFiles/auto_discharge_test.dir/auto_discharge_test.cc.o.d"
+  "auto_discharge_test"
+  "auto_discharge_test.pdb"
+  "auto_discharge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_discharge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commutativity_test.dir/commutativity_test.cc.o"
+  "CMakeFiles/commutativity_test.dir/commutativity_test.cc.o.d"
+  "commutativity_test"
+  "commutativity_test.pdb"
+  "commutativity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commutativity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_deriver_test.dir/constraint_deriver_test.cc.o"
+  "CMakeFiles/constraint_deriver_test.dir/constraint_deriver_test.cc.o.d"
+  "constraint_deriver_test"
+  "constraint_deriver_test.pdb"
+  "constraint_deriver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_deriver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

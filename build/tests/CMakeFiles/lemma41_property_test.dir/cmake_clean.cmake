@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma41_property_test.dir/lemma41_property_test.cc.o"
+  "CMakeFiles/lemma41_property_test.dir/lemma41_property_test.cc.o.d"
+  "lemma41_property_test"
+  "lemma41_property_test.pdb"
+  "lemma41_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma41_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

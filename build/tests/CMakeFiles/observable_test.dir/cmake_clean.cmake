@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observable_test.dir/observable_test.cc.o"
+  "CMakeFiles/observable_test.dir/observable_test.cc.o.d"
+  "observable_test"
+  "observable_test.pdb"
+  "observable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

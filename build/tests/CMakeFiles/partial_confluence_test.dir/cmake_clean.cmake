@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_confluence_test.dir/partial_confluence_test.cc.o"
+  "CMakeFiles/partial_confluence_test.dir/partial_confluence_test.cc.o.d"
+  "partial_confluence_test"
+  "partial_confluence_test.pdb"
+  "partial_confluence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_confluence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

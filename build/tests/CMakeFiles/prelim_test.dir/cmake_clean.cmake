@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prelim_test.dir/prelim_test.cc.o"
+  "CMakeFiles/prelim_test.dir/prelim_test.cc.o.d"
+  "prelim_test"
+  "prelim_test.pdb"
+  "prelim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prelim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_gen_test.dir/random_gen_test.cc.o"
+  "CMakeFiles/random_gen_test.dir/random_gen_test.cc.o.d"
+  "random_gen_test"
+  "random_gen_test.pdb"
+  "random_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

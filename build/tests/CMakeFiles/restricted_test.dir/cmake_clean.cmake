@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restricted_test.dir/restricted_test.cc.o"
+  "CMakeFiles/restricted_test.dir/restricted_test.cc.o.d"
+  "restricted_test"
+  "restricted_test.pdb"
+  "restricted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restricted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triggering_graph_test.dir/triggering_graph_test.cc.o"
+  "CMakeFiles/triggering_graph_test.dir/triggering_graph_test.cc.o.d"
+  "triggering_graph_test"
+  "triggering_graph_test.pdb"
+  "triggering_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triggering_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
