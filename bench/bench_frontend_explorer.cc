@@ -61,8 +61,8 @@ void BM_PrinterRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_PrinterRoundTrip);
 
-// Explorer: N unordered commuting rules create N! interleavings but only
-// 2^N distinct states; measures state expansion with memo-free DFS.
+// Explorer: N unordered commuting rules create N! interleavings but far
+// fewer distinct states; measures full path-sensitive state expansion.
 void BM_ExplorerUnorderedRules(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Schema schema;
@@ -80,15 +80,103 @@ void BM_ExplorerUnorderedRules(benchmark::State& state) {
       RuleCatalog::Build(&schema, std::move(script.value().rules));
   Database db(&schema);
   long states = 0;
+  long canon_bytes = 0;
   for (auto _ : state) {
     auto result = Explorer::ExploreAfterStatements(
         catalog.value(), db, {"insert into src values (1)"});
     states = result.value().states_visited;
+    canon_bytes = result.value().stats.canonicalization_bytes;
     benchmark::DoNotOptimize(result.value().final_states.size());
   }
   state.counters["states"] = static_cast<double>(states);
+  state.counters["canon_bytes"] = static_cast<double>(canon_bytes);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ExplorerUnorderedRules)->DenseRange(1, 5);
+
+// Re-convergent workload with ExplorerOptions::dedup_subtrees: N rules
+// whose conditions are false only reset their own pending marker when
+// considered, so every permutation of the same subset converges to the
+// same state (2^N distinct states under N! interleavings). With dedup on,
+// each shared subtree is expanded once and served from the per-state memo
+// afterwards; without it the full-stream explorer re-walks every
+// interleaving for path-sensitive observable streams.
+void BM_ExplorerRevisitedSubtreesDedup(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Schema schema;
+  (void)schema.AddTable("src", {{"a", ColumnType::kInt}});
+  std::string rules_src;
+  for (int i = 0; i < n; ++i) {
+    rules_src += "create rule r" + std::to_string(i) +
+                 " on src when inserted if exists (select * from src "
+                 "where a > " +
+                 std::to_string(100 * (i + 1)) +
+                 ") then delete from src;";
+  }
+  auto script = Parser::ParseScript(rules_src);
+  auto catalog =
+      RuleCatalog::Build(&schema, std::move(script.value().rules));
+  Database db(&schema);
+  ExplorerOptions options;
+  options.dedup_subtrees = true;
+  long states = 0;
+  long dedup_hits = 0;
+  long steps = 0;
+  for (auto _ : state) {
+    auto result = Explorer::ExploreAfterStatements(
+        catalog.value(), db, {"insert into src values (1)"}, options);
+    states = result.value().states_visited;
+    dedup_hits = result.value().stats.dedup_hits;
+    steps = result.value().steps_taken;
+    benchmark::DoNotOptimize(result.value().final_states.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["dedup_hits"] = static_cast<double>(dedup_hits);
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExplorerRevisitedSubtreesDedup)->DenseRange(2, 8)->Arg(10);
+
+// The same re-convergent workload under full path-sensitive enumeration,
+// for a same-workload baseline against the dedup run above. Capped at
+// n=6: the full walk revisits one path per ordered prefix (about n!·e of
+// them), which is exactly the blow-up the memo removes.
+void BM_ExplorerRevisitedSubtreesFull(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Schema schema;
+  (void)schema.AddTable("src", {{"a", ColumnType::kInt}});
+  std::string rules_src;
+  for (int i = 0; i < n; ++i) {
+    rules_src += "create rule r" + std::to_string(i) +
+                 " on src when inserted if exists (select * from src "
+                 "where a > " +
+                 std::to_string(100 * (i + 1)) +
+                 ") then delete from src;";
+  }
+  auto script = Parser::ParseScript(rules_src);
+  auto catalog =
+      RuleCatalog::Build(&schema, std::move(script.value().rules));
+  Database db(&schema);
+  long states = 0;
+  long steps = 0;
+  for (auto _ : state) {
+    auto result = Explorer::ExploreAfterStatements(
+        catalog.value(), db, {"insert into src values (1)"});
+    states = result.value().states_visited;
+    steps = result.value().steps_taken;
+    benchmark::DoNotOptimize(result.value().final_states.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExplorerRevisitedSubtreesFull)->DenseRange(2, 6);
 
 void BM_ExplorerFixpointChain(benchmark::State& state) {
   Schema schema;
@@ -100,11 +188,14 @@ void BM_ExplorerFixpointChain(benchmark::State& state) {
   auto catalog =
       RuleCatalog::Build(&schema, std::move(script.value().rules));
   Database db(&schema);
+  int peak_depth = 0;
   for (auto _ : state) {
     auto result = Explorer::ExploreAfterStatements(
         catalog.value(), db, {"insert into t values (0)"});
+    peak_depth = result.value().stats.peak_stack_depth;
     benchmark::DoNotOptimize(result.value().final_states.size());
   }
+  state.counters["peak_stack_depth"] = static_cast<double>(peak_depth);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ExplorerFixpointChain)->Range(4, 32);

@@ -10,9 +10,11 @@
 //   * sets our analysis REJECTS sometimes still reach one final state
 //     (conservatism — the analysis "may not" verdict).
 
+#include <algorithm>
 #include <cstdio>
 
 #include "analysis/confluence.h"
+#include "analysis/json_report.h"
 #include "analysis/termination.h"
 #include "rules/explorer.h"
 #include "rules/rule_catalog.h"
@@ -25,6 +27,7 @@ int main() {
   int accepted = 0, accepted_unique = 0;
   int rejected_explored = 0, rejected_unique = 0, rejected_diverged = 0;
   int not_terminating = 0, incomplete = 0;
+  ExplorationStats totals;
 
   for (uint64_t seed = 0; seed < kTrials; ++seed) {
     RandomRuleSetParams params;
@@ -67,9 +70,19 @@ int main() {
     ExplorerOptions options;
     options.max_depth = 40;
     options.max_total_steps = 30000;
+    // This experiment only reads final_states and the termination verdict,
+    // so duplicate-subtree pruning is sound (streams are not needed).
+    options.dedup_subtrees = true;
     auto result =
         Explorer::Explore(catalog.value(), scratch, initial, options);
     if (!result.ok()) continue;
+    totals.states_interned += result.value().stats.states_interned;
+    totals.dedup_hits += result.value().stats.dedup_hits;
+    totals.peak_stack_depth = std::max(
+        totals.peak_stack_depth, result.value().stats.peak_stack_depth);
+    totals.canonicalization_bytes +=
+        result.value().stats.canonicalization_bytes;
+    totals.wall_seconds += result.value().stats.wall_seconds;
     if (!result.value().complete || result.value().may_not_terminate) {
       ++incomplete;
       continue;
@@ -103,5 +116,7 @@ int main() {
       rejected_unique);
   std::printf("skipped: %d non-terminating, %d exploration-bounded\n",
               not_terminating, incomplete);
+  std::printf("exploration stats (totals): %s\n",
+              ExplorationStatsToJson(totals).c_str());
   return accepted == accepted_unique ? 0 : 1;
 }

@@ -8,9 +8,11 @@
 // sets) and demonstrate the paper's orthogonality remark: confluence and
 // observable determinism are independent properties.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "analysis/confluence.h"
+#include "analysis/json_report.h"
 #include "analysis/observable.h"
 #include "analysis/termination.h"
 #include "rules/explorer.h"
@@ -26,6 +28,7 @@ int main() {
   int corollary_violations = 0;
   int conf_not_od = 0, od_not_conf = 0;
   int skipped = 0;
+  ExplorationStats totals;
 
   for (uint64_t seed = 0; seed < kTrials; ++seed) {
     RandomRuleSetParams params;
@@ -77,12 +80,21 @@ int main() {
     ExplorerOptions options;
     options.max_depth = 40;
     options.max_total_steps = 30000;
+    // Observable streams are path-sensitive, so this experiment must run
+    // the full enumeration mode (dedup_subtrees would drop the streams).
     auto result = Explorer::Explore(catalog.value(), db, initial, options);
     if (!result.ok() || !result.value().complete ||
         result.value().may_not_terminate) {
       ++skipped;
       continue;
     }
+    const ExplorationStats& stats = result.value().stats;
+    totals.states_interned += stats.states_interned;
+    totals.dedup_hits += stats.dedup_hits;
+    totals.peak_stack_depth =
+        std::max(totals.peak_stack_depth, stats.peak_stack_depth);
+    totals.canonicalization_bytes += stats.canonicalization_bytes;
+    totals.wall_seconds += stats.wall_seconds;
     size_t streams = result.value().observable_streams.size();
     if (verdict.deterministic) {
       ++deterministic;
@@ -112,6 +124,8 @@ int main() {
       "OD-but-not-confluent sets: %d  (paper: both exist)\n",
       conf_not_od, od_not_conf);
   std::printf("skipped (nonterminating / bounded)     : %d\n", skipped);
+  std::printf("exploration stats (totals): %s\n",
+              ExplorationStatsToJson(totals).c_str());
   bool ok = deterministic == deterministic_unique &&
             corollary_violations == 0;
   return ok ? 0 : 1;

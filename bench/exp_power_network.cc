@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "analysis/analyzer.h"
+#include "analysis/json_report.h"
 #include "analysis/report.h"
 #include "rules/explorer.h"
 #include "workload/apps.h"
@@ -62,9 +63,14 @@ int main() {
   bool explored_ok =
       exploration.ok() && !exploration.value().may_not_terminate;
   std::printf("step 3 — exhaustive exploration of the sample transaction: "
-              "%s (%ld states)\n\n",
+              "%s (%ld states)\n",
               explored_ok ? "terminates on every path" : "FAILED",
               exploration.ok() ? exploration.value().states_visited : 0);
+  if (exploration.ok()) {
+    std::printf("         exploration stats: %s\n",
+                ExplorationStatsToJson(exploration.value().stats).c_str());
+  }
+  std::printf("\n");
 
   std::printf("paper-vs-measured summary:\n");
   std::printf("  cycles found without certification : %zu (paper: >= 1)\n",

@@ -153,6 +153,9 @@ int main() {
     ExplorerOptions options;
     options.max_depth = 48;
     options.max_total_steps = 30000;
+    // Only the termination verdict is read here, so duplicate-subtree
+    // pruning is sound and avoids re-expanding shared interleavings.
+    options.dedup_subtrees = true;
     auto explored =
         Explorer::Explore(catalog.value(), db, initial, options);
     if (explored.ok() && !explored.value().may_not_terminate) {

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "analysis/analyzer.h"
+#include "analysis/json_report.h"
 #include "analysis/report.h"
 #include "rules/explorer.h"
 #include "workload/apps.h"
@@ -84,5 +85,7 @@ int main() {
               exploration.value().observable_streams.size());
   std::printf("unique final state: %s\n",
               exploration.value().unique_final_state() ? "yes" : "no");
+  std::printf("exploration stats: %s\n",
+              ExplorationStatsToJson(exploration.value().stats).c_str());
   return 0;
 }

@@ -134,6 +134,21 @@ std::string ObservableReportToJson(const ObservableDeterminismReport& report,
   return out;
 }
 
+std::string ExplorationStatsToJson(const ExplorationStats& stats) {
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.6f", stats.wall_seconds);
+  std::string out = "{";
+  out += "\"states_interned\":" + std::to_string(stats.states_interned);
+  out += ",\"dedup_hits\":" + std::to_string(stats.dedup_hits);
+  out += ",\"peak_stack_depth\":" + std::to_string(stats.peak_stack_depth);
+  out += ",\"canonicalization_bytes\":" +
+         std::to_string(stats.canonicalization_bytes);
+  out += ",\"wall_seconds\":";
+  out += wall;
+  out += "}";
+  return out;
+}
+
 std::string FullReportToJson(const FullReport& report,
                              const RuleCatalog& catalog) {
   std::string out = "{";

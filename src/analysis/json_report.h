@@ -4,6 +4,7 @@
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "rules/explorer.h"
 
 namespace starburst {
 
@@ -29,6 +30,14 @@ std::string ObservableReportToJson(const ObservableDeterminismReport& report,
                                    const RuleCatalog& catalog);
 std::string FullReportToJson(const FullReport& report,
                              const RuleCatalog& catalog);
+
+/// Exploration instrumentation (states interned, dedup hits, peak stack
+/// depth, canonicalization bytes, wall time) — lets the benches and the
+/// interactive environment report explorer cost alongside verdicts:
+///
+///   {states_interned, dedup_hits, peak_stack_depth,
+///    canonicalization_bytes, wall_seconds}
+std::string ExplorationStatsToJson(const ExplorationStats& stats);
 
 /// Escapes a string for inclusion in a JSON string literal (quotes not
 /// included). Exposed for tests.

@@ -15,11 +15,15 @@ void Database::SyncWithSchema() {
 
 std::string Database::CanonicalString() const {
   std::string out;
-  for (const TableStorage& s : storages_) {
-    out += s.CanonicalString();
-    out += "|";
-  }
+  AppendCanonicalString(&out);
   return out;
+}
+
+void Database::AppendCanonicalString(std::string* out) const {
+  for (const TableStorage& s : storages_) {
+    s.AppendCanonicalString(out);
+    *out += '|';
+  }
 }
 
 std::string Database::CanonicalStringFor(

@@ -35,6 +35,10 @@ class Database {
   /// CanonicalString() hold the same logical contents.
   std::string CanonicalString() const;
 
+  /// Appends CanonicalString() to `*out`; the explorer builds one state
+  /// key per visited state, so this avoids a temporary per table.
+  void AppendCanonicalString(std::string* out) const;
+
   /// As above but restricted to `tables` (used by partial-confluence
   /// experiments: compare only the tables in T').
   std::string CanonicalStringFor(const std::vector<TableId>& tables) const;

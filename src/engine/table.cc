@@ -1,17 +1,24 @@
 #include "engine/table.h"
 
 #include <algorithm>
+#include <string_view>
+#include <utility>
 
 namespace starburst {
 
 std::string TupleToString(const Tuple& tuple) {
-  std::string out = "(";
-  for (size_t i = 0; i < tuple.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += tuple[i].ToString();
-  }
-  out += ")";
+  std::string out;
+  AppendTupleToString(&out, tuple);
   return out;
+}
+
+void AppendTupleToString(std::string* out, const Tuple& tuple) {
+  out->push_back('(');
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) *out += ", ";
+    tuple[i].AppendTo(out);
+  }
+  out->push_back(')');
 }
 
 Status TableStorage::Validate(const Tuple& tuple) const {
@@ -35,6 +42,7 @@ Result<Rid> TableStorage::Insert(Tuple tuple) {
   STARBURST_RETURN_IF_ERROR(Validate(tuple));
   Rid rid = next_rid_++;
   rows_.emplace(rid, std::move(tuple));
+  canon_valid_ = false;
   return rid;
 }
 
@@ -43,6 +51,7 @@ Status TableStorage::Delete(Rid rid) {
     return Status::NotFound("rid " + std::to_string(rid) + " not in table '" +
                             def_->name() + "'");
   }
+  canon_valid_ = false;
   return Status::OK();
 }
 
@@ -54,6 +63,7 @@ Status TableStorage::Update(Rid rid, Tuple tuple) {
   }
   STARBURST_RETURN_IF_ERROR(Validate(tuple));
   it->second = std::move(tuple);
+  canon_valid_ = false;
   return Status::OK();
 }
 
@@ -63,19 +73,43 @@ const Tuple* TableStorage::Get(Rid rid) const {
 }
 
 std::string TableStorage::CanonicalString() const {
-  std::vector<std::string> rendered;
-  rendered.reserve(rows_.size());
+  std::string out;
+  AppendCanonicalString(&out);
+  return out;
+}
+
+void TableStorage::AppendCanonicalString(std::string* out) const {
+  if (canon_valid_) {
+    *out += canon_cache_;
+    return;
+  }
+  // Render every row once into a single scratch buffer and sort views into
+  // it: the multiset ordering is identical to sorting per-row strings, with
+  // one allocation for the whole table instead of one per row.
+  std::string scratch;
+  std::vector<std::pair<size_t, size_t>> spans;  // (offset, length)
+  spans.reserve(rows_.size());
   for (const auto& [rid, tuple] : rows_) {
-    rendered.push_back(TupleToString(tuple));
+    size_t begin = scratch.size();
+    AppendTupleToString(&scratch, tuple);
+    spans.emplace_back(begin, scratch.size() - begin);
+  }
+  std::vector<std::string_view> rendered;
+  rendered.reserve(spans.size());
+  for (const auto& [begin, len] : spans) {
+    rendered.emplace_back(scratch.data() + begin, len);
   }
   std::sort(rendered.begin(), rendered.end());
-  std::string out = def_->name() + "{";
+  canon_cache_.clear();
+  canon_cache_ += def_->name();
+  canon_cache_ += '{';
   for (size_t i = 0; i < rendered.size(); ++i) {
-    if (i > 0) out += ";";
-    out += rendered[i];
+    if (i > 0) canon_cache_ += ';';
+    canon_cache_ += rendered[i];
   }
-  out += "}";
-  return out;
+  canon_cache_ += '}';
+  canon_valid_ = true;
+  *out += canon_cache_;
 }
 
 }  // namespace starburst

@@ -23,6 +23,10 @@ using Tuple = std::vector<Value>;
 /// Renders "(v1, v2, ...)".
 std::string TupleToString(const Tuple& tuple);
 
+/// Appends TupleToString(tuple) to `*out` without building temporaries;
+/// canonicalization renders every tuple of every visited state.
+void AppendTupleToString(std::string* out, const Tuple& tuple);
+
 /// In-memory storage for one table: rid -> tuple.
 ///
 /// Copyable by value; the explorer snapshots whole databases via plain
@@ -59,12 +63,25 @@ class TableStorage {
   /// contents.
   std::string CanonicalString() const;
 
+  /// Appends CanonicalString() to `*out` without building a temporary —
+  /// the explorer canonicalizes whole databases per visited state, so
+  /// avoiding string churn here is a hot-path concern.
+  void AppendCanonicalString(std::string* out) const;
+
  private:
   Status Validate(const Tuple& tuple) const;
 
   const TableDef* def_;
   std::map<Rid, Tuple> rows_;
   Rid next_rid_ = 1;
+
+  // Cached canonical rendering, invalidated by Insert/Delete/Update (the
+  // only mutators of rows_). The explorer canonicalizes a whole database
+  // per visited state while each step mutates at most a couple of tables,
+  // so untouched tables serve their rendering from the copy they were
+  // snapshotted with.
+  mutable std::string canon_cache_;
+  mutable bool canon_valid_ = false;
 };
 
 }  // namespace starburst

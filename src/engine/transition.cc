@@ -1,5 +1,7 @@
 #include "engine/transition.h"
 
+#include <charconv>
+
 namespace starburst {
 
 namespace {
@@ -172,29 +174,36 @@ std::vector<Tuple> TableTransition::OldUpdatedTuples() const {
 }
 
 std::string TableTransition::CanonicalString() const {
-  std::string out = "{";
+  std::string out;
+  AppendCanonicalString(&out);
+  return out;
+}
+
+void TableTransition::AppendCanonicalString(std::string* out) const {
+  char buf[24];
+  *out += '{';
   for (const auto& [rid, change] : changes_) {
-    out += std::to_string(rid);
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), rid);
+    out->append(buf, end);
     switch (change.kind) {
       case NetChange::Kind::kInserted:
-        out += "+";
-        out += TupleToString(change.new_tuple);
+        *out += '+';
+        AppendTupleToString(out, change.new_tuple);
         break;
       case NetChange::Kind::kDeleted:
-        out += "-";
-        out += TupleToString(change.old_tuple);
+        *out += '-';
+        AppendTupleToString(out, change.old_tuple);
         break;
       case NetChange::Kind::kUpdated:
-        out += "~";
-        out += TupleToString(change.old_tuple);
-        out += ">";
-        out += TupleToString(change.new_tuple);
+        *out += '~';
+        AppendTupleToString(out, change.old_tuple);
+        *out += '>';
+        AppendTupleToString(out, change.new_tuple);
         break;
     }
-    out += ";";
+    *out += ';';
   }
-  out += "}";
-  return out;
+  *out += '}';
 }
 
 bool Transition::empty() const {
@@ -222,11 +231,19 @@ Status Transition::Compose(const Transition& next) {
 
 std::string Transition::CanonicalString() const {
   std::string out;
+  AppendCanonicalString(&out);
+  return out;
+}
+
+void Transition::AppendCanonicalString(std::string* out) const {
+  char buf[16];
   for (const auto& [table, tt] : tables_) {
     if (tt.empty()) continue;
-    out += "t" + std::to_string(table) + tt.CanonicalString();
+    *out += 't';
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), table);
+    out->append(buf, end);
+    tt.AppendCanonicalString(out);
   }
-  return out;
 }
 
 }  // namespace starburst

@@ -68,6 +68,9 @@ class TableTransition {
   /// Canonical rendering for state hashing in the explorer.
   std::string CanonicalString() const;
 
+  /// Appends CanonicalString() to `*out` (explorer hot path).
+  void AppendCanonicalString(std::string* out) const;
+
  private:
   std::map<Rid, NetChange> changes_;
 };
@@ -93,6 +96,9 @@ class Transition {
   void Clear() { tables_.clear(); }
 
   std::string CanonicalString() const;
+
+  /// Appends CanonicalString() to `*out` (explorer hot path).
+  void AppendCanonicalString(std::string* out) const;
 
  private:
   std::map<TableId, TableTransition> tables_;

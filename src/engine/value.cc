@@ -1,5 +1,6 @@
 #include "engine/value.h"
 
+#include <charconv>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
@@ -45,11 +46,22 @@ bool Value::operator<(const Value& other) const {
 }
 
 std::string Value::ToString() const {
+  std::string out;
+  AppendTo(&out);
+  return out;
+}
+
+void Value::AppendTo(std::string* out) const {
   switch (storage_.index()) {
     case 0:
-      return "null";
-    case 1:
-      return std::to_string(int_value());
+      *out += "null";
+      return;
+    case 1: {
+      char buf[24];
+      auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), int_value());
+      out->append(buf, end);
+      return;
+    }
     case 2: {
       // Round-trippable rendering: enough digits to reconstruct the exact
       // value, and always re-lexes as a double literal (never as an int).
@@ -57,21 +69,23 @@ std::string Value::ToString() const {
       os << std::setprecision(17) << double_value();
       std::string s = os.str();
       if (s.find_first_of(".eE") == std::string::npos) s += ".0";
-      return s;
+      *out += s;
+      return;
     }
     case 3: {
-      std::string out = "'";
+      out->push_back('\'');
       for (char c : string_value()) {
-        if (c == '\'') out += "''";
-        else out.push_back(c);
+        if (c == '\'') *out += "''";
+        else out->push_back(c);
       }
-      out += "'";
-      return out;
+      out->push_back('\'');
+      return;
     }
     case 4:
-      return bool_value() ? "true" : "false";
+      *out += bool_value() ? "true" : "false";
+      return;
   }
-  return "null";
+  *out += "null";
 }
 
 namespace {

@@ -67,6 +67,11 @@ class Value {
   /// Parseable rendering: NULL as "null", strings quoted.
   std::string ToString() const;
 
+  /// Appends ToString() to `*out` without building a temporary. Integer
+  /// values format via std::to_chars; state canonicalization renders
+  /// millions of values per exploration, so this is a hot-path concern.
+  void AppendTo(std::string* out) const;
+
  private:
   using Storage =
       std::variant<std::monostate, int64_t, double, std::string, bool>;

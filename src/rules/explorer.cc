@@ -1,7 +1,11 @@
 #include "rules/explorer.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "engine/exec.h"
 #include "rulelang/parser.h"
@@ -21,18 +25,72 @@ std::string StreamToString(const std::vector<ObservableEvent>& stream) {
   return out;
 }
 
-/// Canonical key of an execution state (database + per-rule pending
-/// transitions). Rid-sensitive, so logically identical states reached with
-/// different tuple identities get distinct keys — that only costs extra
-/// exploration, never wrong results.
-std::string StateKey(const RuleProcessingState& state) {
-  std::string key = state.db.CanonicalString();
-  key += "#";
-  for (const Transition& t : state.pending) {
-    key += t.CanonicalString();
-    key += "|";
+/// Interns canonical state strings to dense uint32 ids. Keys are looked up
+/// by their 64-bit FNV-1a hash; colliding keys are chained and verified by
+/// full-string comparison, so distinct canonical forms always get distinct
+/// ids. The canonical string is stored exactly once, and every per-state
+/// structure downstream (visited / on-path / graph-node / memo) is a flat
+/// vector indexed by the dense id instead of a string-keyed hash set.
+class StateInterner {
+ public:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  /// Returns {dense id, true when freshly interned}.
+  std::pair<uint32_t, bool> Intern(std::string&& key) {
+    uint64_t h = Hash(key);
+    auto it = buckets_.try_emplace(h, kNil).first;
+    for (uint32_t id = it->second; id != kNil; id = next_[id]) {
+      if (keys_[id] == key) return {id, false};
+    }
+    uint32_t id = static_cast<uint32_t>(keys_.size());
+    keys_.push_back(std::move(key));
+    next_.push_back(it->second);
+    it->second = id;
+    return {id, true};
   }
-  return key;
+
+  const std::string& key(uint32_t id) const { return keys_[id]; }
+  size_t size() const { return keys_.size(); }
+
+ private:
+  static uint64_t Hash(const std::string& s) {
+    // FNV-1a over 8-byte words instead of bytes (8x fewer multiplies on the
+    // long canonical strings this interner sees), with a final xor-shift
+    // avalanche. Colliding keys are verified by full comparison, so the
+    // hash only needs good distribution, not cryptographic strength.
+    uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    const char* p = s.data();
+    size_t n = s.size();
+    while (n >= 8) {
+      uint64_t w;
+      std::memcpy(&w, p, 8);
+      h = (h ^ w) * 1099511628211ull;  // FNV-1a prime
+      p += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      uint64_t tail = static_cast<uint64_t>(n) << 56;
+      std::memcpy(&tail, p, n);
+      h = (h ^ tail) * 1099511628211ull;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h;
+  }
+
+  std::unordered_map<uint64_t, uint32_t> buckets_;  // hash -> chain head
+  std::vector<std::string> keys_;                   // id -> canonical form
+  std::vector<uint32_t> next_;  // id -> next id with the same hash
+};
+
+bool TestBit(const std::vector<bool>& bits, uint32_t id) {
+  return id < bits.size() && bits[id];
+}
+
+void SetBit(std::vector<bool>* bits, uint32_t id, bool value) {
+  if (id >= bits->size()) bits->resize(id + 1, false);
+  (*bits)[id] = value;
 }
 
 class ExplorerImpl {
@@ -42,44 +100,123 @@ class ExplorerImpl {
       : catalog_(catalog), initial_db_(initial_db), options_(options) {}
 
   Result<ExplorationResult> Run(const Transition& initial_transition) {
-    RuleProcessingState state(&catalog_.schema(), catalog_.num_rules());
-    state.db = initial_db_;
-    for (Transition& t : state.pending) t = initial_transition;
-    std::vector<ObservableEvent> stream;
-    STARBURST_RETURN_IF_ERROR(Dfs(state, stream, 0));
-    result_.states_visited = static_cast<long>(seen_.size());
+    auto start = std::chrono::steady_clock::now();
+    {
+      RuleProcessingState state(&catalog_.schema(), catalog_.num_rules());
+      state.db = initial_db_;
+      for (Transition& t : state.pending) t = initial_transition;
+      Enter(std::move(state), kNoParent, /*via=*/-1, /*restore_stream=*/0);
+    }
+    // Explicit-stack DFS: the top frame either expands its next eligible
+    // rule (which records a terminal child or pushes a new frame) or is
+    // popped. Depth is bounded by ExplorerOptions::max_depth, never by the
+    // C++ call stack.
+    while (!stack_.empty()) {
+      size_t top = stack_.size() - 1;
+      Frame& f = stack_[top];
+      if (f.next_child >= f.eligible.size()) {
+        PopFrame();
+        continue;
+      }
+      RuleIndex r = f.eligible[f.next_child++];
+      ++result_.steps_taken;
+      // The frame's state feeds each child in turn; the last child can
+      // steal it instead of copying (PopFrame never reads it). Chains of
+      // single-eligible states — the common fixpoint shape — therefore
+      // expand with zero database copies.
+      bool last_child = f.next_child == f.eligible.size();
+      RuleProcessingState next =
+          last_child ? std::move(f.state) : f.state;
+      auto step = ConsiderRule(catalog_, &next, r);
+      if (!step.ok()) return step.status();
+      size_t mark = stream_.size();
+      if (!options_.dedup_subtrees) {
+        for (const ObservableEvent& ev : step.value().observables) {
+          stream_.push_back(ev);
+        }
+      }
+      if (step.value().rollback) {
+        // Transaction aborted: final database is the initial database.
+        EnterRollback(top, r);
+        stream_.resize(mark);
+      } else {
+        Enter(std::move(next), top, r, mark);  // may invalidate `f`
+      }
+    }
+    result_.states_visited = visited_count_;
+    result_.stats.states_interned = static_cast<long>(interner_.size());
+    result_.stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     return std::move(result_);
   }
 
  private:
-  void RecordFinal(const Database& db,
-                   const std::vector<ObservableEvent>& stream) {
-    std::string key = db.CanonicalString();
-    if (result_.final_states.insert(key).second) {
-      result_.final_databases.emplace(key, db);
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+  static constexpr int kNodeUnassigned = -2;
+
+  struct Frame {
+    explicit Frame(RuleProcessingState&& s) : state(std::move(s)) {}
+
+    RuleProcessingState state;
+    uint32_t id = 0;
+    int node = -1;
+    std::vector<RuleIndex> eligible;
+    size_t next_child = 0;
+    /// Stream length to restore when this frame is popped.
+    size_t restore_stream = 0;
+    /// Final-state ids reached from this subtree (dedup mode only).
+    std::vector<uint32_t> reached_finals;
+    /// True when the subtree's enumeration is provably incomplete (budget /
+    /// depth bail-out) or entangled with a state still on the path (cycle);
+    /// tainted subtrees are never memoized.
+    bool tainted = false;
+  };
+
+  /// Canonical key of an execution state (database + per-rule pending
+  /// transitions), built once per visit into a single buffer. Rid-sensitive,
+  /// so logically identical states reached with different tuple identities
+  /// get distinct keys — that only costs extra exploration, never wrong
+  /// results. `*db_len` receives the length of the database prefix, which
+  /// doubles as the final-state fingerprint.
+  std::string BuildStateKey(const RuleProcessingState& state,
+                            size_t* db_len) {
+    std::string key;
+    key.reserve(last_key_size_ + 32);
+    state.db.AppendCanonicalString(&key);
+    *db_len = key.size();
+    key += '#';
+    for (const Transition& t : state.pending) {
+      t.AppendCanonicalString(&key);
+      key += '|';
     }
-    if (static_cast<int>(result_.observable_streams.size()) <
-        options_.max_streams) {
-      result_.observable_streams.insert(StreamToString(stream));
-    } else {
-      result_.complete = false;
+    last_key_size_ = key.size();
+    return key;
+  }
+
+  void MarkVisited(uint32_t id) {
+    if (!TestBit(visited_, id)) {
+      SetBit(&visited_, id, true);
+      ++visited_count_;
     }
   }
 
-  /// Returns the recorded-graph node id for `key`, or -1 when recording is
-  /// off or the cap was hit.
-  int NodeId(const std::string& key) {
+  /// Returns the recorded-graph node id for interned state `id`, or -1
+  /// when recording is off or the node cap was hit.
+  int GraphNode(uint32_t id) {
     if (!options_.record_graph) return -1;
-    auto it = node_ids_.find(key);
-    if (it != node_ids_.end()) return it->second;
-    if (static_cast<int>(node_ids_.size()) >= options_.max_recorded_nodes) {
-      result_.graph_truncated = true;
-      return -1;
+    if (id >= graph_node_.size()) graph_node_.resize(id + 1, kNodeUnassigned);
+    int& slot = graph_node_[id];
+    if (slot == kNodeUnassigned) {
+      if (next_graph_node_ >= options_.max_recorded_nodes) {
+        result_.graph_truncated = true;
+        slot = -1;
+      } else {
+        slot = next_graph_node_++;
+        result_.node_is_final.push_back(false);
+      }
     }
-    int id = static_cast<int>(node_ids_.size());
-    node_ids_.emplace(key, id);
-    result_.node_is_final.push_back(false);
-    return id;
+    return slot;
   }
 
   void RecordEdge(int from, int to, RuleIndex rule) {
@@ -87,73 +224,196 @@ class ExplorerImpl {
     result_.graph_edges.push_back({from, to, rule});
   }
 
-  Status Dfs(const RuleProcessingState& state,
-             std::vector<ObservableEvent>& stream, int depth) {
-    if (result_.steps_taken >= options_.max_total_steps) {
-      result_.complete = false;
-      return Status::OK();
+  /// Records a final database (by canonical fingerprint) and, in full
+  /// enumeration mode, the path's observable stream. A stream that is
+  /// already in the set never marks the result incomplete — only a NEW
+  /// stream that would exceed max_streams does.
+  uint32_t RecordFinal(std::string db_key, const Database& db) {
+    auto [it, fresh] = final_ids_.try_emplace(
+        db_key, static_cast<uint32_t>(final_ids_.size()));
+    if (fresh) {
+      result_.final_states.insert(db_key);
+      result_.final_databases.emplace(std::move(db_key), db);
     }
-    std::string key = StateKey(state);
-    int node = NodeId(key);
-    if (on_path_.count(key) > 0) {
-      // A cycle in the execution graph: an infinitely long path exists.
-      result_.may_not_terminate = true;
-      return Status::OK();
+    if (!options_.dedup_subtrees) {
+      std::string s = StreamToString(stream_);
+      if (static_cast<int>(result_.observable_streams.size()) <
+          options_.max_streams) {
+        result_.observable_streams.insert(std::move(s));
+      } else if (result_.observable_streams.count(s) == 0) {
+        result_.complete = false;
+      }
     }
-    seen_.insert(key);
+    return it->second;
+  }
 
+  void AddFinal(size_t parent, uint32_t final_id) {
+    if (!options_.dedup_subtrees || parent == kNoParent) return;
+    stack_[parent].reached_finals.push_back(final_id);
+  }
+
+  void Taint(size_t parent) {
+    if (!options_.dedup_subtrees || parent == kNoParent) return;
+    stack_[parent].tainted = true;
+  }
+
+  /// In dedup mode, a final state's subtree is itself: memoize it so a
+  /// revisit skips recomputing TriggeredRules.
+  void MemoizeFinal(uint32_t id, uint32_t final_id) {
+    if (!options_.dedup_subtrees) return;
+    if (TestBit(memo_black_, id)) return;
+    SetBit(&memo_black_, id, true);
+    memo_finals_.emplace(id, std::vector<uint32_t>{final_id});
+  }
+
+  /// Evaluates one execution state: interns it, records the incoming edge,
+  /// and either handles it terminally (cycle / memo hit / final / budget /
+  /// depth) or pushes a DFS frame for expansion. `restore_stream` is the
+  /// stream length to restore once the state's subtree is done (terminal
+  /// states restore it immediately).
+  void Enter(RuleProcessingState&& state, size_t parent, RuleIndex via,
+             size_t restore_stream) {
+    size_t db_len = 0;
+    std::string key = BuildStateKey(state, &db_len);
+    result_.stats.canonicalization_bytes += static_cast<long>(key.size());
+    auto [id, fresh] = interner_.Intern(std::move(key));
+    int node = GraphNode(id);
+    if (parent != kNoParent) RecordEdge(stack_[parent].node, node, via);
+    if (!fresh && TestBit(on_path_, id)) {
+      // A cycle in the execution graph: an infinitely long path exists.
+      // The cycle target's subtree is still being enumerated, so every
+      // ancestor's reachable-final memo is incomplete.
+      result_.may_not_terminate = true;
+      Taint(parent);
+      stream_.resize(restore_stream);
+      return;
+    }
+    MarkVisited(id);
+    if (options_.dedup_subtrees && TestBit(memo_black_, id)) {
+      ++result_.stats.dedup_hits;
+      if (parent != kNoParent) {
+        auto it = memo_finals_.find(id);
+        if (it != memo_finals_.end()) {
+          Frame& pf = stack_[parent];
+          pf.reached_finals.insert(pf.reached_finals.end(),
+                                   it->second.begin(), it->second.end());
+        }
+      }
+      stream_.resize(restore_stream);
+      return;
+    }
     std::vector<RuleIndex> triggered = TriggeredRules(catalog_, state);
     if (triggered.empty()) {
       if (node >= 0) result_.node_is_final[node] = true;
-      RecordFinal(state.db, stream);
-      return Status::OK();
+      uint32_t fid = RecordFinal(interner_.key(id).substr(0, db_len),
+                                 state.db);
+      AddFinal(parent, fid);
+      MemoizeFinal(id, fid);
+      stream_.resize(restore_stream);
+      return;
     }
-    if (depth >= options_.max_depth) {
+    // The budget check comes AFTER the final-state check: a rule-free
+    // state reached exactly as the budget trips is still a real final
+    // state and must be recorded, not dropped.
+    if (result_.steps_taken >= options_.max_total_steps) {
+      result_.complete = false;
+      Taint(parent);
+      stream_.resize(restore_stream);
+      return;
+    }
+    if (static_cast<int>(stack_.size()) >= options_.max_depth) {
       result_.complete = false;
       result_.may_not_terminate = true;  // conservative
-      return Status::OK();
+      Taint(parent);
+      stream_.resize(restore_stream);
+      return;
     }
-    std::vector<RuleIndex> eligible = catalog_.priority().Choose(triggered);
-    on_path_.insert(key);
-    for (RuleIndex r : eligible) {
-      ++result_.steps_taken;
-      RuleProcessingState next = state;  // copy (db + pendings)
-      auto step = ConsiderRule(catalog_, &next, r);
-      if (!step.ok()) {
-        on_path_.erase(key);
-        return step.status();
-      }
-      size_t stream_before = stream.size();
-      for (const ObservableEvent& ev : step.value().observables) {
-        stream.push_back(ev);
-      }
-      if (step.value().rollback) {
-        // Transaction aborted: final database is the initial database.
-        int abort_node = NodeId("ROLLBACK#" + initial_db_.CanonicalString());
-        if (abort_node >= 0) result_.node_is_final[abort_node] = true;
-        RecordEdge(node, abort_node, r);
-        RecordFinal(initial_db_, stream);
-      } else {
-        RecordEdge(node, NodeId(StateKey(next)), r);
-        Status st = Dfs(next, stream, depth + 1);
-        if (!st.ok()) {
-          on_path_.erase(key);
-          return st;
-        }
-      }
-      stream.resize(stream_before);
+    SetBit(&on_path_, id, true);
+    Frame frame(std::move(state));
+    frame.id = id;
+    frame.node = node;
+    frame.eligible = catalog_.priority().Choose(triggered);
+    frame.restore_stream = restore_stream;
+    stack_.push_back(std::move(frame));
+    result_.stats.peak_stack_depth = std::max(
+        result_.stats.peak_stack_depth, static_cast<int>(stack_.size()));
+  }
+
+  /// Handles a ROLLBACK edge: the path terminates in a synthetic state
+  /// whose database is the initial database. The synthetic state is
+  /// interned and counted like any other, so states_visited, the recorded
+  /// graph, and the DOT output agree on node accounting.
+  void EnterRollback(size_t parent, RuleIndex via) {
+    if (!rollback_interned_) {
+      std::string db_key = initial_db_.CanonicalString();
+      std::string key = "ROLLBACK#" + db_key;
+      result_.stats.canonicalization_bytes += static_cast<long>(key.size());
+      rollback_id_ = interner_.Intern(std::move(key)).first;
+      rollback_db_key_ = std::move(db_key);
+      rollback_interned_ = true;
     }
-    on_path_.erase(key);
-    return Status::OK();
+    MarkVisited(rollback_id_);
+    int node = GraphNode(rollback_id_);
+    if (node >= 0) result_.node_is_final[node] = true;
+    RecordEdge(stack_[parent].node, node, via);
+    uint32_t fid = RecordFinal(rollback_db_key_, initial_db_);
+    AddFinal(parent, fid);
+    MemoizeFinal(rollback_id_, fid);
+  }
+
+  void PopFrame() {
+    Frame& f = stack_.back();
+    SetBit(&on_path_, f.id, false);
+    if (options_.dedup_subtrees) {
+      if (!f.tainted) {
+        std::sort(f.reached_finals.begin(), f.reached_finals.end());
+        f.reached_finals.erase(
+            std::unique(f.reached_finals.begin(), f.reached_finals.end()),
+            f.reached_finals.end());
+        SetBit(&memo_black_, f.id, true);
+        memo_finals_[f.id] = f.reached_finals;
+      }
+      if (stack_.size() >= 2) {
+        Frame& pf = stack_[stack_.size() - 2];
+        pf.tainted |= f.tainted;
+        pf.reached_finals.insert(pf.reached_finals.end(),
+                                 f.reached_finals.begin(),
+                                 f.reached_finals.end());
+      }
+    }
+    stream_.resize(f.restore_stream);
+    stack_.pop_back();
   }
 
   const RuleCatalog& catalog_;
   const Database& initial_db_;
   const ExplorerOptions& options_;
   ExplorationResult result_;
-  std::unordered_set<std::string> seen_;
-  std::unordered_set<std::string> on_path_;
-  std::unordered_map<std::string, int> node_ids_;
+
+  StateInterner interner_;
+  std::vector<Frame> stack_;
+  std::vector<ObservableEvent> stream_;
+  std::vector<bool> visited_;  // by interned id
+  std::vector<bool> on_path_;  // by interned id
+  long visited_count_ = 0;
+  size_t last_key_size_ = 0;
+
+  // Recorded-graph node ids, by interned id (kNodeUnassigned / -1 capped).
+  std::vector<int> graph_node_;
+  int next_graph_node_ = 0;
+
+  // Final databases: canonical fingerprint -> dense final id.
+  std::unordered_map<std::string, uint32_t> final_ids_;
+
+  // Dedup-subtrees memo: black = subtree fully enumerated; finals =
+  // final ids reachable from the state.
+  std::vector<bool> memo_black_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> memo_finals_;
+
+  // Synthetic rollback state (interned lazily on the first rollback path).
+  bool rollback_interned_ = false;
+  uint32_t rollback_id_ = 0;
+  std::string rollback_db_key_;
 };
 
 }  // namespace

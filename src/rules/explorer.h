@@ -27,6 +27,33 @@ struct ExplorerOptions {
   /// ExecutionGraphToDot() in analysis/dot.h.
   bool record_graph = false;
   int max_recorded_nodes = 256;
+  /// When true, a state whose entire subtree was already fully explored is
+  /// not re-expanded: its reachable final states and may-not-terminate
+  /// verdict are served from a per-state memo. Sound for `final_states`,
+  /// `final_databases`, `may_not_terminate`, `complete`, and
+  /// `unique_final_state()`; observable streams are path-sensitive (the
+  /// stream prefix differs per path into a shared state), so
+  /// `observable_streams` is left EMPTY in this mode. Use the default
+  /// (false) when stream enumeration matters.
+  bool dedup_subtrees = false;
+};
+
+/// Instrumentation counters from one exploration; surfaced through
+/// ExplorationResult::stats, ExplorationStatsToJson() in
+/// analysis/json_report.h, and the explorer benchmarks.
+struct ExplorationStats {
+  /// Distinct execution states interned (including the synthetic rollback
+  /// state when a rollback path exists).
+  long states_interned = 0;
+  /// Subtree expansions skipped because the state's subtree was served
+  /// from the memo (only in ExplorerOptions::dedup_subtrees mode).
+  long dedup_hits = 0;
+  /// Maximum depth of the explicit DFS stack.
+  int peak_stack_depth = 0;
+  /// Total bytes of canonical state keys built (canonicalization volume).
+  long canonicalization_bytes = 0;
+  /// Wall-clock time spent exploring, in seconds.
+  double wall_seconds = 0.0;
 };
 
 /// The result of exhaustively exploring every rule-processing execution
@@ -46,10 +73,14 @@ struct ExplorationResult {
   /// Distinct observable streams over all terminating paths, serialized
   /// (Section 8: observably deterministic iff exactly one).
   std::set<std::string> observable_streams;
-  /// Distinct execution states visited.
+  /// Distinct execution states visited, including the synthetic rollback
+  /// state when a rollback path exists (consistent with the recorded
+  /// graph's node accounting).
   long states_visited = 0;
   /// Total path steps taken.
   long steps_taken = 0;
+  /// Instrumentation counters for this exploration.
+  ExplorationStats stats;
 
   /// Recorded execution graph (only when ExplorerOptions::record_graph).
   /// Node ids are dense; an edge means "considering `rule` moves the state

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <unordered_set>
+
 #include "rulelang/parser.h"
 #include "rules/explorer.h"
+#include "workload/random_gen.h"
 
 namespace starburst {
 namespace {
@@ -151,6 +156,316 @@ TEST_F(ExplorerTest, UntriggeredRulesProduceNoBranches) {
   ExplorationResult r = Explore({"insert into a values (1)"});
   EXPECT_EQ(r.states_visited, 1);
   EXPECT_EQ(r.final_states.size(), 1u);
+}
+
+// Regression (stream-cap accounting): a stream already in the set must not
+// mark the result incomplete just because the cap was reached. Two
+// commuting rules with no observable actions produce two paths with the
+// SAME (empty) stream; with max_streams = 1 the second path is a duplicate
+// and the result stays complete.
+TEST_F(ExplorerTest, DuplicateStreamAtCapStaysComplete) {
+  Load("create table a (x int); create table b (x int); "
+       "create table c (x int);",
+       "create rule wb on a when inserted then insert into b values (1); "
+       "create rule wc on a when inserted then insert into c values (1);");
+  ExplorerOptions options;
+  options.max_streams = 1;
+  ExplorationResult r = Explore({"insert into a values (1)"}, options);
+  EXPECT_EQ(r.observable_streams.size(), 1u);
+  EXPECT_TRUE(r.complete);
+}
+
+// ...but a genuinely NEW stream beyond the cap still marks incomplete.
+TEST_F(ExplorerTest, NewStreamBeyondCapMarksIncomplete) {
+  Load("create table a (x int);",
+       "create rule s1 on a when inserted then select 1 from a; "
+       "create rule s2 on a when inserted then select 2 from a;");
+  ExplorerOptions options;
+  options.max_streams = 1;
+  ExplorationResult r = Explore({"insert into a values (0)"}, options);
+  EXPECT_EQ(r.observable_streams.size(), 1u);
+  EXPECT_FALSE(r.complete);
+}
+
+// Regression (budget accounting): a state with no triggered rules reached
+// exactly as the step budget trips is a real final state and must be
+// recorded; the exploration is complete, not truncated.
+TEST_F(ExplorerTest, FinalStateAtStepBudgetIsRecorded) {
+  Load("create table a (x int); create table b (x int);",
+       "create rule wb on a when inserted then insert into b values (1);");
+  ExplorerOptions options;
+  options.max_total_steps = 1;  // the one and only consideration
+  ExplorationResult r = Explore({"insert into a values (1)"}, options);
+  EXPECT_EQ(r.final_states.size(), 1u);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.may_not_terminate);
+}
+
+// Regression (node accounting): the synthetic rollback state counts in
+// states_visited, consistently with the recorded graph's nodes.
+TEST_F(ExplorerTest, RollbackStateCountsAsVisited) {
+  Load("create table a (x int);",
+       "create rule veto on a when inserted then rollback;");
+  ExplorerOptions options;
+  options.record_graph = true;
+  ExplorationResult r = Explore({"insert into a values (1)"}, options);
+  EXPECT_EQ(r.states_visited, 2);  // initial state + rollback state
+  EXPECT_EQ(r.node_is_final.size(), 2u);
+  EXPECT_EQ(r.states_visited,
+            static_cast<long>(r.node_is_final.size()));
+  EXPECT_EQ(r.stats.states_interned, r.states_visited);
+}
+
+// The explicit-stack DFS survives rule cascades far deeper than default
+// C++ recursion comfort: a linear chain of several hundred updates.
+TEST_F(ExplorerTest, DeepLinearCascadeDoesNotOverflowStack) {
+  Load("create table a (x int);",
+       "create rule inc on a when inserted, updated(x) "
+       "then update a set x = x + 1 where x < 400;");
+  ExplorerOptions options;
+  options.max_depth = 600;
+  ExplorationResult r = Explore({"insert into a values (0)"}, options);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.may_not_terminate);
+  EXPECT_EQ(r.final_states.size(), 1u);
+  EXPECT_GE(r.stats.peak_stack_depth, 400);
+  const Database& final_db = r.final_databases.begin()->second;
+  EXPECT_EQ(final_db.storage(0).rows().begin()->second[0], Value::Int(400));
+}
+
+// dedup_subtrees prunes shared subtrees but must preserve the final-state
+// set and the termination verdict; streams are intentionally skipped.
+TEST_F(ExplorerTest, DedupSubtreesPreservesFinalStates) {
+  // Three rules whose conditions are false: considering one only clears
+  // its own pending marker, so any permutation of the same subset of
+  // rules converges to the same state (2^3 states instead of one state
+  // per ordered prefix), plus one acting rule to produce a nontrivial
+  // final database. This is the re-convergent shape where subtree
+  // memoization pays off.
+  Load("create table a (x int); create table b (x int);",
+       "create rule n1 on a when inserted "
+       "if exists (select * from a where x > 100) "
+       "then insert into b values (1); "
+       "create rule n2 on a when inserted "
+       "if exists (select * from a where x > 200) "
+       "then insert into b values (2); "
+       "create rule n3 on a when inserted "
+       "if exists (select * from a where x > 300) "
+       "then insert into b values (3); "
+       "create rule act on a when inserted "
+       "then insert into b values (9);");
+  ExplorationResult full = Explore({"insert into a values (1)"});
+  ExplorerOptions options;
+  options.dedup_subtrees = true;
+  ExplorationResult dedup = Explore({"insert into a values (1)"}, options);
+  EXPECT_EQ(dedup.final_states, full.final_states);
+  EXPECT_EQ(dedup.may_not_terminate, full.may_not_terminate);
+  EXPECT_TRUE(dedup.complete);
+  EXPECT_TRUE(dedup.observable_streams.empty());
+  // Permutations of the false-condition rules re-converge, so the memo
+  // must actually be hit and strictly fewer steps taken than the full
+  // enumeration.
+  EXPECT_GT(dedup.stats.dedup_hits, 0);
+  EXPECT_LT(dedup.steps_taken, full.steps_taken);
+}
+
+TEST_F(ExplorerTest, DedupSubtreesDetectsNontermination) {
+  Load("create table a (x int);",
+       "create rule flip on a when updated(x) "
+       "then update a set x = 1 - x;");
+  ASSERT_TRUE(db_->storage(0).Insert({Value::Int(0)}).ok());
+  ExplorerOptions options;
+  options.dedup_subtrees = true;
+  ExplorationResult r = Explore({"update a set x = 1"}, options);
+  EXPECT_TRUE(r.may_not_terminate);
+}
+
+// ---------------------------------------------------------------------------
+// Old-vs-new equivalence: a straightforward recursive, string-keyed
+// reference explorer (the seed implementation's shape) must agree with the
+// iterative interned explorer on final_states, observable_streams, and
+// may_not_terminate over randomized workloads.
+// ---------------------------------------------------------------------------
+
+struct ReferenceResult {
+  bool complete = true;
+  bool may_not_terminate = false;
+  std::set<std::string> final_states;
+  std::set<std::string> observable_streams;
+  long steps_taken = 0;
+};
+
+class ReferenceExplorer {
+ public:
+  ReferenceExplorer(const RuleCatalog& catalog, const Database& initial_db,
+                    const ExplorerOptions& options)
+      : catalog_(catalog), initial_db_(initial_db), options_(options) {}
+
+  Result<ReferenceResult> Run(const Transition& initial_transition) {
+    RuleProcessingState state(&catalog_.schema(), catalog_.num_rules());
+    state.db = initial_db_;
+    for (Transition& t : state.pending) t = initial_transition;
+    std::vector<ObservableEvent> stream;
+    auto status = Dfs(state, stream, 0);
+    if (!status.ok()) return status;
+    return std::move(result_);
+  }
+
+ private:
+  static std::string StreamKey(const std::vector<ObservableEvent>& stream) {
+    std::string out;
+    for (const ObservableEvent& ev : stream) {
+      out += ev.kind == ObservableEvent::Kind::kRollback ? "R:" : "S:";
+      out += ev.payload;
+      out += "\n";
+    }
+    return out;
+  }
+
+  static std::string StateKey(const RuleProcessingState& state) {
+    std::string key = state.db.CanonicalString();
+    key += "#";
+    for (const Transition& t : state.pending) {
+      key += t.CanonicalString();
+      key += "|";
+    }
+    return key;
+  }
+
+  void RecordFinal(const Database& db,
+                   const std::vector<ObservableEvent>& stream) {
+    result_.final_states.insert(db.CanonicalString());
+    std::string s = StreamKey(stream);
+    if (static_cast<int>(result_.observable_streams.size()) <
+        options_.max_streams) {
+      result_.observable_streams.insert(std::move(s));
+    } else if (result_.observable_streams.count(s) == 0) {
+      result_.complete = false;
+    }
+  }
+
+  Status Dfs(const RuleProcessingState& state,
+             std::vector<ObservableEvent>& stream, int depth) {
+    std::string key = StateKey(state);
+    if (on_path_.count(key) > 0) {
+      result_.may_not_terminate = true;
+      return Status::OK();
+    }
+    std::vector<RuleIndex> triggered = TriggeredRules(catalog_, state);
+    if (triggered.empty()) {
+      RecordFinal(state.db, stream);
+      return Status::OK();
+    }
+    if (result_.steps_taken >= options_.max_total_steps) {
+      result_.complete = false;
+      return Status::OK();
+    }
+    if (depth >= options_.max_depth) {
+      result_.complete = false;
+      result_.may_not_terminate = true;
+      return Status::OK();
+    }
+    std::vector<RuleIndex> eligible = catalog_.priority().Choose(triggered);
+    on_path_.insert(key);
+    for (RuleIndex r : eligible) {
+      ++result_.steps_taken;
+      RuleProcessingState next = state;
+      auto step = ConsiderRule(catalog_, &next, r);
+      if (!step.ok()) {
+        on_path_.erase(key);
+        return step.status();
+      }
+      size_t mark = stream.size();
+      for (const ObservableEvent& ev : step.value().observables) {
+        stream.push_back(ev);
+      }
+      if (step.value().rollback) {
+        RecordFinal(initial_db_, stream);
+      } else {
+        Status st = Dfs(next, stream, depth + 1);
+        if (!st.ok()) {
+          on_path_.erase(key);
+          return st;
+        }
+      }
+      stream.resize(mark);
+    }
+    on_path_.erase(key);
+    return Status::OK();
+  }
+
+  const RuleCatalog& catalog_;
+  const Database& initial_db_;
+  const ExplorerOptions& options_;
+  ReferenceResult result_;
+  std::unordered_set<std::string> on_path_;
+};
+
+TEST(ExplorerEquivalenceTest, MatchesReferenceOnRandomWorkloads) {
+  int explored = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    RandomRuleSetParams params;
+    params.seed = seed;
+    params.num_rules = 3;
+    params.num_tables = 3;
+    params.columns_per_table = 2;
+    params.max_actions_per_rule = 1;
+    params.tables_per_rule = 2;
+    params.update_bound = 3;
+    params.priority_density = 0.2;
+    GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+    auto catalog = RuleCatalog::Build(gen.schema.get(), std::move(gen.rules));
+    ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+
+    Database db(gen.schema.get());
+    ASSERT_TRUE(PopulateRandomDatabase(&db, 2, seed).ok());
+    Transition initial;
+    bool setup_ok = true;
+    for (TableId t = 0; t < gen.schema->num_tables() && setup_ok; ++t) {
+      Tuple tuple(gen.schema->table(t).num_columns(), Value::Int(2));
+      auto rid = db.storage(t).Insert(tuple);
+      setup_ok = rid.ok() &&
+                 initial.ForTable(t).ApplyInsert(rid.value(), tuple).ok();
+    }
+    ASSERT_TRUE(setup_ok);
+
+    ExplorerOptions options;
+    options.max_depth = 24;
+    options.max_total_steps = 8000;
+    ReferenceExplorer reference(catalog.value(), db, options);
+    auto expected = reference.Run(initial);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    auto actual = Explorer::Explore(catalog.value(), db, initial, options);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_EQ(actual.value().final_states, expected.value().final_states)
+        << "final states diverged, seed " << seed;
+    EXPECT_EQ(actual.value().observable_streams,
+              expected.value().observable_streams)
+        << "observable streams diverged, seed " << seed;
+    EXPECT_EQ(actual.value().may_not_terminate,
+              expected.value().may_not_terminate)
+        << "termination verdicts diverged, seed " << seed;
+    EXPECT_EQ(actual.value().complete, expected.value().complete)
+        << "completeness diverged, seed " << seed;
+    EXPECT_EQ(actual.value().steps_taken, expected.value().steps_taken)
+        << "step counts diverged, seed " << seed;
+
+    // Dedup mode: final-state set and termination verdict must also agree.
+    ExplorerOptions dedup = options;
+    dedup.dedup_subtrees = true;
+    auto pruned = Explorer::Explore(catalog.value(), db, initial, dedup);
+    ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+    if (expected.value().complete && pruned.value().complete) {
+      EXPECT_EQ(pruned.value().final_states, expected.value().final_states)
+          << "dedup final states diverged, seed " << seed;
+      EXPECT_EQ(pruned.value().may_not_terminate,
+                expected.value().may_not_terminate)
+          << "dedup termination diverged, seed " << seed;
+    }
+    ++explored;
+  }
+  EXPECT_GE(explored, 20);
 }
 
 }  // namespace

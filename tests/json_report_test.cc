@@ -139,6 +139,22 @@ TEST_F(JsonReportTest, CleanRuleSetJson) {
   EXPECT_NE(json.find("\"suggestions\":[]"), std::string::npos);
 }
 
+TEST_F(JsonReportTest, ExplorationStatsJson) {
+  ExplorationStats stats;
+  stats.states_interned = 42;
+  stats.dedup_hits = 7;
+  stats.peak_stack_depth = 9;
+  stats.canonicalization_bytes = 1234;
+  stats.wall_seconds = 0.5;
+  std::string json = ExplorationStatsToJson(stats);
+  EXPECT_TRUE(IsStructurallyValidJson(json));
+  EXPECT_NE(json.find("\"states_interned\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"dedup_hits\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_stack_depth\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"canonicalization_bytes\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\":0.5"), std::string::npos);
+}
+
 TEST_F(JsonReportTest, RuleNamesAreEscaped) {
   // Rule names cannot contain quotes lexically, but the escaper must be
   // wired in regardless; verify via the escape function directly plus a
