@@ -12,11 +12,14 @@
 // single partition changes.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "analysis/confluence.h"
 #include "analysis/partition.h"
 #include "analysis/termination.h"
+#include "common/thread_pool.h"
 #include "rules/rule_catalog.h"
 #include "workload/random_gen.h"
 
@@ -65,16 +68,28 @@ int main() {
         whole.Analyze(whole_term.guaranteed, 0);
     double whole_ms = MillisSince(t0);
 
-    // Per-partition analysis.
+    // Per-partition analysis: partitions are independent by construction,
+    // so they run concurrently on the shared thread pool; verdicts are
+    // folded sequentially (per-slot writes keep the result deterministic
+    // for any thread count / STARBURST_THREADS setting).
     auto t1 = std::chrono::steady_clock::now();
+    std::vector<uint8_t> term_ok(partitions.size(), 0);
+    std::vector<uint8_t> conf_ok(partitions.size(), 0);
+    ParallelFor(partitions.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t p = begin; p < end; ++p) {
+        TerminationReport tr =
+            TerminationAnalyzer::AnalyzeSubset(prelim, partitions[p]);
+        term_ok[p] = tr.guaranteed ? 1 : 0;
+        ConfluenceAnalyzer analyzer(commutativity, priority);
+        ConfluenceReport cr =
+            analyzer.AnalyzeSubset(partitions[p], tr.guaranteed, 0);
+        conf_ok[p] = cr.requirement_holds ? 1 : 0;
+      }
+    });
     bool part_term = true, part_conf = true;
-    for (const auto& members : partitions) {
-      TerminationReport tr = TerminationAnalyzer::AnalyzeSubset(
-          prelim, members);
-      part_term = part_term && tr.guaranteed;
-      ConfluenceAnalyzer analyzer(commutativity, priority);
-      ConfluenceReport cr = analyzer.AnalyzeSubset(members, tr.guaranteed, 0);
-      part_conf = part_conf && cr.requirement_holds;
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      part_term = part_term && term_ok[p] != 0;
+      part_conf = part_conf && conf_ok[p] != 0;
     }
     double part_ms = MillisSince(t1);
 

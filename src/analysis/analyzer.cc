@@ -2,6 +2,7 @@
 
 #include "analysis/auto_discharge.h"
 #include "analysis/refine.h"
+#include "common/thread_pool.h"
 
 namespace starburst {
 
@@ -120,6 +121,26 @@ FullReport Analyzer::AnalyzeAll(int max_violations) {
   report.suggestions = SuggestForConfluence(report.confluence);
   report.lints = CorollaryLints(commutativity(), catalog_.priority());
   return report;
+}
+
+std::vector<Result<FullReport>> ParallelAnalyzeRuleSets(
+    std::vector<RuleSetSpec> specs, int max_violations) {
+  // Pre-sized so every worker writes only its own slot; the pair sweep
+  // inside each AnalyzeAll detects the busy pool and runs inline.
+  std::vector<Result<FullReport>> reports(
+      specs.size(), Result<FullReport>(Status::Internal("not analyzed")));
+  ParallelFor(specs.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      auto analyzer =
+          Analyzer::Create(specs[k].schema, std::move(specs[k].rules));
+      if (!analyzer.ok()) {
+        reports[k] = analyzer.status();
+        continue;
+      }
+      reports[k] = analyzer.value().AnalyzeAll(max_violations);
+    }
+  });
+  return reports;
 }
 
 }  // namespace starburst

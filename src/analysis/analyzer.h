@@ -101,6 +101,22 @@ class Analyzer {
   std::unique_ptr<CommutativityAnalyzer> commutativity_;  // lazy cache
 };
 
+/// One independent rule set for batch analysis: the schema (which must
+/// outlive the call) plus the rules to compile against it.
+struct RuleSetSpec {
+  const Schema* schema = nullptr;
+  std::vector<RuleDef> rules;
+};
+
+/// Analyzes independent rule sets concurrently on the shared thread pool
+/// (batch workloads: the bundled applications, per-seed experiment sweeps).
+/// Results are returned in input order and are identical for any thread
+/// count — each rule set is analyzed in isolation, and a spec that fails to
+/// compile yields its error Status in its slot instead of failing the
+/// batch.
+std::vector<Result<FullReport>> ParallelAnalyzeRuleSets(
+    std::vector<RuleSetSpec> specs, int max_violations = -1);
+
 }  // namespace starburst
 
 #endif  // STARBURST_ANALYSIS_ANALYZER_H_

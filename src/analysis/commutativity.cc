@@ -1,6 +1,9 @@
 #include "analysis/commutativity.h"
 
+#include <cstdint>
+
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace starburst {
 
@@ -57,11 +60,41 @@ CommutativityAnalyzer::CommutativityAnalyzer(
       certifications_(std::move(certifications)) {
   int n = prelim_.num_rules();
   syntactically_commute_.assign(n, std::vector<bool>(n, false));
-  for (RuleIndex i = 0; i < n; ++i) {
-    syntactically_commute_[i][i] = true;
-    for (RuleIndex j = i + 1; j < n; ++j) {
-      bool syntactic = SyntacticallyCommutePair(prelim_, i, j);
-      syntactically_commute_[i][j] = syntactically_commute_[j][i] = syntactic;
+  if (n < 16) {
+    // Too few pairs to amortize a pool wakeup.
+    for (RuleIndex i = 0; i < n; ++i) {
+      syntactically_commute_[i][i] = true;
+      for (RuleIndex j = i + 1; j < n; ++j) {
+        bool syntactic = SyntacticallyCommutePair(prelim_, i, j);
+        syntactically_commute_[i][j] = syntactically_commute_[j][i] =
+            syntactic;
+      }
+    }
+  } else {
+    // Each (i, j) verdict is a pure function of (prelim, i, j), so the
+    // upper triangle is computed in parallel. Workers write disjoint bytes
+    // of a flat buffer (vector<bool> packs bits, so rows are mirrored into
+    // it sequentially afterwards); verdicts are identical for any thread
+    // count.
+    std::vector<uint8_t> upper(static_cast<size_t>(n) * n, 0);
+    ParallelFor(static_cast<size_t>(n), 1, [&](size_t row_begin,
+                                               size_t row_end) {
+      for (size_t i = row_begin; i < row_end; ++i) {
+        for (int j = static_cast<int>(i) + 1; j < n; ++j) {
+          upper[i * n + j] =
+              SyntacticallyCommutePair(prelim_, static_cast<RuleIndex>(i), j)
+                  ? 1
+                  : 0;
+        }
+      }
+    });
+    for (RuleIndex i = 0; i < n; ++i) {
+      syntactically_commute_[i][i] = true;
+      for (RuleIndex j = i + 1; j < n; ++j) {
+        bool syntactic = upper[static_cast<size_t>(i) * n + j] != 0;
+        syntactically_commute_[i][j] = syntactically_commute_[j][i] =
+            syntactic;
+      }
     }
   }
   ApplyCertifications();

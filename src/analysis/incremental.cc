@@ -1,7 +1,10 @@
 #include "analysis/incremental.h"
 
+#include <cstdint>
+
 #include "analysis/priority.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace starburst {
 
@@ -61,26 +64,47 @@ Result<IncrementalAnalyzer::RunResult> IncrementalAnalyzer::Analyze(
                              PriorityOrder::Build(prelim, rules_));
   RunResult result;
 
-  // Build the syntactic matrix, reusing cached pair verdicts.
+  // Build the syntactic matrix, reusing cached pair verdicts. Misses are
+  // collected first, computed in parallel (each verdict is a pure function
+  // of the pair), then folded back into the cache sequentially — so the
+  // cache contents, the matrix, and the reuse counters are identical for
+  // any thread count.
   int n = prelim.num_rules();
   std::vector<std::vector<bool>> syntactic(n, std::vector<bool>(n, false));
+  struct Miss {
+    RuleIndex i;
+    RuleIndex j;
+    std::pair<std::string, std::string> key;
+  };
+  std::vector<Miss> misses;
   for (RuleIndex i = 0; i < n; ++i) {
     syntactic[i][i] = true;
     for (RuleIndex j = i + 1; j < n; ++j) {
       auto key = PairKey(prelim.rule(i).name, prelim.rule(j).name);
       auto it = pair_cache_.find(key);
-      bool verdict;
       if (it != pair_cache_.end()) {
-        verdict = it->second;
         ++result.stats.pair_checks_reused;
+        syntactic[i][j] = syntactic[j][i] = it->second;
       } else {
-        verdict =
-            CommutativityAnalyzer::SyntacticallyCommutePair(prelim, i, j);
-        pair_cache_.emplace(std::move(key), verdict);
-        ++result.stats.pair_checks_computed;
+        misses.push_back({i, j, std::move(key)});
       }
-      syntactic[i][j] = syntactic[j][i] = verdict;
     }
+  }
+  std::vector<uint8_t> verdicts(misses.size(), 0);
+  ParallelFor(misses.size(), 8, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      verdicts[k] = CommutativityAnalyzer::SyntacticallyCommutePair(
+                        prelim, misses[k].i, misses[k].j)
+                        ? 1
+                        : 0;
+    }
+  });
+  for (size_t k = 0; k < misses.size(); ++k) {
+    bool verdict = verdicts[k] != 0;
+    syntactic[misses[k].i][misses[k].j] =
+        syntactic[misses[k].j][misses[k].i] = verdict;
+    pair_cache_.emplace(std::move(misses[k].key), verdict);
+    ++result.stats.pair_checks_computed;
   }
   CommutativityAnalyzer commutativity(prelim, *schema_, certifications_,
                                       std::move(syntactic));

@@ -52,12 +52,6 @@ class IncrementalAnalyzer {
                             int max_violations = -1);
 
  private:
-  /// Computes (or fetches) the syntactic-commutativity verdict for the
-  /// named pair using `analyzer` for cache misses.
-  bool CachedCommute(const CommutativityAnalyzer& analyzer,
-                     const PrelimAnalysis& prelim, RuleIndex i, RuleIndex j,
-                     IncrementalStats* stats);
-
   const Schema* schema_;
   CommutativityCertifications certifications_;
   std::vector<RuleDef> rules_;

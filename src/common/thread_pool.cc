@@ -1,0 +1,162 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace starburst {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// RAII marker so nested ParallelFor calls (from a chunk body) run inline.
+/// Saves and restores the previous value: a nested inline region must not
+/// clear the outer region's flag on exit, or the chunk's next nested call
+/// would take the pooled path and deadlock on the busy pool.
+struct ParallelRegionGuard {
+  bool prev;
+  ParallelRegionGuard() : prev(t_in_parallel_region) {
+    t_in_parallel_region = true;
+  }
+  ~ParallelRegionGuard() { t_in_parallel_region = prev; }
+};
+
+std::mutex& DefaultPoolMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::unique_ptr<ThreadPool>& DefaultPoolSlot() {
+  // Heap-allocated and intentionally leaked so worker threads never race
+  // static destruction at process exit.
+  static std::unique_ptr<ThreadPool>* slot = new std::unique_ptr<ThreadPool>;
+  return *slot;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] {
+      return stop_ || job_generation_ != seen_generation;
+    });
+    if (stop_) return;
+    seen_generation = job_generation_;
+    lk.unlock();
+    RunChunks();
+    lk.lock();
+    if (--workers_active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunChunks() {
+  ParallelRegionGuard guard;
+  for (;;) {
+    if (job_abort_.load(std::memory_order_relaxed)) return;
+    size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    size_t begin = chunk * job_grain_;
+    if (begin >= job_n_) return;
+    size_t end = std::min(job_n_, begin + job_grain_);
+    try {
+      (*job_fn_)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      job_abort_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  size_t num_chunks = (n + grain - 1) / grain;
+  if (workers_.empty() || num_chunks == 1 || InParallelRegion()) {
+    // Inline path: same chunk boundaries, ascending order, caller's thread.
+    ParallelRegionGuard guard;
+    for (size_t begin = 0; begin < n; begin += grain) {
+      fn(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> serialize(call_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_grain_ = grain;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    job_abort_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    workers_active_ = static_cast<int>(workers_.size());
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks();  // the caller participates
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return workers_active_ == 0; });
+  job_fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+int ThreadPool::DefaultThreadCount() {
+  const char* env = std::getenv("STARBURST_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Default() {
+  std::lock_guard<std::mutex> lk(DefaultPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = DefaultPoolSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<ThreadPool>(DefaultThreadCount());
+  }
+  return *slot;
+}
+
+void ThreadPool::SetDefaultThreadCount(int num_threads) {
+  std::lock_guard<std::mutex> lk(DefaultPoolMutex());
+  DefaultPoolSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Default().ParallelFor(n, grain, fn);
+}
+
+}  // namespace starburst

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "engine/exec.h"
 #include "rulelang/parser.h"
 
@@ -84,6 +85,24 @@ class StateInterner {
   std::vector<uint32_t> next_;  // id -> next id with the same hash
 };
 
+/// Canonical key of an execution state (database + per-rule pending
+/// transitions). `*db_len` receives the length of the database prefix,
+/// which doubles as the final-state fingerprint. Shared by the classic
+/// explorer's per-visit key builder and the sharded root key.
+std::string CanonicalStateKey(const RuleProcessingState& state,
+                              size_t* db_len, size_t reserve_hint = 0) {
+  std::string key;
+  key.reserve(reserve_hint);
+  state.db.AppendCanonicalString(&key);
+  *db_len = key.size();
+  key += '#';
+  for (const Transition& t : state.pending) {
+    t.AppendCanonicalString(&key);
+    key += '|';
+  }
+  return key;
+}
+
 bool TestBit(const std::vector<bool>& bits, uint32_t id) {
   return id < bits.size() && bits[id];
 }
@@ -107,6 +126,39 @@ class ExplorerImpl {
       for (Transition& t : state.pending) t = initial_transition;
       Enter(std::move(state), kNoParent, /*via=*/-1, /*restore_stream=*/0);
     }
+    return Drive(start);
+  }
+
+  /// Sharded-mode seeding: interns the parent (root) state's key and marks
+  /// it visited and on-path WITHOUT counting it, so a path looping back to
+  /// the root is detected as a cycle exactly like in the classic explorer
+  /// while the root itself is accounted once by the merge.
+  void SeedRootOnPath(std::string root_key) {
+    auto [id, fresh] = interner_.Intern(std::move(root_key));
+    (void)fresh;
+    SetBit(&visited_, id, true);
+    SetBit(&on_path_, id, true);
+  }
+
+  /// Sharded-mode seeding: the observable events of the top-level rule
+  /// consideration that produced this shard's start state. They prefix
+  /// every stream the shard records.
+  void SeedStream(const std::vector<ObservableEvent>& prefix) {
+    stream_ = prefix;
+  }
+
+  /// Sharded-mode entry: explores the subtree rooted at `state` (the state
+  /// one top-level consideration below the seeded root).
+  Result<ExplorationResult> RunFromState(RuleProcessingState&& state) {
+    auto start = std::chrono::steady_clock::now();
+    Enter(std::move(state), kNoParent, /*via=*/-1,
+          /*restore_stream=*/stream_.size());
+    return Drive(start);
+  }
+
+ private:
+  Result<ExplorationResult> Drive(
+      std::chrono::steady_clock::time_point start) {
     // Explicit-stack DFS: the top frame either expands its next eligible
     // rule (which records a terminal child or pushes a new frame) or is
     // popped. Depth is bounded by ExplorerOptions::max_depth, never by the
@@ -181,15 +233,7 @@ class ExplorerImpl {
   /// doubles as the final-state fingerprint.
   std::string BuildStateKey(const RuleProcessingState& state,
                             size_t* db_len) {
-    std::string key;
-    key.reserve(last_key_size_ + 32);
-    state.db.AppendCanonicalString(&key);
-    *db_len = key.size();
-    key += '#';
-    for (const Transition& t : state.pending) {
-      t.AppendCanonicalString(&key);
-      key += '|';
-    }
+    std::string key = CanonicalStateKey(state, db_len, last_key_size_ + 32);
     last_key_size_ = key.size();
     return key;
   }
@@ -416,14 +460,164 @@ class ExplorerImpl {
   std::string rollback_db_key_;
 };
 
+/// Parallel frontier mode (ExplorerOptions::num_threads >= 1): the root
+/// state is expanded once, then each top-level subtree — one per initial
+/// eligible rule — is explored independently with its own interner, own
+/// step budget, and the root seeded on-path for cycle detection. Shard
+/// results are merged in rule order, so the merged result is identical for
+/// any worker count.
+Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
+                                         const Database& initial_db,
+                                         const Transition& initial_transition,
+                                         const ExplorerOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  RuleProcessingState root(&catalog.schema(), catalog.num_rules());
+  root.db = initial_db;
+  for (Transition& t : root.pending) t = initial_transition;
+  size_t db_len = 0;
+  // Also renders (and caches) the canonical strings inside root.db, so the
+  // per-shard copies below start from a clean cache and workers never
+  // touch a shared mutable one.
+  std::string root_key = CanonicalStateKey(root, &db_len);
+
+  ExplorationResult merged;
+  merged.states_visited = 1;
+  merged.stats.states_interned = 1;
+  merged.stats.canonicalization_bytes = static_cast<long>(root_key.size());
+
+  std::vector<RuleIndex> triggered = TriggeredRules(catalog, root);
+  if (triggered.empty()) {
+    // The root is final; mirrors the classic explorer's terminal Enter.
+    std::string fingerprint = root_key.substr(0, db_len);
+    merged.final_databases.emplace(fingerprint, root.db);
+    merged.final_states.insert(std::move(fingerprint));
+    if (!options.dedup_subtrees) merged.observable_streams.insert("");
+    merged.stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return merged;
+  }
+  // Terminal-bound checks in the classic Enter() order: budget, depth.
+  if (options.max_total_steps <= 0) {
+    merged.complete = false;
+    return merged;
+  }
+  if (options.max_depth <= 0) {
+    merged.complete = false;
+    merged.may_not_terminate = true;  // conservative
+    return merged;
+  }
+
+  std::vector<RuleIndex> eligible = catalog.priority().Choose(triggered);
+  // Precomputed on this thread: the rollback fingerprint reads (and fills)
+  // initial_db's mutable canonical-string caches.
+  std::string rollback_fingerprint = initial_db.CanonicalString();
+
+  struct ShardOutcome {
+    Status error;
+    ExplorationResult result;
+  };
+  std::vector<ShardOutcome> shards(eligible.size());
+  ExplorerOptions shard_options = options;
+  shard_options.num_threads = 0;
+  shard_options.record_graph = false;
+  // The shard's start state already sits one consideration below the root.
+  shard_options.max_depth = options.max_depth - 1;
+
+  ThreadPool pool(static_cast<int>(std::min(
+      static_cast<size_t>(options.num_threads), eligible.size())));
+  pool.ParallelFor(eligible.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      RuleProcessingState state = root;
+      auto step = ConsiderRule(catalog, &state, eligible[k]);
+      if (!step.ok()) {
+        shards[k].error = step.status();
+        continue;
+      }
+      ExplorationResult& out = shards[k].result;
+      if (step.value().rollback) {
+        // Top-level rollback: the path ends at the initial database.
+        out.steps_taken = 1;
+        out.states_visited = 1;  // the synthetic rollback state
+        out.stats.states_interned = 2;  // root seed + rollback (see merge)
+        out.final_databases.emplace(rollback_fingerprint, initial_db);
+        out.final_states.insert(rollback_fingerprint);
+        if (!options.dedup_subtrees) {
+          out.observable_streams.insert(
+              StreamToString(step.value().observables));
+        }
+        continue;
+      }
+      ExplorerImpl impl(catalog, initial_db, shard_options);
+      impl.SeedRootOnPath(root_key);
+      if (!options.dedup_subtrees) impl.SeedStream(step.value().observables);
+      auto result = impl.RunFromState(std::move(state));
+      if (!result.ok()) {
+        shards[k].error = result.status();
+        continue;
+      }
+      shards[k].result = std::move(result).value();
+      shards[k].result.steps_taken += 1;  // the top-level consideration
+    }
+  });
+
+  for (ShardOutcome& shard : shards) {
+    if (!shard.error.ok()) return shard.error;
+    ExplorationResult& r = shard.result;
+    merged.complete = merged.complete && r.complete;
+    merged.may_not_terminate =
+        merged.may_not_terminate || r.may_not_terminate;
+    merged.final_states.insert(r.final_states.begin(), r.final_states.end());
+    for (auto& [fingerprint, db] : r.final_databases) {
+      merged.final_databases.emplace(fingerprint, std::move(db));
+    }
+    merged.observable_streams.insert(r.observable_streams.begin(),
+                                     r.observable_streams.end());
+    merged.states_visited += r.states_visited;
+    merged.steps_taken += r.steps_taken;
+    // Counter aggregates: states shared between sibling subtrees are
+    // counted once per shard; the seeded root id is discounted here.
+    merged.stats.states_interned += r.stats.states_interned - 1;
+    merged.stats.dedup_hits += r.stats.dedup_hits;
+    merged.stats.canonicalization_bytes += r.stats.canonicalization_bytes;
+    merged.stats.peak_stack_depth = std::max(
+        merged.stats.peak_stack_depth, r.stats.peak_stack_depth + 1);
+  }
+  if (!options.dedup_subtrees &&
+      static_cast<int>(merged.observable_streams.size()) >
+          options.max_streams) {
+    auto it = merged.observable_streams.begin();
+    std::advance(it, options.max_streams);
+    merged.observable_streams.erase(it, merged.observable_streams.end());
+    merged.complete = false;
+  }
+  merged.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return merged;
+}
+
+/// Dispatches between the classic single-threaded explorer and the sharded
+/// frontier mode.
+Result<ExplorationResult> RunExploration(const RuleCatalog& catalog,
+                                         const Database& initial_db,
+                                         const Transition& initial_transition,
+                                         const ExplorerOptions& options) {
+  if (options.num_threads >= 1 && !options.record_graph) {
+    return ExploreSharded(catalog, initial_db, initial_transition, options);
+  }
+  ExplorerImpl impl(catalog, initial_db, options);
+  return impl.Run(initial_transition);
+}
+
 }  // namespace
 
 Result<ExplorationResult> Explorer::Explore(const RuleCatalog& catalog,
                                             const Database& initial_db,
                                             const Transition& initial_transition,
                                             const ExplorerOptions& options) {
-  ExplorerImpl impl(catalog, initial_db, options);
-  return impl.Run(initial_transition);
+  return RunExploration(catalog, initial_db, initial_transition, options);
 }
 
 Result<ExplorationResult> Explorer::ExploreAfterStatements(
@@ -443,8 +637,7 @@ Result<ExplorationResult> Explorer::ExploreAfterStatements(
     }
     STARBURST_RETURN_IF_ERROR(initial_transition.Compose(outcome.delta));
   }
-  ExplorerImpl impl(catalog, db, options);
-  return impl.Run(initial_transition);
+  return RunExploration(catalog, db, initial_transition, options);
 }
 
 }  // namespace starburst

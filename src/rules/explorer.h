@@ -36,6 +36,21 @@ struct ExplorerOptions {
   /// `observable_streams` is left EMPTY in this mode. Use the default
   /// (false) when stream enumeration matters.
   bool dedup_subtrees = false;
+  /// Opt-in parallel frontier mode. 0 (default) is the classic
+  /// single-threaded exploration. >= 1 shards the top-level subtrees — one
+  /// per initial eligible rule — across a pool of `num_threads` workers;
+  /// each shard explores with its own interner and the shard results are
+  /// merged deterministically in rule order, so `final_states`,
+  /// `final_databases`, `observable_streams`, `complete`, and
+  /// `may_not_terminate` are identical for any num_threads >= 1.
+  /// Divergences from the classic mode (all deterministic): states shared
+  /// between sibling subtrees are re-explored per shard (counters such as
+  /// `states_visited` aggregate per-shard work), `max_total_steps` is a
+  /// per-shard budget, and when the union of per-shard stream sets exceeds
+  /// `max_streams` the lexicographically-first `max_streams` are kept and
+  /// the result is marked incomplete. Ignored (classic mode) when
+  /// `record_graph` is set, which needs globally dense node ids.
+  int num_threads = 0;
 };
 
 /// Instrumentation counters from one exploration; surfaced through

@@ -468,5 +468,139 @@ TEST(ExplorerEquivalenceTest, MatchesReferenceOnRandomWorkloads) {
   EXPECT_GE(explored, 20);
 }
 
+// --- Sharded (num_threads >= 1) mode: classic-equivalence on fixed
+// workloads covering every top-level shape: branching with convergent and
+// divergent finals, rollback shards, cycles through the root, observable
+// streams, and the no-triggered-rules root-final case.
+
+class ShardedExplorerTest : public ExplorerTest {
+ protected:
+  // Explores with the classic engine and with 1, 2, and 8 shard workers,
+  // asserting the documented invariant: identical verdicts, final states,
+  // and observable streams for every num_threads >= 1, and identical to
+  // classic whenever both runs are complete.
+  void ExpectShardedMatchesClassic(const std::vector<std::string>& stmts,
+                                   ExplorerOptions options = {}) {
+    options.num_threads = 0;
+    ExplorationResult classic = Explore(stmts, options);
+    for (int threads : {1, 2, 8}) {
+      options.num_threads = threads;
+      ExplorationResult sharded = Explore(stmts, options);
+      SCOPED_TRACE("num_threads=" + std::to_string(threads));
+      EXPECT_EQ(sharded.final_states, classic.final_states);
+      EXPECT_EQ(sharded.observable_streams, classic.observable_streams);
+      EXPECT_EQ(sharded.may_not_terminate, classic.may_not_terminate);
+      EXPECT_EQ(sharded.complete, classic.complete);
+      EXPECT_EQ(sharded.steps_taken, classic.steps_taken);
+      // states_visited is NOT compared: states shared between sibling
+      // subtrees are re-interned per shard (a documented divergence).
+    }
+  }
+};
+
+TEST_F(ShardedExplorerTest, RootFinalState) {
+  Load("create table a (x int);", "");
+  ExpectShardedMatchesClassic({"insert into a values (1)"});
+}
+
+TEST_F(ShardedExplorerTest, ConfluentPair) {
+  Load("create table a (x int); create table b (x int); "
+       "create table c (x int);",
+       "create rule wb on a when inserted then insert into b values (1); "
+       "create rule wc on a when inserted then insert into c values (1);");
+  ExpectShardedMatchesClassic({"insert into a values (1)"});
+}
+
+TEST_F(ShardedExplorerTest, NonConfluentPair) {
+  Load("create table a (x int);",
+       "create rule w1 on a when inserted then update a set x = 1; "
+       "create rule w2 on a when inserted then update a set x = 2;");
+  ExpectShardedMatchesClassic({"insert into a values (0)"});
+}
+
+TEST_F(ShardedExplorerTest, RollbackShard) {
+  Load("create table a (x int); create table b (x int);",
+       "create rule veto on a when inserted then rollback; "
+       "create rule wb on a when inserted then insert into b values (1);");
+  ExpectShardedMatchesClassic({"insert into a values (1)"});
+}
+
+TEST_F(ShardedExplorerTest, CycleThroughRoot) {
+  Load("create table a (x int);",
+       "create rule flip on a when updated(x) "
+       "then update a set x = 1 - x;");
+  ASSERT_TRUE(db_->storage(0).Insert({Value::Int(0)}).ok());
+  ExpectShardedMatchesClassic({"update a set x = 1"});
+}
+
+TEST_F(ShardedExplorerTest, ObservableStreams) {
+  Load("create table a (x int);",
+       "create rule s1 on a when inserted then select 1 from a; "
+       "create rule s2 on a when inserted then select 2 from a; "
+       "create rule s3 on a when inserted then select 3 from a;");
+  ExpectShardedMatchesClassic({"insert into a values (0)"});
+}
+
+TEST_F(ShardedExplorerTest, DepthLimitVerdictMatches) {
+  Load("create table a (x int);",
+       "create rule grow on a when inserted "
+       "then insert into a values (1);");
+  ExplorerOptions options;
+  options.max_depth = 5;
+  options.num_threads = 0;
+  ExplorationResult classic = Explore({"insert into a values (0)"}, options);
+  EXPECT_FALSE(classic.complete);
+  EXPECT_TRUE(classic.may_not_terminate);
+  for (int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    ExplorationResult sharded =
+        Explore({"insert into a values (0)"}, options);
+    // Depth semantics match classic exactly: a shard gets max_depth - 1 to
+    // compensate for the root frame it did not push.
+    EXPECT_FALSE(sharded.complete) << "num_threads=" << threads;
+    EXPECT_TRUE(sharded.may_not_terminate) << "num_threads=" << threads;
+  }
+}
+
+TEST_F(ShardedExplorerTest, StreamCapKeepsLexicographicallyFirst) {
+  Load("create table a (x int);",
+       "create rule s1 on a when inserted then select 1 from a; "
+       "create rule s2 on a when inserted then select 2 from a;");
+  ExplorerOptions options;
+  options.max_streams = 1;
+  for (int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    ExplorationResult r = Explore({"insert into a values (0)"}, options);
+    ASSERT_EQ(r.observable_streams.size(), 1u) << "num_threads=" << threads;
+    EXPECT_FALSE(r.complete) << "num_threads=" << threads;
+    // The kept stream is the lexicographically-first of the union,
+    // regardless of which shard produced it or in which order.
+    EXPECT_NE(r.observable_streams.begin()->find("1"), std::string::npos);
+  }
+}
+
+TEST_F(ShardedExplorerTest, RecordGraphFallsBackToClassic) {
+  Load("create table a (x int); create table b (x int);",
+       "create rule wb on a when inserted then insert into b values (1);");
+  ExplorerOptions options;
+  options.record_graph = true;
+  options.num_threads = 8;
+  ExplorationResult r = Explore({"insert into a values (1)"}, options);
+  // The recorded graph is only produced by the classic engine; num_threads
+  // is ignored rather than silently dropping the graph.
+  EXPECT_FALSE(r.graph_edges.empty());
+  EXPECT_EQ(r.final_states.size(), 1u);
+}
+
+TEST_F(ShardedExplorerTest, MoreThreadsThanShards) {
+  Load("create table a (x int); create table b (x int);",
+       "create rule wb on a when inserted then insert into b values (1);");
+  ExplorerOptions options;
+  options.num_threads = 16;  // only one eligible rule at the root
+  ExplorationResult r = Explore({"insert into a values (1)"}, options);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.final_states.size(), 1u);
+}
+
 }  // namespace
 }  // namespace starburst

@@ -130,6 +130,139 @@ TEST_F(IncrementalTest, RemoveUnknownRuleFails) {
   EXPECT_EQ(analyzer.RemoveRule("ghost").code(), StatusCode::kNotFound);
 }
 
+// Regression (pair-cache audit): a duplicate rule name must be rejected
+// even when it differs only in case — pair-cache keys are lowercased, so a
+// case-variant duplicate would alias the existing rule's cached verdicts
+// and serve stale pairs for the new definition.
+TEST_F(IncrementalTest, AddRuleRejectsCaseVariantDuplicate) {
+  IncrementalAnalyzer analyzer(&schema_);
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r0 on t when inserted "
+                                     "then update s set a = 1"))
+                  .ok());
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r1 on t when inserted "
+                                     "then update s set a = 1"))
+                  .ok());
+  ASSERT_TRUE(analyzer.Analyze().ok());  // caches (r0, r1)
+  auto dup = analyzer.AddRule(
+      ParseRule("create rule R0 on s when deleted then rollback"));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(analyzer.num_rules(), 2);
+  // The rejected add must not have perturbed the cache.
+  auto run = analyzer.Analyze();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().stats.pair_checks_reused, 1);
+  EXPECT_EQ(run.value().stats.pair_checks_computed, 0);
+}
+
+// Regression (pair-cache audit): removal is case-insensitive and must drop
+// the removed rule's cache entries under the normalized key, so re-adding
+// the name (any case) with a different definition recomputes its pairs
+// instead of reusing stale verdicts.
+TEST_F(IncrementalTest, RemoveByDifferentCaseDropsCacheEntries) {
+  IncrementalAnalyzer analyzer(&schema_);
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r0 on t when inserted "
+                                     "then update u set b = 1"))
+                  .ok());
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r1 on t when inserted "
+                                     "then update u set b = 1"))
+                  .ok());
+  ASSERT_TRUE(analyzer.Analyze().ok());   // (r0, r1) commutes, cached
+  ASSERT_TRUE(analyzer.RemoveRule("R1").ok());
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule R1 on t when inserted "
+                                     "then update u set b = 2"))
+                  .ok());
+  auto run = analyzer.Analyze();
+  ASSERT_TRUE(run.ok());
+  // Stale reuse would report reused = 1 and miss the conflict.
+  EXPECT_EQ(run.value().stats.pair_checks_computed, 1);
+  EXPECT_EQ(run.value().stats.pair_checks_reused, 0);
+  EXPECT_FALSE(run.value().confluence.requirement_holds);  // b=1 vs b=2
+}
+
+// Pins the self-pair convention: the diagonal is implicitly true and is
+// neither computed nor cached — with a single rule both counters stay 0,
+// and analysis still succeeds with a (trivially) confluent verdict.
+TEST_F(IncrementalTest, SelfPairIsNeverCountedOrCached) {
+  IncrementalAnalyzer analyzer(&schema_);
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule solo on t when inserted "
+                                     "then update s set a = 1"))
+                  .ok());
+  for (int round = 0; round < 2; ++round) {
+    auto run = analyzer.Analyze();
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run.value().stats.pair_checks_computed, 0) << "round " << round;
+    EXPECT_EQ(run.value().stats.pair_checks_reused, 0) << "round " << round;
+    EXPECT_TRUE(run.value().confluence.requirement_holds);
+  }
+}
+
+// Regression (stats audit): the counters cover the full pair matrix build,
+// which happens before confluence reporting — truncating the violation list
+// via max_violations must not change computed/reused, and every analysis
+// maintains computed + reused == C(n, 2).
+TEST_F(IncrementalTest, StatsUnaffectedByMaxViolationsTruncation) {
+  IncrementalAnalyzer analyzer(&schema_);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(analyzer
+                    .AddRule(ParseRule("create rule r" + std::to_string(i) +
+                                       " on t when inserted then update s "
+                                       "set a = " +
+                                       std::to_string(i)))
+                    .ok());
+  }
+  auto truncated = analyzer.Analyze({}, /*max_violations=*/1);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated.value().confluence.violations.size(), 1u);
+  EXPECT_EQ(truncated.value().stats.pair_checks_computed, 10);  // C(5,2)
+  EXPECT_EQ(truncated.value().stats.pair_checks_reused, 0);
+
+  auto again = analyzer.Analyze({}, /*max_violations=*/1);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().stats.pair_checks_computed, 0);
+  EXPECT_EQ(again.value().stats.pair_checks_reused, 10);
+}
+
+// Regression (stats audit): exact counter accounting across a
+// RemoveRule -> Analyze -> AddRule -> Analyze sequence; each run maintains
+// computed + reused == C(n, 2) with reuse exactly on the surviving pairs.
+TEST_F(IncrementalTest, StatsExactAcrossRemoveThenAddSequence) {
+  IncrementalAnalyzer analyzer(&schema_);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(analyzer
+                    .AddRule(ParseRule("create rule r" + std::to_string(i) +
+                                       " on t when inserted then update u "
+                                       "set b = 1"))
+                    .ok());
+  }
+  auto first = analyzer.Analyze();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().stats.pair_checks_computed, 6);  // C(4,2)
+  EXPECT_EQ(first.value().stats.pair_checks_reused, 0);
+
+  ASSERT_TRUE(analyzer.RemoveRule("r2").ok());
+  auto after_remove = analyzer.Analyze();
+  ASSERT_TRUE(after_remove.ok());
+  // 3 rules left; all C(3,2) pairs among {r0, r1, r3} were cached.
+  EXPECT_EQ(after_remove.value().stats.pair_checks_computed, 0);
+  EXPECT_EQ(after_remove.value().stats.pair_checks_reused, 3);
+
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule fresh on s when inserted "
+                                     "then update u set a = 1"))
+                  .ok());
+  auto after_add = analyzer.Analyze();
+  ASSERT_TRUE(after_add.ok());
+  // C(4,2) = 6 pairs: 3 old ones reused, 3 new ones against `fresh`.
+  EXPECT_EQ(after_add.value().stats.pair_checks_computed, 3);
+  EXPECT_EQ(after_add.value().stats.pair_checks_reused, 3);
+}
+
 TEST_F(IncrementalTest, VerdictsMatchFromScratchAnalysis) {
   IncrementalAnalyzer incremental(&schema_);
   std::vector<std::string> sources = {

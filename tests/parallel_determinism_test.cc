@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/json_report.h"
+#include "common/thread_pool.h"
+#include "rulelang/parser.h"
+#include "rules/explorer.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace {
+
+// Restores the shared pool to the environment-derived thread count when a
+// test exits, so thread-count fiddling cannot leak across tests.
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  ~ParallelDeterminismTest() override {
+    ThreadPool::SetDefaultThreadCount(ThreadPool::DefaultThreadCount());
+  }
+
+  static RandomRuleSetParams ParamsForSeed(uint64_t seed) {
+    RandomRuleSetParams params;
+    params.seed = seed;
+    // Alternate between sets small enough to stay on the sequential pair
+    // sweep (< 16 rules) and sets large enough to take the parallel one.
+    params.num_rules = (seed % 2 == 0) ? 18 : 8;
+    params.num_tables = 4 + static_cast<int>(seed % 3);
+    params.priority_density = (seed % 3 == 0) ? 0.3 : 0.0;
+    params.observable_fraction = (seed % 2 == 0) ? 0.25 : 0.0;
+    params.p_condition = 0.5;
+    return params;
+  }
+
+  // Full analysis of the seed's generated rule set, rendered as JSON. The
+  // generator is deterministic, so calling this twice with the same seed
+  // analyzes identical rule sets.
+  static std::string AnalyzeSeed(uint64_t seed) {
+    GeneratedRuleSet gen =
+        RandomRuleSetGenerator::Generate(ParamsForSeed(seed));
+    auto analyzer = Analyzer::Create(gen.schema.get(), std::move(gen.rules));
+    EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+    if (!analyzer.ok()) return "";
+    FullReport report = analyzer.value().AnalyzeAll();
+    return FullReportToJson(report, analyzer.value().catalog());
+  }
+};
+
+TEST_F(ParallelDeterminismTest, FullReportsIdenticalAcrossThreadCounts) {
+  constexpr uint64_t kNumSeeds = 20;
+  std::vector<std::string> baseline(kNumSeeds);
+  ThreadPool::SetDefaultThreadCount(1);
+  for (uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+    baseline[seed] = AnalyzeSeed(seed + 1);
+    ASSERT_FALSE(baseline[seed].empty());
+  }
+  for (int threads : {2, 8}) {
+    ThreadPool::SetDefaultThreadCount(threads);
+    for (uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+      EXPECT_EQ(AnalyzeSeed(seed + 1), baseline[seed])
+          << "seed=" << (seed + 1) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, FacadeMatchesSequentialAnalysis) {
+  constexpr uint64_t kNumSets = 6;
+  // The specs' schemas must outlive the call; keep the generated sets.
+  std::vector<GeneratedRuleSet> generated;
+  std::vector<RuleSetSpec> specs;
+  for (uint64_t seed = 1; seed <= kNumSets; ++seed) {
+    generated.push_back(RandomRuleSetGenerator::Generate(ParamsForSeed(seed)));
+    specs.push_back(
+        RuleSetSpec{generated.back().schema.get(), std::move(generated.back().rules)});
+  }
+  // One spec that fails to compile must not poison the batch: its slot
+  // carries the error, every other slot is analyzed normally.
+  auto bad = Parser::ParseScript(
+      "create rule broken on nonexistent when inserted "
+      "then delete from nonexistent;");
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  specs.push_back(
+      RuleSetSpec{generated.front().schema.get(),
+                  std::move(bad.value().rules)});
+
+  ThreadPool::SetDefaultThreadCount(4);
+  std::vector<Result<FullReport>> results =
+      ParallelAnalyzeRuleSets(std::move(specs));
+  ASSERT_EQ(results.size(), kNumSets + 1);
+  EXPECT_FALSE(results.back().ok());
+
+  ThreadPool::SetDefaultThreadCount(1);
+  for (uint64_t seed = 1; seed <= kNumSets; ++seed) {
+    ASSERT_TRUE(results[seed - 1].ok())
+        << results[seed - 1].status().ToString();
+    // Re-generate (deterministic) to re-derive the catalog for rendering.
+    GeneratedRuleSet gen =
+        RandomRuleSetGenerator::Generate(ParamsForSeed(seed));
+    auto analyzer = Analyzer::Create(gen.schema.get(), std::move(gen.rules));
+    ASSERT_TRUE(analyzer.ok());
+    EXPECT_EQ(FullReportToJson(results[seed - 1].value(),
+                               analyzer.value().catalog()),
+              AnalyzeSeed(seed))
+        << "seed=" << seed;
+  }
+}
+
+struct ExplorerOutcome {
+  bool ok = false;
+  bool complete = false;
+  bool may_not_terminate = false;
+  std::set<std::string> final_states;
+  std::set<std::string> observable_streams;
+
+  bool operator==(const ExplorerOutcome& other) const {
+    return ok == other.ok && complete == other.complete &&
+           may_not_terminate == other.may_not_terminate &&
+           final_states == other.final_states &&
+           observable_streams == other.observable_streams;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const ExplorerOutcome& o) {
+  os << "{ok=" << o.ok << " complete=" << o.complete
+     << " may_not_terminate=" << o.may_not_terminate << " finals={";
+  for (const std::string& f : o.final_states) os << f << ";";
+  os << "} streams={";
+  for (const std::string& s : o.observable_streams) os << s << ";";
+  return os << "}}";
+}
+
+TEST_F(ParallelDeterminismTest, ExplorerFinalStatesIdenticalAcrossThreadCounts) {
+  constexpr uint64_t kNumSeeds = 20;
+  ExplorerOptions base;
+  base.max_depth = 24;
+  base.max_total_steps = 20000;
+
+  auto explore_seed = [&](uint64_t seed, int num_threads) {
+    RandomRuleSetParams params = ParamsForSeed(seed);
+    params.num_rules = 4 + static_cast<int>(seed % 3);
+    params.observable_fraction = 0.5;
+    GeneratedRuleSet gen = RandomRuleSetGenerator::Generate(params);
+    auto catalog = RuleCatalog::Build(gen.schema.get(), std::move(gen.rules));
+    ExplorerOutcome outcome;
+    if (!catalog.ok()) return outcome;
+    Database db(gen.schema.get());
+    if (!PopulateRandomDatabase(&db, 2, seed).ok()) return outcome;
+    ExplorerOptions options = base;
+    options.num_threads = num_threads;
+    auto r = Explorer::ExploreAfterStatements(
+        catalog.value(), db, {"insert into t0 values (1, 2, 3)"}, options);
+    if (!r.ok()) return outcome;
+    outcome.ok = true;
+    outcome.complete = r.value().complete;
+    outcome.may_not_terminate = r.value().may_not_terminate;
+    outcome.final_states = r.value().final_states;
+    outcome.observable_streams = r.value().observable_streams;
+    return outcome;
+  };
+
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    ExplorerOutcome sharded1 = explore_seed(seed, 1);
+    ASSERT_TRUE(sharded1.ok) << "seed=" << seed;
+    EXPECT_EQ(explore_seed(seed, 2), sharded1) << "seed=" << seed;
+    EXPECT_EQ(explore_seed(seed, 8), sharded1) << "seed=" << seed;
+    // The classic single-threaded explorer agrees whenever both modes ran
+    // to completion (incomplete runs may truncate at different frontiers:
+    // the sharded budget is per shard).
+    ExplorerOutcome classic = explore_seed(seed, 0);
+    ASSERT_TRUE(classic.ok) << "seed=" << seed;
+    if (classic.complete && sharded1.complete) {
+      EXPECT_EQ(sharded1, classic) << "seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starburst

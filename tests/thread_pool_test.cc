@@ -1,0 +1,145 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace starburst {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::vector<int> hits(1000, 0);
+    pool.ParallelFor(hits.size(), 7, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000)
+        << "threads=" << threads;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  // Determinism contract: the (begin, end) chunks are a function of
+  // (n, grain) only, never of scheduling.
+  auto chunks_for = [](int threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> chunks;
+    pool.ParallelFor(103, 10, [&](size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lk(mu);
+      chunks.emplace(begin, end);
+    });
+    return chunks;
+  };
+  auto expected = chunks_for(1);
+  EXPECT_EQ(expected.size(), 11u);  // ceil(103 / 10)
+  EXPECT_EQ(chunks_for(4), expected);
+  EXPECT_EQ(chunks_for(8), expected);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 16, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanNIsOneInlineChunk) {
+  ThreadPool pool(4);
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelFor(5, 100, [&](size_t begin, size_t end) {
+    chunks.emplace_back(begin, end);  // single chunk -> no data race
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{0, 5}));
+}
+
+TEST(ThreadPoolTest, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> covered{0};
+  pool.ParallelFor(9, 0, [&](size_t begin, size_t end) {
+    EXPECT_EQ(end, begin + 1);
+    covered += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 9);
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagatesToCaller) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(64, 1,
+                         [&](size_t begin, size_t) {
+                           if (begin == 13) {
+                             throw std::runtime_error("chunk failed");
+                           }
+                         }),
+        std::runtime_error)
+        << "threads=" << threads;
+    // The pool survives a failed job and runs the next one.
+    std::atomic<int> covered{0};
+    pool.ParallelFor(8, 1, [&](size_t, size_t) { ++covered; });
+    EXPECT_EQ(covered.load(), 8);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> saw_region_flag{false};
+  pool.ParallelFor(8, 1, [&](size_t, size_t) {
+    if (ThreadPool::InParallelRegion()) saw_region_flag = true;
+    // Nested calls: must complete inline without deadlocking on the busy
+    // pool (both on the caller thread and on workers). Two back-to-back
+    // calls check that the first one leaves the region flag intact.
+    pool.ParallelFor(4, 1, [&](size_t b, size_t e) {
+      inner_total += static_cast<int>(e - b);
+    });
+    pool.ParallelFor(4, 1, [&](size_t b, size_t e) {
+      inner_total += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 2 * 4);
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(32, 4, [&](size_t, size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, SetDefaultThreadCountRebuildsDefaultPool) {
+  ThreadPool::SetDefaultThreadCount(3);
+  EXPECT_EQ(ThreadPool::Default().num_threads(), 3);
+  std::atomic<int> covered{0};
+  ParallelFor(10, 1, [&](size_t, size_t) { ++covered; });
+  EXPECT_EQ(covered.load(), 10);
+  ThreadPool::SetDefaultThreadCount(ThreadPool::DefaultThreadCount());
+}
+
+}  // namespace
+}  // namespace starburst
