@@ -1,0 +1,103 @@
+// B7: the theorem-oracle fuzzing harness (src/testing/). Cases/sec for
+// each of the five oracles over a fixed slice of the generator lattice,
+// swept over thread counts via Args({oracle, threads}) so one JSON run
+// (BENCH_fuzz.json) records the per-oracle cost profile: round_trip is
+// pure frontend, termination/confluence/determinism pay for one or more
+// explorations, and backend_equivalence re-runs the analyzers and the
+// explorer per pool size. The shrinker gets its own benchmark since its
+// cost is oracle-run count times case cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "testing/fuzzer.h"
+#include "testing/oracles.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace fuzzing {
+namespace {
+
+constexpr int kCasesPerIteration = 8;
+
+std::vector<GeneratedRuleSet> MakeCases() {
+  std::vector<GeneratedRuleSet> cases;
+  cases.reserve(kCasesPerIteration);
+  for (uint64_t seed = 1; seed <= kCasesPerIteration; ++seed) {
+    cases.push_back(RandomRuleSetGenerator::Generate(LatticeParams(seed)));
+  }
+  return cases;
+}
+
+void BM_OracleThroughput(benchmark::State& state) {
+  OracleId oracle = static_cast<OracleId>(state.range(0));
+  ThreadPool::SetDefaultThreadCount(static_cast<int>(state.range(1)));
+  std::vector<GeneratedRuleSet> cases = MakeCases();
+  OracleOptions options;
+  for (auto _ : state) {
+    for (size_t i = 0; i < cases.size(); ++i) {
+      OracleOutcome outcome =
+          RunOracle(oracle, cases[i], static_cast<uint64_t>(i + 1), options);
+      benchmark::DoNotOptimize(outcome.verdict);
+    }
+  }
+  state.counters["cases_per_s"] = benchmark::Counter(
+      static_cast<double>(kCasesPerIteration * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(OracleName(oracle));
+  ThreadPool::SetDefaultThreadCount(ThreadPool::DefaultThreadCount());
+}
+BENCHMARK(BM_OracleThroughput)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 4}})
+    ->ArgNames({"oracle", "threads"})
+    ->UseRealTime();
+
+// The whole campaign loop (all five oracles per case), the number the
+// fuzz-smoke CI budget is sized against.
+void BM_FuzzSweep(benchmark::State& state) {
+  ThreadPool::SetDefaultThreadCount(static_cast<int>(state.range(0)));
+  FuzzConfig config;
+  config.seed_begin = 1;
+  config.seed_end = kCasesPerIteration;
+  long runs = 0;
+  for (auto _ : state) {
+    FuzzReport report = RunFuzz(config);
+    runs += report.stats.oracle_runs;
+    benchmark::DoNotOptimize(report.failures.size());
+  }
+  state.counters["oracle_runs_per_s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsRate);
+  ThreadPool::SetDefaultThreadCount(ThreadPool::DefaultThreadCount());
+}
+BENCHMARK(BM_FuzzSweep)->Arg(1)->Arg(4)->ArgName("threads")->UseRealTime();
+
+// Shrinking cost: a synthetic predicate (rule-count threshold) isolates
+// the shrinker's own fixpoint loop from oracle cost, counting accepted
+// steps per second over a fresh generated set each iteration.
+void BM_ShrinkFixpoint(benchmark::State& state) {
+  FailurePredicate needs_two = [](const GeneratedRuleSet& candidate) {
+    if (candidate.rules.size() >= 2) {
+      return OracleOutcome{OracleVerdict::kFail, "two rules"};
+    }
+    return OracleOutcome{OracleVerdict::kPass, ""};
+  };
+  RandomRuleSetParams params = LatticeParams(2);  // 4-rule lattice point
+  params.num_rules = 8;
+  GeneratedRuleSet set = RandomRuleSetGenerator::Generate(params);
+  long steps = 0;
+  for (auto _ : state) {
+    ShrinkResult result = ShrinkWith(set, needs_two, 1);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.minimized.rules.size());
+  }
+  state.counters["shrink_steps_per_s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShrinkFixpoint)->UseRealTime();
+
+}  // namespace
+}  // namespace fuzzing
+}  // namespace starburst

@@ -1,0 +1,358 @@
+#include "testing/fuzzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+namespace fuzzing {
+
+namespace {
+
+// --- Referenced-table collection (for the shrinker's schema pass) --------
+
+void CollectTables(const SelectStmt& select, std::set<std::string>* out);
+
+void CollectTables(const Expr& expr, std::set<std::string>* out) {
+  if (expr.left) CollectTables(*expr.left, out);
+  if (expr.right) CollectTables(*expr.right, out);
+  if (expr.subquery) CollectTables(*expr.subquery, out);
+}
+
+void CollectTables(const SelectStmt& select, std::set<std::string>* out) {
+  for (const SelectItem& item : select.items) {
+    if (item.expr) CollectTables(*item.expr, out);
+  }
+  for (const TableRef& ref : select.from) {
+    if (!ref.is_transition) out->insert(ToLower(ref.table));
+  }
+  if (select.where) CollectTables(*select.where, out);
+}
+
+void CollectTables(const Stmt& stmt, std::set<std::string>* out) {
+  if (!stmt.table.empty()) out->insert(ToLower(stmt.table));
+  if (stmt.select) CollectTables(*stmt.select, out);
+  if (stmt.insert_select) CollectTables(*stmt.insert_select, out);
+  for (const auto& row : stmt.insert_rows) {
+    for (const ExprPtr& value : row) {
+      if (value) CollectTables(*value, out);
+    }
+  }
+  if (stmt.where) CollectTables(*stmt.where, out);
+  for (const Assignment& assignment : stmt.assignments) {
+    if (assignment.value) CollectTables(*assignment.value, out);
+  }
+}
+
+std::set<std::string> ReferencedTables(const GeneratedRuleSet& set) {
+  std::set<std::string> referenced;
+  for (const RuleDef& rule : set.rules) {
+    referenced.insert(ToLower(rule.table));
+    if (rule.condition) CollectTables(*rule.condition, &referenced);
+    for (const StmtPtr& action : rule.actions) {
+      CollectTables(*action, &referenced);
+    }
+  }
+  return referenced;
+}
+
+// --- Shrinker ------------------------------------------------------------
+
+class Shrinker {
+ public:
+  Shrinker(const FailurePredicate& predicate, uint64_t rng_seed)
+      : predicate_(predicate), rng_seed_(rng_seed) {}
+
+  ShrinkResult Run(const GeneratedRuleSet& set) {
+    ShrinkResult result;
+    result.minimized = set.Clone();
+    // Random-victim rule drops (via the Mutate entry point) interleaved
+    // with deterministic structural passes, to a fixpoint: every accepted
+    // step re-ran the oracle and kept it failing.
+    SplitMix64 rng(rng_seed_ ^ 0x5221146b5ULL);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      changed |= DropRules(&result, &rng);
+      changed |= DropRulesExhaustive(&result);
+      changed |= DropActions(&result);
+      changed |= DropConditions(&result);
+      changed |= DropPriorities(&result);
+      changed |= DropUnreferencedTables(&result);
+    }
+    if (result.message.empty()) {
+      result.message = predicate_(result.minimized).message;
+    }
+    return result;
+  }
+
+ private:
+  bool StillFails(const GeneratedRuleSet& candidate, std::string* message) {
+    OracleOutcome outcome = predicate_(candidate);
+    if (outcome.failed()) *message = std::move(outcome.message);
+    return outcome.verdict == OracleVerdict::kFail;
+  }
+
+  bool Accept(ShrinkResult* result, GeneratedRuleSet candidate) {
+    std::string message;
+    if (!StillFails(candidate, &message)) return false;
+    result->minimized = std::move(candidate);
+    result->message = std::move(message);
+    ++result->steps;
+    return true;
+  }
+
+  bool DropRules(ShrinkResult* result, SplitMix64* rng) {
+    bool any = false;
+    int attempts = static_cast<int>(result->minimized.rules.size());
+    for (int i = 0; i < attempts && !result->minimized.rules.empty(); ++i) {
+      GeneratedRuleSet candidate = result->minimized.Clone();
+      if (!RandomRuleSetGenerator::Mutate(&candidate, MutationKind::kDropRule,
+                                          rng)) {
+        break;
+      }
+      any |= Accept(result, std::move(candidate));
+    }
+    return any;
+  }
+
+  // The random pass can miss a droppable rule when every draw lands on a
+  // load-bearing one; this pass tries each rule in order so the fixpoint
+  // really is 1-minimal with respect to rule drops.
+  bool DropRulesExhaustive(ShrinkResult* result) {
+    bool any = false;
+    for (size_t r = 0; r < result->minimized.rules.size();) {
+      GeneratedRuleSet candidate = result->minimized.Clone();
+      std::string victim = candidate.rules[r].name;
+      candidate.rules.erase(candidate.rules.begin() + static_cast<long>(r));
+      for (RuleDef& rule : candidate.rules) {
+        for (auto field : {&RuleDef::precedes, &RuleDef::follows}) {
+          std::vector<std::string>& names = rule.*field;
+          names.erase(std::remove(names.begin(), names.end(), victim),
+                      names.end());
+        }
+      }
+      if (Accept(result, std::move(candidate))) {
+        any = true;
+      } else {
+        ++r;
+      }
+    }
+    return any;
+  }
+
+  bool DropActions(ShrinkResult* result) {
+    bool any = false;
+    for (size_t r = 0; r < result->minimized.rules.size(); ++r) {
+      for (size_t a = 0; a < result->minimized.rules[r].actions.size();) {
+        // An empty THEN clause is not grammatical; keep at least one.
+        if (result->minimized.rules[r].actions.size() <= 1) break;
+        GeneratedRuleSet candidate = result->minimized.Clone();
+        candidate.rules[r].actions.erase(candidate.rules[r].actions.begin() +
+                                         static_cast<long>(a));
+        if (Accept(result, std::move(candidate))) {
+          any = true;  // same index now names the next action
+        } else {
+          ++a;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool DropConditions(ShrinkResult* result) {
+    bool any = false;
+    for (size_t r = 0; r < result->minimized.rules.size(); ++r) {
+      if (!result->minimized.rules[r].condition) continue;
+      GeneratedRuleSet candidate = result->minimized.Clone();
+      candidate.rules[r].condition.reset();
+      any |= Accept(result, std::move(candidate));
+    }
+    return any;
+  }
+
+  bool DropPriorities(ShrinkResult* result) {
+    bool any = false;
+    for (size_t r = 0; r < result->minimized.rules.size(); ++r) {
+      for (auto field : {&RuleDef::precedes, &RuleDef::follows}) {
+        for (size_t i = 0; i < (result->minimized.rules[r].*field).size();) {
+          GeneratedRuleSet candidate = result->minimized.Clone();
+          std::vector<std::string>& names = candidate.rules[r].*field;
+          names.erase(names.begin() + static_cast<long>(i));
+          if (Accept(result, std::move(candidate))) {
+            any = true;
+          } else {
+            ++i;
+          }
+        }
+      }
+    }
+    return any;
+  }
+
+  bool DropUnreferencedTables(ShrinkResult* result) {
+    std::set<std::string> referenced = ReferencedTables(result->minimized);
+    const Schema& schema = *result->minimized.schema;
+    bool all_referenced = true;
+    for (const TableDef& table : schema.tables()) {
+      if (referenced.count(ToLower(table.name())) == 0) {
+        all_referenced = false;
+        break;
+      }
+    }
+    if (all_referenced) return false;
+    GeneratedRuleSet candidate;
+    candidate.schema = std::make_unique<Schema>();
+    for (const TableDef& table : schema.tables()) {
+      if (referenced.count(ToLower(table.name())) == 0) continue;
+      auto added = candidate.schema->AddTable(table.name(), table.columns());
+      if (!added.ok()) return false;  // can't happen: names stay unique
+    }
+    for (const RuleDef& rule : result->minimized.rules) {
+      candidate.rules.push_back(rule.Clone());
+    }
+    return Accept(result, std::move(candidate));
+  }
+
+  const FailurePredicate& predicate_;
+  uint64_t rng_seed_;
+};
+
+std::string SanitizeOneLine(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+RandomRuleSetParams LatticeParams(uint64_t seed) {
+  static constexpr int kRuleCounts[] = {2, 3, 4};
+  static constexpr double kPriorityDensities[] = {0.0, 0.3, 0.7};
+  static constexpr double kObservableFractions[] = {0.0, 0.5};
+  RandomRuleSetParams params;
+  params.seed = seed;
+  params.num_tables = 4;
+  params.columns_per_table = 2;
+  params.max_actions_per_rule = 2;
+  params.tables_per_rule = 2;
+  params.update_bound = 3;
+  params.num_rules = kRuleCounts[seed % 3];
+  params.priority_density = kPriorityDensities[(seed / 3) % 3];
+  params.observable_fraction = kObservableFractions[(seed / 9) % 2];
+  params.dag_triggering = ((seed / 18) % 2) == 1;
+  return params;
+}
+
+ShrinkResult ShrinkFailure(const GeneratedRuleSet& set, OracleId oracle,
+                           uint64_t data_seed, const OracleOptions& options) {
+  FailurePredicate predicate = [oracle, data_seed,
+                                &options](const GeneratedRuleSet& candidate) {
+    return RunOracle(oracle, candidate, data_seed, options);
+  };
+  return ShrinkWith(set, predicate, data_seed);
+}
+
+ShrinkResult ShrinkWith(const GeneratedRuleSet& set,
+                        const FailurePredicate& still_fails,
+                        uint64_t rng_seed) {
+  return Shrinker(still_fails, rng_seed).Run(set);
+}
+
+std::string FailureToCorpusFile(const FuzzFailure& failure) {
+  std::string out = "-- starburst fuzz reproducer\n";
+  out += "-- oracle: " + std::string(OracleName(failure.oracle)) + "\n";
+  out += "-- generator seed: " + std::to_string(failure.seed) +
+         " (data seed: " + std::to_string(failure.seed) + ")\n";
+  out += "-- shrunk: " + std::to_string(failure.original_num_rules) +
+         " -> " + std::to_string(failure.minimized_num_rules) + " rules in " +
+         std::to_string(failure.shrink_steps) + " steps\n";
+  out += "-- failure: " + SanitizeOneLine(failure.message) + "\n\n";
+  out += failure.minimized_script;
+  return out;
+}
+
+FuzzReport RunFuzz(const FuzzConfig& config) {
+  FuzzReport report;
+  std::vector<OracleId> oracles =
+      config.oracles.empty() ? AllOracles() : config.oracles;
+  auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  for (uint64_t seed = config.seed_begin; seed <= config.seed_end; ++seed) {
+    if (config.time_budget_seconds > 0 &&
+        elapsed() >= config.time_budget_seconds) {
+      report.stats.time_budget_exhausted = true;
+      break;
+    }
+    GeneratedRuleSet set = RandomRuleSetGenerator::Generate(
+        LatticeParams(seed));
+    ++report.stats.cases;
+    for (OracleId oracle : oracles) {
+      OracleOutcome outcome =
+          RunOracle(oracle, set, seed, config.oracle_options);
+      ++report.stats.oracle_runs;
+      int idx = static_cast<int>(oracle);
+      switch (outcome.verdict) {
+        case OracleVerdict::kPass:
+          ++report.stats.passes[idx];
+          continue;
+        case OracleVerdict::kSkip:
+          ++report.stats.skips[idx];
+          continue;
+        case OracleVerdict::kFail:
+          ++report.stats.failures[idx];
+          break;
+      }
+
+      FuzzFailure failure;
+      failure.seed = seed;
+      failure.oracle = oracle;
+      failure.message = outcome.message;
+      failure.original_script = RuleSetToScript(set);
+      failure.original_num_rules = static_cast<int>(set.rules.size());
+      if (config.minimize) {
+        ShrinkResult shrunk =
+            ShrinkFailure(set, oracle, seed, config.oracle_options);
+        failure.minimized_script = RuleSetToScript(shrunk.minimized);
+        failure.minimized_num_rules =
+            static_cast<int>(shrunk.minimized.rules.size());
+        failure.shrink_steps = shrunk.steps;
+        if (!shrunk.message.empty()) failure.message = shrunk.message;
+      } else {
+        failure.minimized_script = failure.original_script;
+        failure.minimized_num_rules = failure.original_num_rules;
+      }
+      if (!config.corpus_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(config.corpus_dir, ec);
+        std::string path = config.corpus_dir + "/seed" +
+                           std::to_string(seed) + "_" +
+                           OracleName(oracle) + ".rules";
+        std::ofstream out(path);
+        if (out) {
+          out << FailureToCorpusFile(failure);
+          failure.corpus_path = path;
+        }
+      }
+      report.failures.push_back(std::move(failure));
+    }
+  }
+  report.stats.wall_seconds = elapsed();
+  return report;
+}
+
+}  // namespace fuzzing
+}  // namespace starburst

@@ -1,0 +1,110 @@
+#ifndef STARBURST_TESTING_FUZZER_H_
+#define STARBURST_TESTING_FUZZER_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testing/oracles.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace fuzzing {
+
+/// One fuzzing campaign: sweep a seed range through the generator-parameter
+/// lattice, run every requested oracle on each case, and shrink failures to
+/// minimal reproducers.
+struct FuzzConfig {
+  /// Inclusive generator-seed range.
+  uint64_t seed_begin = 1;
+  uint64_t seed_end = 100;
+  /// Wall-clock cap; 0 = no cap. Checked between cases, so one case may
+  /// overrun slightly.
+  double time_budget_seconds = 0.0;
+  /// Oracles to run; empty = all five.
+  std::vector<OracleId> oracles;
+  /// Shrink failing cases before reporting.
+  bool minimize = true;
+  /// When non-empty, each (minimized) failure is written there as a
+  /// self-contained .rules reproducer.
+  std::string corpus_dir;
+  OracleOptions oracle_options;
+};
+
+/// The generator-parameter lattice point for one seed: rule count, priority
+/// density, observable fraction, and dag-vs-cyclic triggering all cycle at
+/// coprime-ish strides so a contiguous seed range covers the product. The
+/// seed itself drives every draw, so the mapping is stable across runs and
+/// platforms.
+RandomRuleSetParams LatticeParams(uint64_t seed);
+
+struct FuzzFailure {
+  uint64_t seed = 0;
+  OracleId oracle = OracleId::kRoundTrip;
+  std::string message;
+  /// The failing case as serialized scripts, before and after shrinking
+  /// (identical when minimize is off or no shrink applied).
+  std::string original_script;
+  std::string minimized_script;
+  int original_num_rules = 0;
+  int minimized_num_rules = 0;
+  /// Accepted shrink steps (each one re-ran the oracle and kept failing).
+  int shrink_steps = 0;
+  /// Path of the written corpus reproducer; empty when corpus_dir unset or
+  /// the write failed.
+  std::string corpus_path;
+};
+
+struct FuzzStats {
+  long cases = 0;
+  long oracle_runs = 0;
+  /// Indexed by static_cast<int>(OracleId).
+  std::array<long, kNumOracles> passes{};
+  std::array<long, kNumOracles> skips{};
+  std::array<long, kNumOracles> failures{};
+  double wall_seconds = 0.0;
+  bool time_budget_exhausted = false;
+};
+
+struct FuzzReport {
+  FuzzStats stats;
+  std::vector<FuzzFailure> failures;
+};
+
+/// Runs the campaign. Deterministic apart from wall-clock fields (and the
+/// case cutoff when a time budget is set).
+FuzzReport RunFuzz(const FuzzConfig& config);
+
+/// Greedy shrinker: repeatedly applies structural simplifications — rule
+/// drops (via RandomRuleSetGenerator::Mutate), action drops, condition
+/// drops, priority-edge drops, unreferenced-table drops — keeping each
+/// step only if the oracle still fails, until a fixpoint.
+struct ShrinkResult {
+  GeneratedRuleSet minimized;
+  int steps = 0;
+  /// The failure message of the minimized case.
+  std::string message;
+};
+ShrinkResult ShrinkFailure(const GeneratedRuleSet& set, OracleId oracle,
+                           uint64_t data_seed, const OracleOptions& options);
+
+/// The generalized shrinker behind ShrinkFailure: shrinks against any
+/// failure predicate (tests drive it with synthetic predicates; the fuzz
+/// loop passes a RunOracle closure). `rng_seed` drives the random-victim
+/// rule-drop pass.
+using FailurePredicate = std::function<OracleOutcome(const GeneratedRuleSet&)>;
+ShrinkResult ShrinkWith(const GeneratedRuleSet& set,
+                        const FailurePredicate& still_fails,
+                        uint64_t rng_seed);
+
+/// Renders a failure as a corpus file: a `--` comment header (oracle, seed,
+/// message) followed by the minimized script. The result reparses with
+/// ParseRuleSetScript.
+std::string FailureToCorpusFile(const FuzzFailure& failure);
+
+}  // namespace fuzzing
+}  // namespace starburst
+
+#endif  // STARBURST_TESTING_FUZZER_H_

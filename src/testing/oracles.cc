@@ -1,0 +1,367 @@
+#include "testing/oracles.h"
+
+#include <utility>
+
+#include "analysis/analyzer.h"
+#include "analysis/json_report.h"
+#include "analysis/observable.h"
+#include "analysis/termination.h"
+#include "common/thread_pool.h"
+#include "engine/serialize.h"
+#include "rulelang/parser.h"
+#include "rulelang/printer.h"
+#include "rules/explorer.h"
+#include "rules/rule_catalog.h"
+
+namespace starburst {
+namespace fuzzing {
+
+namespace {
+
+constexpr const char* kOracleNames[kNumOracles] = {
+    "termination_sound",
+    "confluence_sound",
+    "observable_determinism_sound",
+    "backend_equivalence",
+    "round_trip",
+};
+
+OracleOutcome Pass() { return {OracleVerdict::kPass, ""}; }
+OracleOutcome Skip(std::string why) {
+  return {OracleVerdict::kSkip, std::move(why)};
+}
+OracleOutcome Fail(std::string what) {
+  return {OracleVerdict::kFail, std::move(what)};
+}
+
+/// A case ready to explore: catalog + populated database + the randomized
+/// initial transition derived from data_seed.
+struct PreparedCase {
+  RuleCatalog catalog;
+  Database db;
+  Transition initial;
+
+  PreparedCase(RuleCatalog c, Database d)
+      : catalog(std::move(c)), db(std::move(d)) {}
+};
+
+/// Builds the initial transition: one insert into every table, a column
+/// update across one table, one delete from another — so inserted,
+/// updated, and deleted triggering events can all fire, with the touched
+/// tables varying by data_seed.
+Result<PreparedCase> Prepare(const GeneratedRuleSet& set, uint64_t data_seed,
+                             const OracleOptions& options) {
+  std::vector<RuleDef> rules;
+  rules.reserve(set.rules.size());
+  for (const RuleDef& r : set.rules) rules.push_back(r.Clone());
+  auto catalog = RuleCatalog::Build(set.schema.get(), std::move(rules));
+  if (!catalog.ok()) return catalog.status();
+
+  Database db(set.schema.get());
+  STARBURST_RETURN_IF_ERROR(
+      PopulateRandomDatabase(&db, options.rows_per_table, data_seed));
+
+  PreparedCase prepared(std::move(catalog).value(), std::move(db));
+  const Schema& schema = *set.schema;
+  SplitMix64 rng(data_seed ^ 0xf022c45eedULL);
+  for (TableId t = 0; t < schema.num_tables(); ++t) {
+    Tuple tuple(schema.table(t).num_columns(),
+                Value::Int(static_cast<int64_t>(rng.Below(4))));
+    auto rid = prepared.db.storage(t).Insert(tuple);
+    if (!rid.ok()) return rid.status();
+    STARBURST_RETURN_IF_ERROR(
+        prepared.initial.ForTable(t).ApplyInsert(rid.value(), tuple));
+  }
+  if (schema.num_tables() > 0) {
+    TableId updated = static_cast<TableId>(data_seed % schema.num_tables());
+    TableStorage& storage = prepared.db.storage(updated);
+    int64_t value = static_cast<int64_t>(rng.Below(4));
+    std::vector<std::pair<Rid, Tuple>> updates;
+    for (const auto& [rid, tuple] : storage.rows()) {
+      Tuple next = tuple;
+      next[0] = Value::Int(value);
+      if (!(next[0] == tuple[0])) updates.emplace_back(rid, std::move(next));
+    }
+    for (auto& [rid, next] : updates) {
+      Tuple old_tuple = *storage.Get(rid);
+      STARBURST_RETURN_IF_ERROR(storage.Update(rid, next));
+      STARBURST_RETURN_IF_ERROR(prepared.initial.ForTable(updated).ApplyUpdate(
+          rid, std::move(old_tuple), std::move(next)));
+    }
+
+    TableId deleted =
+        static_cast<TableId>((data_seed / 3) % schema.num_tables());
+    TableStorage& del_storage = prepared.db.storage(deleted);
+    if (!del_storage.rows().empty()) {
+      Rid victim = del_storage.rows().begin()->first;
+      Tuple old_tuple = *del_storage.Get(victim);
+      STARBURST_RETURN_IF_ERROR(del_storage.Delete(victim));
+      STARBURST_RETURN_IF_ERROR(
+          prepared.initial.ForTable(deleted).ApplyDelete(victim,
+                                                         std::move(old_tuple)));
+    }
+  }
+  return prepared;
+}
+
+ExplorerOptions ExploreOptions(const OracleOptions& options) {
+  ExplorerOptions eo;
+  eo.max_depth = options.max_depth;
+  eo.max_total_steps = options.max_total_steps;
+  return eo;
+}
+
+OracleOutcome TerminationSound(const GeneratedRuleSet& set,
+                               uint64_t data_seed,
+                               const OracleOptions& options) {
+  auto prepared = Prepare(set, data_seed, options);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+  TerminationReport verdict =
+      TerminationAnalyzer::Analyze(prepared.value().catalog.prelim());
+  if (!verdict.guaranteed) return Skip("termination not guaranteed");
+  auto result =
+      Explorer::Explore(prepared.value().catalog, prepared.value().db,
+                        prepared.value().initial, ExploreOptions(options));
+  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.value().complete) return Skip("exploration budget exhausted");
+  if (result.value().may_not_terminate) {
+    return Fail("termination-guaranteed set has an execution cycle");
+  }
+  return Pass();
+}
+
+OracleOutcome ConfluenceSound(const GeneratedRuleSet& set, uint64_t data_seed,
+                              const OracleOptions& options) {
+  auto prepared = Prepare(set, data_seed, options);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+  const RuleCatalog& catalog = prepared.value().catalog;
+  TerminationReport term = TerminationAnalyzer::Analyze(catalog.prelim());
+  CommutativityAnalyzer commutativity(catalog.prelim(), catalog.schema());
+  ConfluenceAnalyzer analyzer(commutativity, catalog.priority());
+  ConfluenceReport verdict = analyzer.Analyze(term.guaranteed);
+  if (!verdict.confluent) return Skip("no confluence certificate");
+  auto result = Explorer::Explore(catalog, prepared.value().db,
+                                  prepared.value().initial,
+                                  ExploreOptions(options));
+  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.value().complete) return Skip("exploration budget exhausted");
+  if (result.value().may_not_terminate) {
+    return Fail("confluent-certified set has an execution cycle");
+  }
+  if (result.value().final_states.size() != 1) {
+    return Fail("confluent-certified set reached " +
+                std::to_string(result.value().final_states.size()) +
+                " distinct final states");
+  }
+  return Pass();
+}
+
+OracleOutcome ObservableDeterminismSound(const GeneratedRuleSet& set,
+                                         uint64_t data_seed,
+                                         const OracleOptions& options) {
+  auto prepared = Prepare(set, data_seed, options);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+  const RuleCatalog& catalog = prepared.value().catalog;
+  TerminationReport term = TerminationAnalyzer::Analyze(catalog.prelim());
+  ObservableDeterminismReport verdict = ObservableDeterminismAnalyzer::Analyze(
+      catalog.schema(), catalog.prelim(), catalog.priority(), {},
+      term.guaranteed);
+  if (!verdict.deterministic) return Skip("no determinism certificate");
+  if (verdict.observable_rules.empty()) return Skip("no observable rules");
+  auto result = Explorer::Explore(catalog, prepared.value().db,
+                                  prepared.value().initial,
+                                  ExploreOptions(options));
+  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.value().complete) return Skip("exploration budget exhausted");
+  if (result.value().observable_streams.size() > 1) {
+    return Fail("determinism-certified set produced " +
+                std::to_string(result.value().observable_streams.size()) +
+                " distinct observable streams");
+  }
+  return Pass();
+}
+
+OracleOutcome BackendEquivalence(const GeneratedRuleSet& set,
+                                 uint64_t data_seed,
+                                 const OracleOptions& options) {
+  auto prepared = Prepare(set, data_seed, options);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+
+  // Analysis: FullReportToJson must be bit-identical for every pool size.
+  int original_threads = ThreadPool::Default().num_threads();
+  std::string reference_json;
+  std::string divergence;
+  for (size_t i = 0; i < options.backend_thread_counts.size(); ++i) {
+    ThreadPool::SetDefaultThreadCount(options.backend_thread_counts[i]);
+    std::vector<RuleDef> rules;
+    for (const RuleDef& r : set.rules) rules.push_back(r.Clone());
+    auto analyzer = Analyzer::Create(set.schema.get(), std::move(rules));
+    if (!analyzer.ok()) {
+      divergence = analyzer.status().ToString();
+      break;
+    }
+    std::string json = FullReportToJson(analyzer.value().AnalyzeAll(8),
+                                        analyzer.value().catalog());
+    if (i == 0) {
+      reference_json = std::move(json);
+    } else if (json != reference_json) {
+      divergence = "FullReportToJson differs between " +
+                   std::to_string(options.backend_thread_counts[0]) + " and " +
+                   std::to_string(options.backend_thread_counts[i]) +
+                   " analysis threads";
+      break;
+    }
+  }
+  ThreadPool::SetDefaultThreadCount(original_threads);
+  if (!divergence.empty()) return Fail(divergence);
+
+  // Explorer: classic vs every sharded worker count must agree on the
+  // final-state set, the observable streams, and both verdicts.
+  ExplorerOptions classic_options = ExploreOptions(options);
+  auto classic = Explorer::Explore(prepared.value().catalog,
+                                   prepared.value().db,
+                                   prepared.value().initial, classic_options);
+  if (!classic.ok()) return Fail(classic.status().ToString());
+  for (int threads : options.backend_thread_counts) {
+    ExplorerOptions sharded_options = classic_options;
+    sharded_options.num_threads = threads;
+    auto sharded = Explorer::Explore(
+        prepared.value().catalog, prepared.value().db,
+        prepared.value().initial, sharded_options);
+    if (!sharded.ok()) return Fail(sharded.status().ToString());
+    std::string where = "sharded explorer (num_threads=" +
+                        std::to_string(threads) + ") diverged from classic: ";
+    if (sharded.value().final_states != classic.value().final_states) {
+      return Fail(where + "final-state sets differ");
+    }
+    if (sharded.value().observable_streams !=
+        classic.value().observable_streams) {
+      return Fail(where + "observable-stream sets differ");
+    }
+    if (sharded.value().may_not_terminate !=
+        classic.value().may_not_terminate) {
+      return Fail(where + "termination verdicts differ");
+    }
+    if (sharded.value().complete != classic.value().complete) {
+      return Fail(where + "completeness differs");
+    }
+  }
+  return Pass();
+}
+
+OracleOutcome RoundTrip(const GeneratedRuleSet& set) {
+  for (const RuleDef& rule : set.rules) {
+    std::string text = RuleToString(rule);
+    auto parsed = Parser::ParseRule(text);
+    if (!parsed.ok()) {
+      return Fail("printed rule '" + rule.name +
+                  "' does not reparse: " + parsed.status().ToString());
+    }
+    if (RuleToString(parsed.value()) != text) {
+      return Fail("print->parse->print not a fixpoint for rule '" +
+                  rule.name + "'");
+    }
+  }
+  std::string script = RuleSetToScript(set);
+  auto reloaded = ParseRuleSetScript(script);
+  if (!reloaded.ok()) {
+    return Fail("serialized script does not reload: " +
+                reloaded.status().ToString());
+  }
+  if (RuleSetToScript(reloaded.value()) != script) {
+    return Fail("script serialization not a fixpoint");
+  }
+  std::vector<RuleDef> rules = std::move(reloaded.value().rules);
+  auto catalog =
+      RuleCatalog::Build(reloaded.value().schema.get(), std::move(rules));
+  if (!catalog.ok()) {
+    return Fail("reloaded script does not compile: " +
+                catalog.status().ToString());
+  }
+  return Pass();
+}
+
+}  // namespace
+
+const char* OracleName(OracleId id) {
+  return kOracleNames[static_cast<int>(id)];
+}
+
+std::optional<OracleId> ParseOracleName(const std::string& name) {
+  for (int i = 0; i < kNumOracles; ++i) {
+    if (name == kOracleNames[i]) return static_cast<OracleId>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<OracleId> AllOracles() {
+  std::vector<OracleId> all;
+  all.reserve(kNumOracles);
+  for (int i = 0; i < kNumOracles; ++i) all.push_back(static_cast<OracleId>(i));
+  return all;
+}
+
+OracleOutcome RunOracle(OracleId id, const GeneratedRuleSet& set,
+                        uint64_t data_seed, const OracleOptions& options) {
+  switch (id) {
+    case OracleId::kTerminationSound:
+      return TerminationSound(set, data_seed, options);
+    case OracleId::kConfluenceSound:
+      return ConfluenceSound(set, data_seed, options);
+    case OracleId::kObservableDeterminismSound:
+      return ObservableDeterminismSound(set, data_seed, options);
+    case OracleId::kBackendEquivalence:
+      return BackendEquivalence(set, data_seed, options);
+    case OracleId::kRoundTrip:
+      return RoundTrip(set);
+  }
+  return Skip("unknown oracle");
+}
+
+std::string RuleSetToScript(const GeneratedRuleSet& set) {
+  std::string out = DumpSchema(*set.schema);
+  for (const RuleDef& rule : set.rules) {
+    out += "\n";
+    out += RuleToString(rule);
+    out += ";\n";
+  }
+  return out;
+}
+
+Result<GeneratedRuleSet> ParseRuleSetScript(const std::string& source) {
+  auto script = Parser::ParseScript(source);
+  if (!script.ok()) return script.status();
+  GeneratedRuleSet set;
+  set.schema = std::make_unique<Schema>();
+  for (const StmtPtr& stmt : script.value().statements) {
+    if (stmt->kind != StmtKind::kCreateTable) {
+      return Status::InvalidArgument(
+          "rule-set script may only contain create table / create rule "
+          "statements");
+    }
+    auto added = set.schema->AddTable(stmt->table, stmt->create_columns);
+    if (!added.ok()) return added.status();
+  }
+  set.rules = std::move(script.value().rules);
+  return set;
+}
+
+std::vector<ReplayFailure> ReplayAllOracles(
+    const GeneratedRuleSet& set, const std::vector<uint64_t>& data_seeds,
+    const OracleOptions& options) {
+  std::vector<ReplayFailure> failures;
+  for (OracleId id : AllOracles()) {
+    for (uint64_t data_seed : data_seeds) {
+      OracleOutcome outcome = RunOracle(id, set, data_seed, options);
+      if (outcome.failed()) {
+        failures.push_back({id, data_seed, outcome.message});
+      }
+      // kRoundTrip ignores the data seed; once is enough.
+      if (id == OracleId::kRoundTrip) break;
+    }
+  }
+  return failures;
+}
+
+}  // namespace fuzzing
+}  // namespace starburst

@@ -1,0 +1,116 @@
+#ifndef STARBURST_TESTING_ORACLES_H_
+#define STARBURST_TESTING_ORACLES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace fuzzing {
+
+/// One oracle per paper claim. Each oracle cross-checks a static analysis
+/// verdict (or a representation invariant) against the actual execution
+/// semantics via the engine and the execution-graph explorer:
+///
+///   kTerminationSound           Theorem 5.1 (Section 5): a terminating
+///                               verdict implies the explorer reaches
+///                               quiescence on randomized initial
+///                               transitions.
+///   kConfluenceSound            Theorem 6.7 (Section 6): a confluence
+///                               certificate implies one final database
+///                               for every enumerated interleaving.
+///   kObservableDeterminismSound Theorem 8.1 (Section 8): a determinism
+///                               certificate implies one observable
+///                               stream.
+///   kBackendEquivalence         classic vs sharded explorer and
+///                               1/2/8-thread analysis produce identical
+///                               results (the parallel backend's
+///                               determinism contract).
+///   kRoundTrip                  print -> parse -> print is a fixpoint for
+///                               generated rules and whole scripts.
+enum class OracleId {
+  kTerminationSound,
+  kConfluenceSound,
+  kObservableDeterminismSound,
+  kBackendEquivalence,
+  kRoundTrip,
+};
+
+inline constexpr int kNumOracles = 5;
+
+/// Stable snake_case name ("termination_sound", ...), used by the
+/// fuzz_driver --oracle flag and corpus file headers.
+const char* OracleName(OracleId id);
+
+/// Inverse of OracleName; nullopt for an unknown name.
+std::optional<OracleId> ParseOracleName(const std::string& name);
+
+/// All five oracles, in declaration order.
+std::vector<OracleId> AllOracles();
+
+/// Budgets for one oracle run. Exploration budgets bound the exponential
+/// execution graphs; an exhausted budget yields a skip, never a verdict.
+struct OracleOptions {
+  int rows_per_table = 2;
+  int max_depth = 48;
+  long max_total_steps = 40000;
+  /// Pool sizes swept by kBackendEquivalence.
+  std::vector<int> backend_thread_counts = {1, 2, 8};
+};
+
+enum class OracleVerdict {
+  /// The claim was checked and held.
+  kPass,
+  /// The claim could not be exercised on this case (analyzer declined to
+  /// certify, exploration budget exhausted, nothing observable).
+  kSkip,
+  /// The claim was refuted: a theorem-level soundness bug (or a corpus
+  /// regression).
+  kFail,
+};
+
+struct OracleOutcome {
+  OracleVerdict verdict = OracleVerdict::kSkip;
+  /// Failure detail or skip reason; empty on pass.
+  std::string message;
+
+  bool failed() const { return verdict == OracleVerdict::kFail; }
+};
+
+/// Runs one oracle over `set`. `data_seed` derives the initial database
+/// contents and the randomized initial transition; the same (set,
+/// data_seed, options) triple always produces the same outcome.
+OracleOutcome RunOracle(OracleId id, const GeneratedRuleSet& set,
+                        uint64_t data_seed, const OracleOptions& options);
+
+/// Serializes schema + rules as a self-contained, parseable rule-language
+/// script (`create table` statements first, then `create rule`
+/// definitions) — the corpus file format.
+std::string RuleSetToScript(const GeneratedRuleSet& set);
+
+/// Parses a script produced by RuleSetToScript (or written by hand): every
+/// statement must be `create table`; rules follow. Leading `--` comment
+/// lines are ignored by the lexer.
+Result<GeneratedRuleSet> ParseRuleSetScript(const std::string& source);
+
+/// One failure from a corpus replay.
+struct ReplayFailure {
+  OracleId oracle = OracleId::kRoundTrip;
+  uint64_t data_seed = 0;
+  std::string message;
+};
+
+/// Replays every oracle over every data seed; the corpus regression test
+/// expects an empty result for every checked-in file.
+std::vector<ReplayFailure> ReplayAllOracles(
+    const GeneratedRuleSet& set, const std::vector<uint64_t>& data_seeds,
+    const OracleOptions& options);
+
+}  // namespace fuzzing
+}  // namespace starburst
+
+#endif  // STARBURST_TESTING_ORACLES_H_

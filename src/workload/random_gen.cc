@@ -1,6 +1,6 @@
 #include "workload/random_gen.h"
 
-#include <random>
+#include <algorithm>
 
 namespace starburst {
 
@@ -22,15 +22,23 @@ ExprPtr TransitionCondition(TransitionTableKind kind, const std::string& col,
 
 }  // namespace
 
+GeneratedRuleSet GeneratedRuleSet::Clone() const {
+  GeneratedRuleSet copy;
+  copy.schema = std::make_unique<Schema>();
+  for (const TableDef& table : schema->tables()) {
+    auto added = copy.schema->AddTable(table.name(), table.columns());
+    (void)added;  // source schema was valid, so the copy is too
+  }
+  copy.rules.reserve(rules.size());
+  for (const RuleDef& rule : rules) copy.rules.push_back(rule.Clone());
+  return copy;
+}
+
 GeneratedRuleSet RandomRuleSetGenerator::Generate(
     const RandomRuleSetParams& params) {
-  std::mt19937_64 rng(params.seed);
-  auto pick = [&rng](int n) {
-    return static_cast<int>(rng() % static_cast<uint64_t>(n));
-  };
-  auto chance = [&rng](double p) {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
-  };
+  SplitMix64 rng(params.seed);
+  auto pick = [&rng](int n) { return rng.Below(n); };
+  auto chance = [&rng](double p) { return rng.Chance(p); };
 
   GeneratedRuleSet out;
   out.schema = std::make_unique<Schema>();
@@ -101,7 +109,7 @@ GeneratedRuleSet RandomRuleSetGenerator::Generate(
     for (int a = 0; a < num_actions; ++a) {
       int target = pool[pick(static_cast<int>(pool.size()))];
       std::string table = TableName(target);
-      double roll = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+      double roll = (rng.Next() >> 11) * (1.0 / 9007199254740992.0);
       if (roll < params.p_update_action) {
         // Bounded update, quiescing in both shapes:
         //   absolute: `update t set ck = B     where ck < B`
@@ -165,9 +173,88 @@ GeneratedRuleSet RandomRuleSetGenerator::Generate(
   return out;
 }
 
+namespace {
+
+void EraseName(std::vector<std::string>* names, const std::string& name) {
+  names->erase(std::remove(names->begin(), names->end(), name),
+               names->end());
+}
+
+bool NameTaken(const std::vector<RuleDef>& rules, const std::string& name) {
+  for (const RuleDef& r : rules) {
+    if (r.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RandomRuleSetGenerator::Mutate(GeneratedRuleSet* set, MutationKind kind,
+                                    SplitMix64* rng) {
+  std::vector<RuleDef>& rules = set->rules;
+  switch (kind) {
+    case MutationKind::kDropRule: {
+      if (rules.empty()) return false;
+      int victim = rng->Below(static_cast<int>(rules.size()));
+      std::string name = rules[victim].name;
+      rules.erase(rules.begin() + victim);
+      for (RuleDef& r : rules) {
+        EraseName(&r.precedes, name);
+        EraseName(&r.follows, name);
+      }
+      return true;
+    }
+    case MutationKind::kDuplicateRule: {
+      if (rules.empty()) return false;
+      int source = rng->Below(static_cast<int>(rules.size()));
+      RuleDef copy = rules[source].Clone();
+      // Fresh name; priorities are intentionally not copied (a duplicate
+      // ordered against its twin could make a confluent set divergent in
+      // ways unrelated to the mutation's intent).
+      copy.precedes.clear();
+      copy.follows.clear();
+      int suffix = 0;
+      std::string base = copy.name + "_dup";
+      while (NameTaken(rules, base + std::to_string(suffix))) ++suffix;
+      copy.name = base + std::to_string(suffix);
+      rules.push_back(std::move(copy));
+      return true;
+    }
+    case MutationKind::kFlipPriority: {
+      if (rules.size() < 2) return false;
+      int n = static_cast<int>(rules.size());
+      int i = rng->Below(n - 1);
+      int j = i + 1 + rng->Below(n - 1 - i);
+      // Toggle the i-before-j edge, declared as `follows` on the later
+      // rule (matching Generate(); orientation by index keeps P acyclic).
+      std::vector<std::string>& follows = rules[j].follows;
+      size_t before = follows.size();
+      EraseName(&follows, rules[i].name);
+      if (follows.size() == before) follows.push_back(rules[i].name);
+      return true;
+    }
+    case MutationKind::kSwapActions: {
+      std::vector<std::pair<int, int>> slots;
+      for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+        for (int a = 0; a < static_cast<int>(rules[r].actions.size()); ++a) {
+          slots.emplace_back(r, a);
+        }
+      }
+      if (slots.size() < 2) return false;
+      int x = rng->Below(static_cast<int>(slots.size()));
+      int y = rng->Below(static_cast<int>(slots.size()) - 1);
+      if (y >= x) ++y;
+      std::swap(rules[slots[x].first].actions[slots[x].second],
+                rules[slots[y].first].actions[slots[y].second]);
+      return true;
+    }
+  }
+  return false;
+}
+
 Status PopulateRandomDatabase(Database* db, int rows_per_table,
                               uint64_t seed) {
-  std::mt19937_64 rng(seed);
+  SplitMix64 rng(seed);
   const Schema& schema = db->schema();
   for (TableId t = 0; t < schema.num_tables(); ++t) {
     const TableDef& def = schema.table(t);
@@ -177,17 +264,17 @@ Status PopulateRandomDatabase(Database* db, int rows_per_table,
       for (const Column& col : def.columns()) {
         switch (col.type) {
           case ColumnType::kInt:
-            tuple.push_back(Value::Int(static_cast<int64_t>(rng() % 10)));
+            tuple.push_back(Value::Int(static_cast<int64_t>(rng.Next() % 10)));
             break;
           case ColumnType::kDouble:
             tuple.push_back(
-                Value::Double(static_cast<double>(rng() % 100) / 10.0));
+                Value::Double(static_cast<double>(rng.Next() % 100) / 10.0));
             break;
           case ColumnType::kString:
-            tuple.push_back(Value::String("s" + std::to_string(rng() % 10)));
+            tuple.push_back(Value::String("s" + std::to_string(rng.Next() % 10)));
             break;
           case ColumnType::kBool:
-            tuple.push_back(Value::Bool(rng() % 2 == 0));
+            tuple.push_back(Value::Bool(rng.Next() % 2 == 0));
             break;
         }
       }

@@ -52,6 +52,52 @@ struct RandomRuleSetParams {
 struct GeneratedRuleSet {
   std::unique_ptr<Schema> schema;
   std::vector<RuleDef> rules;
+
+  GeneratedRuleSet Clone() const;
+};
+
+/// SplitMix64: the fully-specified 64-bit generator used for every draw in
+/// the generation path. Unlike the std::uniform_* distributions (whose
+/// output is implementation-defined), the same seed produces the same
+/// rule set on every platform and compiler — the fuzzing corpus and the
+/// golden-hash test depend on this.
+struct SplitMix64 {
+  uint64_t state = 0;
+
+  explicit SplitMix64(uint64_t seed = 0) : state(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform draw in [0, n); n must be positive. Modulo bias is irrelevant
+  /// at workload-generation bounds (n << 2^64) and keeps the draw count
+  /// per decision fixed, which the cross-platform guarantee needs.
+  int Below(int n) { return static_cast<int>(Next() % static_cast<uint64_t>(n)); }
+
+  /// True with probability p: a 53-bit draw mapped to [0, 1) and compared
+  /// against p (exact IEEE-754 arithmetic, no std distribution).
+  bool Chance(double p) {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+};
+
+/// Structural mutations over a generated set, used by the fuzzer's
+/// shrinker and by metamorphic sweeps. Every mutation preserves
+/// compilability: the mutated set still builds via RuleCatalog::Build.
+enum class MutationKind {
+  /// Removes one rule (and every priority reference to it).
+  kDropRule,
+  /// Clones one rule under a fresh name (priorities not copied).
+  kDuplicateRule,
+  /// Toggles one (i, j), i < j, ordering: adds the edge if absent, drops
+  /// it if present. Orientation by index keeps P acyclic.
+  kFlipPriority,
+  /// Swaps one action between two rules (or two actions of one rule).
+  kSwapActions,
 };
 
 /// Deterministic (seeded) random rule-set generator used by tests,
@@ -59,6 +105,13 @@ struct GeneratedRuleSet {
 class RandomRuleSetGenerator {
  public:
   static GeneratedRuleSet Generate(const RandomRuleSetParams& params);
+
+  /// Applies one mutation of `kind` to `*set`, drawing choices from `*rng`.
+  /// Returns false (leaving the set unchanged) when the mutation is not
+  /// applicable (e.g. kDropRule on an empty set, kSwapActions with no two
+  /// actions to swap).
+  static bool Mutate(GeneratedRuleSet* set, MutationKind kind,
+                     SplitMix64* rng);
 };
 
 /// Fills every table of `db` with `rows_per_table` rows of small integers

@@ -1,0 +1,82 @@
+// Corpus regression test: every checked-in .rules file under tests/corpus/
+// (the directory is baked in as STARBURST_CORPUS_DIR) must replay cleanly
+// through all five theorem oracles. Minimized reproducers from fuzzing
+// campaigns get committed here once the underlying bug is fixed, so a
+// reintroduced bug fails this test instead of waiting for the fuzzer to
+// rediscover it.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/oracles.h"
+
+#ifndef STARBURST_CORPUS_DIR
+#error "build must define STARBURST_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace starburst {
+namespace fuzzing {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(STARBURST_CORPUS_DIR)) {
+    if (entry.path().extension() == ".rules") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CorpusTest, CorpusIsNotEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 5u)
+      << "tests/corpus/ should hold the seeded scenarios plus any "
+         "minimized fuzzer reproducers";
+}
+
+TEST(CorpusTest, EveryFileParsesAndReplaysCleanThroughAllOracles) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    auto set = ParseRuleSetScript(ReadFile(path));
+    ASSERT_TRUE(set.ok()) << set.status().ToString();
+    EXPECT_FALSE(set.value().rules.empty());
+    std::vector<ReplayFailure> failures =
+        ReplayAllOracles(set.value(), {1, 2, 3}, OracleOptions{});
+    for (const ReplayFailure& failure : failures) {
+      ADD_FAILURE() << OracleName(failure.oracle) << " (data seed "
+                    << failure.data_seed << "): " << failure.message;
+    }
+  }
+}
+
+TEST(CorpusTest, EveryFileSurvivesAPrintParseRoundTrip) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    auto set = ParseRuleSetScript(ReadFile(path));
+    ASSERT_TRUE(set.ok()) << set.status().ToString();
+    std::string printed = RuleSetToScript(set.value());
+    auto reparsed = ParseRuleSetScript(printed);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(RuleSetToScript(reparsed.value()), printed);
+  }
+}
+
+}  // namespace
+}  // namespace fuzzing
+}  // namespace starburst

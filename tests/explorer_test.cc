@@ -201,6 +201,55 @@ TEST_F(ExplorerTest, FinalStateAtStepBudgetIsRecorded) {
   EXPECT_FALSE(r.may_not_terminate);
 }
 
+// Budget edge: a multi-step cascade that quiesces on EXACTLY the last
+// budgeted step. The final state is reached with steps_taken == budget and
+// has no triggered rules, so the result must be complete -- the budget
+// check must not fire on a state that needs no further expansion.
+TEST_F(ExplorerTest, QuiescenceExactlyAtStepBudgetIsComplete) {
+  Load("create table a (x int);",
+       "create rule inc on a when inserted, updated(x) "
+       "then update a set x = x + 1 where x < 3;");
+  ExplorerOptions options;
+  // Fires at x = 0, 1, 2, plus one no-op consideration at x = 3 that
+  // clears the pending transition: quiescence lands on step 4 exactly.
+  options.max_total_steps = 4;
+  ExplorationResult r = Explore({"insert into a values (0)"}, options);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.may_not_terminate);
+  EXPECT_EQ(r.steps_taken, 4);
+  ASSERT_EQ(r.final_states.size(), 1u);
+  const Database& final_db = r.final_databases.begin()->second;
+  EXPECT_EQ(final_db.storage(0).rows().begin()->second[0], Value::Int(3));
+
+  // One step fewer and the same cascade is genuinely truncated.
+  options.max_total_steps = 3;
+  ExplorationResult truncated = Explore({"insert into a values (0)"}, options);
+  EXPECT_FALSE(truncated.complete);
+}
+
+// Budget edge: a rollback consumed by EXACTLY the last budgeted step is a
+// real final state (the initial database), not a truncation.
+TEST_F(ExplorerTest, RollbackExactlyAtStepBudgetIsComplete) {
+  Load("create table a (x int); create table b (x int);",
+       "create rule wb on a when inserted then insert into b values (1); "
+       "create rule veto on b when inserted then rollback;");
+  ExplorerOptions options;
+  options.max_total_steps = 2;  // step 1: wb, step 2: veto -> rollback
+  ExplorationResult r = Explore({"insert into a values (1)"}, options);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.may_not_terminate);
+  EXPECT_EQ(r.steps_taken, 2);
+  EXPECT_EQ(r.final_states.size(), 1u);
+  ASSERT_EQ(r.observable_streams.size(), 1u);
+  EXPECT_NE(r.observable_streams.begin()->find("R:rollback"),
+            std::string::npos);
+
+  // With budget 1 the rollback step itself is cut off.
+  options.max_total_steps = 1;
+  ExplorationResult truncated = Explore({"insert into a values (1)"}, options);
+  EXPECT_FALSE(truncated.complete);
+}
+
 // Regression (node accounting): the synthetic rollback state counts in
 // states_visited, consistently with the recorded graph's nodes.
 TEST_F(ExplorerTest, RollbackStateCountsAsVisited) {
@@ -590,6 +639,34 @@ TEST_F(ShardedExplorerTest, RecordGraphFallsBackToClassic) {
   // is ignored rather than silently dropping the graph.
   EXPECT_FALSE(r.graph_edges.empty());
   EXPECT_EQ(r.final_states.size(), 1u);
+}
+
+// Sharded edge: rules exist in the catalog but the initial transition
+// triggers none of them, so the root is final and there are ZERO shards to
+// distribute. The sharded path must degrade to the single root-final
+// answer, matching classic for every pool size.
+TEST_F(ShardedExplorerTest, RulesPresentButNoneTriggered) {
+  Load("create table a (x int); create table b (x int);",
+       "create rule onb on b when inserted then delete from b; "
+       "create rule onb2 on b when deleted then insert into b values (2);");
+  ExpectShardedMatchesClassic({"insert into a values (1)"});
+  ExplorerOptions options;
+  options.num_threads = 8;
+  ExplorationResult r = Explore({"insert into a values (1)"}, options);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.final_states.size(), 1u);
+  EXPECT_EQ(r.steps_taken, 0);
+}
+
+// Sharded edge: the budget-boundary quiescence semantics carry over to
+// every pool size.
+TEST_F(ShardedExplorerTest, QuiescenceAtStepBudgetMatchesClassic) {
+  Load("create table a (x int);",
+       "create rule inc on a when inserted, updated(x) "
+       "then update a set x = x + 1 where x < 3;");
+  ExplorerOptions options;
+  options.max_total_steps = 4;  // see QuiescenceExactlyAtStepBudgetIsComplete
+  ExpectShardedMatchesClassic({"insert into a values (0)"}, options);
 }
 
 TEST_F(ShardedExplorerTest, MoreThreadsThanShards) {

@@ -1,0 +1,347 @@
+#include "testing/fuzzer.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rules/rule_catalog.h"
+#include "testing/oracles.h"
+#include "workload/random_gen.h"
+
+namespace starburst {
+namespace fuzzing {
+namespace {
+
+GeneratedRuleSet Parse(const std::string& script) {
+  auto set = ParseRuleSetScript(script);
+  EXPECT_TRUE(set.ok()) << set.status().ToString();
+  return std::move(set.value());
+}
+
+constexpr char kAcyclicChain[] =
+    "create table t0 (a int, b int);\n"
+    "create table t1 (a int, b int);\n"
+    "create rule r0 on t0 when inserted then update t1 set a = 1;\n"
+    "create rule r1 on t1 when updated(a) then update t1 set b = 2;\n";
+
+constexpr char kSelfLoop[] =
+    "create table t (a int);\n"
+    "create rule loop on t when updated(a) then update t set a = a + 1;\n";
+
+constexpr char kNonConfluentPair[] =
+    "create table t (a int);\n"
+    "create table s (a int);\n"
+    "create rule r0 on t when inserted then update s set a = 1;\n"
+    "create rule r1 on t when inserted then update s set a = 2;\n";
+
+// --- Oracle names --------------------------------------------------------
+
+TEST(OracleNameTest, NamesRoundTripThroughParse) {
+  for (OracleId id : AllOracles()) {
+    auto parsed = ParseOracleName(OracleName(id));
+    ASSERT_TRUE(parsed.has_value()) << OracleName(id);
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(ParseOracleName("no_such_oracle").has_value());
+  EXPECT_EQ(AllOracles().size(), static_cast<size_t>(kNumOracles));
+}
+
+// --- Oracle verdicts on hand-built sets ----------------------------------
+
+TEST(OracleTest, TerminationSoundPassesOnAcyclicChain) {
+  GeneratedRuleSet set = Parse(kAcyclicChain);
+  OracleOutcome outcome =
+      RunOracle(OracleId::kTerminationSound, set, 1, OracleOptions{});
+  EXPECT_EQ(outcome.verdict, OracleVerdict::kPass) << outcome.message;
+}
+
+TEST(OracleTest, TerminationSoundSkipsWhenAnalyzerDeclines) {
+  GeneratedRuleSet set = Parse(kSelfLoop);
+  OracleOutcome outcome =
+      RunOracle(OracleId::kTerminationSound, set, 1, OracleOptions{});
+  EXPECT_EQ(outcome.verdict, OracleVerdict::kSkip) << outcome.message;
+}
+
+TEST(OracleTest, ConfluenceSoundSkipsOnNonConfluentPair) {
+  GeneratedRuleSet set = Parse(kNonConfluentPair);
+  OracleOutcome outcome =
+      RunOracle(OracleId::kConfluenceSound, set, 1, OracleOptions{});
+  EXPECT_EQ(outcome.verdict, OracleVerdict::kSkip) << outcome.message;
+}
+
+TEST(OracleTest, ConfluenceSoundPassesWhenPriorityOrdersThePair) {
+  GeneratedRuleSet set = Parse(
+      "create table t (a int);\n"
+      "create table s (a int);\n"
+      "create rule r0 on t when inserted then update s set a = 1 "
+      "precedes r1;\n"
+      "create rule r1 on t when inserted then update s set a = 2;\n");
+  OracleOutcome outcome =
+      RunOracle(OracleId::kConfluenceSound, set, 1, OracleOptions{});
+  EXPECT_EQ(outcome.verdict, OracleVerdict::kPass) << outcome.message;
+}
+
+TEST(OracleTest, ObservableDeterminismSkipsWithoutObservableRules) {
+  GeneratedRuleSet set = Parse(kAcyclicChain);
+  OracleOutcome outcome = RunOracle(OracleId::kObservableDeterminismSound,
+                                    set, 1, OracleOptions{});
+  EXPECT_EQ(outcome.verdict, OracleVerdict::kSkip) << outcome.message;
+}
+
+TEST(OracleTest, ObservableDeterminismPassesOnSingleObservableRule) {
+  GeneratedRuleSet set = Parse(
+      "create table t (a int);\n"
+      "create rule loud on t when inserted then select a from t;\n");
+  OracleOutcome outcome = RunOracle(OracleId::kObservableDeterminismSound,
+                                    set, 1, OracleOptions{});
+  EXPECT_EQ(outcome.verdict, OracleVerdict::kPass) << outcome.message;
+}
+
+TEST(OracleTest, BackendEquivalenceAndRoundTripPassOnHandBuiltSets) {
+  for (const char* script : {kAcyclicChain, kSelfLoop, kNonConfluentPair}) {
+    GeneratedRuleSet set = Parse(script);
+    OracleOutcome backend =
+        RunOracle(OracleId::kBackendEquivalence, set, 1, OracleOptions{});
+    EXPECT_EQ(backend.verdict, OracleVerdict::kPass) << backend.message;
+    OracleOutcome round =
+        RunOracle(OracleId::kRoundTrip, set, 1, OracleOptions{});
+    EXPECT_EQ(round.verdict, OracleVerdict::kPass) << round.message;
+  }
+}
+
+TEST(OracleTest, OutcomeIsDeterministicForSameSeedTriple) {
+  GeneratedRuleSet set = Parse(kNonConfluentPair);
+  for (OracleId id : AllOracles()) {
+    OracleOutcome a = RunOracle(id, set, 7, OracleOptions{});
+    OracleOutcome b = RunOracle(id, set, 7, OracleOptions{});
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_EQ(a.message, b.message);
+  }
+}
+
+TEST(OracleTest, ReplayAllOraclesIsCleanOnGoodSet) {
+  GeneratedRuleSet set = Parse(kAcyclicChain);
+  std::vector<ReplayFailure> failures =
+      ReplayAllOracles(set, {1, 2, 3}, OracleOptions{});
+  EXPECT_TRUE(failures.empty());
+}
+
+TEST(OracleTest, ScriptSerializationIsAFixpoint) {
+  GeneratedRuleSet set = Parse(kNonConfluentPair);
+  std::string once = RuleSetToScript(set);
+  GeneratedRuleSet reparsed = Parse(once);
+  EXPECT_EQ(RuleSetToScript(reparsed), once);
+}
+
+TEST(OracleTest, ParseRuleSetScriptRejectsNonDdlPrefix) {
+  EXPECT_FALSE(ParseRuleSetScript("insert into t values (1);").ok());
+  EXPECT_FALSE(ParseRuleSetScript("create table t (a int").ok());
+}
+
+// --- Shrinker against synthetic predicates -------------------------------
+
+// A predicate-driven shrink lets the tests assert minimality without
+// depending on a real soundness bug existing.
+OracleOutcome Fail(const std::string& message) {
+  return {OracleVerdict::kFail, message};
+}
+OracleOutcome Pass() { return {OracleVerdict::kPass, ""}; }
+
+GeneratedRuleSet FourRuleSet() {
+  return Parse(
+      "create table t (a int, b int);\n"
+      "create table s (a int, b int);\n"
+      "create table unused (a int);\n"
+      "create rule keep on t when inserted "
+      "if exists (select * from t where a > 0) "
+      "then update s set a = 1; update s set b = 2;\n"
+      "create rule extra1 on t when inserted then update s set a = 3 "
+      "precedes keep;\n"
+      "create rule extra2 on s when updated(a) then select a from s;\n"
+      "create rule extra3 on s when updated(b) then update t set b = 4 "
+      "follows extra2;\n");
+}
+
+TEST(ShrinkTest, ReducesToTheOneRuleThePredicateNeeds) {
+  GeneratedRuleSet set = FourRuleSet();
+  ASSERT_EQ(set.rules.size(), 4u);
+  FailurePredicate needs_keep = [](const GeneratedRuleSet& candidate) {
+    for (const RuleDef& rule : candidate.rules) {
+      if (rule.name == "keep") return Fail("keep present");
+    }
+    return Pass();
+  };
+  ShrinkResult result = ShrinkWith(set, needs_keep, /*rng_seed=*/1);
+  ASSERT_EQ(result.minimized.rules.size(), 1u);
+  EXPECT_EQ(result.minimized.rules[0].name, "keep");
+  // Structural passes strip everything the predicate does not pin down.
+  EXPECT_EQ(result.minimized.rules[0].actions.size(), 1u);
+  EXPECT_EQ(result.minimized.rules[0].condition, nullptr);
+  EXPECT_TRUE(result.minimized.rules[0].precedes.empty());
+  EXPECT_TRUE(result.minimized.rules[0].follows.empty());
+  // The unused table (and any table the surviving action no longer
+  // references) is dropped from the schema.
+  for (const TableDef& table : result.minimized.schema->tables()) {
+    EXPECT_NE(table.name(), "unused");
+  }
+  EXPECT_GT(result.steps, 0);
+  EXPECT_EQ(result.message, "keep present");
+}
+
+TEST(ShrinkTest, StopsAtThePredicatesMinimumRuleCount) {
+  GeneratedRuleSet set = FourRuleSet();
+  FailurePredicate needs_two = [](const GeneratedRuleSet& candidate) {
+    return candidate.rules.size() >= 2 ? Fail("two rules") : Pass();
+  };
+  ShrinkResult result = ShrinkWith(set, needs_two, /*rng_seed=*/1);
+  EXPECT_EQ(result.minimized.rules.size(), 2u);
+}
+
+TEST(ShrinkTest, AlwaysFailingPredicateShrinksToEmptySet) {
+  GeneratedRuleSet set = FourRuleSet();
+  FailurePredicate always = [](const GeneratedRuleSet&) {
+    return Fail("always");
+  };
+  ShrinkResult result = ShrinkWith(set, always, /*rng_seed=*/1);
+  EXPECT_TRUE(result.minimized.rules.empty());
+  EXPECT_TRUE(result.minimized.schema->tables().empty());
+}
+
+TEST(ShrinkTest, NeverFailingPredicateLeavesSetUntouched) {
+  GeneratedRuleSet set = FourRuleSet();
+  FailurePredicate never = [](const GeneratedRuleSet&) { return Pass(); };
+  ShrinkResult result = ShrinkWith(set, never, /*rng_seed=*/1);
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_EQ(RuleSetToScript(result.minimized), RuleSetToScript(set));
+}
+
+TEST(ShrinkTest, SameSeedShrinksIdentically) {
+  FailurePredicate needs_two = [](const GeneratedRuleSet& candidate) {
+    return candidate.rules.size() >= 2 ? Fail("two rules") : Pass();
+  };
+  ShrinkResult a = ShrinkWith(FourRuleSet(), needs_two, /*rng_seed=*/9);
+  ShrinkResult b = ShrinkWith(FourRuleSet(), needs_two, /*rng_seed=*/9);
+  EXPECT_EQ(RuleSetToScript(a.minimized), RuleSetToScript(b.minimized));
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(ShrinkTest, ShrunkSetStillCompiles) {
+  GeneratedRuleSet set = FourRuleSet();
+  FailurePredicate needs_two = [](const GeneratedRuleSet& candidate) {
+    return candidate.rules.size() >= 2 ? Fail("two rules") : Pass();
+  };
+  ShrinkResult result = ShrinkWith(set, needs_two, /*rng_seed=*/3);
+  std::vector<RuleDef> rules;
+  for (const RuleDef& rule : result.minimized.rules) {
+    rules.push_back(rule.Clone());
+  }
+  auto catalog =
+      RuleCatalog::Build(result.minimized.schema.get(), std::move(rules));
+  EXPECT_TRUE(catalog.ok()) << catalog.status().ToString();
+}
+
+// --- Fuzz loop -----------------------------------------------------------
+
+TEST(FuzzLoopTest, LatticeParamsAreStableAndCoverTheLattice) {
+  bool saw_dag = false, saw_cyclic = false;
+  bool saw_priorities = false, saw_observables = false;
+  std::vector<int> rule_counts;
+  for (uint64_t seed = 1; seed <= 36; ++seed) {
+    RandomRuleSetParams params = LatticeParams(seed);
+    EXPECT_EQ(params.seed, seed);
+    EXPECT_EQ(params.num_tables, 4);
+    rule_counts.push_back(params.num_rules);
+    (params.dag_triggering ? saw_dag : saw_cyclic) = true;
+    if (params.priority_density > 0) saw_priorities = true;
+    if (params.observable_fraction > 0) saw_observables = true;
+    // Stable mapping: same seed, same point.
+    EXPECT_EQ(params.num_rules, LatticeParams(seed).num_rules);
+  }
+  EXPECT_TRUE(saw_dag);
+  EXPECT_TRUE(saw_cyclic);
+  EXPECT_TRUE(saw_priorities);
+  EXPECT_TRUE(saw_observables);
+  for (int count : {2, 3, 4}) {
+    EXPECT_NE(std::count(rule_counts.begin(), rule_counts.end(), count), 0);
+  }
+}
+
+TEST(FuzzLoopTest, SmallSweepIsCleanAndCountsAddUp) {
+  FuzzConfig config;
+  config.seed_begin = 1;
+  config.seed_end = 6;
+  FuzzReport report = RunFuzz(config);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_EQ(report.stats.cases, 6);
+  EXPECT_EQ(report.stats.oracle_runs, 6 * kNumOracles);
+  for (int i = 0; i < kNumOracles; ++i) {
+    EXPECT_EQ(report.stats.passes[i] + report.stats.skips[i] +
+                  report.stats.failures[i],
+              6);
+  }
+  EXPECT_FALSE(report.stats.time_budget_exhausted);
+}
+
+TEST(FuzzLoopTest, SweepIsDeterministicAcrossRuns) {
+  FuzzConfig config;
+  config.seed_begin = 10;
+  config.seed_end = 14;
+  FuzzReport a = RunFuzz(config);
+  FuzzReport b = RunFuzz(config);
+  EXPECT_EQ(a.stats.passes, b.stats.passes);
+  EXPECT_EQ(a.stats.skips, b.stats.skips);
+  EXPECT_EQ(a.stats.failures, b.stats.failures);
+}
+
+TEST(FuzzLoopTest, OracleSubsetOnlyRunsRequestedOracles) {
+  FuzzConfig config;
+  config.seed_begin = 1;
+  config.seed_end = 4;
+  config.oracles = {OracleId::kRoundTrip};
+  FuzzReport report = RunFuzz(config);
+  EXPECT_EQ(report.stats.oracle_runs, 4);
+  int round_trip = static_cast<int>(OracleId::kRoundTrip);
+  EXPECT_EQ(report.stats.passes[round_trip], 4);
+  for (int i = 0; i < kNumOracles; ++i) {
+    if (i == round_trip) continue;
+    EXPECT_EQ(report.stats.passes[i] + report.stats.skips[i] +
+                  report.stats.failures[i],
+              0);
+  }
+}
+
+TEST(FuzzLoopTest, TinyTimeBudgetStopsTheSweepEarly) {
+  FuzzConfig config;
+  config.seed_begin = 1;
+  config.seed_end = 1000000;
+  config.time_budget_seconds = 1e-9;
+  FuzzReport report = RunFuzz(config);
+  EXPECT_TRUE(report.stats.time_budget_exhausted);
+  EXPECT_LT(report.stats.cases, 1000000);
+}
+
+TEST(FuzzLoopTest, FailureToCorpusFileReparsesAndNamesTheOracle) {
+  FuzzFailure failure;
+  failure.seed = 42;
+  failure.oracle = OracleId::kConfluenceSound;
+  failure.message = "two final\nstates";
+  failure.original_num_rules = 3;
+  failure.minimized_num_rules = 2;
+  failure.shrink_steps = 5;
+  failure.minimized_script = RuleSetToScript(Parse(kNonConfluentPair));
+  std::string file = FailureToCorpusFile(failure);
+  EXPECT_NE(file.find("confluence_sound"), std::string::npos);
+  EXPECT_NE(file.find("seed: 42"), std::string::npos);
+  // Newlines in the message must not break the comment header.
+  EXPECT_EQ(file.find("\nstates"), std::string::npos);
+  auto reparsed = ParseRuleSetScript(file);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().rules.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fuzzing
+}  // namespace starburst

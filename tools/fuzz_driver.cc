@@ -1,0 +1,243 @@
+// fuzz_driver: differential + metamorphic fuzzing of the analyzers, the
+// engine, and the execution backends against the paper's theorem-level
+// oracles (see docs/fuzzing.md and src/testing/oracles.h).
+//
+// Usage:
+//   fuzz_driver [--seeds A..B] [--time-budget 120s] [--oracle NAME[,NAME]]
+//               [--minimize 0|1] [--corpus-dir DIR] [--replay FILE|DIR]
+//
+// Flags:
+//   --seeds A..B     inclusive generator-seed range (default 1..100); a
+//                    single number N means 1..N
+//   --time-budget T  wall-clock cap: plain seconds, or with an s/m/h
+//                    suffix (default: none)
+//   --oracle NAMES   comma-separated subset of: termination_sound,
+//                    confluence_sound, observable_determinism_sound,
+//                    backend_equivalence, round_trip (default: all)
+//   --minimize 0|1   shrink failing cases to minimal reproducers
+//                    (default: 1)
+//   --corpus-dir D   write each (minimized) failure to D as a
+//                    self-contained .rules reproducer
+//   --replay PATH    instead of fuzzing, replay one .rules file or every
+//                    .rules file in a directory through all oracles
+//
+// Exit status: 0 when every oracle run passed or skipped, 1 on any oracle
+// failure, 2 on usage errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "testing/fuzzer.h"
+#include "testing/oracles.h"
+
+using namespace starburst;           // NOLINT: tool brevity
+using namespace starburst::fuzzing;  // NOLINT: tool brevity
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fuzz_driver [--seeds A..B] [--time-budget 120s]\n"
+      "                   [--oracle name[,name]] [--minimize 0|1]\n"
+      "                   [--corpus-dir DIR] [--replay FILE|DIR]\n"
+      "oracles: termination_sound confluence_sound\n"
+      "         observable_determinism_sound backend_equivalence "
+      "round_trip\n");
+  return 2;
+}
+
+bool ParseSeeds(const std::string& arg, uint64_t* begin, uint64_t* end) {
+  size_t dots = arg.find("..");
+  try {
+    if (dots == std::string::npos) {
+      *begin = 1;
+      *end = std::stoull(arg);
+    } else {
+      *begin = std::stoull(arg.substr(0, dots));
+      *end = std::stoull(arg.substr(dots + 2));
+    }
+  } catch (...) {
+    return false;
+  }
+  return *begin <= *end;
+}
+
+bool ParseTimeBudget(const std::string& arg, double* seconds) {
+  if (arg.empty()) return false;
+  double scale = 1.0;
+  std::string number = arg;
+  switch (arg.back()) {
+    case 's':
+      number.pop_back();
+      break;
+    case 'm':
+      scale = 60.0;
+      number.pop_back();
+      break;
+    case 'h':
+      scale = 3600.0;
+      number.pop_back();
+      break;
+    default:
+      break;
+  }
+  try {
+    *seconds = std::stod(number) * scale;
+  } catch (...) {
+    return false;
+  }
+  return *seconds > 0;
+}
+
+int ReplayPath(const std::string& path, const OracleOptions& options) {
+  std::vector<std::string> files;
+  if (std::filesystem::is_directory(path)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      if (entry.path().extension() == ".rules") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.push_back(path);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no .rules files under '%s'\n", path.c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto set = ParseRuleSetScript(buffer.str());
+    if (!set.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", file.c_str(),
+                   set.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::vector<ReplayFailure> replay =
+        ReplayAllOracles(set.value(), {1, 2, 3}, options);
+    if (replay.empty()) {
+      std::printf("PASS %s (%zu rules)\n", file.c_str(),
+                  set.value().rules.size());
+    } else {
+      for (const ReplayFailure& f : replay) {
+        std::printf("FAIL %s: %s (data seed %llu): %s\n", file.c_str(),
+                    OracleName(f.oracle),
+                    static_cast<unsigned long long>(f.data_seed),
+                    f.message.c_str());
+      }
+      failures += static_cast<int>(replay.size());
+    }
+  }
+  std::printf("replayed %zu file(s), %d failure(s)\n", files.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzConfig config;
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    std::string value;
+    if (size_t eq = flag.find('='); eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+    } else if (i + 1 < argc && flag.rfind("--", 0) == 0) {
+      value = argv[++i];
+    }
+    if (flag == "--seeds") {
+      if (!ParseSeeds(value, &config.seed_begin, &config.seed_end)) {
+        return Usage();
+      }
+    } else if (flag == "--time-budget") {
+      if (!ParseTimeBudget(value, &config.time_budget_seconds)) {
+        return Usage();
+      }
+    } else if (flag == "--oracle") {
+      for (const std::string& name : SplitAndTrim(value, ',')) {
+        auto id = ParseOracleName(name);
+        if (!id.has_value()) {
+          std::fprintf(stderr, "error: unknown oracle '%s'\n", name.c_str());
+          return Usage();
+        }
+        config.oracles.push_back(*id);
+      }
+    } else if (flag == "--minimize") {
+      config.minimize = value != "0" && value != "false";
+    } else if (flag == "--corpus-dir") {
+      config.corpus_dir = value;
+    } else if (flag == "--replay") {
+      replay_path = value;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (!replay_path.empty()) {
+    return ReplayPath(replay_path, config.oracle_options);
+  }
+
+  std::printf("fuzzing seeds %llu..%llu%s\n",
+              static_cast<unsigned long long>(config.seed_begin),
+              static_cast<unsigned long long>(config.seed_end),
+              config.time_budget_seconds > 0
+                  ? (" (budget " + std::to_string(config.time_budget_seconds) +
+                     "s)")
+                        .c_str()
+                  : "");
+  FuzzReport report = RunFuzz(config);
+
+  std::printf("\n%-30s %8s %8s %8s\n", "oracle", "pass", "skip", "fail");
+  std::vector<OracleId> shown =
+      config.oracles.empty() ? AllOracles() : config.oracles;
+  for (OracleId oracle : shown) {
+    int idx = static_cast<int>(oracle);
+    std::printf("%-30s %8ld %8ld %8ld\n", OracleName(oracle),
+                report.stats.passes[idx], report.stats.skips[idx],
+                report.stats.failures[idx]);
+  }
+  std::printf("\n%ld case(s), %ld oracle run(s) in %.2fs (%.1f runs/sec)%s\n",
+              report.stats.cases, report.stats.oracle_runs,
+              report.stats.wall_seconds,
+              report.stats.wall_seconds > 0
+                  ? report.stats.oracle_runs / report.stats.wall_seconds
+                  : 0.0,
+              report.stats.time_budget_exhausted
+                  ? " -- time budget exhausted"
+                  : "");
+
+  for (const FuzzFailure& failure : report.failures) {
+    std::printf("\nFAILURE seed=%llu oracle=%s\n  %s\n",
+                static_cast<unsigned long long>(failure.seed),
+                OracleName(failure.oracle), failure.message.c_str());
+    std::printf("  shrunk %d -> %d rules in %d step(s)\n",
+                failure.original_num_rules, failure.minimized_num_rules,
+                failure.shrink_steps);
+    if (!failure.corpus_path.empty()) {
+      std::printf("  reproducer: %s\n", failure.corpus_path.c_str());
+    } else {
+      std::printf("---- minimized reproducer ----\n%s----\n",
+                  failure.minimized_script.c_str());
+    }
+  }
+  return report.failures.empty() ? 0 : 1;
+}
