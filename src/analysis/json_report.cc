@@ -143,6 +143,7 @@ std::string ExplorationStatsToJson(const ExplorationStats& stats) {
   out += ",\"peak_stack_depth\":" + std::to_string(stats.peak_stack_depth);
   out += ",\"canonicalization_bytes\":" +
          std::to_string(stats.canonicalization_bytes);
+  out += ",\"delta_reverts\":" + std::to_string(stats.delta_reverts);
   out += ",\"wall_seconds\":";
   out += wall;
   out += "}";

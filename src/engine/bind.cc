@@ -1,0 +1,145 @@
+#include "engine/bind.h"
+
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace starburst {
+
+namespace {
+
+/// Static mirror of one evaluator scope entry.
+struct ScopeEntry {
+  std::string name;  // binding name, matched case-insensitively
+  const TableDef* def = nullptr;
+};
+
+class Binder {
+ public:
+  Binder(const Schema& schema, const TableDef* rule_table)
+      : schema_(schema), rule_table_(rule_table) {}
+
+  void CompileStmt(Stmt* stmt) {
+    switch (stmt->kind) {
+      case StmtKind::kSelect:
+        CompileSelect(stmt->select.get());
+        break;
+      case StmtKind::kInsert:
+        for (auto& row : stmt->insert_rows) {
+          for (ExprPtr& e : row) CompileExpr(e.get());
+        }
+        if (stmt->insert_select) CompileSelect(stmt->insert_select.get());
+        break;
+      case StmtKind::kDelete:
+      case StmtKind::kUpdate: {
+        // The executor pushes the target row (bound under the table's own
+        // name) before evaluating WHERE and SET expressions.
+        TableId table = schema_.FindTable(stmt->table);
+        if (table == kInvalidTableId) return;  // runtime reports NotFound
+        const TableDef& def = schema_.table(table);
+        scope_.push_back({def.name(), &def});
+        if (stmt->where) CompileExpr(stmt->where.get());
+        for (Assignment& a : stmt->assignments) CompileExpr(a.value.get());
+        scope_.pop_back();
+        break;
+      }
+      case StmtKind::kRollback:
+      case StmtKind::kCreateTable:
+        break;
+    }
+  }
+
+  void CompileExpr(Expr* expr) {
+    if (expr == nullptr) return;
+    switch (expr->kind) {
+      case ExprKind::kLiteral:
+        break;
+      case ExprKind::kColumnRef:
+        BindColumnRef(expr);
+        break;
+      case ExprKind::kUnary:
+        CompileExpr(expr->left.get());
+        break;
+      case ExprKind::kBinary:
+        CompileExpr(expr->left.get());
+        CompileExpr(expr->right.get());
+        break;
+      case ExprKind::kExists:
+        CompileSelect(expr->subquery.get());
+        break;
+      case ExprKind::kIn:
+        // The IN lhs is evaluated before the subquery's rows are pushed.
+        CompileExpr(expr->left.get());
+        CompileSelect(expr->subquery.get());
+        break;
+      case ExprKind::kScalarSubquery:
+        CompileSelect(expr->subquery.get());
+        break;
+    }
+  }
+
+ private:
+  void CompileSelect(SelectStmt* select) {
+    if (select == nullptr || select->from.empty()) return;
+    // Resolve every FROM relation first; if any is unresolvable (unknown
+    // table, or a transition table outside a rule), leave the whole
+    // subtree to the dynamic path — at runtime materialization fails
+    // before any expression here is evaluated.
+    std::vector<ScopeEntry> entries;
+    entries.reserve(select->from.size());
+    for (const TableRef& ref : select->from) {
+      const TableDef* def = nullptr;
+      if (ref.is_transition) {
+        def = rule_table_;
+      } else {
+        TableId table = schema_.FindTable(ref.table);
+        if (table != kInvalidTableId) def = &schema_.table(table);
+      }
+      if (def == nullptr) return;
+      entries.push_back({ref.BindingName(), def});
+    }
+    // WHERE and every select item are evaluated with all FROM rows pushed
+    // (innermost-last, in FROM order).
+    for (ScopeEntry& e : entries) scope_.push_back(std::move(e));
+    if (select->where) CompileExpr(select->where.get());
+    for (SelectItem& item : select->items) {
+      if (item.expr) CompileExpr(item.expr.get());
+    }
+    scope_.resize(scope_.size() - select->from.size());
+  }
+
+  void BindColumnRef(Expr* expr) {
+    for (size_t i = scope_.size(); i-- > 0;) {
+      const ScopeEntry& entry = scope_[i];
+      if (!expr->qualifier.empty() &&
+          !EqualsIgnoreCase(expr->qualifier, entry.name)) {
+        continue;
+      }
+      ColumnId col = entry.def->FindColumn(expr->column);
+      if (col == kInvalidColumnId) {
+        if (expr->qualifier.empty()) continue;  // falls outward at runtime
+        return;  // runtime reports "no column ... in relation ..."
+      }
+      expr->bound_slot = static_cast<int32_t>(i);
+      expr->bound_col = col;
+      return;
+    }
+    // Unresolved: runtime reports "unresolved column reference".
+  }
+
+  const Schema& schema_;
+  const TableDef* rule_table_;
+  std::vector<ScopeEntry> scope_;
+};
+
+}  // namespace
+
+void CompileRuleBindings(const Schema& schema, const TableDef* rule_table,
+                         RuleDef* rule) {
+  Binder binder(schema, rule_table);
+  if (rule->condition) binder.CompileExpr(rule->condition.get());
+  for (StmtPtr& stmt : rule->actions) binder.CompileStmt(stmt.get());
+}
+
+}  // namespace starburst

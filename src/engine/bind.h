@@ -1,0 +1,36 @@
+#ifndef STARBURST_ENGINE_BIND_H_
+#define STARBURST_ENGINE_BIND_H_
+
+#include "catalog/catalog.h"
+#include "rulelang/ast.h"
+
+namespace starburst {
+
+/// One-time compile pass over a rule's condition and actions: resolves
+/// every column reference that the evaluator would resolve by name at
+/// runtime to an absolute (scope slot, column index) pair, stored on the
+/// Expr node (Expr::bound_slot / Expr::bound_col). Per-row evaluation of a
+/// bound reference becomes two index loads instead of a case-insensitive
+/// scope walk.
+///
+/// The pass simulates the evaluator's scope stack statically — statement
+/// target rows for UPDATE/DELETE predicates, FROM relations per (possibly
+/// nested) SELECT — which is exact because rule conditions and actions are
+/// always evaluated from an empty scope, and every expression node sits at
+/// one fixed scope depth. Resolution mirrors Evaluator::EvalColumnRef:
+/// innermost scope first, case-insensitive qualifier match, unqualified
+/// references fall outward past relations lacking the column.
+///
+/// The pass is advisory: any reference it cannot resolve statically (or any
+/// subtree whose FROM clause does not resolve) is left unbound, so runtime
+/// name resolution — and every existing error message — is preserved
+/// byte-for-byte.
+///
+/// `rule_table` is the rule's own table (the schema of the four transition
+/// tables); pass nullptr when compiling outside a rule context.
+void CompileRuleBindings(const Schema& schema, const TableDef* rule_table,
+                         RuleDef* rule);
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_BIND_H_

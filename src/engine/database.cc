@@ -6,10 +6,29 @@ Database::Database(const Schema* schema) : schema_(schema) {
   SyncWithSchema();
 }
 
+Database::Database(const Database& other)
+    : schema_(other.schema_), storages_(other.storages_) {
+  // TableStorage's copy drops in-flight undo records, so the copy starts
+  // outside any delta regardless of the source's depth.
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  storages_ = other.storages_;
+  delta_depth_ = 0;
+  return *this;
+}
+
 void Database::SyncWithSchema() {
   for (int i = static_cast<int>(storages_.size()); i < schema_->num_tables();
        ++i) {
     storages_.emplace_back(&schema_->table(i));
+    // Late-added tables join every delta level already open, so a revert
+    // that spans the creation still sees matching marks on every table.
+    for (int level = 0; level < delta_depth_; ++level) {
+      storages_.back().BeginDelta();
+    }
   }
 }
 
@@ -34,6 +53,29 @@ std::string Database::CanonicalStringFor(
     out += "|";
   }
   return out;
+}
+
+Hash128 Database::ContentFingerprint() const {
+  Hash128 fp;
+  for (size_t i = 0; i < storages_.size(); ++i) {
+    fp.Add(MixWithSalt(storages_[i].content_hash(), i + 1));
+  }
+  return fp;
+}
+
+void Database::BeginDelta() {
+  for (TableStorage& s : storages_) s.BeginDelta();
+  ++delta_depth_;
+}
+
+void Database::CommitDelta() {
+  for (TableStorage& s : storages_) s.CommitDelta();
+  --delta_depth_;
+}
+
+void Database::RevertDelta() {
+  for (TableStorage& s : storages_) s.RevertDelta();
+  --delta_depth_;
 }
 
 }  // namespace starburst

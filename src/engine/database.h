@@ -12,12 +12,25 @@ namespace starburst {
 
 /// An in-memory relational database over a Schema.
 ///
-/// Value-copyable: copying a Database is how snapshots are taken for
-/// rollback and for execution-graph exploration. The Schema must outlive
-/// every Database (and every copy) created over it.
+/// Value-copyable: copying a Database is how the snapshot-copy explorer
+/// backend takes state snapshots. A copy is a logical snapshot — table
+/// contents, rid counters, content hashes, and canonical caches carry over,
+/// but open deltas do not (the copy starts outside any delta). The Schema
+/// must outlive every Database (and every copy) created over it.
+///
+/// The delta API (BeginDelta/CommitDelta/RevertDelta) is the O(delta)
+/// alternative to copying: mutations between BeginDelta and RevertDelta are
+/// undone exactly, including per-table rid counters, so the undo-log
+/// explorer backend and the rule processor backtrack without ever cloning
+/// the database. Deltas nest (cascaded rule firings open one level each).
 class Database {
  public:
   explicit Database(const Schema* schema);
+
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
 
   const Schema& schema() const { return *schema_; }
 
@@ -43,9 +56,24 @@ class Database {
   /// experiments: compare only the tables in T').
   std::string CanonicalStringFor(const std::vector<TableId>& tables) const;
 
+  /// 128-bit logical-equality fingerprint: position-salted sum of the
+  /// per-table incremental multiset hashes. Equal CanonicalString() implies
+  /// equal ContentFingerprint(); the converse holds up to 128-bit hash
+  /// collisions (cross-checked by the delta_equivalence fuzz oracle).
+  /// O(num_tables) — the per-table hashes are maintained incrementally.
+  Hash128 ContentFingerprint() const;
+
+  /// Opens/commits/reverts one delta level across every table. RevertDelta
+  /// restores the exact pre-BeginDelta contents, rid counters included.
+  void BeginDelta();
+  void CommitDelta();
+  void RevertDelta();
+  int delta_depth() const { return delta_depth_; }
+
  private:
   const Schema* schema_;
   std::vector<TableStorage> storages_;
+  int delta_depth_ = 0;
 };
 
 }  // namespace starburst

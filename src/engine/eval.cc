@@ -1,6 +1,8 @@
 #include "engine/eval.h"
 
 #include <algorithm>
+#include <string_view>
+#include <utility>
 
 #include "common/strings.h"
 
@@ -8,14 +10,13 @@ namespace starburst {
 
 namespace {
 
-std::string RowToString(const std::vector<Value>& row) {
-  std::string out = "(";
+void AppendRowToString(std::string* out, const std::vector<Value>& row) {
+  out->push_back('(');
   for (size_t i = 0; i < row.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += row[i].ToString();
+    if (i > 0) *out += ", ";
+    row[i].AppendTo(out);
   }
-  out += ")";
-  return out;
+  out->push_back(')');
 }
 
 /// Three-valued AND/OR over Value::Bool / NULL.
@@ -46,9 +47,21 @@ Status CheckBoolOperand(const Value& v, const char* what) {
 }  // namespace
 
 std::string SelectOutput::CanonicalString() const {
-  std::vector<std::string> rendered;
-  rendered.reserve(rows.size());
-  for (const auto& row : rows) rendered.push_back(RowToString(row));
+  // Render every row once into a single scratch buffer and sort views into
+  // it — one allocation for the whole result instead of one per row.
+  std::string scratch;
+  std::vector<std::pair<size_t, size_t>> spans;  // (offset, length)
+  spans.reserve(rows.size());
+  for (const auto& row : rows) {
+    size_t begin = scratch.size();
+    AppendRowToString(&scratch, row);
+    spans.emplace_back(begin, scratch.size() - begin);
+  }
+  std::vector<std::string_view> rendered;
+  rendered.reserve(spans.size());
+  for (const auto& [begin, len] : spans) {
+    rendered.emplace_back(scratch.data() + begin, len);
+  }
   std::sort(rendered.begin(), rendered.end());
   std::string out = "[";
   for (size_t i = 0; i < rendered.size(); ++i) {
@@ -90,6 +103,14 @@ Result<bool> Evaluator::EvalPredicate(const Expr& expr) {
 }
 
 Result<Value> Evaluator::EvalColumnRef(const Expr& expr) {
+  // Fast path: references compiled at rule-registration time (engine/bind.h)
+  // carry an absolute scope slot and column index. Rule expressions always
+  // evaluate at the scope depth they were compiled for; the size guard only
+  // protects hand-constructed evaluations with shallower scopes.
+  if (expr.bound_slot >= 0 &&
+      static_cast<size_t>(expr.bound_slot) < scope_.size()) {
+    return (*scope_[expr.bound_slot].tuple)[expr.bound_col];
+  }
   // Innermost scope first.
   for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
     const BoundRow& row = *it;
@@ -101,7 +122,8 @@ Result<Value> Evaluator::EvalColumnRef(const Expr& expr) {
     if (col == kInvalidColumnId) {
       if (expr.qualifier.empty()) continue;  // try outer scopes
       return Status::ExecutionError("no column '" + expr.column +
-                                    "' in relation '" + row.binding_name + "'");
+                                    "' in relation '" +
+                                    std::string(row.binding_name) + "'");
     }
     return (*row.tuple)[col];
   }
@@ -243,18 +265,20 @@ Result<Evaluator::RelationRows> Evaluator::MaterializeRelation(
     out.def = transition_table_def_;
     switch (ref.transition) {
       case TransitionTableKind::kInserted:
-        out.tuples = transition_->InsertedTuples();
+        out.owned = transition_->InsertedTuples();
         break;
       case TransitionTableKind::kDeleted:
-        out.tuples = transition_->DeletedTuples();
+        out.owned = transition_->DeletedTuples();
         break;
       case TransitionTableKind::kNewUpdated:
-        out.tuples = transition_->NewUpdatedTuples();
+        out.owned = transition_->NewUpdatedTuples();
         break;
       case TransitionTableKind::kOldUpdated:
-        out.tuples = transition_->OldUpdatedTuples();
+        out.owned = transition_->OldUpdatedTuples();
         break;
     }
+    out.tuples.reserve(out.owned.size());
+    for (const Tuple& t : out.owned) out.tuples.push_back(&t);
     return out;
   }
   TableId table = db_->schema().FindTable(ref.table);
@@ -264,7 +288,7 @@ Result<Evaluator::RelationRows> Evaluator::MaterializeRelation(
   out.def = &db_->schema().table(table);
   const TableStorage& storage = db_->storage(table);
   out.tuples.reserve(storage.size());
-  for (const auto& [rid, tuple] : storage.rows()) out.tuples.push_back(tuple);
+  for (const auto& [rid, tuple] : storage.rows()) out.tuples.push_back(&tuple);
   return out;
 }
 
@@ -279,35 +303,52 @@ Status Evaluator::ForEachMatch(const SelectStmt& select,
     STARBURST_ASSIGN_OR_RETURN(RelationRows rows, MaterializeRelation(ref));
     relations.push_back(std::move(rows));
   }
-  // Recursive cross product over `relations`.
-  size_t n = relations.size();
-  bool stop = false;
-
-  std::function<Status(size_t)> recurse = [&](size_t depth) -> Status {
-    if (depth == n) {
-      if (select.where != nullptr) {
-        STARBURST_ASSIGN_OR_RETURN(bool match, EvalPredicate(*select.where));
-        if (!match) return Status::OK();
+  for (const RelationRows& rel : relations) {
+    if (rel.tuples.empty()) return Status::OK();  // empty cross product
+  }
+  // Iterative odometer over the cross product, last relation fastest — the
+  // same visit order as a nested-loop recursion, without per-level
+  // std::function frames. Scope entries are updated in place as the
+  // odometer advances; subquery evaluation pushes and pops strictly above
+  // `base`, so the indices stay valid.
+  const size_t n = relations.size();
+  const size_t base = scope_.size();
+  std::vector<size_t> idx(n, 0);
+  for (const RelationRows& rel : relations) {
+    scope_.push_back(BoundRow{rel.binding_name, rel.def, rel.tuples[0]});
+  }
+  Status status = Status::OK();
+  while (true) {
+    bool match = true;
+    if (select.where != nullptr) {
+      auto res = EvalPredicate(*select.where);
+      if (!res.ok()) {
+        status = res.status();
+        break;
       }
-      STARBURST_ASSIGN_OR_RETURN(bool keep_going, body());
-      if (!keep_going) stop = true;
-      return Status::OK();
+      match = res.value();
     }
-    RelationRows& rel = relations[depth];
-    for (const Tuple& tuple : rel.tuples) {
-      BoundRow row;
-      row.binding_name = rel.binding_name;
-      row.def = rel.def;
-      row.tuple = &tuple;
-      PushRow(row);
-      Status st = recurse(depth + 1);
-      PopRow();
-      if (!st.ok()) return st;
-      if (stop) return Status::OK();
+    if (match) {
+      auto keep_going = body();
+      if (!keep_going.ok()) {
+        status = keep_going.status();
+        break;
+      }
+      if (!keep_going.value()) break;  // EXISTS/IN short-circuit
     }
-    return Status::OK();
-  };
-  return recurse(0);
+    size_t d = n;
+    while (d-- > 0) {
+      if (++idx[d] < relations[d].tuples.size()) {
+        scope_[base + d].tuple = relations[d].tuples[idx[d]];
+        break;
+      }
+      idx[d] = 0;
+      scope_[base + d].tuple = relations[d].tuples[0];
+    }
+    if (d == static_cast<size_t>(-1)) break;  // wrapped past relation 0
+  }
+  scope_.resize(base);
+  return status;
 }
 
 Result<SelectOutput> Evaluator::EvalSelect(const SelectStmt& select) {

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -24,9 +25,12 @@ struct SelectOutput {
 };
 
 /// A row binding visible to expression evaluation: `binding_name.column`
-/// resolves against `def`, values come from `tuple`.
+/// resolves against `def`, values come from `tuple`. The name is a view
+/// into storage that outlives the binding (a table def's name or a FROM
+/// relation's materialized binding name) — pushing a scope never copies a
+/// string.
 struct BoundRow {
-  std::string binding_name;  // matched case-insensitively
+  std::string_view binding_name;  // matched case-insensitively
   const TableDef* def = nullptr;
   const Tuple* tuple = nullptr;
 };
@@ -66,11 +70,14 @@ class Evaluator {
   void PopRow() { scope_.pop_back(); }
 
  private:
-  /// Materialized rows of one FROM relation.
+  /// Rows of one FROM relation. Base tables are not copied: `tuples` points
+  /// at the storage's own rows (the evaluator never modifies the database).
+  /// Transition-table rows are materialized into `owned` and pointed at.
   struct RelationRows {
     std::string binding_name;
     const TableDef* def = nullptr;
-    std::vector<Tuple> tuples;
+    std::vector<Tuple> owned;          // backing store for transition rows
+    std::vector<const Tuple*> tuples;  // the rows, in iteration order
   };
 
   Result<Value> EvalColumnRef(const Expr& expr);

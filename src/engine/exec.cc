@@ -5,11 +5,11 @@ namespace starburst {
 namespace {
 
 /// Builds a full-width tuple from INSERT values: unspecified columns are
-/// NULL.
+/// NULL. Consumes the values (string payloads move, not copy).
 Tuple BuildInsertTuple(const TableDef& def, const std::vector<ColumnId>& cols,
-                       const std::vector<Value>& values) {
+                       std::vector<Value>&& values) {
   Tuple tuple(def.num_columns(), Value::Null());
-  for (size_t i = 0; i < cols.size(); ++i) tuple[cols[i]] = values[i];
+  for (size_t i = 0; i < cols.size(); ++i) tuple[cols[i]] = std::move(values[i]);
   return tuple;
 }
 
@@ -103,6 +103,7 @@ Result<ExecOutcome> Executor::ExecuteInsert(const Stmt& stmt,
                                eval.EvalSelect(*stmt.insert_select));
     rows = std::move(out.rows);
   } else {
+    rows.reserve(stmt.insert_rows.size());
     for (const auto& row_exprs : stmt.insert_rows) {
       std::vector<Value> row;
       row.reserve(row_exprs.size());
@@ -118,21 +119,21 @@ Result<ExecOutcome> Executor::ExecuteInsert(const Stmt& stmt,
   TableStorage& storage = db_->storage(table);
   std::vector<Tuple> tuples;
   tuples.reserve(rows.size());
-  for (const auto& row : rows) {
+  for (auto& row : rows) {
     if (row.size() != cols.size()) {
       return Status::ExecutionError(
           "INSERT row has " + std::to_string(row.size()) + " values for " +
           std::to_string(cols.size()) + " columns");
     }
-    Tuple tuple = BuildInsertTuple(def, cols, row);
+    Tuple tuple = BuildInsertTuple(def, cols, std::move(row));
     STARBURST_RETURN_IF_ERROR(storage.ValidateTuple(tuple));
     tuples.push_back(std::move(tuple));
   }
   ExecOutcome outcome;
+  TableTransition& delta = outcome.delta.ForTable(table);
   for (Tuple& tuple : tuples) {
     STARBURST_ASSIGN_OR_RETURN(Rid rid, storage.Insert(tuple));
-    STARBURST_RETURN_IF_ERROR(
-        outcome.delta.ForTable(table).ApplyInsert(rid, std::move(tuple)));
+    STARBURST_RETURN_IF_ERROR(delta.ApplyInsert(rid, std::move(tuple)));
   }
   return outcome;
 }
@@ -157,10 +158,10 @@ Result<ExecOutcome> Executor::ExecuteDelete(const Stmt& stmt,
     if (match) matched.emplace_back(rid, tuple);
   }
   ExecOutcome outcome;
+  TableTransition& delta = outcome.delta.ForTable(table);
   for (auto& [rid, tuple] : matched) {
     STARBURST_RETURN_IF_ERROR(storage.Delete(rid));
-    STARBURST_RETURN_IF_ERROR(
-        outcome.delta.ForTable(table).ApplyDelete(rid, std::move(tuple)));
+    STARBURST_RETURN_IF_ERROR(delta.ApplyDelete(rid, std::move(tuple)));
   }
   return outcome;
 }
@@ -212,11 +213,12 @@ Result<ExecOutcome> Executor::ExecuteUpdate(const Stmt& stmt,
     eval.PopRow();
   }
   ExecOutcome outcome;
+  TableTransition& delta = outcome.delta.ForTable(table);
   for (auto& [rid, new_tuple] : updates) {
     Tuple old_tuple = *storage.Get(rid);
     STARBURST_RETURN_IF_ERROR(storage.Update(rid, new_tuple));
-    STARBURST_RETURN_IF_ERROR(outcome.delta.ForTable(table).ApplyUpdate(
-        rid, std::move(old_tuple), std::move(new_tuple)));
+    STARBURST_RETURN_IF_ERROR(
+        delta.ApplyUpdate(rid, std::move(old_tuple), std::move(new_tuple)));
   }
   return outcome;
 }

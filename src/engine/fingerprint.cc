@@ -1,0 +1,43 @@
+#include "engine/fingerprint.h"
+
+namespace starburst {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche bijection on 64 bits.
+inline uint64_t Avalanche(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+Hash128 HashBytes128(const char* data, size_t n) {
+  // Two FNV-1a lanes with distinct offset bases; each lane is finalized
+  // with an avalanche step so short inputs still differ in the high bits.
+  uint64_t a = 0xcbf29ce484222325ull;
+  uint64_t b = 0x9ae16a3b2f90404full;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t byte = static_cast<unsigned char>(data[i]);
+    a = (a ^ byte) * 0x100000001b3ull;
+    b = (b ^ (byte + 0x9e)) * 0x100000001b3ull;
+  }
+  Hash128 out;
+  out.lo = Avalanche(a ^ (n * 0x9e3779b97f4a7c15ull));
+  out.hi = Avalanche(b + 0x2545f4914f6cdd1dull);
+  return out;
+}
+
+Hash128 MixWithSalt(const Hash128& h, uint64_t salt) {
+  uint64_t s = Avalanche(salt + 0x9e3779b97f4a7c15ull);
+  Hash128 out;
+  out.lo = Avalanche(h.lo ^ s);
+  out.hi = Avalanche(h.hi + ((s * 0xff51afd7ed558ccdull) | 1));
+  return out;
+}
+
+}  // namespace starburst

@@ -1,0 +1,66 @@
+#ifndef STARBURST_ENGINE_FINGERPRINT_H_
+#define STARBURST_ENGINE_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace starburst {
+
+/// A 128-bit hash value forming a commutative group under Add/Sub (128-bit
+/// integer addition with carry). Hashing each element of a multiset and
+/// summing the results yields a multiset hash: independent of insertion
+/// order, and removal is exact subtraction. This is what lets a table keep
+/// its logical-content hash incrementally up to date under Insert / Delete /
+/// Update / delta revert without ever rescanning the rows.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  void Add(const Hash128& h) {
+    uint64_t sum = lo + h.lo;
+    hi += h.hi + (sum < lo ? 1 : 0);
+    lo = sum;
+  }
+
+  void Sub(const Hash128& h) {
+    uint64_t diff = lo - h.lo;
+    hi -= h.hi + (diff > lo ? 1 : 0);
+    lo = diff;
+  }
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+};
+
+/// Hashes `n` bytes into two independently-mixed 64-bit lanes. Used for
+/// per-tuple content hashes and for hashing rendered pending-transition
+/// strings into explorer state keys.
+Hash128 HashBytes128(const char* data, size_t n);
+
+inline Hash128 HashString128(const std::string& s) {
+  return HashBytes128(s.data(), s.size());
+}
+
+/// Scrambles `h` with `salt` through a full avalanche so that sums of mixed
+/// values keyed by distinct salts are position-sensitive: the database
+/// fingerprint is sum over tables of MixWithSalt(table_hash, table_id), so
+/// swapping the contents of two tables changes the fingerprint even though
+/// the per-table multiset hashes themselves are commutative.
+Hash128 MixWithSalt(const Hash128& h, uint64_t salt);
+
+/// Hasher for unordered containers keyed by Hash128. The input is already
+/// avalanche-mixed, so folding the lanes is enough.
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const {
+    return static_cast<size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_ENGINE_FINGERPRINT_H_

@@ -21,6 +21,41 @@ void AppendTupleToString(std::string* out, const Tuple& tuple) {
   out->push_back(')');
 }
 
+namespace {
+
+// Content hash of one tuple: hash of its canonical rendering, built in a
+// reused per-thread scratch buffer (every Insert/Delete/Update hashes the
+// affected tuple, so this is on the stepping hot path).
+Hash128 TupleHash(const Tuple& tuple) {
+  static thread_local std::string scratch;
+  scratch.clear();
+  AppendTupleToString(&scratch, tuple);
+  return HashBytes128(scratch.data(), scratch.size());
+}
+
+}  // namespace
+
+TableStorage::TableStorage(const TableStorage& other)
+    : def_(other.def_),
+      rows_(other.rows_),
+      next_rid_(other.next_rid_),
+      content_hash_(other.content_hash_),
+      canon_cache_(other.canon_cache_),
+      canon_valid_(other.canon_valid_) {}
+
+TableStorage& TableStorage::operator=(const TableStorage& other) {
+  if (this == &other) return *this;
+  def_ = other.def_;
+  rows_ = other.rows_;
+  next_rid_ = other.next_rid_;
+  content_hash_ = other.content_hash_;
+  canon_cache_ = other.canon_cache_;
+  canon_valid_ = other.canon_valid_;
+  undo_.clear();
+  undo_marks_.clear();
+  return *this;
+}
+
 Status TableStorage::Validate(const Tuple& tuple) const {
   if (static_cast<int>(tuple.size()) != def_->num_columns()) {
     return Status::ExecutionError(
@@ -41,16 +76,26 @@ Status TableStorage::Validate(const Tuple& tuple) const {
 Result<Rid> TableStorage::Insert(Tuple tuple) {
   STARBURST_RETURN_IF_ERROR(Validate(tuple));
   Rid rid = next_rid_++;
+  content_hash_.Add(TupleHash(tuple));
   rows_.emplace(rid, std::move(tuple));
+  if (delta_active()) {
+    undo_.push_back({UndoRecord::Op::kInsert, rid, Tuple{}});
+  }
   canon_valid_ = false;
   return rid;
 }
 
 Status TableStorage::Delete(Rid rid) {
-  if (rows_.erase(rid) == 0) {
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
     return Status::NotFound("rid " + std::to_string(rid) + " not in table '" +
                             def_->name() + "'");
   }
+  content_hash_.Sub(TupleHash(it->second));
+  if (delta_active()) {
+    undo_.push_back({UndoRecord::Op::kDelete, rid, std::move(it->second)});
+  }
+  rows_.erase(it);
   canon_valid_ = false;
   return Status::OK();
 }
@@ -62,9 +107,57 @@ Status TableStorage::Update(Rid rid, Tuple tuple) {
                             def_->name() + "'");
   }
   STARBURST_RETURN_IF_ERROR(Validate(tuple));
+  content_hash_.Sub(TupleHash(it->second));
+  content_hash_.Add(TupleHash(tuple));
+  if (delta_active()) {
+    undo_.push_back({UndoRecord::Op::kUpdate, rid, std::move(it->second)});
+  }
   it->second = std::move(tuple);
   canon_valid_ = false;
   return Status::OK();
+}
+
+void TableStorage::CommitDelta() {
+  undo_marks_.pop_back();
+  if (undo_marks_.empty()) {
+    // Outermost commit: nothing can revert past this point.
+    undo_.clear();
+  }
+  // Otherwise the records stay in the log and now belong to the enclosing
+  // delta, so an outer revert still undoes the committed inner work.
+}
+
+void TableStorage::RevertDelta() {
+  size_t mark = undo_marks_.back();
+  undo_marks_.pop_back();
+  if (undo_.size() == mark) return;  // untouched table: keep caches valid
+  while (undo_.size() > mark) {
+    UndoRecord rec = std::move(undo_.back());
+    undo_.pop_back();
+    switch (rec.op) {
+      case UndoRecord::Op::kInsert: {
+        auto it = rows_.find(rec.rid);
+        content_hash_.Sub(TupleHash(it->second));
+        rows_.erase(it);
+        // Inserts revert newest-first, so this ends at the counter value
+        // the delta started with.
+        next_rid_ = rec.rid;
+        break;
+      }
+      case UndoRecord::Op::kDelete:
+        content_hash_.Add(TupleHash(rec.old_tuple));
+        rows_.emplace(rec.rid, std::move(rec.old_tuple));
+        break;
+      case UndoRecord::Op::kUpdate: {
+        auto it = rows_.find(rec.rid);
+        content_hash_.Sub(TupleHash(it->second));
+        content_hash_.Add(TupleHash(rec.old_tuple));
+        it->second = std::move(rec.old_tuple);
+        break;
+      }
+    }
+  }
+  canon_valid_ = false;
 }
 
 const Tuple* TableStorage::Get(Rid rid) const {

@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "engine/fingerprint.h"
 #include "engine/value.h"
 
 namespace starburst {
@@ -29,12 +30,23 @@ void AppendTupleToString(std::string* out, const Tuple& tuple);
 
 /// In-memory storage for one table: rid -> tuple.
 ///
-/// Copyable by value; the explorer snapshots whole databases via plain
-/// copies. Logical equality (used for confluence checking) ignores rids and
-/// compares table contents as multisets — see CanonicalString().
+/// Copyable by value; the explorer's snapshot-copy backend snapshots whole
+/// databases via plain copies. Logical equality (used for confluence
+/// checking) ignores rids and compares table contents as multisets — see
+/// CanonicalString() and content_hash().
+///
+/// A copy is a logical snapshot: rows, rid counter, content hash, and the
+/// canonical-string cache carry over, but in-flight undo records do not (a
+/// snapshot is always taken as if outside any delta). Moves preserve
+/// everything, including open deltas.
 class TableStorage {
  public:
   explicit TableStorage(const TableDef* def) : def_(def) {}
+
+  TableStorage(const TableStorage& other);
+  TableStorage& operator=(const TableStorage& other);
+  TableStorage(TableStorage&&) = default;
+  TableStorage& operator=(TableStorage&&) = default;
 
   const TableDef& def() const { return *def_; }
 
@@ -68,12 +80,44 @@ class TableStorage {
   /// avoiding string churn here is a hot-path concern.
   void AppendCanonicalString(std::string* out) const;
 
+  /// Order- and rid-independent 128-bit multiset hash of the stored tuples,
+  /// maintained incrementally by Insert/Delete/Update/RevertDelta. Two
+  /// storages with equal CanonicalString() have equal content_hash(); the
+  /// undo-log explorer backend interns states by this hash instead of
+  /// materializing canonical strings.
+  const Hash128& content_hash() const { return content_hash_; }
+
+  /// --- Delta (undo-log) API --------------------------------------------
+  ///
+  /// BeginDelta pushes a mark; mutations after it record inverse
+  /// operations. RevertDelta undoes them in reverse order back to the mark
+  /// — including the rid counter, so re-entering a reverted branch assigns
+  /// identical rids to identical logical inserts. CommitDelta drops the
+  /// mark, merging the records into the enclosing delta (cascaded rule
+  /// firings nest) or discarding them at the outermost level.
+  void BeginDelta() { undo_marks_.push_back(undo_.size()); }
+  void CommitDelta();
+  void RevertDelta();
+  bool delta_active() const { return !undo_marks_.empty(); }
+
  private:
+  struct UndoRecord {
+    enum class Op : uint8_t { kInsert, kDelete, kUpdate };
+    Op op;
+    Rid rid;
+    Tuple old_tuple;  // the pre-image for kDelete/kUpdate; empty for kInsert
+  };
+
   Status Validate(const Tuple& tuple) const;
 
   const TableDef* def_;
   std::map<Rid, Tuple> rows_;
   Rid next_rid_ = 1;
+  Hash128 content_hash_;
+
+  // Inverse-operation log, newest last, with one mark per open delta.
+  std::vector<UndoRecord> undo_;
+  std::vector<size_t> undo_marks_;
 
   // Cached canonical rendering, invalidated by Insert/Delete/Update (the
   // only mutators of rows_). The explorer canonicalizes a whole database

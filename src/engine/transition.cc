@@ -26,7 +26,8 @@ Status TableTransition::ApplyInsert(Rid rid, Tuple tuple) {
   NetChange change;
   change.kind = NetChange::Kind::kInserted;
   change.new_tuple = std::move(tuple);
-  changes_.emplace(rid, std::move(change));
+  auto pos = changes_.emplace(rid, std::move(change)).first;
+  content_hash_.Add(EntryHash(rid, pos->second));
   return Status::OK();
 }
 
@@ -36,19 +37,24 @@ Status TableTransition::ApplyDelete(Rid rid, Tuple old_tuple) {
     NetChange change;
     change.kind = NetChange::Kind::kDeleted;
     change.old_tuple = std::move(old_tuple);
-    changes_.emplace(rid, std::move(change));
+    auto pos = changes_.emplace(rid, std::move(change)).first;
+    content_hash_.Add(EntryHash(rid, pos->second));
     return Status::OK();
   }
   NetChange& existing = it->second;
   switch (existing.kind) {
     case NetChange::Kind::kInserted:
       // Inserted then deleted: not considered at all.
+      content_hash_.Sub(EntryHash(rid, existing));
       changes_.erase(it);
       return Status::OK();
     case NetChange::Kind::kUpdated:
       // Updated then deleted: a deletion of the original tuple.
+      content_hash_.Sub(EntryHash(rid, existing));
       existing.kind = NetChange::Kind::kDeleted;
       existing.new_tuple.clear();
+      existing.entry_hash_valid = false;
+      content_hash_.Add(EntryHash(rid, existing));
       return Status::OK();
     case NetChange::Kind::kDeleted:
       return Status::Internal("double delete of rid " + std::to_string(rid));
@@ -65,21 +71,28 @@ Status TableTransition::ApplyUpdate(Rid rid, Tuple old_tuple,
     change.kind = NetChange::Kind::kUpdated;
     change.old_tuple = std::move(old_tuple);
     change.new_tuple = std::move(new_tuple);
-    changes_.emplace(rid, std::move(change));
+    auto pos = changes_.emplace(rid, std::move(change)).first;
+    content_hash_.Add(EntryHash(rid, pos->second));
     return Status::OK();
   }
   NetChange& existing = it->second;
   switch (existing.kind) {
     case NetChange::Kind::kInserted:
       // Inserted then updated: insertion of the updated tuple.
+      content_hash_.Sub(EntryHash(rid, existing));
       existing.new_tuple = std::move(new_tuple);
+      existing.entry_hash_valid = false;
+      content_hash_.Add(EntryHash(rid, existing));
       return Status::OK();
     case NetChange::Kind::kUpdated:
       // Composite update; drop if it nets out to no change.
+      content_hash_.Sub(EntryHash(rid, existing));
       if (TuplesEqual(existing.old_tuple, new_tuple)) {
         changes_.erase(it);
       } else {
         existing.new_tuple = std::move(new_tuple);
+        existing.entry_hash_valid = false;
+        content_hash_.Add(EntryHash(rid, existing));
       }
       return Status::OK();
     case NetChange::Kind::kDeleted:
@@ -90,20 +103,44 @@ Status TableTransition::ApplyUpdate(Rid rid, Tuple old_tuple,
 
 Status TableTransition::Compose(const TableTransition& next) {
   for (const auto& [rid, change] : next.changes_) {
-    switch (change.kind) {
-      case NetChange::Kind::kInserted:
-        STARBURST_RETURN_IF_ERROR(ApplyInsert(rid, change.new_tuple));
-        break;
-      case NetChange::Kind::kDeleted:
-        STARBURST_RETURN_IF_ERROR(ApplyDelete(rid, change.old_tuple));
-        break;
-      case NetChange::Kind::kUpdated:
-        STARBURST_RETURN_IF_ERROR(
-            ApplyUpdate(rid, change.old_tuple, change.new_tuple));
-        break;
-    }
+    STARBURST_RETURN_IF_ERROR(ApplyChange(rid, change));
   }
   return Status::OK();
+}
+
+Status TableTransition::ApplyChange(Rid rid, const NetChange& change) {
+  auto it = changes_.find(rid);
+  if (it == changes_.end()) {
+    if (change.kind == NetChange::Kind::kUpdated &&
+        TuplesEqual(change.old_tuple, change.new_tuple)) {
+      return Status::OK();
+    }
+    // Fresh entry: it lands as an exact copy of `change`, so the source's
+    // cached entry hash — computed at most once per composed delta entry —
+    // is reused for every pending transition the delta is composed into.
+    content_hash_.Add(EntryHash(rid, change));
+    changes_.emplace(rid, change);
+    return Status::OK();
+  }
+  switch (change.kind) {
+    case NetChange::Kind::kInserted:
+      return ApplyInsert(rid, change.new_tuple);
+    case NetChange::Kind::kDeleted:
+      return ApplyDelete(rid, change.old_tuple);
+    case NetChange::Kind::kUpdated:
+      return ApplyUpdate(rid, change.old_tuple, change.new_tuple);
+  }
+  return Status::Internal("corrupt net change");
+}
+
+void TableTransition::RestoreEntry(Rid rid, bool had, NetChange&& old_change,
+                                   const Hash128& old_hash) {
+  if (had) {
+    changes_.insert_or_assign(rid, std::move(old_change));
+  } else {
+    changes_.erase(rid);
+  }
+  content_hash_ = old_hash;
 }
 
 bool TableTransition::HasInserts() const {
@@ -180,30 +217,47 @@ std::string TableTransition::CanonicalString() const {
 }
 
 void TableTransition::AppendCanonicalString(std::string* out) const {
-  char buf[24];
   *out += '{';
   for (const auto& [rid, change] : changes_) {
-    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), rid);
-    out->append(buf, end);
-    switch (change.kind) {
-      case NetChange::Kind::kInserted:
-        *out += '+';
-        AppendTupleToString(out, change.new_tuple);
-        break;
-      case NetChange::Kind::kDeleted:
-        *out += '-';
-        AppendTupleToString(out, change.old_tuple);
-        break;
-      case NetChange::Kind::kUpdated:
-        *out += '~';
-        AppendTupleToString(out, change.old_tuple);
-        *out += '>';
-        AppendTupleToString(out, change.new_tuple);
-        break;
-    }
-    *out += ';';
+    AppendEntry(out, rid, change);
   }
   *out += '}';
+}
+
+void TableTransition::AppendEntry(std::string* out, Rid rid,
+                                  const NetChange& change) {
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), rid);
+  out->append(buf, end);
+  switch (change.kind) {
+    case NetChange::Kind::kInserted:
+      *out += '+';
+      AppendTupleToString(out, change.new_tuple);
+      break;
+    case NetChange::Kind::kDeleted:
+      *out += '-';
+      AppendTupleToString(out, change.old_tuple);
+      break;
+    case NetChange::Kind::kUpdated:
+      *out += '~';
+      AppendTupleToString(out, change.old_tuple);
+      *out += '>';
+      AppendTupleToString(out, change.new_tuple);
+      break;
+  }
+  *out += ';';
+}
+
+Hash128 TableTransition::EntryHash(Rid rid, const NetChange& change) {
+  if (change.entry_hash_valid) return change.entry_hash;
+  // Entries are short ("12+(1);" and the like), so this usually stays in
+  // the small-string buffer. Runs once per distinct net change, not per
+  // visited explorer state.
+  std::string rendered;
+  AppendEntry(&rendered, rid, change);
+  change.entry_hash = HashString128(rendered);
+  change.entry_hash_valid = true;
+  return change.entry_hash;
 }
 
 bool Transition::empty() const {
@@ -229,6 +283,52 @@ Status Transition::Compose(const Transition& next) {
   return Status::OK();
 }
 
+Status Transition::ComposeLogged(const Transition& next,
+                                 TransitionUndoLog* log) {
+  for (const auto& [table, ntt] : next.tables_) {
+    TableTransition& tt = tables_[table];
+    for (const auto& [rid, change] : ntt.changes()) {
+      TransitionUndoLog::Record rec;
+      rec.target = this;
+      rec.table = table;
+      rec.rid = rid;
+      rec.old_hash = tt.content_hash();
+      auto it = tt.changes().find(rid);
+      if (it != tt.changes().end()) {
+        rec.had_entry = true;
+        rec.old_change = it->second;
+      }
+      log->records_.push_back(std::move(rec));
+      STARBURST_RETURN_IF_ERROR(tt.ApplyChange(rid, change));
+    }
+  }
+  return Status::OK();
+}
+
+void Transition::ClearLogged(TransitionUndoLog* log) {
+  TransitionUndoLog::Record rec;
+  rec.target = this;
+  rec.is_clear = true;
+  rec.old_tables = std::move(tables_);
+  tables_.clear();  // moved-from: make the empty state explicit
+  log->records_.push_back(std::move(rec));
+}
+
+void TransitionUndoLog::RevertToMark() {
+  size_t mark = marks_.back();
+  marks_.pop_back();
+  while (records_.size() > mark) {
+    Record& rec = records_.back();
+    if (rec.is_clear) {
+      rec.target->tables_ = std::move(rec.old_tables);
+    } else {
+      rec.target->tables_[rec.table].RestoreEntry(
+          rec.rid, rec.had_entry, std::move(rec.old_change), rec.old_hash);
+    }
+    records_.pop_back();
+  }
+}
+
 std::string Transition::CanonicalString() const {
   std::string out;
   AppendCanonicalString(&out);
@@ -244,6 +344,17 @@ void Transition::AppendCanonicalString(std::string* out) const {
     out->append(buf, end);
     tt.AppendCanonicalString(out);
   }
+}
+
+Hash128 Transition::ContentHash() const {
+  constexpr uint64_t kTransitionTableSalt = 0x7472616e736974ull;  // "transit"
+  Hash128 h;
+  for (const auto& [table, tt] : tables_) {
+    if (tt.empty()) continue;
+    h.Add(MixWithSalt(tt.content_hash(),
+                      kTransitionTableSalt + static_cast<uint64_t>(table)));
+  }
+  return h;
 }
 
 }  // namespace starburst

@@ -123,6 +123,15 @@ class Expr {
   // kExists / kIn / kScalarSubquery
   SelectPtr subquery;
 
+  // kColumnRef, filled by the engine's bind pass (engine/bind.h) for
+  // rule-owned expressions at rule-registration time: the absolute
+  // evaluator scope slot and column index this reference resolves to.
+  // -1 = unbound; evaluation then falls back to the dynamic
+  // case-insensitive name lookup (and its error messages). Clone() resets
+  // both — a clone may be re-registered against a different schema.
+  int32_t bound_slot = -1;
+  int32_t bound_col = -1;
+
   explicit Expr(ExprKind k) : kind(k) {}
   ~Expr();
 

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "common/thread_pool.h"
 #include "engine/exec.h"
+#include "engine/fingerprint.h"
 #include "rulelang/parser.h"
 
 namespace starburst {
@@ -85,6 +87,49 @@ class StateInterner {
   std::vector<uint32_t> next_;  // id -> next id with the same hash
 };
 
+/// Interns 128-bit state fingerprints to dense uint32 ids — the undo-log
+/// backend's replacement for StateInterner. No canonical strings are stored;
+/// distinct logical states are distinct up to 128-bit hash collisions
+/// (cross-checked against the string-keyed backend by the delta_equivalence
+/// fuzz oracle).
+class FingerprintInterner {
+ public:
+  /// Returns {dense id, true when freshly interned}.
+  std::pair<uint32_t, bool> Intern(const Hash128& key) {
+    auto [it, fresh] =
+        ids_.try_emplace(key, static_cast<uint32_t>(ids_.size()));
+    return {it->second, fresh};
+  }
+
+  size_t size() const { return ids_.size(); }
+
+ private:
+  std::unordered_map<Hash128, uint32_t, Hash128Hasher> ids_;
+};
+
+/// Salt separating the pending-transition lane of a state fingerprint from
+/// the database lane, and the synthetic-rollback lane from both.
+constexpr uint64_t kPendingSalt = 0x70656e64696e67ull;
+constexpr uint64_t kRollbackSalt = 0x726f6c6c6261636bull;
+
+/// Fingerprint of an execution state for the undo-log backend: the
+/// database's incremental content fingerprint plus each pending
+/// transition's incremental content hash mixed with a per-rule salt.
+/// Nothing is rendered — both lanes are maintained deltas. The
+/// equivalence classes match the snapshot-copy backend's string keys: the
+/// database lane is rid-independent in both backends, the pending lane is
+/// rid-sensitive in both (Transition::ContentHash covers rids) — and
+/// delta revert restores rid counters, so both backends see identical
+/// pending content along equal paths.
+Hash128 StateFingerprintUndo(const RuleProcessingState& state) {
+  Hash128 fp = state.db.ContentFingerprint();
+  uint64_t salt = kPendingSalt;
+  for (const Transition& t : state.pending) {
+    fp.Add(MixWithSalt(t.ContentHash(), salt++));
+  }
+  return fp;
+}
+
 /// Canonical key of an execution state (database + per-rule pending
 /// transitions). `*db_len` receives the length of the database prefix,
 /// which doubles as the final-state fingerprint. Shared by the classic
@@ -116,7 +161,10 @@ class ExplorerImpl {
  public:
   ExplorerImpl(const RuleCatalog& catalog, const Database& initial_db,
                const ExplorerOptions& options)
-      : catalog_(catalog), initial_db_(initial_db), options_(options) {}
+      : catalog_(catalog),
+        initial_db_(initial_db),
+        options_(options),
+        undo_(options.backend == ExplorerOptions::StateBackend::kUndoLog) {}
 
   Result<ExplorationResult> Run(const Transition& initial_transition) {
     auto start = std::chrono::steady_clock::now();
@@ -124,7 +172,16 @@ class ExplorerImpl {
       RuleProcessingState state(&catalog_.schema(), catalog_.num_rules());
       state.db = initial_db_;
       for (Transition& t : state.pending) t = initial_transition;
-      Enter(std::move(state), kNoParent, /*via=*/-1, /*restore_stream=*/0);
+      if (undo_) {
+        // The one database copy of the whole exploration: every branch
+        // below steps it forward and reverts it via the undo log.
+        cur_.emplace(std::move(state));
+        cur_->pending_undo = &pending_undo_;
+        EnterUndo(kNoParent, /*via=*/-1, /*restore_stream=*/0,
+                  /*delta_open=*/false);
+      } else {
+        Enter(std::move(state), kNoParent, /*via=*/-1, /*restore_stream=*/0);
+      }
     }
     return Drive(start);
   }
@@ -135,6 +192,14 @@ class ExplorerImpl {
   /// while the root itself is accounted once by the merge.
   void SeedRootOnPath(std::string root_key) {
     auto [id, fresh] = interner_.Intern(std::move(root_key));
+    (void)fresh;
+    SetBit(&visited_, id, true);
+    SetBit(&on_path_, id, true);
+  }
+
+  /// Fingerprint analogue of SeedRootOnPath for the undo-log backend.
+  void SeedRootOnPathFp(const Hash128& root_fp) {
+    auto [id, fresh] = fp_interner_.Intern(root_fp);
     (void)fresh;
     SetBit(&visited_, id, true);
     SetBit(&on_path_, id, true);
@@ -151,8 +216,15 @@ class ExplorerImpl {
   /// one top-level consideration below the seeded root).
   Result<ExplorationResult> RunFromState(RuleProcessingState&& state) {
     auto start = std::chrono::steady_clock::now();
-    Enter(std::move(state), kNoParent, /*via=*/-1,
-          /*restore_stream=*/stream_.size());
+    if (undo_) {
+      cur_.emplace(std::move(state));
+      cur_->pending_undo = &pending_undo_;
+      EnterUndo(kNoParent, /*via=*/-1, /*restore_stream=*/stream_.size(),
+                /*delta_open=*/false);
+    } else {
+      Enter(std::move(state), kNoParent, /*via=*/-1,
+            /*restore_stream=*/stream_.size());
+    }
     return Drive(start);
   }
 
@@ -172,13 +244,39 @@ class ExplorerImpl {
       }
       RuleIndex r = f.eligible[f.next_child++];
       ++result_.steps_taken;
-      // The frame's state feeds each child in turn; the last child can
-      // steal it instead of copying (PopFrame never reads it). Chains of
-      // single-eligible states — the common fixpoint shape — therefore
-      // expand with zero database copies.
       bool last_child = f.next_child == f.eligible.size();
+      if (undo_) {
+        // The live state already sits at this frame: children revert their
+        // database deltas AND their pending mutations (via the pending
+        // undo log), so nothing is copied or restored per child.
+        pending_undo_.Mark();
+        cur_->db.BeginDelta();
+        auto step = ConsiderRule(catalog_, &*cur_, r);
+        if (!step.ok()) return step.status();
+        size_t mark = stream_.size();
+        if (!options_.dedup_subtrees) {
+          for (const ObservableEvent& ev : step.value().observables) {
+            stream_.push_back(ev);
+          }
+        }
+        if (step.value().rollback) {
+          // Transaction aborted: final database is the initial database.
+          cur_->db.RevertDelta();
+          pending_undo_.RevertToMark();
+          ++result_.stats.delta_reverts;
+          EnterRollback(top, r);
+          stream_.resize(mark);
+        } else {
+          EnterUndo(top, r, mark, /*delta_open=*/true);  // may invalidate `f`
+        }
+        continue;
+      }
+      // Snapshot-copy backend: the frame's state feeds each child in turn;
+      // the last child can steal it instead of copying (PopFrame never
+      // reads it). Chains of single-eligible states — the common fixpoint
+      // shape — therefore expand with zero database copies.
       RuleProcessingState next =
-          last_child ? std::move(f.state) : f.state;
+          last_child ? std::move(*f.state) : *f.state;
       auto step = ConsiderRule(catalog_, &next, r);
       if (!step.ok()) return step.status();
       size_t mark = stream_.size();
@@ -196,7 +294,8 @@ class ExplorerImpl {
       }
     }
     result_.states_visited = visited_count_;
-    result_.stats.states_interned = static_cast<long>(interner_.size());
+    result_.stats.states_interned = static_cast<long>(
+        undo_ ? fp_interner_.size() : interner_.size());
     result_.stats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -208,9 +307,13 @@ class ExplorerImpl {
   static constexpr int kNodeUnassigned = -2;
 
   struct Frame {
-    explicit Frame(RuleProcessingState&& s) : state(std::move(s)) {}
-
-    RuleProcessingState state;
+    /// Snapshot-copy backend: the frame's full state (absent in undo mode).
+    std::optional<RuleProcessingState> state;
+    /// Undo-log backend: true when this frame holds an open delta on
+    /// `cur_->db` plus a matching pending-undo mark (every frame except a
+    /// path root); PopFrame reverts both. The frame stores no state of its
+    /// own — `cur_` is stepped forward and reverted in place.
+    bool owns_delta = false;
     uint32_t id = 0;
     int node = -1;
     std::vector<RuleIndex> eligible;
@@ -268,10 +371,22 @@ class ExplorerImpl {
     result_.graph_edges.push_back({from, to, rule});
   }
 
-  /// Records a final database (by canonical fingerprint) and, in full
-  /// enumeration mode, the path's observable stream. A stream that is
-  /// already in the set never marks the result incomplete — only a NEW
-  /// stream that would exceed max_streams does.
+  /// Records the current path's observable stream (full enumeration mode
+  /// only). A stream that is already in the set never marks the result
+  /// incomplete — only a NEW stream that would exceed max_streams does.
+  void RecordStream() {
+    if (options_.dedup_subtrees) return;
+    std::string s = StreamToString(stream_);
+    if (static_cast<int>(result_.observable_streams.size()) <
+        options_.max_streams) {
+      result_.observable_streams.insert(std::move(s));
+    } else if (result_.observable_streams.count(s) == 0) {
+      result_.complete = false;
+    }
+  }
+
+  /// Records a final database (by canonical fingerprint) and the path's
+  /// observable stream.
   uint32_t RecordFinal(std::string db_key, const Database& db) {
     auto [it, fresh] = final_ids_.try_emplace(
         db_key, static_cast<uint32_t>(final_ids_.size()));
@@ -279,15 +394,26 @@ class ExplorerImpl {
       result_.final_states.insert(db_key);
       result_.final_databases.emplace(std::move(db_key), db);
     }
-    if (!options_.dedup_subtrees) {
-      std::string s = StreamToString(stream_);
-      if (static_cast<int>(result_.observable_streams.size()) <
-          options_.max_streams) {
-        result_.observable_streams.insert(std::move(s));
-      } else if (result_.observable_streams.count(s) == 0) {
-        result_.complete = false;
-      }
+    RecordStream();
+    return it->second;
+  }
+
+  /// Undo-backend analogue of RecordFinal: final databases are deduplicated
+  /// by content fingerprint, and the reported canonical string is rendered
+  /// only for FRESH fingerprints — the whole point of the backend is that
+  /// revisited finals cost O(1), not O(database).
+  uint32_t RecordFinalUndo(const Database& db) {
+    auto [it, fresh] = final_fp_ids_.try_emplace(
+        db.ContentFingerprint(),
+        static_cast<uint32_t>(final_fp_ids_.size()));
+    if (fresh) {
+      std::string db_key = db.CanonicalString();
+      result_.stats.canonicalization_bytes +=
+          static_cast<long>(db_key.size());
+      result_.final_states.insert(db_key);
+      result_.final_databases.emplace(std::move(db_key), db);
     }
+    RecordStream();
     return it->second;
   }
 
@@ -373,7 +499,87 @@ class ExplorerImpl {
       return;
     }
     SetBit(&on_path_, id, true);
-    Frame frame(std::move(state));
+    Frame frame;
+    frame.state.emplace(std::move(state));
+    frame.id = id;
+    frame.node = node;
+    frame.eligible = catalog_.priority().Choose(triggered);
+    frame.restore_stream = restore_stream;
+    stack_.push_back(std::move(frame));
+    result_.stats.peak_stack_depth = std::max(
+        result_.stats.peak_stack_depth, static_cast<int>(stack_.size()));
+  }
+
+  /// Undo-backend analogue of Enter(): evaluates the state currently held
+  /// in `cur_` (the one live database) without keying it by canonical
+  /// string — the incremental fingerprint is the intern key. Every terminal
+  /// outcome must undo what the caller set up, which `leave()` centralizes:
+  /// revert this step's delta (when one is open) and roll the stream back.
+  /// Non-terminal states instead push a frame that OWNS the open delta;
+  /// PopFrame reverts it when the subtree is done.
+  void EnterUndo(size_t parent, RuleIndex via, size_t restore_stream,
+                 bool delta_open) {
+    Hash128 fp = StateFingerprintUndo(*cur_);
+    auto [id, fresh] = fp_interner_.Intern(fp);
+    int node = GraphNode(id);
+    if (parent != kNoParent) RecordEdge(stack_[parent].node, node, via);
+    auto leave = [&] {
+      if (delta_open) {
+        cur_->db.RevertDelta();
+        pending_undo_.RevertToMark();
+        ++result_.stats.delta_reverts;
+      }
+      stream_.resize(restore_stream);
+    };
+    if (!fresh && TestBit(on_path_, id)) {
+      // A cycle in the execution graph: an infinitely long path exists.
+      result_.may_not_terminate = true;
+      Taint(parent);
+      leave();
+      return;
+    }
+    MarkVisited(id);
+    if (options_.dedup_subtrees && TestBit(memo_black_, id)) {
+      ++result_.stats.dedup_hits;
+      if (parent != kNoParent) {
+        auto it = memo_finals_.find(id);
+        if (it != memo_finals_.end()) {
+          Frame& pf = stack_[parent];
+          pf.reached_finals.insert(pf.reached_finals.end(),
+                                   it->second.begin(), it->second.end());
+        }
+      }
+      leave();
+      return;
+    }
+    std::vector<RuleIndex> triggered = TriggeredRules(catalog_, *cur_);
+    if (triggered.empty()) {
+      if (node >= 0) result_.node_is_final[node] = true;
+      uint32_t fid = RecordFinalUndo(cur_->db);
+      AddFinal(parent, fid);
+      MemoizeFinal(id, fid);
+      leave();
+      return;
+    }
+    // The budget check comes AFTER the final-state check: a rule-free
+    // state reached exactly as the budget trips is still a real final
+    // state and must be recorded, not dropped.
+    if (result_.steps_taken >= options_.max_total_steps) {
+      result_.complete = false;
+      Taint(parent);
+      leave();
+      return;
+    }
+    if (static_cast<int>(stack_.size()) >= options_.max_depth) {
+      result_.complete = false;
+      result_.may_not_terminate = true;  // conservative
+      Taint(parent);
+      leave();
+      return;
+    }
+    SetBit(&on_path_, id, true);
+    Frame frame;
+    frame.owns_delta = delta_open;
     frame.id = id;
     frame.node = node;
     frame.eligible = catalog_.priority().Choose(triggered);
@@ -389,18 +595,27 @@ class ExplorerImpl {
   /// graph, and the DOT output agree on node accounting.
   void EnterRollback(size_t parent, RuleIndex via) {
     if (!rollback_interned_) {
-      std::string db_key = initial_db_.CanonicalString();
-      std::string key = "ROLLBACK#" + db_key;
-      result_.stats.canonicalization_bytes += static_cast<long>(key.size());
-      rollback_id_ = interner_.Intern(std::move(key)).first;
-      rollback_db_key_ = std::move(db_key);
+      if (undo_) {
+        rollback_id_ =
+            fp_interner_
+                .Intern(MixWithSalt(initial_db_.ContentFingerprint(),
+                                    kRollbackSalt))
+                .first;
+      } else {
+        std::string db_key = initial_db_.CanonicalString();
+        std::string key = "ROLLBACK#" + db_key;
+        result_.stats.canonicalization_bytes += static_cast<long>(key.size());
+        rollback_id_ = interner_.Intern(std::move(key)).first;
+        rollback_db_key_ = std::move(db_key);
+      }
       rollback_interned_ = true;
     }
     MarkVisited(rollback_id_);
     int node = GraphNode(rollback_id_);
     if (node >= 0) result_.node_is_final[node] = true;
     RecordEdge(stack_[parent].node, node, via);
-    uint32_t fid = RecordFinal(rollback_db_key_, initial_db_);
+    uint32_t fid = undo_ ? RecordFinalUndo(initial_db_)
+                         : RecordFinal(rollback_db_key_, initial_db_);
     AddFinal(parent, fid);
     MemoizeFinal(rollback_id_, fid);
   }
@@ -408,6 +623,11 @@ class ExplorerImpl {
   void PopFrame() {
     Frame& f = stack_.back();
     SetBit(&on_path_, f.id, false);
+    if (undo_ && f.owns_delta) {
+      cur_->db.RevertDelta();
+      pending_undo_.RevertToMark();
+      ++result_.stats.delta_reverts;
+    }
     if (options_.dedup_subtrees) {
       if (!f.tainted) {
         std::sort(f.reached_finals.begin(), f.reached_finals.end());
@@ -432,9 +652,21 @@ class ExplorerImpl {
   const RuleCatalog& catalog_;
   const Database& initial_db_;
   const ExplorerOptions& options_;
+  /// True for ExplorerOptions::StateBackend::kUndoLog.
+  bool undo_;
   ExplorationResult result_;
 
   StateInterner interner_;
+  /// Undo backend: the one live state the whole DFS steps forward and
+  /// reverts — the database via its own delta log, the pending
+  /// transitions via `pending_undo_`.
+  std::optional<RuleProcessingState> cur_;
+  /// Undo backend: inverse log for `cur_->pending` mutations; one mark per
+  /// rule consideration, reverted wherever the step's db delta is.
+  TransitionUndoLog pending_undo_;
+  FingerprintInterner fp_interner_;
+  /// Undo backend: final databases, content fingerprint -> dense final id.
+  std::unordered_map<Hash128, uint32_t, Hash128Hasher> final_fp_ids_;
   std::vector<Frame> stack_;
   std::vector<ObservableEvent> stream_;
   std::vector<bool> visited_;  // by interned id
@@ -474,16 +706,23 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
   RuleProcessingState root(&catalog.schema(), catalog.num_rules());
   root.db = initial_db;
   for (Transition& t : root.pending) t = initial_transition;
+  const bool undo =
+      options.backend == ExplorerOptions::StateBackend::kUndoLog;
   size_t db_len = 0;
   // Also renders (and caches) the canonical strings inside root.db, so the
   // per-shard copies below start from a clean cache and workers never
-  // touch a shared mutable one.
+  // touch a shared mutable one — needed in BOTH backends: the undo backend
+  // still renders canonical strings for final states, and a root that is
+  // itself final takes the string path below.
   std::string root_key = CanonicalStateKey(root, &db_len);
+  Hash128 root_fp;
+  if (undo) root_fp = StateFingerprintUndo(root);
 
   ExplorationResult merged;
   merged.states_visited = 1;
   merged.stats.states_interned = 1;
-  merged.stats.canonicalization_bytes = static_cast<long>(root_key.size());
+  merged.stats.canonicalization_bytes =
+      static_cast<long>(undo ? 0 : root_key.size());
 
   std::vector<RuleIndex> triggered = TriggeredRules(catalog, root);
   if (triggered.empty()) {
@@ -550,7 +789,11 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
         continue;
       }
       ExplorerImpl impl(catalog, initial_db, shard_options);
-      impl.SeedRootOnPath(root_key);
+      if (undo) {
+        impl.SeedRootOnPathFp(root_fp);
+      } else {
+        impl.SeedRootOnPath(root_key);
+      }
       if (!options.dedup_subtrees) impl.SeedStream(step.value().observables);
       auto result = impl.RunFromState(std::move(state));
       if (!result.ok()) {
@@ -581,6 +824,7 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
     merged.stats.states_interned += r.stats.states_interned - 1;
     merged.stats.dedup_hits += r.stats.dedup_hits;
     merged.stats.canonicalization_bytes += r.stats.canonicalization_bytes;
+    merged.stats.delta_reverts += r.stats.delta_reverts;
     merged.stats.peak_stack_depth = std::max(
         merged.stats.peak_stack_depth, r.stats.peak_stack_depth + 1);
   }

@@ -16,6 +16,23 @@ namespace starburst {
 /// be exponential in the number of unordered rules, so every dimension is
 /// bounded; hitting a bound is reported, not an error.
 struct ExplorerOptions {
+  /// How the explorer manages per-branch state while backtracking.
+  ///
+  ///   kUndoLog       (default) One live database stepped forward with
+  ///                  Database::BeginDelta and backtracked with
+  ///                  RevertDelta; states are interned by incremental
+  ///                  128-bit content fingerprints and canonical strings
+  ///                  are materialized only for final-state reporting.
+  ///                  Each step costs O(delta), not O(database).
+  ///   kSnapshotCopy  The original whole-database value copy per DFS
+  ///                  branch with full canonical-string intern keys. Kept
+  ///                  as the differential-testing reference (see the
+  ///                  delta_equivalence fuzz oracle); both backends
+  ///                  produce identical results — fingerprint collisions
+  ///                  aside, which at 128 bits are negligible and are
+  ///                  cross-checked by that oracle.
+  enum class StateBackend { kUndoLog, kSnapshotCopy };
+  StateBackend backend = StateBackend::kUndoLog;
   /// Maximum depth (rule considerations) along any path.
   int max_depth = 64;
   /// Maximum number of path steps explored in total.
@@ -65,8 +82,14 @@ struct ExplorationStats {
   long dedup_hits = 0;
   /// Maximum depth of the explicit DFS stack.
   int peak_stack_depth = 0;
-  /// Total bytes of canonical state keys built (canonicalization volume).
+  /// Total bytes of canonical renderings built. In the snapshot-copy
+  /// backend this is the full state-key volume; in the undo-log backend
+  /// only final-state / rollback materializations are counted — per-visit
+  /// fingerprints are maintained incrementally and render nothing.
   long canonicalization_bytes = 0;
+  /// Undo-log backend only: number of delta reverts taken while
+  /// backtracking (0 in the snapshot-copy backend).
+  long delta_reverts = 0;
   /// Wall-clock time spent exploring, in seconds.
   double wall_seconds = 0.0;
 };

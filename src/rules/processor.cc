@@ -8,23 +8,26 @@ namespace starburst {
 
 namespace {
 
-/// Derives the net-effect operation set of a table transition.
-OperationSet NetOperations(TableId table, const TableTransition& tt) {
-  OperationSet ops;
-  if (tt.HasInserts()) ops.insert(Operation::Insert(table));
-  if (tt.HasDeletes()) ops.insert(Operation::Delete(table));
-  for (ColumnId c : tt.UpdatedColumns()) {
-    ops.insert(Operation::Update(table, c));
-  }
-  return ops;
-}
-
 bool IsTriggered(const RuleCatalog& catalog, const RuleProcessingState& state,
                  RuleIndex r) {
   const RulePrelim& prelim = catalog.prelim().rule(r);
   const TableTransition* tt = state.pending[r].Find(prelim.table);
   if (tt == nullptr || tt->empty()) return false;
-  return Intersects(NetOperations(prelim.table, *tt), prelim.triggered_by);
+  // Probe the rule's Triggered-By set directly instead of materializing the
+  // transition's net-effect OperationSet — equivalent to
+  // Intersects(NetOperations(...), triggered_by) but allocation-free, and
+  // this runs once per rule per visited explorer state.
+  const OperationSet& by = prelim.triggered_by;
+  if (tt->HasInserts() && by.count(Operation::Insert(prelim.table)) > 0) {
+    return true;
+  }
+  if (tt->HasDeletes() && by.count(Operation::Delete(prelim.table)) > 0) {
+    return true;
+  }
+  for (ColumnId c : tt->UpdatedColumns()) {
+    if (by.count(Operation::Update(prelim.table, c)) > 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -51,7 +54,11 @@ Result<StepOutcome> ConsiderRule(const RuleCatalog& catalog,
     triggering = *tt;
   }
   // The rule is now considered: it has processed its pending transition.
-  state->pending[r].Clear();
+  if (state->pending_undo != nullptr) {
+    state->pending[r].ClearLogged(state->pending_undo);
+  } else {
+    state->pending[r].Clear();
+  }
 
   StepOutcome outcome;
 
@@ -96,7 +103,12 @@ Result<StepOutcome> ConsiderRule(const RuleCatalog& catalog,
     // (including r's own, reset above): rules not yet considered see the
     // action as part of their composite transition.
     for (Transition& pending : state->pending) {
-      STARBURST_RETURN_IF_ERROR(pending.Compose(exec.delta));
+      if (state->pending_undo != nullptr) {
+        STARBURST_RETURN_IF_ERROR(
+            pending.ComposeLogged(exec.delta, state->pending_undo));
+      } else {
+        STARBURST_RETURN_IF_ERROR(pending.Compose(exec.delta));
+      }
     }
   }
   return outcome;
@@ -146,7 +158,6 @@ RuleProcessor::RuleProcessor(Database* db, const RuleCatalog* catalog,
     : db_(db),
       catalog_(catalog),
       options_(std::move(options)),
-      snapshot_(*db),
       pending_(catalog->num_rules()),
       enabled_(catalog->num_rules(), true) {
   if (!options_.choice) options_.choice = FirstEligibleStrategy();
@@ -161,7 +172,8 @@ Status RuleProcessor::SetRuleEnabled(const std::string& name, bool enabled) {
 
 void RuleProcessor::Begin() {
   if (in_transaction_) return;
-  snapshot_ = *db_;
+  // O(1): rollback is an undo-log revert, not a whole-database copy.
+  db_->BeginDelta();
   for (Transition& t : pending_) t.Clear();
   in_transaction_ = true;
 }
@@ -172,7 +184,7 @@ Result<ExecOutcome> RuleProcessor::ExecuteUserStatement(const Stmt& stmt) {
   STARBURST_ASSIGN_OR_RETURN(ExecOutcome outcome,
                              executor.Execute(stmt, nullptr, nullptr));
   if (outcome.rollback) {
-    *db_ = snapshot_;
+    db_->RevertDelta();
     for (Transition& t : pending_) t.Clear();
     in_transaction_ = false;
     return outcome;
@@ -235,7 +247,8 @@ Result<ProcessingResult> RuleProcessor::AssertRules() {
     if (!step.ok()) {
       // A failed rule action may have applied part of its statements;
       // abort the transaction so no partial effects survive.
-      *db_ = snapshot_;
+      state.db.RevertDelta();
+      *db_ = std::move(state.db);
       for (Transition& t : state.pending) t.Clear();
       pending_ = std::move(state.pending);
       in_transaction_ = false;
@@ -254,7 +267,8 @@ Result<ProcessingResult> RuleProcessor::AssertRules() {
     }
     if (step.value().rollback) {
       // Restore to transaction start and abort.
-      *db_ = snapshot_;
+      state.db.RevertDelta();
+      *db_ = std::move(state.db);
       for (Transition& t : state.pending) t.Clear();
       pending_ = std::move(state.pending);
       in_transaction_ = false;
@@ -271,6 +285,7 @@ Result<ProcessingResult> RuleProcessor::AssertRules() {
 }
 
 void RuleProcessor::Commit() {
+  if (in_transaction_) db_->CommitDelta();
   for (Transition& t : pending_) t.Clear();
   in_transaction_ = false;
 }

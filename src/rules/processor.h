@@ -21,6 +21,10 @@ namespace starburst {
 struct RuleProcessingState {
   Database db;
   std::vector<Transition> pending;  // one per rule
+  /// When set, ConsiderRule logs the inverse of every pending-transition
+  /// mutation here so the explorer's undo-log backend can backtrack by
+  /// reverting instead of copying `pending`. Null for the plain processor.
+  TransitionUndoLog* pending_undo = nullptr;
 
   RuleProcessingState(const Schema* schema, int num_rules)
       : db(schema), pending(num_rules) {}
@@ -117,8 +121,8 @@ class RuleProcessor {
   RuleProcessor(Database* db, const RuleCatalog* catalog,
                 ProcessorOptions options = {});
 
-  /// Starts a transaction: snapshots the database and clears all pending
-  /// transitions. No-op when already in a transaction.
+  /// Starts a transaction: opens an undo-log delta on the database and
+  /// clears all pending transitions. No-op when already in a transaction.
   void Begin();
 
   /// Executes one user statement within the current transaction (starting
@@ -157,7 +161,6 @@ class RuleProcessor {
   Database* db_;
   const RuleCatalog* catalog_;
   ProcessorOptions options_;
-  Database snapshot_;  // valid while in_transaction_
   std::vector<Transition> pending_;
   std::vector<bool> enabled_;
   bool in_transaction_ = false;

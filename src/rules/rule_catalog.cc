@@ -1,5 +1,7 @@
 #include "rules/rule_catalog.h"
 
+#include "engine/bind.h"
+
 namespace starburst {
 
 Result<RuleCatalog> RuleCatalog::Build(const Schema* schema,
@@ -11,6 +13,14 @@ Result<RuleCatalog> RuleCatalog::Build(const Schema* schema,
   STARBURST_ASSIGN_OR_RETURN(catalog.priority_,
                              PriorityOrder::Build(catalog.prelim_, rules));
   catalog.rules_ = std::move(rules);
+  // Registration-time name resolution: compile column references in every
+  // rule's condition and actions down to (scope slot, column index) so
+  // per-row evaluation is an index load.
+  for (RuleIndex r = 0; r < catalog.num_rules(); ++r) {
+    const TableDef& rule_table =
+        schema->table(catalog.prelim_.rule(r).table);
+    CompileRuleBindings(*schema, &rule_table, &catalog.rules_[r]);
+  }
   return catalog;
 }
 

@@ -24,6 +24,7 @@ constexpr const char* kOracleNames[kNumOracles] = {
     "observable_determinism_sound",
     "backend_equivalence",
     "round_trip",
+    "delta_equivalence",
 };
 
 OracleOutcome Pass() { return {OracleVerdict::kPass, ""}; }
@@ -249,6 +250,84 @@ OracleOutcome BackendEquivalence(const GeneratedRuleSet& set,
   return Pass();
 }
 
+OracleOutcome DeltaEquivalence(const GeneratedRuleSet& set,
+                               uint64_t data_seed,
+                               const OracleOptions& options) {
+  auto prepared = Prepare(set, data_seed, options);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+
+  // Full analysis report, rendered before any exploration and again after
+  // the whole sweep: exploration under either backend must not perturb
+  // analysis results (it shares the catalog, schema, and the databases'
+  // mutable canonical-string caches).
+  auto report_json = [&set]() -> Result<std::string> {
+    std::vector<RuleDef> rules;
+    for (const RuleDef& r : set.rules) rules.push_back(r.Clone());
+    auto analyzer = Analyzer::Create(set.schema.get(), std::move(rules));
+    if (!analyzer.ok()) return analyzer.status();
+    return FullReportToJson(analyzer.value().AnalyzeAll(8),
+                            analyzer.value().catalog());
+  };
+  auto before = report_json();
+  if (!before.ok()) return Fail(before.status().ToString());
+
+  // Reference: the snapshot-copy backend, classic single-threaded mode.
+  ExplorerOptions copy_options = ExploreOptions(options);
+  copy_options.backend = ExplorerOptions::StateBackend::kSnapshotCopy;
+  auto reference =
+      Explorer::Explore(prepared.value().catalog, prepared.value().db,
+                        prepared.value().initial, copy_options);
+  if (!reference.ok()) return Fail(reference.status().ToString());
+
+  // Sweep: the undo-log backend in classic mode (num_threads=0) and at
+  // every sharded pool size.
+  std::vector<int> sweep = {0};
+  sweep.insert(sweep.end(), options.backend_thread_counts.begin(),
+               options.backend_thread_counts.end());
+  for (int threads : sweep) {
+    ExplorerOptions undo_options = ExploreOptions(options);
+    undo_options.backend = ExplorerOptions::StateBackend::kUndoLog;
+    undo_options.num_threads = threads;
+    auto undo = Explorer::Explore(prepared.value().catalog,
+                                  prepared.value().db,
+                                  prepared.value().initial, undo_options);
+    if (!undo.ok()) return Fail(undo.status().ToString());
+    std::string where =
+        "undo-log explorer (num_threads=" + std::to_string(threads) +
+        ") diverged from snapshot-copy classic: ";
+    if (undo.value().final_states != reference.value().final_states) {
+      return Fail(where + "final-state sets differ");
+    }
+    if (undo.value().observable_streams !=
+        reference.value().observable_streams) {
+      return Fail(where + "observable-stream sets differ");
+    }
+    if (undo.value().may_not_terminate !=
+        reference.value().may_not_terminate) {
+      return Fail(where + "termination verdicts differ");
+    }
+    if (undo.value().complete != reference.value().complete) {
+      return Fail(where + "completeness differs");
+    }
+    // Classic vs classic only: sharded-mode counters intentionally
+    // aggregate per-shard work. Equal counts mean the fingerprint
+    // equivalence classes match the canonical-string classes exactly.
+    if (threads == 0 &&
+        undo.value().states_visited != reference.value().states_visited) {
+      return Fail(where + "visited-state counts differ");
+    }
+  }
+
+  auto after = report_json();
+  if (!after.ok()) return Fail(after.status().ToString());
+  if (after.value() != before.value()) {
+    return Fail(
+        "FullReportToJson is not bit-identical before and after backend "
+        "exploration");
+  }
+  return Pass();
+}
+
 OracleOutcome RoundTrip(const GeneratedRuleSet& set) {
   for (const RuleDef& rule : set.rules) {
     std::string text = RuleToString(rule);
@@ -314,6 +393,8 @@ OracleOutcome RunOracle(OracleId id, const GeneratedRuleSet& set,
       return BackendEquivalence(set, data_seed, options);
     case OracleId::kRoundTrip:
       return RoundTrip(set);
+    case OracleId::kDeltaEquivalence:
+      return DeltaEquivalence(set, data_seed, options);
   }
   return Skip("unknown oracle");
 }

@@ -32,15 +32,23 @@ namespace fuzzing {
 ///                               determinism contract).
 ///   kRoundTrip                  print -> parse -> print is a fixpoint for
 ///                               generated rules and whole scripts.
+///   kDeltaEquivalence           the undo-log state backend (incremental
+///                               fingerprints + delta reverts) and the
+///                               snapshot-copy backend produce identical
+///                               final-state sets, observable streams, and
+///                               verdicts — classic and at every sharded
+///                               worker count — and exploration leaves
+///                               FullReportToJson bit-identical.
 enum class OracleId {
   kTerminationSound,
   kConfluenceSound,
   kObservableDeterminismSound,
   kBackendEquivalence,
   kRoundTrip,
+  kDeltaEquivalence,
 };
 
-inline constexpr int kNumOracles = 5;
+inline constexpr int kNumOracles = 6;
 
 /// Stable snake_case name ("termination_sound", ...), used by the
 /// fuzz_driver --oracle flag and corpus file headers.
@@ -49,7 +57,7 @@ const char* OracleName(OracleId id);
 /// Inverse of OracleName; nullopt for an unknown name.
 std::optional<OracleId> ParseOracleName(const std::string& name);
 
-/// All five oracles, in declaration order.
+/// All oracles, in declaration order.
 std::vector<OracleId> AllOracles();
 
 /// Budgets for one oracle run. Exploration budgets bound the exponential

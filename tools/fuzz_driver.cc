@@ -13,7 +13,8 @@
 //                    suffix (default: none)
 //   --oracle NAMES   comma-separated subset of: termination_sound,
 //                    confluence_sound, observable_determinism_sound,
-//                    backend_equivalence, round_trip (default: all)
+//                    backend_equivalence, round_trip, delta_equivalence
+//                    (default: all)
 //   --minimize 0|1   shrink failing cases to minimal reproducers
 //                    (default: 1)
 //   --corpus-dir D   write each (minimized) failure to D as a
@@ -50,7 +51,8 @@ int Usage() {
       "                   [--corpus-dir DIR] [--replay FILE|DIR]\n"
       "oracles: termination_sound confluence_sound\n"
       "         observable_determinism_sound backend_equivalence "
-      "round_trip\n");
+      "round_trip\n"
+      "         delta_equivalence\n");
   return 2;
 }
 
