@@ -1,8 +1,12 @@
 #include "analysis/analyzer.h"
 
+#include <optional>
+
 #include "analysis/auto_discharge.h"
 #include "analysis/refine.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace starburst {
 
@@ -52,6 +56,7 @@ int Analyzer::ApplyAutoRefinement() {
     commutativity_certs_.Merge(derived);
     commutativity_.reset();
   }
+  STARBURST_METRIC_COUNT("analysis.refined_pairs", added);
   return added;
 }
 
@@ -63,6 +68,7 @@ int Analyzer::ApplyAutoDischarge() {
   for (const std::string& name : derived.quiescent_rules) {
     if (termination_certs_.quiescent_rules.insert(name).second) ++added;
   }
+  STARBURST_METRIC_COUNT("analysis.discharged_rules", added);
   return added;
 }
 
@@ -75,10 +81,14 @@ const CommutativityAnalyzer& Analyzer::commutativity() {
 }
 
 TerminationReport Analyzer::AnalyzeTermination() {
+  STARBURST_TRACE_SPAN("analysis", "termination");
+  STARBURST_METRIC_COUNT("analysis.termination_runs", 1);
   return TerminationAnalyzer::Analyze(catalog_.prelim(), termination_certs_);
 }
 
 ConfluenceReport Analyzer::AnalyzeConfluence(int max_violations) {
+  STARBURST_TRACE_SPAN("analysis", "confluence");
+  STARBURST_METRIC_COUNT("analysis.confluence_runs", 1);
   TerminationReport termination = AnalyzeTermination();
   ConfluenceAnalyzer analyzer(commutativity(), catalog_.priority());
   return analyzer.Analyze(termination.guaranteed, max_violations);
@@ -101,6 +111,8 @@ Result<PartialConfluenceReport> Analyzer::AnalyzePartialConfluence(
 
 ObservableDeterminismReport Analyzer::AnalyzeObservableDeterminism(
     int max_violations) {
+  STARBURST_TRACE_SPAN("analysis", "observable_determinism");
+  STARBURST_METRIC_COUNT("analysis.observable_runs", 1);
   TerminationReport termination = AnalyzeTermination();
   return ObservableDeterminismAnalyzer::Analyze(
       catalog_.schema(), catalog_.prelim(), catalog_.priority(),
@@ -108,7 +120,15 @@ ObservableDeterminismReport Analyzer::AnalyzeObservableDeterminism(
       max_violations);
 }
 
+FullReport Analyzer::AnalyzeAll(const AnalyzerOptions& options) {
+  std::optional<metrics::ScopedCollect> collect;
+  if (options.collect_metrics) collect.emplace();
+  return AnalyzeAll(options.max_violations);
+}
+
 FullReport Analyzer::AnalyzeAll(int max_violations) {
+  STARBURST_TRACE_SPAN("analysis", "analyze_all");
+  STARBURST_METRIC_COUNT("analysis.full_reports", 1);
   FullReport report;
   report.termination = AnalyzeTermination();
   ConfluenceAnalyzer confluence(commutativity(), catalog_.priority());
@@ -125,6 +145,9 @@ FullReport Analyzer::AnalyzeAll(int max_violations) {
 
 std::vector<Result<FullReport>> ParallelAnalyzeRuleSets(
     std::vector<RuleSetSpec> specs, int max_violations) {
+  STARBURST_TRACE_SPAN("analysis", "parallel_rule_sets");
+  STARBURST_METRIC_COUNT("analysis.rule_sets_analyzed",
+                         static_cast<int64_t>(specs.size()));
   // Pre-sized so every worker writes only its own slot; the pair sweep
   // inside each AnalyzeAll detects the busy pool and runs inline.
   std::vector<Result<FullReport>> reports(

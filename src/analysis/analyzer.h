@@ -16,6 +16,17 @@
 
 namespace starburst {
 
+/// Options for Analyzer::AnalyzeAll / ParallelAnalyzeRuleSets.
+struct AnalyzerOptions {
+  /// Stop enumerating violations per report after this many (-1 = all).
+  int max_violations = -1;
+  /// When true, process-wide metrics collection (common/metrics.h) is held
+  /// on for the duration of the analysis; the analyzer flushes its
+  /// `analysis.*` counters into the registry as it runs. Equivalent to
+  /// wrapping the call in metrics::ScopedCollect.
+  bool collect_metrics = false;
+};
+
 /// The combined result of running every analysis on a rule set.
 struct FullReport {
   TerminationReport termination;
@@ -89,6 +100,7 @@ class Analyzer {
   /// Everything, plus Section 6.4 suggestions for any confluence
   /// violations.
   FullReport AnalyzeAll(int max_violations = -1);
+  FullReport AnalyzeAll(const AnalyzerOptions& options);
 
   /// The certification-aware commutativity analyzer over the current
   /// certifications (rebuilt lazily after certifications change).

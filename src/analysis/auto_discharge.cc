@@ -2,6 +2,7 @@
 
 #include "analysis/refine.h"
 #include "analysis/triggering_graph.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace starburst {
@@ -100,8 +101,13 @@ TerminationCertifications AutoDischargeDetector::Detect() const {
   TriggeringGraph graph(prelim_);
   for (const auto& component : graph.CyclicComponents()) {
     for (RuleIndex r : component) {
-      if (IsDeleteOnlyQuiescent(r, component) ||
-          IsBoundedIncrementQuiescent(r, component)) {
+      // Per-theorem discharge counts: delete-only is tried first, matching
+      // the original short-circuit order.
+      if (IsDeleteOnlyQuiescent(r, component)) {
+        STARBURST_METRIC_COUNT("analysis.discharge.delete_only", 1);
+        certs.quiescent_rules.insert(prelim_.rule(r).name);
+      } else if (IsBoundedIncrementQuiescent(r, component)) {
+        STARBURST_METRIC_COUNT("analysis.discharge.bounded_increment", 1);
         certs.quiescent_rules.insert(prelim_.rule(r).name);
       }
     }

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace starburst {
 
@@ -59,9 +61,15 @@ CommutativityAnalyzer::CommutativityAnalyzer(
       schema_(schema),
       certifications_(std::move(certifications)) {
   int n = prelim_.num_rules();
+  STARBURST_TRACE_SPAN("analysis", "pair_sweep");
+  // The total (upper-triangle pair count) is a pure function of n, so the
+  // counter is identical for any thread count. Incremented per row chunk
+  // in the parallel branch so a mid-run snapshot shows sweep progress.
   syntactically_commute_.assign(n, std::vector<bool>(n, false));
   if (n < 16) {
     // Too few pairs to amortize a pool wakeup.
+    STARBURST_METRIC_COUNT("analysis.pairs_swept",
+                           static_cast<int64_t>(n) * (n - 1) / 2);
     for (RuleIndex i = 0; i < n; ++i) {
       syntactically_commute_[i][i] = true;
       for (RuleIndex j = i + 1; j < n; ++j) {
@@ -79,7 +87,9 @@ CommutativityAnalyzer::CommutativityAnalyzer(
     std::vector<uint8_t> upper(static_cast<size_t>(n) * n, 0);
     ParallelFor(static_cast<size_t>(n), 1, [&](size_t row_begin,
                                                size_t row_end) {
+      int64_t pairs = 0;
       for (size_t i = row_begin; i < row_end; ++i) {
+        pairs += n - 1 - static_cast<int64_t>(i);
         for (int j = static_cast<int>(i) + 1; j < n; ++j) {
           upper[i * n + j] =
               SyntacticallyCommutePair(prelim_, static_cast<RuleIndex>(i), j)
@@ -87,6 +97,7 @@ CommutativityAnalyzer::CommutativityAnalyzer(
                   : 0;
         }
       }
+      STARBURST_METRIC_COUNT("analysis.pairs_swept", pairs);
     });
     for (RuleIndex i = 0; i < n; ++i) {
       syntactically_commute_[i][i] = true;

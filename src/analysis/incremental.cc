@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "analysis/priority.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 
@@ -106,6 +107,10 @@ Result<IncrementalAnalyzer::RunResult> IncrementalAnalyzer::Analyze(
     pair_cache_.emplace(std::move(misses[k].key), verdict);
     ++result.stats.pair_checks_computed;
   }
+  STARBURST_METRIC_COUNT("analysis.pair_cache_hits",
+                         result.stats.pair_checks_reused);
+  STARBURST_METRIC_COUNT("analysis.pair_cache_misses",
+                         result.stats.pair_checks_computed);
   CommutativityAnalyzer commutativity(prelim, *schema_, certifications_,
                                       std::move(syntactic));
   result.termination = TerminationAnalyzer::Analyze(prelim, certs);

@@ -140,6 +140,7 @@ std::string ExplorationStatsToJson(const ExplorationStats& stats) {
   std::string out = "{";
   out += "\"states_interned\":" + std::to_string(stats.states_interned);
   out += ",\"dedup_hits\":" + std::to_string(stats.dedup_hits);
+  out += ",\"interner_hits\":" + std::to_string(stats.interner_hits);
   out += ",\"peak_stack_depth\":" + std::to_string(stats.peak_stack_depth);
   out += ",\"canonicalization_bytes\":" +
          std::to_string(stats.canonicalization_bytes);

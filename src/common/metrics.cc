@@ -1,0 +1,394 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace starburst {
+namespace metrics {
+
+namespace internal {
+std::atomic<int> g_collect{0};
+}  // namespace internal
+
+namespace {
+
+/// Cell budget per shard. Counters take one cell, histograms
+/// bounds.size() + 2 (buckets + overflow + sum). Cell 0 is the shared
+/// `metrics.dropped` fallback counter registered at startup.
+constexpr uint32_t kMaxCells = 4096;
+
+struct Shard {
+  /// Single-writer cells: only the owning thread mutates, so a relaxed
+  /// load + store pair is race-free in practice and the atomic type keeps
+  /// the cross-thread Collect() reads defined.
+  std::array<std::atomic<int64_t>, kMaxCells> cells{};
+
+  void Add(uint32_t cell, int64_t delta) {
+    std::atomic<int64_t>& c = cells[cell];
+    c.store(c.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+/// The singleton behind the free functions. Registration and collection
+/// take the mutex; the increment path never does.
+class RegistryImpl {
+ public:
+  static RegistryImpl& Get() {
+    // Heap-allocated and intentionally leaked: instrumented code may run
+    // from pool worker threads during static destruction.
+    static RegistryImpl* r = new RegistryImpl;
+    return *r;
+  }
+
+  Counter* GetCounter(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) return static_cast<Counter*>(it->second.handle);
+    if (next_cell_ + 1 > kMaxCells) return dropped_;
+    Metric m;
+    m.name = std::string(name);
+    m.kind = Kind::kCounter;
+    m.first_cell = next_cell_++;
+    counters_.push_back(std::unique_ptr<Counter>(new Counter(m.first_cell)));
+    m.handle = counters_.back().get();
+    by_name_.emplace(m.name, Entry{Kind::kCounter, m.handle});
+    metrics_.push_back(std::move(m));
+    return counters_.back().get();
+  }
+
+  Gauge* GetGauge(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) return static_cast<Gauge*>(it->second.handle);
+    gauge_cells_.emplace_back(0);
+    Metric m;
+    m.name = std::string(name);
+    m.kind = Kind::kGauge;
+    gauges_.push_back(
+        std::unique_ptr<Gauge>(new Gauge(&gauge_cells_.back())));
+    m.handle = gauges_.back().get();
+    by_name_.emplace(m.name, Entry{Kind::kGauge, m.handle});
+    metrics_.push_back(std::move(m));
+    return gauges_.back().get();
+  }
+
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<int64_t> bounds) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) {
+      return static_cast<Histogram*>(it->second.handle);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    uint32_t cells = static_cast<uint32_t>(bounds.size()) + 2;
+    if (next_cell_ + cells > kMaxCells) {
+      // Out of cells: alias the dropped counter so the call site still has
+      // a valid handle (Counter and Histogram share the Record/Add cell
+      // mechanics via the fallback below).
+      overflow_histograms_.push_back(std::unique_ptr<Histogram>(
+          new Histogram(0, {})));
+      by_name_.emplace(std::string(name),
+                       Entry{Kind::kHistogram,
+                             overflow_histograms_.back().get()});
+      return overflow_histograms_.back().get();
+    }
+    Metric m;
+    m.name = std::string(name);
+    m.kind = Kind::kHistogram;
+    m.first_cell = next_cell_;
+    m.bounds = bounds;
+    next_cell_ += cells;
+    histograms_.push_back(std::unique_ptr<Histogram>(
+        new Histogram(m.first_cell, std::move(bounds))));
+    m.handle = histograms_.back().get();
+    by_name_.emplace(m.name, Entry{Kind::kHistogram, m.handle});
+    metrics_.push_back(std::move(m));
+    return histograms_.back().get();
+  }
+
+  Shard* ThisShard() {
+    thread_local Shard* shard = nullptr;
+    if (shard == nullptr) {
+      auto owned = std::make_unique<Shard>();
+      shard = owned.get();
+      std::lock_guard<std::mutex> lk(mu_);
+      // Shards are kept for the process lifetime (a dead thread's counts
+      // must stay in the totals), so exited threads cost kMaxCells * 8
+      // bytes each — bounded by the process's peak thread count.
+      shards_.push_back(std::move(owned));
+    }
+    return shard;
+  }
+
+  int64_t CellTotal(uint32_t cell) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return CellTotalLocked(cell);
+  }
+
+  Snapshot Collect() {
+    std::lock_guard<std::mutex> lk(mu_);
+    Snapshot snap;
+    for (const Metric& m : metrics_) {
+      switch (m.kind) {
+        case Kind::kCounter:
+          snap.counters.emplace_back(m.name, CellTotalLocked(m.first_cell));
+          break;
+        case Kind::kGauge:
+          snap.gauges.emplace_back(
+              m.name, static_cast<Gauge*>(m.handle)->cell_->load(
+                          std::memory_order_relaxed));
+          break;
+        case Kind::kHistogram: {
+          HistogramSnapshot h;
+          h.name = m.name;
+          h.bounds = m.bounds;
+          size_t buckets = m.bounds.size() + 1;
+          h.counts.resize(buckets);
+          for (size_t b = 0; b < buckets; ++b) {
+            h.counts[b] =
+                CellTotalLocked(m.first_cell + static_cast<uint32_t>(b));
+            h.count += h.counts[b];
+          }
+          h.sum = CellTotalLocked(m.first_cell +
+                                  static_cast<uint32_t>(buckets));
+          snap.histograms.push_back(std::move(h));
+          break;
+        }
+      }
+    }
+    auto by_first = [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), by_first);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), by_first);
+    std::sort(snap.histograms.begin(), snap.histograms.end(),
+              [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+                return a.name < b.name;
+              });
+    return snap;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& shard : shards_) {
+      for (auto& cell : shard->cells) {
+        cell.store(0, std::memory_order_relaxed);
+      }
+    }
+    for (auto& g : gauge_cells_) g.store(0, std::memory_order_relaxed);
+  }
+
+  Counter* dropped() const { return dropped_; }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    void* handle;
+  };
+  struct Metric {
+    std::string name;
+    Kind kind;
+    uint32_t first_cell = 0;
+    std::vector<int64_t> bounds;  // histograms only
+    void* handle = nullptr;
+  };
+
+  RegistryImpl() {
+    // Reserve cell 0 for the shared fallback counter before anything else
+    // can register.
+    Metric m;
+    m.name = "metrics.dropped";
+    m.kind = Kind::kCounter;
+    m.first_cell = next_cell_++;
+    counters_.push_back(std::unique_ptr<Counter>(new Counter(m.first_cell)));
+    m.handle = counters_.back().get();
+    dropped_ = counters_.back().get();
+    by_name_.emplace(m.name, Entry{Kind::kCounter, m.handle});
+    metrics_.push_back(std::move(m));
+  }
+
+  int64_t CellTotalLocked(uint32_t cell) {
+    int64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->cells[cell].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::mutex mu_;
+  std::vector<Metric> metrics_;
+  std::unordered_map<std::string, Entry> by_name_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::unique_ptr<Histogram>> overflow_histograms_;
+  std::deque<std::atomic<int64_t>> gauge_cells_;  // stable addresses
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint32_t next_cell_ = 0;
+  Counter* dropped_ = nullptr;
+};
+
+namespace {
+
+/// Turns collection on for the whole process when STARBURST_METRICS is set
+/// (non-empty) in the environment. Runs at static-initialization time.
+const bool g_env_collect = [] {
+  const char* env = std::getenv("STARBURST_METRICS");
+  if (env != nullptr && *env != '\0') {
+    internal::g_collect.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}();
+
+}  // namespace
+
+void Counter::Add(int64_t delta) {
+  if (!Enabled()) return;
+  RegistryImpl::Get().ThisShard()->Add(cell_, delta);
+}
+
+int64_t Counter::Value() const { return RegistryImpl::Get().CellTotal(cell_); }
+
+void Gauge::Set(int64_t value) {
+  if (!Enabled()) return;
+  cell_->store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Add(int64_t delta) {
+  if (!Enabled()) return;
+  cell_->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::Max(int64_t value) {
+  if (!Enabled()) return;
+  int64_t cur = cell_->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !cell_->compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Gauge::Value() const {
+  return cell_->load(std::memory_order_relaxed);
+}
+
+void Histogram::Record(int64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(int64_t value, int64_t count) {
+  if (!Enabled() || count <= 0) return;
+  if (bounds_.empty() && first_cell_ == 0) {
+    // Cell-budget overflow fallback: count into metrics.dropped.
+    RegistryImpl::Get().dropped()->Add(count);
+    return;
+  }
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  Shard* shard = RegistryImpl::Get().ThisShard();
+  shard->Add(first_cell_ + static_cast<uint32_t>(bucket), count);
+  shard->Add(first_cell_ + static_cast<uint32_t>(bounds_.size()) + 1,
+             value * count);
+}
+
+Counter* GetCounter(std::string_view name) {
+  return RegistryImpl::Get().GetCounter(name);
+}
+
+Gauge* GetGauge(std::string_view name) {
+  return RegistryImpl::Get().GetGauge(name);
+}
+
+Histogram* GetHistogram(std::string_view name, std::vector<int64_t> bounds) {
+  return RegistryImpl::Get().GetHistogram(name, std::move(bounds));
+}
+
+Snapshot Collect() { return RegistryImpl::Get().Collect(); }
+
+void Reset() { RegistryImpl::Get().Reset(); }
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  // Metric names are plain identifiers by convention; escape the JSON
+  // specials anyway so arbitrary names cannot break the document.
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendNameValueMap(
+    std::string* out,
+    const std::vector<std::pair<std::string, int64_t>>& entries) {
+  *out += '{';
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += '"';
+    AppendEscaped(out, entries[i].first);
+    *out += "\":" + std::to_string(entries[i].second);
+  }
+  *out += '}';
+}
+
+void AppendIntArray(std::string* out, const std::vector<int64_t>& values) {
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += std::to_string(values[i]);
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+std::string CountersToJson(const Snapshot& snapshot) {
+  std::string out;
+  AppendNameValueMap(&out, snapshot.counters);
+  return out;
+}
+
+std::string MetricsToJson(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":";
+  AppendNameValueMap(&out, snapshot.counters);
+  out += ",\"gauges\":";
+  AppendNameValueMap(&out, snapshot.gauges);
+  out += ",\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    if (i > 0) out += ',';
+    out += '"';
+    AppendEscaped(&out, h.name);
+    out += "\":{\"bounds\":";
+    AppendIntArray(&out, h.bounds);
+    out += ",\"counts\":";
+    AppendIntArray(&out, h.counts);
+    out += ",\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace starburst

@@ -1,14 +1,42 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
+
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace starburst {
 
 namespace {
 
 thread_local bool t_in_parallel_region = false;
+
+/// Inclusive upper edges (microseconds) for pool.task_latency_us. Wall
+/// time, so explicitly outside the thread-count-determinism contract.
+const std::vector<int64_t>& TaskLatencyBounds() {
+  static const std::vector<int64_t>* bounds = new std::vector<int64_t>{
+      10, 100, 1000, 10000, 100000, 1000000};
+  return *bounds;
+}
+
+/// Runs one chunk, recording its wall latency when metrics are on.
+void RunChunkTimed(const std::function<void(size_t, size_t)>& fn,
+                   size_t begin, size_t end) {
+  if (!metrics::Enabled()) {
+    fn(begin, end);
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  fn(begin, end);
+  int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  STARBURST_METRIC_HISTOGRAM("pool.task_latency_us", TaskLatencyBounds(),
+                             us);
+}
 
 /// RAII marker so nested ParallelFor calls (from a chunk body) run inline.
 /// Saves and restores the previous value: a nested inline region must not
@@ -80,7 +108,7 @@ void ThreadPool::RunChunks() {
     if (begin >= job_n_) return;
     size_t end = std::min(job_n_, begin + job_grain_);
     try {
-      (*job_fn_)(begin, end);
+      RunChunkTimed(*job_fn_, begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -94,11 +122,18 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   if (n == 0) return;
   if (grain == 0) grain = 1;
   size_t num_chunks = (n + grain - 1) / grain;
+  // Counters depend only on (n, grain), never on worker count or which
+  // path runs, so snapshots stay byte-identical across thread counts.
+  STARBURST_METRIC_COUNT("pool.parallel_for_calls", 1);
+  STARBURST_METRIC_COUNT("pool.chunks", static_cast<int64_t>(num_chunks));
+  STARBURST_METRIC_GAUGE_MAX("pool.queue_depth",
+                             static_cast<int64_t>(num_chunks));
+  STARBURST_TRACE_SPAN("pool", "parallel_for");
   if (workers_.empty() || num_chunks == 1 || InParallelRegion()) {
     // Inline path: same chunk boundaries, ascending order, caller's thread.
     ParallelRegionGuard guard;
     for (size_t begin = 0; begin < n; begin += grain) {
-      fn(begin, std::min(n, begin + grain));
+      RunChunkTimed(fn, begin, std::min(n, begin + grain));
     }
     return;
   }

@@ -1,0 +1,194 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace starburst {
+namespace trace {
+
+namespace internal {
+std::atomic<bool> g_active{false};
+}  // namespace internal
+
+namespace {
+
+struct Event {
+  const char* category;
+  const char* name;
+  int64_t ts_us;
+  int64_t dur_us;  // -1 for instant events
+  int tid;
+};
+
+/// Per-thread event buffer. The owning thread appends under the buffer's
+/// own (uncontended) mutex; Stop() takes each mutex once to drain. Buffers
+/// are kept for the process lifetime like the metrics shards.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+struct SessionState {
+  std::mutex mu;
+  std::string path;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::chrono::steady_clock::time_point epoch;
+  int next_tid = 1;
+};
+
+SessionState& Session() {
+  // Leaked so spans on worker threads never race static destruction.
+  static SessionState* s = new SessionState;
+  return *s;
+}
+
+ThreadBuffer* ThisBuffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    SessionState& s = Session();
+    std::lock_guard<std::mutex> lk(s.mu);
+    buffer->tid = s.next_tid++;
+    s.buffers.push_back(std::move(owned));
+  }
+  return buffer;
+}
+
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (const char* p = s; *p != '\0'; ++p) {
+    char c = *p;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+/// Starts a session from STARBURST_TRACE at static-initialization time and
+/// flushes it at normal process exit.
+const bool g_env_trace = [] {
+  const char* env = std::getenv("STARBURST_TRACE");
+  if (env == nullptr || *env == '\0') return false;
+  if (!Start(env).ok()) return false;
+  std::atexit([] { (void)Stop(); });
+  return true;
+}();
+
+}  // namespace
+
+Status Start(const std::string& path) {
+  SessionState& s = Session();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (internal::g_active.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("a trace session is already active");
+  }
+  s.path = path;
+  s.epoch = std::chrono::steady_clock::now();
+  for (auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> blk(buffer->mu);
+    buffer->events.clear();
+  }
+  internal::g_active.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Stop() {
+  SessionState& s = Session();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (!internal::g_active.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  internal::g_active.store(false, std::memory_order_release);
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> blk(buffer->mu);
+    for (const Event& ev : buffer->events) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":";
+      AppendJsonString(&out, ev.name);
+      out += ",\"cat\":";
+      AppendJsonString(&out, ev.category);
+      if (ev.dur_us < 0) {
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+      } else {
+        out += ",\"ph\":\"X\",\"dur\":" + std::to_string(ev.dur_us);
+      }
+      out += ",\"ts\":" + std::to_string(ev.ts_us);
+      out += ",\"pid\":1,\"tid\":" + std::to_string(ev.tid);
+      out += '}';
+    }
+    buffer->events.clear();
+  }
+  out += "]}";
+
+  std::ofstream file(s.path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::Internal("cannot write trace file '" + s.path + "'");
+  }
+  file << out;
+  file.close();
+  if (!file) {
+    return Status::Internal("error writing trace file '" + s.path + "'");
+  }
+  s.path.clear();
+  return Status::OK();
+}
+
+std::string ActivePath() {
+  SessionState& s = Session();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return internal::g_active.load(std::memory_order_relaxed) ? s.path
+                                                            : std::string();
+}
+
+namespace {
+
+int64_t MicrosSinceEpoch() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Session().epoch)
+      .count();
+}
+
+}  // namespace
+
+int64_t Span::NowMicros() { return MicrosSinceEpoch(); }
+
+void Span::End() {
+  // A session stopped mid-span drops the span: the buffer may already have
+  // been drained, and a fresh session would mis-time it anyway.
+  if (!Enabled()) return;
+  int64_t end_us = NowMicros();
+  ThreadBuffer* buffer = ThisBuffer();
+  std::lock_guard<std::mutex> lk(buffer->mu);
+  buffer->events.push_back(
+      {category_, name_, start_us_, end_us - start_us_, buffer->tid});
+}
+
+void Instant(const char* category, const char* name) {
+  if (!Enabled()) return;
+  int64_t ts = MicrosSinceEpoch();
+  ThreadBuffer* buffer = ThisBuffer();
+  std::lock_guard<std::mutex> lk(buffer->mu);
+  buffer->events.push_back({category, name, ts, -1, buffer->tid});
+}
+
+}  // namespace trace
+}  // namespace starburst

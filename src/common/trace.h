@@ -1,0 +1,98 @@
+#ifndef STARBURST_COMMON_TRACE_H_
+#define STARBURST_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace starburst {
+namespace trace {
+
+/// Scoped trace spans emitting Chrome trace-event JSON (the format
+/// chrome://tracing and Perfetto's legacy JSON loader accept).
+///
+/// A process-wide *session* buffers completed spans in per-thread buffers;
+/// Stop() merges them and writes one JSON document:
+///
+///   {"displayTimeUnit":"ms",
+///    "traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
+///                    "pid":1,"tid":...},...]}
+///
+/// Sessions start either programmatically (Start(path)) or — covering the
+/// tools and benches without code changes — via the STARBURST_TRACE
+/// environment variable: when set to a file path at process start, a
+/// session is started immediately and flushed at normal process exit.
+///
+/// When no session is active a Span construction is one relaxed atomic
+/// load + branch; instrumented hot paths therefore stay within noise.
+/// Under -DSTARBURST_NO_TRACE the STARBURST_TRACE_SPAN macro compiles to
+/// nothing.
+
+namespace internal {
+extern std::atomic<bool> g_active;
+}  // namespace internal
+
+/// True while a trace session is active. Acquire pairs with the release
+/// store in Start() so spans see the session epoch (free on x86/ARM
+/// loads-into-branch).
+inline bool Enabled() {
+  return internal::g_active.load(std::memory_order_acquire);
+}
+
+/// Starts a session that Stop() will write to `path`. Fails if a session
+/// is already active.
+Status Start(const std::string& path);
+
+/// Ends the active session and writes the JSON document. Returns the
+/// write status; no-op OK when no session is active. Spans still open on
+/// other threads when Stop() runs are dropped (their dtor sees the
+/// session gone).
+Status Stop();
+
+/// The path of the active session ("" when inactive).
+std::string ActivePath();
+
+/// A scoped duration span ("ph":"X"). `category` and `name` must outlive
+/// the span (string literals at every call site in this codebase).
+class Span {
+ public:
+  Span(const char* category, const char* name)
+      : active_(Enabled()), category_(category), name_(name) {
+    if (active_) start_us_ = NowMicros();
+  }
+  ~Span() {
+    if (active_) End();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  static int64_t NowMicros();
+  void End();
+
+  bool active_;
+  const char* category_;
+  const char* name_;
+  int64_t start_us_ = 0;
+};
+
+/// Emits an instant event ("ph":"i") — a point-in-time marker.
+void Instant(const char* category, const char* name);
+
+}  // namespace trace
+}  // namespace starburst
+
+#ifndef STARBURST_NO_TRACE
+#define STARBURST_TRACE_CONCAT2(a, b) a##b
+#define STARBURST_TRACE_CONCAT(a, b) STARBURST_TRACE_CONCAT2(a, b)
+/// Declares a scoped span covering the rest of the enclosing block.
+#define STARBURST_TRACE_SPAN(category, name)              \
+  ::starburst::trace::Span STARBURST_TRACE_CONCAT(        \
+      _starburst_span_, __LINE__)(category, name)
+#else
+#define STARBURST_TRACE_SPAN(category, name) ((void)0)
+#endif
+
+#endif  // STARBURST_COMMON_TRACE_H_

@@ -8,7 +8,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "engine/exec.h"
 #include "engine/fingerprint.h"
 #include "rulelang/parser.h"
@@ -148,6 +150,22 @@ std::string CanonicalStateKey(const RuleProcessingState& state,
   return key;
 }
 
+/// Inclusive upper edges for the explorer.revert_depth histogram (DFS
+/// stack depth at each undo-log revert).
+const std::vector<int64_t>& RevertDepthBounds() {
+  static const std::vector<int64_t>* bounds =
+      new std::vector<int64_t>{1, 2, 4, 8, 16, 32, 64};
+  return *bounds;
+}
+
+/// Inclusive upper edges for the explorer.shard_states histogram (states
+/// visited per top-level shard in sharded mode).
+const std::vector<int64_t>& ShardStatesBounds() {
+  static const std::vector<int64_t>* bounds = new std::vector<int64_t>{
+      1, 10, 100, 1000, 10000, 100000};
+  return *bounds;
+}
+
 bool TestBit(const std::vector<bool>& bits, uint32_t id) {
   return id < bits.size() && bits[id];
 }
@@ -263,7 +281,7 @@ class ExplorerImpl {
           // Transaction aborted: final database is the initial database.
           cur_->db.RevertDelta();
           pending_undo_.RevertToMark();
-          ++result_.stats.delta_reverts;
+          NoteRevert();
           EnterRollback(top, r);
           stream_.resize(mark);
         } else {
@@ -346,6 +364,16 @@ class ExplorerImpl {
       SetBit(&visited_, id, true);
       ++visited_count_;
     }
+  }
+
+  /// Counts an undo-log revert and records the DFS depth it happened at.
+  /// The per-event histogram Record is the only per-step registry write in
+  /// the explorer (everything else flushes once at end of run), and it is
+  /// gated on metrics::Enabled() inside the macro.
+  void NoteRevert() {
+    ++result_.stats.delta_reverts;
+    STARBURST_METRIC_HISTOGRAM("explorer.revert_depth", RevertDepthBounds(),
+                               static_cast<int64_t>(stack_.size()));
   }
 
   /// Returns the recorded-graph node id for interned state `id`, or -1
@@ -447,6 +475,7 @@ class ExplorerImpl {
     std::string key = BuildStateKey(state, &db_len);
     result_.stats.canonicalization_bytes += static_cast<long>(key.size());
     auto [id, fresh] = interner_.Intern(std::move(key));
+    if (!fresh) ++result_.stats.interner_hits;
     int node = GraphNode(id);
     if (parent != kNoParent) RecordEdge(stack_[parent].node, node, via);
     if (!fresh && TestBit(on_path_, id)) {
@@ -521,13 +550,14 @@ class ExplorerImpl {
                  bool delta_open) {
     Hash128 fp = StateFingerprintUndo(*cur_);
     auto [id, fresh] = fp_interner_.Intern(fp);
+    if (!fresh) ++result_.stats.interner_hits;
     int node = GraphNode(id);
     if (parent != kNoParent) RecordEdge(stack_[parent].node, node, via);
     auto leave = [&] {
       if (delta_open) {
         cur_->db.RevertDelta();
         pending_undo_.RevertToMark();
-        ++result_.stats.delta_reverts;
+        NoteRevert();
       }
       stream_.resize(restore_stream);
     };
@@ -626,7 +656,7 @@ class ExplorerImpl {
     if (undo_ && f.owns_delta) {
       cur_->db.RevertDelta();
       pending_undo_.RevertToMark();
-      ++result_.stats.delta_reverts;
+      NoteRevert();
     }
     if (options_.dedup_subtrees) {
       if (!f.tainted) {
@@ -768,6 +798,7 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
       static_cast<size_t>(options.num_threads), eligible.size())));
   pool.ParallelFor(eligible.size(), 1, [&](size_t begin, size_t end) {
     for (size_t k = begin; k < end; ++k) {
+      STARBURST_TRACE_SPAN("explorer", "explore.shard");
       RuleProcessingState state = root;
       auto step = ConsiderRule(catalog, &state, eligible[k]);
       if (!step.ok()) {
@@ -819,10 +850,13 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
                                      r.observable_streams.end());
     merged.states_visited += r.states_visited;
     merged.steps_taken += r.steps_taken;
+    STARBURST_METRIC_HISTOGRAM("explorer.shard_states", ShardStatesBounds(),
+                               r.states_visited);
     // Counter aggregates: states shared between sibling subtrees are
     // counted once per shard; the seeded root id is discounted here.
     merged.stats.states_interned += r.stats.states_interned - 1;
     merged.stats.dedup_hits += r.stats.dedup_hits;
+    merged.stats.interner_hits += r.stats.interner_hits;
     merged.stats.canonicalization_bytes += r.stats.canonicalization_bytes;
     merged.stats.delta_reverts += r.stats.delta_reverts;
     merged.stats.peak_stack_depth = std::max(
@@ -842,17 +876,49 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
   return merged;
 }
 
+/// Flushes one exploration's counters into the process registry. Called
+/// once per exploration with the MERGED result, never per shard, so the
+/// registered totals are identical whether the exploration ran classic or
+/// sharded and for any worker count. Wall time goes to a gauge (cumulative
+/// microseconds) — it is real time and thus outside the counter
+/// determinism contract; states/sec is states_visited / wall_us.
+void FlushExplorationMetrics(const ExplorationResult& r) {
+  if (!metrics::Enabled()) return;
+  STARBURST_METRIC_COUNT("explorer.explorations", 1);
+  STARBURST_METRIC_COUNT("explorer.states_visited", r.states_visited);
+  STARBURST_METRIC_COUNT("explorer.steps", r.steps_taken);
+  STARBURST_METRIC_COUNT("explorer.states_interned",
+                         r.stats.states_interned);
+  STARBURST_METRIC_COUNT("explorer.interner_hits", r.stats.interner_hits);
+  STARBURST_METRIC_COUNT("explorer.dedup_prunes", r.stats.dedup_hits);
+  STARBURST_METRIC_COUNT("explorer.delta_reverts", r.stats.delta_reverts);
+  STARBURST_METRIC_COUNT("explorer.canonical_bytes",
+                         r.stats.canonicalization_bytes);
+  STARBURST_METRIC_GAUGE_MAX("explorer.peak_stack_depth",
+                             r.stats.peak_stack_depth);
+  metrics::GetGauge("explorer.wall_us")
+      ->Add(static_cast<int64_t>(r.stats.wall_seconds * 1e6));
+}
+
 /// Dispatches between the classic single-threaded explorer and the sharded
 /// frontier mode.
 Result<ExplorationResult> RunExploration(const RuleCatalog& catalog,
                                          const Database& initial_db,
                                          const Transition& initial_transition,
                                          const ExplorerOptions& options) {
-  if (options.num_threads >= 1 && !options.record_graph) {
-    return ExploreSharded(catalog, initial_db, initial_transition, options);
-  }
-  ExplorerImpl impl(catalog, initial_db, options);
-  return impl.Run(initial_transition);
+  std::optional<metrics::ScopedCollect> collect;
+  if (options.collect_metrics) collect.emplace();
+  STARBURST_TRACE_SPAN("explorer", "explore");
+  Result<ExplorationResult> result = [&]() -> Result<ExplorationResult> {
+    if (options.num_threads >= 1 && !options.record_graph) {
+      return ExploreSharded(catalog, initial_db, initial_transition,
+                            options);
+    }
+    ExplorerImpl impl(catalog, initial_db, options);
+    return impl.Run(initial_transition);
+  }();
+  if (result.ok()) FlushExplorationMetrics(result.value());
+  return result;
 }
 
 }  // namespace

@@ -68,6 +68,11 @@ struct ExplorerOptions {
   /// the result is marked incomplete. Ignored (classic mode) when
   /// `record_graph` is set, which needs globally dense node ids.
   int num_threads = 0;
+  /// When true, process-wide metrics collection (common/metrics.h) is held
+  /// on for the duration of the exploration; the explorer flushes its
+  /// `explorer.*` counters into the registry at end of run. Equivalent to
+  /// wrapping the call in metrics::ScopedCollect.
+  bool collect_metrics = false;
 };
 
 /// Instrumentation counters from one exploration; surfaced through
@@ -80,6 +85,11 @@ struct ExplorationStats {
   /// Subtree expansions skipped because the state's subtree was served
   /// from the memo (only in ExplorerOptions::dedup_subtrees mode).
   long dedup_hits = 0;
+  /// Intern lookups that found an already-interned state (revisits and
+  /// cycle hits). The interner hit rate is
+  /// interner_hits / (interner_hits + states_interned). In sharded mode
+  /// this aggregates per-shard work, like `states_visited`.
+  long interner_hits = 0;
   /// Maximum depth of the explicit DFS stack.
   int peak_stack_depth = 0;
   /// Total bytes of canonical renderings built. In the snapshot-copy

@@ -2,11 +2,20 @@
 
 #include <cstdio>
 
+#include "common/trace.h"
 #include "rulelang/parser.h"
 
 namespace starburst {
 
 namespace {
+
+/// Inclusive upper edges for processor.assert_steps: rule considerations
+/// per assertion point — the cascade (recursion) depth of rule processing.
+const std::vector<int64_t>& AssertStepsBounds() {
+  static const std::vector<int64_t>* bounds = new std::vector<int64_t>{
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 1024};
+  return *bounds;
+}
 
 bool IsTriggered(const RuleCatalog& catalog, const RuleProcessingState& state,
                  RuleIndex r) {
@@ -110,6 +119,8 @@ Result<StepOutcome> ConsiderRule(const RuleCatalog& catalog,
         STARBURST_RETURN_IF_ERROR(pending.Compose(exec.delta));
       }
     }
+    outcome.transition_compositions +=
+        static_cast<int>(state->pending.size());
   }
   return outcome;
 }
@@ -200,9 +211,38 @@ Result<ExecOutcome> RuleProcessor::ExecuteUserStatement(std::string_view sql) {
   return ExecuteUserStatement(*stmt);
 }
 
+void RuleProcessor::NoteFiring(RuleIndex r) {
+  if (!metrics::Enabled()) return;
+  if (fired_counters_.empty()) {
+    fired_counters_.resize(static_cast<size_t>(catalog_->num_rules()),
+                           nullptr);
+  }
+  metrics::Counter*& counter = fired_counters_[static_cast<size_t>(r)];
+  if (counter == nullptr) {
+    counter = metrics::GetCounter("processor.fired." +
+                                  catalog_->prelim().rule(r).name);
+  }
+  counter->Increment();
+}
+
 Result<ProcessingResult> RuleProcessor::AssertRules() {
+  STARBURST_TRACE_SPAN("processor", "assert_rules");
   Begin();
   ProcessingResult result;
+  long firings = 0;
+  long compositions = 0;
+  // One registry flush per assertion point, on every exit path; per-event
+  // work stays in locals so the processing loop costs nothing extra.
+  auto flush_metrics = [&]() {
+    if (!metrics::Enabled()) return;
+    STARBURST_METRIC_COUNT("processor.assert_rules", 1);
+    STARBURST_METRIC_COUNT("processor.considerations", result.steps);
+    STARBURST_METRIC_COUNT("processor.firings", firings);
+    STARBURST_METRIC_COUNT("processor.transition_compositions",
+                           compositions);
+    STARBURST_METRIC_HISTOGRAM("processor.assert_steps", AssertStepsBounds(),
+                               result.steps);
+  };
   // Borrow the database into a processing state; pendings are shared via
   // move in/out to avoid copies.
   RuleProcessingState state(&db_->schema(), 0);
@@ -225,6 +265,7 @@ Result<ProcessingResult> RuleProcessor::AssertRules() {
     }
     if (result.steps >= options_.max_steps) {
       restore();
+      flush_metrics();
       return Status::LimitExceeded(
           "rule processing exceeded " + std::to_string(options_.max_steps) +
           " considerations; the rule set may not terminate");
@@ -252,7 +293,13 @@ Result<ProcessingResult> RuleProcessor::AssertRules() {
       for (Transition& t : state.pending) t.Clear();
       pending_ = std::move(state.pending);
       in_transaction_ = false;
+      flush_metrics();
       return step.status();
+    }
+    compositions += step.value().transition_compositions;
+    if (step.value().condition_was_true) {
+      ++firings;
+      NoteFiring(r);
     }
     if (options_.record_trace) {
       ConsiderationTrace& entry = result.trace.back();
@@ -274,6 +321,8 @@ Result<ProcessingResult> RuleProcessor::AssertRules() {
       in_transaction_ = false;
       result.rolled_back = true;
       result.terminated = true;
+      STARBURST_METRIC_COUNT("processor.rollbacks", 1);
+      flush_metrics();
       return result;
     }
   }
@@ -281,6 +330,7 @@ Result<ProcessingResult> RuleProcessor::AssertRules() {
   // Processing terminated: the next assertion point starts a fresh
   // composite transition for every rule.
   for (Transition& t : pending_) t.Clear();
+  flush_metrics();
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "engine/database.h"
 #include "engine/exec.h"
@@ -45,6 +46,10 @@ struct StepOutcome {
   int tuples_inserted = 0;
   int tuples_deleted = 0;
   int tuples_updated = 0;
+  /// Pending-transition compositions performed by this step: one per
+  /// (action statement, rule) pair — the work the "marker" maintenance of
+  /// Section 2 does. Feeds the processor.transition_compositions metric.
+  int transition_compositions = 0;
 };
 
 /// Considers rule `r` from `state`: checks its condition against its
@@ -158,12 +163,18 @@ class RuleProcessor {
   bool IsRuleEnabled(RuleIndex r) const { return enabled_[r]; }
 
  private:
+  /// Bumps the per-rule processor.fired.<name> counter (no-op while
+  /// metrics collection is off; handles are cached per processor).
+  void NoteFiring(RuleIndex r);
+
   Database* db_;
   const RuleCatalog* catalog_;
   ProcessorOptions options_;
   std::vector<Transition> pending_;
   std::vector<bool> enabled_;
   bool in_transaction_ = false;
+  /// Lazily built per-rule metric handles (see NoteFiring).
+  std::vector<metrics::Counter*> fired_counters_;
 };
 
 }  // namespace starburst

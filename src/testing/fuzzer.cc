@@ -7,7 +7,9 @@
 #include <set>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "rulelang/ast.h"
 
 namespace starburst {
@@ -267,6 +269,53 @@ ShrinkResult ShrinkWith(const GeneratedRuleSet& set,
   return Shrinker(still_fails, rng_seed).Run(set);
 }
 
+const std::vector<FuzzDriverFlag>& FuzzDriverFlags() {
+  static const std::vector<FuzzDriverFlag>* flags =
+      new std::vector<FuzzDriverFlag>{
+          {"--seeds", "A..B",
+           "inclusive generator-seed range, default 1..100; a single "
+           "number N means 1..N"},
+          {"--time-budget", "T",
+           "wall-clock cap: plain seconds or with an s/m/h suffix, "
+           "default none"},
+          {"--oracle", "NAME[,NAME]",
+           "comma-separated subset of the oracles listed below, "
+           "default all"},
+          {"--minimize", "0|1",
+           "shrink failing cases to minimal reproducers, default 1"},
+          {"--corpus-dir", "DIR",
+           "write each (minimized) failure to DIR as a self-contained "
+           ".rules reproducer"},
+          {"--replay", "FILE|DIR",
+           "instead of fuzzing, replay one .rules file or every .rules "
+           "file in a directory through all oracles"},
+          {"--metrics-json", "PATH",
+           "collect metrics during the run and write the registry "
+           "snapshot as JSON to PATH, or to stdout when PATH is '-'"},
+          {"--help", "", "print this help and exit"},
+      };
+  return *flags;
+}
+
+std::string FuzzDriverUsage() {
+  std::string out =
+      "usage: fuzz_driver [flags]\n\nflags:\n";
+  for (const FuzzDriverFlag& flag : FuzzDriverFlags()) {
+    std::string head = std::string("  ") + flag.name;
+    if (flag.arg[0] != '\0') head += std::string(" ") + flag.arg;
+    if (head.size() < 26) head.resize(26, ' ');
+    out += head + " " + flag.summary + "\n";
+  }
+  out += "\noracles:";
+  for (OracleId oracle : AllOracles()) {
+    out += std::string(" ") + OracleName(oracle);
+  }
+  out +=
+      "\n\nexit status: 0 when every oracle run passed or skipped, 1 on "
+      "any oracle failure,\n2 on usage errors.\n";
+  return out;
+}
+
 std::string FailureToCorpusFile(const FuzzFailure& failure) {
   std::string out = "-- starburst fuzz reproducer\n";
   out += "-- oracle: " + std::string(OracleName(failure.oracle)) + "\n";
@@ -281,6 +330,7 @@ std::string FailureToCorpusFile(const FuzzFailure& failure) {
 }
 
 FuzzReport RunFuzz(const FuzzConfig& config) {
+  STARBURST_TRACE_SPAN("fuzz", "campaign");
   FuzzReport report;
   std::vector<OracleId> oracles =
       config.oracles.empty() ? AllOracles() : config.oracles;
@@ -297,6 +347,7 @@ FuzzReport RunFuzz(const FuzzConfig& config) {
       report.stats.time_budget_exhausted = true;
       break;
     }
+    STARBURST_TRACE_SPAN("fuzz", "case");
     GeneratedRuleSet set = RandomRuleSetGenerator::Generate(
         LatticeParams(seed));
     ++report.stats.cases;
@@ -351,6 +402,20 @@ FuzzReport RunFuzz(const FuzzConfig& config) {
     }
   }
   report.stats.wall_seconds = elapsed();
+  // One registry flush per campaign, from the (deterministic) stats
+  // arrays. Every oracle's counters are registered — zeros included — so
+  // a --metrics-json snapshot always carries the full verdict table.
+  if (metrics::Enabled()) {
+    STARBURST_METRIC_COUNT("fuzz.cases", report.stats.cases);
+    STARBURST_METRIC_COUNT("fuzz.oracle_runs", report.stats.oracle_runs);
+    for (OracleId oracle : AllOracles()) {
+      int idx = static_cast<int>(oracle);
+      std::string base = std::string("fuzz.") + OracleName(oracle);
+      metrics::GetCounter(base + ".pass")->Add(report.stats.passes[idx]);
+      metrics::GetCounter(base + ".skip")->Add(report.stats.skips[idx]);
+      metrics::GetCounter(base + ".fail")->Add(report.stats.failures[idx]);
+    }
+  }
   return report;
 }
 

@@ -23,7 +23,7 @@ struct FuzzConfig {
   /// Wall-clock cap; 0 = no cap. Checked between cases, so one case may
   /// overrun slightly.
   double time_budget_seconds = 0.0;
-  /// Oracles to run; empty = all five.
+  /// Oracles to run; empty = all of them (see AllOracles()).
   std::vector<OracleId> oracles;
   /// Shrink failing cases before reporting.
   bool minimize = true;
@@ -103,6 +103,25 @@ ShrinkResult ShrinkWith(const GeneratedRuleSet& set,
 /// message) followed by the minimized script. The result reparses with
 /// ParseRuleSetScript.
 std::string FailureToCorpusFile(const FuzzFailure& failure);
+
+/// One tools/fuzz_driver command-line flag. The table below is the single
+/// source of truth for the driver: its --help output (FuzzDriverUsage()),
+/// the flag table in docs/fuzzing.md, and the docs-consistency test that
+/// keeps the two in sync are all derived from it.
+struct FuzzDriverFlag {
+  /// The flag as typed, e.g. "--seeds".
+  const char* name;
+  /// Metavariable for the flag's argument ("" when the flag takes none).
+  const char* arg;
+  /// One-line description (sentence case, no trailing period).
+  const char* summary;
+};
+
+/// Every flag tools/fuzz_driver accepts, in display order.
+const std::vector<FuzzDriverFlag>& FuzzDriverFlags();
+
+/// The driver's full usage text, rendered from FuzzDriverFlags().
+std::string FuzzDriverUsage();
 
 }  // namespace fuzzing
 }  // namespace starburst

@@ -1,0 +1,195 @@
+// Documentation-consistency checks (the docs-consistency CI job):
+//  - every relative markdown link in the curated docs resolves to a file,
+//  - every ```sql block in docs/rule_language.md parses, and its rules
+//    survive a print -> parse -> print round trip,
+//  - the fuzz_driver flag table in docs/fuzzing.md and the --help text
+//    both match FuzzDriverFlags(), the single source of truth.
+// The repo root comes from the STARBURST_REPO_DIR compile definition set
+// in tests/CMakeLists.txt (same pattern as corpus_test).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rulelang/parser.h"
+#include "rulelang/printer.h"
+#include "testing/fuzzer.h"
+
+namespace starburst {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The documents under the consistency contract. Deliberately a curated
+/// list: generated / reference files (PAPERS.md, SNIPPETS.md) may quote
+/// arbitrary text that only looks like markdown links.
+const std::vector<std::string>& CheckedDocs() {
+  static const std::vector<std::string>* docs = new std::vector<std::string>{
+      "README.md",
+      "DESIGN.md",
+      "EXPERIMENTS.md",
+      "docs/architecture.md",
+      "docs/analysis_guide.md",
+      "docs/fuzzing.md",
+      "docs/observability.md",
+      "docs/rule_language.md",
+  };
+  return *docs;
+}
+
+std::string ReadDoc(const std::string& relative) {
+  fs::path path = fs::path(STARBURST_REPO_DIR) / relative;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lines of `text` outside ``` fences (link syntax inside code blocks is
+/// code, not a link).
+std::vector<std::string> ProseLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  bool in_fence = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("```", 0) == 0) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (!in_fence) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Extracts inline markdown link targets `[text](target)` from one line.
+std::vector<std::string> LinkTargets(const std::string& line) {
+  std::vector<std::string> targets;
+  for (size_t open = line.find('['); open != std::string::npos;
+       open = line.find('[', open + 1)) {
+    size_t close = line.find(']', open);
+    if (close == std::string::npos) break;
+    if (close + 1 >= line.size() || line[close + 1] != '(') continue;
+    size_t end = line.find(')', close + 2);
+    if (end == std::string::npos) continue;
+    targets.push_back(line.substr(close + 2, end - close - 2));
+  }
+  return targets;
+}
+
+TEST(DocsTest, RelativeMarkdownLinksResolve) {
+  for (const std::string& doc : CheckedDocs()) {
+    fs::path doc_dir = (fs::path(STARBURST_REPO_DIR) / doc).parent_path();
+    for (const std::string& line : ProseLines(ReadDoc(doc))) {
+      for (std::string target : LinkTargets(line)) {
+        if (target.rfind("http://", 0) == 0 ||
+            target.rfind("https://", 0) == 0 ||
+            target.rfind("mailto:", 0) == 0 || target.rfind("#", 0) == 0) {
+          continue;
+        }
+        if (size_t hash = target.find('#'); hash != std::string::npos) {
+          target = target.substr(0, hash);
+        }
+        EXPECT_TRUE(fs::exists(doc_dir / target))
+            << doc << ": broken link '" << target << "' in line: " << line;
+      }
+    }
+  }
+}
+
+std::vector<std::string> SqlBlocks(const std::string& text) {
+  std::vector<std::string> blocks;
+  std::istringstream in(text);
+  std::string line;
+  bool in_sql = false;
+  std::string current;
+  while (std::getline(in, line)) {
+    if (line.rfind("```", 0) == 0) {
+      if (in_sql) {
+        blocks.push_back(current);
+        current.clear();
+      }
+      in_sql = line.rfind("```sql", 0) == 0;
+      continue;
+    }
+    if (in_sql) current += line + "\n";
+  }
+  return blocks;
+}
+
+TEST(DocsTest, RuleLanguageSqlSnippetsParseAndRoundTrip) {
+  std::vector<std::string> blocks =
+      SqlBlocks(ReadDoc("docs/rule_language.md"));
+  ASSERT_GE(blocks.size(), 2u) << "expected at least DDL + worked example";
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    Result<Script> parsed = Parser::ParseScript(blocks[i]);
+    ASSERT_TRUE(parsed.ok())
+        << "docs/rule_language.md sql block " << i << " does not parse: "
+        << parsed.status().ToString() << "\n"
+        << blocks[i];
+    // print -> parse -> print must be a fixpoint (the printer contract the
+    // round_trip fuzz oracle checks on generated sets).
+    std::string printed = ScriptToString(parsed.value());
+    Result<Script> reparsed = Parser::ParseScript(printed);
+    ASSERT_TRUE(reparsed.ok())
+        << "printed form of block " << i << " does not reparse:\n"
+        << printed;
+    EXPECT_EQ(ScriptToString(reparsed.value()), printed)
+        << "block " << i << " is not a print->parse->print fixpoint";
+  }
+}
+
+TEST(DocsTest, FuzzDriverHelpMentionsEveryFlag) {
+  std::string usage = fuzzing::FuzzDriverUsage();
+  for (const fuzzing::FuzzDriverFlag& flag : fuzzing::FuzzDriverFlags()) {
+    EXPECT_NE(usage.find(flag.name), std::string::npos)
+        << "--help does not mention " << flag.name;
+  }
+  // And every oracle, so --oracle is discoverable from --help alone.
+  for (fuzzing::OracleId oracle : fuzzing::AllOracles()) {
+    EXPECT_NE(usage.find(fuzzing::OracleName(oracle)), std::string::npos)
+        << "--help does not mention oracle " << fuzzing::OracleName(oracle);
+  }
+}
+
+TEST(DocsTest, FuzzingDocFlagTableMatchesFuzzDriverFlags) {
+  std::string doc = ReadDoc("docs/fuzzing.md");
+  std::set<std::string> in_code;
+  for (const fuzzing::FuzzDriverFlag& flag : fuzzing::FuzzDriverFlags()) {
+    in_code.insert(flag.name);
+  }
+  // The doc's flag table: rows of the form "| `--flag` | ... |".
+  std::set<std::string> in_doc;
+  std::istringstream in(doc);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("| `--", 0) != 0) continue;
+    size_t end = line.find('`', 3);
+    ASSERT_NE(end, std::string::npos) << line;
+    in_doc.insert(line.substr(3, end - 3));
+  }
+  EXPECT_EQ(in_doc, in_code)
+      << "docs/fuzzing.md flag table and FuzzDriverFlags() disagree";
+}
+
+TEST(DocsTest, ObservabilityDocCoversEnvVarsAndTools) {
+  std::string doc = ReadDoc("docs/observability.md");
+  for (const char* needle :
+       {"STARBURST_METRICS", "STARBURST_TRACE", "STARBURST_NO_METRICS",
+        "STARBURST_NO_TRACE", "stats_report", "--metrics-json",
+        "CountersToJson", "metrics.dropped"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/observability.md does not mention " << needle;
+  }
+  std::string arch = ReadDoc("docs/architecture.md");
+  EXPECT_NE(arch.find("STARBURST_THREADS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,58 @@
+// Compiled with -DSTARBURST_NO_METRICS and -DSTARBURST_NO_TRACE (see
+// tests/CMakeLists.txt): verifies the compile-time kill switches — every
+// instrumentation macro must expand to nothing, registering and counting
+// nothing even while collection is on, while the registry API itself stays
+// linkable.
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+#ifndef STARBURST_NO_METRICS
+#error "this test must be compiled with -DSTARBURST_NO_METRICS"
+#endif
+#ifndef STARBURST_NO_TRACE
+#error "this test must be compiled with -DSTARBURST_NO_TRACE"
+#endif
+
+namespace starburst {
+namespace {
+
+bool HasCounter(const metrics::Snapshot& snapshot, const std::string& name) {
+  for (const auto& [n, v] : snapshot.counters) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+TEST(MetricsNoopTest, MacrosCompileToNothing) {
+  metrics::Reset();
+  metrics::ScopedCollect collect;  // collection ON, macros still dead
+  STARBURST_METRIC_COUNT("noop.counter", 5);
+  STARBURST_METRIC_GAUGE_SET("noop.gauge_set", 1);
+  STARBURST_METRIC_GAUGE_MAX("noop.gauge_max", 2);
+  STARBURST_METRIC_HISTOGRAM("noop.hist", (std::vector<int64_t>{1, 2}), 1);
+  STARBURST_TRACE_SPAN("noop", "span");
+
+  metrics::Snapshot snapshot = metrics::Collect();
+  EXPECT_FALSE(HasCounter(snapshot, "noop.counter"));
+  for (const auto& [name, value] : snapshot.gauges) {
+    EXPECT_TRUE(name.rfind("noop.", 0) != 0) << name;
+  }
+  for (const auto& h : snapshot.histograms) {
+    EXPECT_TRUE(h.name.rfind("noop.", 0) != 0) << h.name;
+  }
+}
+
+TEST(MetricsNoopTest, RegistryApiStaysUsable) {
+  // The kill switch only disables the macros; direct API calls keep
+  // working so mixed builds link and behave.
+  metrics::Reset();
+  metrics::ScopedCollect collect;
+  metrics::GetCounter("noop.direct_counter")->Add(3);
+  EXPECT_EQ(metrics::GetCounter("noop.direct_counter")->Value(), 3);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,128 @@
+#include "workload/stats_report.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json_lint.h"
+
+namespace starburst {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(StatsReportTest, BundledWorkloadNamesMatchApplications) {
+  std::vector<std::string> names = BundledWorkloadNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "power_network");
+  EXPECT_EQ(names[1], "salary_control");
+  EXPECT_EQ(names[2], "inventory");
+  EXPECT_EQ(names[3], "versioning");
+}
+
+TEST(StatsReportTest, BundledWorkloadEmitsSummaryAndValidMetricsJson) {
+  StatsReportOptions options;
+  options.workload = "inventory";
+  Result<StatsReport> report = RunStatsReport(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const std::string& summary = report.value().summary;
+  EXPECT_NE(summary.find("workload: inventory"), std::string::npos);
+  EXPECT_NE(summary.find("exploration:"), std::string::npos);
+  EXPECT_NE(summary.find("== Termination"), std::string::npos);
+
+  const std::string& json = report.value().metrics_json;
+  std::string error;
+  EXPECT_TRUE(testing::IsValidJson(json, &error)) << error;
+  // The run must have flushed all three layers into the registry.
+  EXPECT_NE(json.find("\"explorer.states_visited\""), std::string::npos);
+  EXPECT_NE(json.find("\"analysis.full_reports\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"processor.assert_rules\""), std::string::npos);
+}
+
+TEST(StatsReportTest, TraceFileIsPerfettoLoadableChromeJson) {
+  StatsReportOptions options;
+  options.workload = "power_network";
+  options.trace_path = ::testing::TempDir() + "stats_report_trace.json";
+  Result<StatsReport> report = RunStatsReport(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  std::string json = ReadFile(options.trace_path);
+  std::string error;
+  EXPECT_TRUE(testing::IsValidJson(json, &error)) << error;
+  // The schema Perfetto's legacy Chrome JSON importer requires: the
+  // traceEvents array and complete ("X") events carrying name/cat/ph/
+  // ts/dur/pid/tid.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  for (const char* key :
+       {"\"name\":", "\"cat\":", "\"ts\":", "\"dur\":", "\"pid\":",
+        "\"tid\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // The analyzer and explorer spans must both have fired.
+  EXPECT_NE(json.find("\"cat\":\"analysis\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"explorer\""), std::string::npos);
+}
+
+TEST(StatsReportTest, RulesScriptWorkloadRuns) {
+  std::string path = ::testing::TempDir() + "stats_report_workload.rules";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "create table src (a int);\n"
+           "create table dst (a int);\n"
+           "create rule copy on src when inserted then "
+           "insert into dst values (1);\n";
+  }
+  StatsReportOptions options;
+  options.workload = path;
+  options.rows_per_table = 1;
+  Result<StatsReport> report = RunStatsReport(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report.value().summary.find("1 rule(s)"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(testing::IsValidJson(report.value().metrics_json, &error))
+      << error;
+}
+
+TEST(StatsReportTest, UnknownWorkloadIsNotFound) {
+  StatsReportOptions options;
+  options.workload = "no_such_workload";
+  Result<StatsReport> report = RunStatsReport(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatsReportTest, ExplorerThreadCountDoesNotChangeCounters) {
+  auto counters_slice = [](int threads) {
+    StatsReportOptions options;
+    options.workload = "versioning";
+    options.explorer_threads = threads;
+    Result<StatsReport> report = RunStatsReport(options);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    // Strip to the counters section — gauges/histograms include wall
+    // times, which legitimately differ run to run.
+    const std::string& json = report.value().metrics_json;
+    size_t begin = json.find("\"counters\":");
+    size_t end = json.find("\"gauges\":");
+    EXPECT_NE(begin, std::string::npos);
+    EXPECT_NE(end, std::string::npos);
+    return json.substr(begin, end - begin);
+  };
+  // Classic mode (0) is excluded: it never touches the thread pool, so
+  // the pool.* counters are absent rather than merely equal.
+  std::string one = counters_slice(1);
+  EXPECT_EQ(counters_slice(2), one);
+  EXPECT_EQ(counters_slice(8), one);
+}
+
+}  // namespace
+}  // namespace starburst

@@ -1,0 +1,92 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json_lint.h"
+
+namespace starburst {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(TraceTest, DisabledByDefault) {
+  EXPECT_FALSE(trace::Enabled());
+  EXPECT_EQ(trace::ActivePath(), "");
+  // Spans and instants outside a session are no-ops, not errors.
+  { STARBURST_TRACE_SPAN("test", "outside_session"); }
+  trace::Instant("test", "outside_session");
+  EXPECT_TRUE(trace::Stop().ok());  // no-op OK
+}
+
+TEST(TraceTest, SpanSessionWritesChromeTraceJson) {
+  std::string path = TempPath("trace_span.json");
+  ASSERT_TRUE(trace::Start(path).ok());
+  EXPECT_TRUE(trace::Enabled());
+  EXPECT_EQ(trace::ActivePath(), path);
+  {
+    STARBURST_TRACE_SPAN("test_cat", "test_span");
+  }
+  trace::Instant("test_cat", "test_marker");
+  ASSERT_TRUE(trace::Stop().ok());
+  EXPECT_FALSE(trace::Enabled());
+
+  std::string json = ReadFile(path);
+  std::string error;
+  EXPECT_TRUE(testing::IsValidJson(json, &error)) << error;
+  // The Chrome trace-event envelope Perfetto's legacy JSON loader needs.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // The complete-duration span with its required keys.
+  EXPECT_NE(json.find("\"name\":\"test_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test_cat\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  for (const char* key : {"\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // The instant event.
+  EXPECT_NE(json.find("\"name\":\"test_marker\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TraceTest, SecondStartFails) {
+  std::string path = TempPath("trace_second.json");
+  ASSERT_TRUE(trace::Start(path).ok());
+  EXPECT_FALSE(trace::Start(TempPath("trace_other.json")).ok());
+  EXPECT_EQ(trace::ActivePath(), path);
+  ASSERT_TRUE(trace::Stop().ok());
+}
+
+TEST(TraceTest, EmptySessionStillWritesValidEnvelope) {
+  std::string path = TempPath("trace_empty.json");
+  ASSERT_TRUE(trace::Start(path).ok());
+  ASSERT_TRUE(trace::Stop().ok());
+  std::string json = ReadFile(path);
+  std::string error;
+  EXPECT_TRUE(testing::IsValidJson(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(TraceTest, UnwritablePathFailsAtStop) {
+  // Start only records the path; the write (and its failure) happen at
+  // Stop, matching the atexit-flush design of STARBURST_TRACE.
+  ASSERT_TRUE(trace::Start("/nonexistent-dir-xyz/trace.json").ok());
+  EXPECT_FALSE(trace::Stop().ok());
+  EXPECT_FALSE(trace::Enabled());
+}
+
+}  // namespace
+}  // namespace starburst

@@ -2,25 +2,10 @@
 // engine, and the execution backends against the paper's theorem-level
 // oracles (see docs/fuzzing.md and src/testing/oracles.h).
 //
-// Usage:
-//   fuzz_driver [--seeds A..B] [--time-budget 120s] [--oracle NAME[,NAME]]
-//               [--minimize 0|1] [--corpus-dir DIR] [--replay FILE|DIR]
-//
-// Flags:
-//   --seeds A..B     inclusive generator-seed range (default 1..100); a
-//                    single number N means 1..N
-//   --time-budget T  wall-clock cap: plain seconds, or with an s/m/h
-//                    suffix (default: none)
-//   --oracle NAMES   comma-separated subset of: termination_sound,
-//                    confluence_sound, observable_determinism_sound,
-//                    backend_equivalence, round_trip, delta_equivalence
-//                    (default: all)
-//   --minimize 0|1   shrink failing cases to minimal reproducers
-//                    (default: 1)
-//   --corpus-dir D   write each (minimized) failure to D as a
-//                    self-contained .rules reproducer
-//   --replay PATH    instead of fuzzing, replay one .rules file or every
-//                    .rules file in a directory through all oracles
+// Run `fuzz_driver --help` for the flag reference. The flags are defined
+// once, in FuzzDriverFlags() (src/testing/fuzzer.h); the help text, the
+// table in docs/fuzzing.md, and the docs-consistency test all derive from
+// that table.
 //
 // Exit status: 0 when every oracle run passed or skipped, 1 on any oracle
 // failure, 2 on usage errors.
@@ -30,10 +15,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "testing/fuzzer.h"
 #include "testing/oracles.h"
@@ -44,16 +31,25 @@ using namespace starburst::fuzzing;  // NOLINT: tool brevity
 namespace {
 
 int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: fuzz_driver [--seeds A..B] [--time-budget 120s]\n"
-      "                   [--oracle name[,name]] [--minimize 0|1]\n"
-      "                   [--corpus-dir DIR] [--replay FILE|DIR]\n"
-      "oracles: termination_sound confluence_sound\n"
-      "         observable_determinism_sound backend_equivalence "
-      "round_trip\n"
-      "         delta_equivalence\n");
+  std::fprintf(stderr, "%s", FuzzDriverUsage().c_str());
   return 2;
+}
+
+/// Writes the metrics snapshot for --metrics-json ("-" = stdout).
+int DumpMetrics(const std::string& path) {
+  std::string json = metrics::MetricsToJson(metrics::Collect());
+  if (path == "-") {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << json << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                 path.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 bool ParseSeeds(const std::string& arg, uint64_t* begin, uint64_t* end) {
@@ -156,9 +152,14 @@ int ReplayPath(const std::string& path, const OracleOptions& options) {
 int main(int argc, char** argv) {
   FuzzConfig config;
   std::string replay_path;
+  std::string metrics_json_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      std::printf("%s", FuzzDriverUsage().c_str());
+      return 0;
+    }
     std::string value;
     if (size_t eq = flag.find('='); eq != std::string::npos) {
       value = flag.substr(eq + 1);
@@ -189,13 +190,26 @@ int main(int argc, char** argv) {
       config.corpus_dir = value;
     } else if (flag == "--replay") {
       replay_path = value;
+    } else if (flag == "--metrics-json") {
+      if (value.empty()) return Usage();
+      metrics_json_path = value;
     } else {
       return Usage();
     }
   }
 
+  // --metrics-json holds collection on for the whole run (fuzz or replay)
+  // and dumps the registry snapshot at the end.
+  std::optional<metrics::ScopedCollect> collect;
+  if (!metrics_json_path.empty()) collect.emplace();
+
   if (!replay_path.empty()) {
-    return ReplayPath(replay_path, config.oracle_options);
+    int code = ReplayPath(replay_path, config.oracle_options);
+    if (!metrics_json_path.empty()) {
+      int dump = DumpMetrics(metrics_json_path);
+      if (code == 0) code = dump;
+    }
+    return code;
   }
 
   std::printf("fuzzing seeds %llu..%llu%s\n",
@@ -240,6 +254,10 @@ int main(int argc, char** argv) {
       std::printf("---- minimized reproducer ----\n%s----\n",
                   failure.minimized_script.c_str());
     }
+  }
+  if (!metrics_json_path.empty()) {
+    int dump = DumpMetrics(metrics_json_path);
+    if (dump != 0 && report.failures.empty()) return dump;
   }
   return report.failures.empty() ? 0 : 1;
 }

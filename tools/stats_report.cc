@@ -1,0 +1,125 @@
+// stats_report: runs one workload end to end — full analysis, rule
+// processing, execution-graph exploration — with metrics collection on,
+// then prints the human-readable summary and (optionally) the metrics
+// registry snapshot as JSON and a Chrome trace-event file.
+//
+//   stats_report <workload> [--metrics-json PATH] [--trace PATH]
+//                [--threads N] [--snapshot-backend]
+//                [--rows N] [--data-seed N]
+//
+// <workload> is a bundled application name (power_network, salary_control,
+// inventory, versioning) or a path to a self-contained .rules script.
+// See docs/observability.md for the metric catalog and trace workflow.
+//
+// Exit status: 0 on success, 2 on usage or workload errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "workload/stats_report.h"
+
+using namespace starburst;  // NOLINT: tool brevity
+
+namespace {
+
+int Usage() {
+  std::string names;
+  for (const std::string& name : BundledWorkloadNames()) {
+    names += "  " + name + "\n";
+  }
+  std::fprintf(stderr,
+               "usage: stats_report <workload> [flags]\n"
+               "\n"
+               "flags:\n"
+               "  --metrics-json PATH   write the metrics registry snapshot "
+               "as JSON to PATH ('-' = stdout)\n"
+               "  --trace PATH          write a Chrome trace-event JSON file "
+               "to PATH (load in Perfetto)\n"
+               "  --threads N           explorer worker threads (0 = classic "
+               "single-threaded)\n"
+               "  --snapshot-backend    use the snapshot-copy state backend "
+               "instead of the undo log\n"
+               "  --rows N              random base rows per table "
+               "(.rules scripts only)\n"
+               "  --data-seed N         seed for the random base data "
+               "(.rules scripts only)\n"
+               "\n"
+               "bundled workloads:\n%s"
+               "or pass a path to a .rules script.\n",
+               names.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StatsReportOptions options;
+  std::string metrics_json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      Usage();
+      return 0;
+    }
+    std::string value;
+    if (size_t eq = flag.find('='); eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+    } else if (i + 1 < argc && flag.rfind("--", 0) == 0 &&
+               flag != "--snapshot-backend") {
+      value = argv[++i];
+    }
+    if (flag == "--metrics-json") {
+      if (value.empty()) return Usage();
+      metrics_json_path = value;
+    } else if (flag == "--trace") {
+      if (value.empty()) return Usage();
+      options.trace_path = value;
+    } else if (flag == "--threads") {
+      options.explorer_threads = std::atoi(value.c_str());
+    } else if (flag == "--snapshot-backend") {
+      options.snapshot_backend = true;
+    } else if (flag == "--rows") {
+      options.rows_per_table = std::atoi(value.c_str());
+      if (options.rows_per_table < 0) return Usage();
+    } else if (flag == "--data-seed") {
+      options.data_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag.rfind("--", 0) == 0) {
+      return Usage();
+    } else if (options.workload.empty()) {
+      options.workload = flag;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.workload.empty()) return Usage();
+
+  Result<StatsReport> report = RunStatsReport(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", report.value().summary.c_str());
+  if (!options.trace_path.empty()) {
+    std::printf("trace written to %s\n", options.trace_path.c_str());
+  }
+  if (!metrics_json_path.empty()) {
+    if (metrics_json_path == "-") {
+      std::printf("%s\n", report.value().metrics_json.c_str());
+    } else {
+      std::ofstream out(metrics_json_path,
+                        std::ios::binary | std::ios::trunc);
+      out << report.value().metrics_json << "\n";
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                     metrics_json_path.c_str());
+        return 2;
+      }
+      std::printf("metrics written to %s\n", metrics_json_path.c_str());
+    }
+  }
+  return 0;
+}
