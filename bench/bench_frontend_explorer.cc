@@ -62,9 +62,14 @@ void BM_PrinterRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_PrinterRoundTrip);
 
 // Explorer: N unordered commuting rules create N! interleavings but far
-// fewer distinct states; measures full path-sensitive state expansion.
+// fewer distinct states; measures full path-sensitive state expansion
+// with partial-order reduction off (`range(1) == 0`) and on
+// (`range(1) == 1`). Every rule is reduction-safe, so POR walks one
+// chain of N+1 states where the full enumeration expands all 2^N rule
+// subsets — the confluent-workload headline for `ExplorerOptions::por`.
 void BM_ExplorerUnorderedRules(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
+  bool por = state.range(1) != 0;
   Schema schema;
   (void)schema.AddTable("src", {{"a", ColumnType::kInt}});
   std::string rules_src;
@@ -79,22 +84,29 @@ void BM_ExplorerUnorderedRules(benchmark::State& state) {
   auto catalog =
       RuleCatalog::Build(&schema, std::move(script.value().rules));
   Database db(&schema);
+  ExplorerOptions options;
+  options.por = por ? ExplorerOptions::PorMode::kCommute
+                    : ExplorerOptions::PorMode::kOff;
   long states = 0;
   long canon_bytes = 0;
+  long por_pruned = 0;
   for (auto _ : state) {
     auto result = Explorer::ExploreAfterStatements(
-        catalog.value(), db, {"insert into src values (1)"});
+        catalog.value(), db, {"insert into src values (1)"}, options);
     states = result.value().states_visited;
     canon_bytes = result.value().stats.canonicalization_bytes;
+    por_pruned = result.value().stats.por_pruned_orders;
     benchmark::DoNotOptimize(result.value().final_states.size());
   }
   state.counters["states"] = static_cast<double>(states);
   state.counters["canon_bytes"] = static_cast<double>(canon_bytes);
+  state.counters["por_pruned"] = static_cast<double>(por_pruned);
   state.counters["states_per_sec"] = benchmark::Counter(
       static_cast<double>(states) * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ExplorerUnorderedRules)->DenseRange(1, 5);
+BENCHMARK(BM_ExplorerUnorderedRules)
+    ->ArgsProduct({benchmark::CreateDenseRange(1, 7, 1), {0, 1}});
 
 // Re-convergent workload with ExplorerOptions::dedup_subtrees: N rules
 // whose conditions are false only reset their own pending marker when

@@ -1,5 +1,5 @@
 // B7: the theorem-oracle fuzzing harness (src/testing/). Cases/sec for
-// each of the five oracles over a fixed slice of the generator lattice,
+// every oracle over a fixed slice of the generator lattice,
 // swept over thread counts via Args({oracle, threads}) so one JSON run
 // (BENCH_fuzz.json) records the per-oracle cost profile: round_trip is
 // pure frontend, termination/confluence/determinism pay for one or more
@@ -55,7 +55,7 @@ BENCHMARK(BM_OracleThroughput)
     ->ArgNames({"oracle", "threads"})
     ->UseRealTime();
 
-// The whole campaign loop (all five oracles per case), the number the
+// The whole campaign loop (every oracle per case), the number the
 // fuzz-smoke CI budget is sized against.
 void BM_FuzzSweep(benchmark::State& state) {
   ThreadPool::SetDefaultThreadCount(static_cast<int>(state.range(0)));

@@ -145,6 +145,7 @@ std::string ExplorationStatsToJson(const ExplorationStats& stats) {
   out += ",\"canonicalization_bytes\":" +
          std::to_string(stats.canonicalization_bytes);
   out += ",\"delta_reverts\":" + std::to_string(stats.delta_reverts);
+  out += ",\"por_pruned_orders\":" + std::to_string(stats.por_pruned_orders);
   out += ",\"wall_seconds\":";
   out += wall;
   out += "}";

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/commutativity.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -175,13 +177,87 @@ void SetBit(std::vector<bool>* bits, uint32_t id, bool value) {
   (*bits)[id] = value;
 }
 
+/// Resolves ExplorerOptions::por. kDefault follows the STARBURST_POR
+/// environment variable (same pattern as STARBURST_THREADS), so the whole
+/// test suite doubles as a POR on/off matrix.
+bool PorEnabled(const ExplorerOptions& options) {
+  switch (options.por) {
+    case ExplorerOptions::PorMode::kOff:
+      return false;
+    case ExplorerOptions::PorMode::kCommute:
+      return true;
+    case ExplorerOptions::PorMode::kDefault:
+      break;
+  }
+  const char* env = std::getenv("STARBURST_POR");
+  return env != nullptr &&
+         (std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0);
+}
+
+/// Per-rule partial-order-reduction safety, computed ONCE per exploration
+/// and shared read-only across shards. safe[r] holds when expanding r
+/// FIRST provably reaches the same final states, observable streams, and
+/// termination verdict as every order that defers r:
+///   - r commutes with every other catalog rule (the Lemma 6.1 syntactic
+///     matrix OR-ed with ExplorerOptions::por_certifications), so firing r
+///     cannot trigger, untrigger, or perturb any deferred sibling — and no
+///     sibling can untrigger r, so r stays pending until fired;
+///   - r has no observable actions (SELECT / ROLLBACK), so the pruned
+///     sibling orders contribute no distinct observable stream;
+///   - r never triggers itself, so r fires at most once per path and the
+///     forced prefix terminates;
+///   - r is priority-unordered with every other rule, so the reduction
+///     never commutes a consideration across a Section 3 ordering edge.
+/// Returns empty when reduction is disabled.
+std::vector<bool> PorSafeRules(const RuleCatalog& catalog,
+                               const ExplorerOptions& options) {
+  if (!PorEnabled(options)) return {};
+  const PrelimAnalysis& prelim = catalog.prelim();
+  const int n = catalog.num_rules();
+  CommutativityAnalyzer commute(prelim, catalog.schema(),
+                                options.por_certifications);
+  std::vector<bool> safe(static_cast<size_t>(n), false);
+  for (RuleIndex i = 0; i < n; ++i) {
+    if (prelim.rule(i).observable) continue;
+    if (prelim.TriggersRule(i, i)) continue;
+    bool ok = true;
+    for (RuleIndex j = 0; ok && j < n; ++j) {
+      if (j == i) continue;
+      ok = commute.Commute(i, j) && catalog.priority().Unordered(i, j);
+    }
+    safe[static_cast<size_t>(i)] = ok;
+  }
+  return safe;
+}
+
+/// Ample-set reduction applied to a freshly chosen eligible set: when it
+/// contains a safe rule, only the lowest-indexed one is expanded (Choose
+/// returns ascending indices, so the pick is deterministic) and the
+/// sibling orders are counted into `por_pruned_orders`.
+void ReduceEligible(const std::vector<bool>* por_safe,
+                    std::vector<RuleIndex>* eligible, long* pruned_orders) {
+  if (por_safe == nullptr || eligible->size() <= 1) return;
+  for (RuleIndex r : *eligible) {
+    if ((*por_safe)[static_cast<size_t>(r)]) {
+      *pruned_orders += static_cast<long>(eligible->size()) - 1;
+      eligible->assign(1, r);
+      return;
+    }
+  }
+}
+
 class ExplorerImpl {
  public:
+  /// `por_safe` is the precomputed POR safety bitvector (see PorSafeRules),
+  /// or nullptr when reduction is off; it is shared read-only across every
+  /// shard of a sharded exploration.
   ExplorerImpl(const RuleCatalog& catalog, const Database& initial_db,
-               const ExplorerOptions& options)
+               const ExplorerOptions& options,
+               const std::vector<bool>* por_safe = nullptr)
       : catalog_(catalog),
         initial_db_(initial_db),
         options_(options),
+        por_safe_(por_safe),
         undo_(options.backend == ExplorerOptions::StateBackend::kUndoLog) {}
 
   Result<ExplorationResult> Run(const Transition& initial_transition) {
@@ -312,6 +388,7 @@ class ExplorerImpl {
       }
     }
     result_.states_visited = visited_count_;
+    result_.streams_evaluated = !options_.dedup_subtrees;
     result_.stats.states_interned = static_cast<long>(
         undo_ ? fp_interner_.size() : interner_.size());
     result_.stats.wall_seconds =
@@ -532,7 +609,9 @@ class ExplorerImpl {
     frame.state.emplace(std::move(state));
     frame.id = id;
     frame.node = node;
-    frame.eligible = catalog_.priority().Choose(triggered);
+    frame.eligible = EligibleRules(catalog_, triggered);
+    ReduceEligible(por_safe_, &frame.eligible,
+                   &result_.stats.por_pruned_orders);
     frame.restore_stream = restore_stream;
     stack_.push_back(std::move(frame));
     result_.stats.peak_stack_depth = std::max(
@@ -612,7 +691,9 @@ class ExplorerImpl {
     frame.owns_delta = delta_open;
     frame.id = id;
     frame.node = node;
-    frame.eligible = catalog_.priority().Choose(triggered);
+    frame.eligible = EligibleRules(catalog_, triggered);
+    ReduceEligible(por_safe_, &frame.eligible,
+                   &result_.stats.por_pruned_orders);
     frame.restore_stream = restore_stream;
     stack_.push_back(std::move(frame));
     result_.stats.peak_stack_depth = std::max(
@@ -682,6 +763,8 @@ class ExplorerImpl {
   const RuleCatalog& catalog_;
   const Database& initial_db_;
   const ExplorerOptions& options_;
+  /// POR safety bitvector (nullptr when reduction is off).
+  const std::vector<bool>* por_safe_;
   /// True for ExplorerOptions::StateBackend::kUndoLog.
   bool undo_;
   ExplorationResult result_;
@@ -731,7 +814,8 @@ class ExplorerImpl {
 Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
                                          const Database& initial_db,
                                          const Transition& initial_transition,
-                                         const ExplorerOptions& options) {
+                                         const ExplorerOptions& options,
+                                         const std::vector<bool>* por_safe) {
   auto start = std::chrono::steady_clock::now();
   RuleProcessingState root(&catalog.schema(), catalog.num_rules());
   root.db = initial_db;
@@ -749,6 +833,7 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
   if (undo) root_fp = StateFingerprintUndo(root);
 
   ExplorationResult merged;
+  merged.streams_evaluated = !options.dedup_subtrees;
   merged.states_visited = 1;
   merged.stats.states_interned = 1;
   merged.stats.canonicalization_bytes =
@@ -778,7 +863,10 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
     return merged;
   }
 
-  std::vector<RuleIndex> eligible = catalog.priority().Choose(triggered);
+  std::vector<RuleIndex> eligible = EligibleRules(catalog, triggered);
+  // The root state gets the same ample-set reduction as every in-shard
+  // state, so classic and sharded POR prune the identical tree.
+  ReduceEligible(por_safe, &eligible, &merged.stats.por_pruned_orders);
   // Precomputed on this thread: the rollback fingerprint reads (and fills)
   // initial_db's mutable canonical-string caches.
   std::string rollback_fingerprint = initial_db.CanonicalString();
@@ -793,6 +881,16 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
   shard_options.record_graph = false;
   // The shard's start state already sits one consideration below the root.
   shard_options.max_depth = options.max_depth - 1;
+  // `max_total_steps` is divided across the shards (remainder to the first
+  // shards in rule order) so the aggregate budget matches the classic
+  // mode instead of silently handing every shard the full allowance. The
+  // shard's slice funds its top-level consideration (the += 1 after the
+  // sub-exploration) plus the subtree below it; a slice of 1 leaves a
+  // sub-budget of 0, mirroring a classic child entered right at the trip
+  // point (finals are still recorded — the budget check runs after the
+  // final-state check).
+  const long budget = options.max_total_steps;
+  const long num_shards = static_cast<long>(eligible.size());
 
   ThreadPool pool(static_cast<int>(std::min(
       static_cast<size_t>(options.num_threads), eligible.size())));
@@ -819,7 +917,11 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
         }
         continue;
       }
-      ExplorerImpl impl(catalog, initial_db, shard_options);
+      ExplorerOptions sub_options = shard_options;
+      sub_options.max_total_steps =
+          budget / num_shards +
+          (static_cast<long>(k) < budget % num_shards ? 1 : 0) - 1;
+      ExplorerImpl impl(catalog, initial_db, sub_options, por_safe);
       if (undo) {
         impl.SeedRootOnPathFp(root_fp);
       } else {
@@ -859,9 +961,14 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
     merged.stats.interner_hits += r.stats.interner_hits;
     merged.stats.canonicalization_bytes += r.stats.canonicalization_bytes;
     merged.stats.delta_reverts += r.stats.delta_reverts;
+    merged.stats.por_pruned_orders += r.stats.por_pruned_orders;
     merged.stats.peak_stack_depth = std::max(
         merged.stats.peak_stack_depth, r.stats.peak_stack_depth + 1);
   }
+  // Strictly greater than the cap: a union of EXACTLY max_streams fully
+  // enumerated streams is complete — only a stream beyond the cap
+  // truncates (mirrors the classic RecordStream boundary, pinned by the
+  // at-cap / cap-plus-one explorer tests).
   if (!options.dedup_subtrees &&
       static_cast<int>(merged.observable_streams.size()) >
           options.max_streams) {
@@ -892,6 +999,8 @@ void FlushExplorationMetrics(const ExplorationResult& r) {
   STARBURST_METRIC_COUNT("explorer.interner_hits", r.stats.interner_hits);
   STARBURST_METRIC_COUNT("explorer.dedup_prunes", r.stats.dedup_hits);
   STARBURST_METRIC_COUNT("explorer.delta_reverts", r.stats.delta_reverts);
+  STARBURST_METRIC_COUNT("explorer.por_pruned_orders",
+                         r.stats.por_pruned_orders);
   STARBURST_METRIC_COUNT("explorer.canonical_bytes",
                          r.stats.canonicalization_bytes);
   STARBURST_METRIC_GAUGE_MAX("explorer.peak_stack_depth",
@@ -909,12 +1018,17 @@ Result<ExplorationResult> RunExploration(const RuleCatalog& catalog,
   std::optional<metrics::ScopedCollect> collect;
   if (options.collect_metrics) collect.emplace();
   STARBURST_TRACE_SPAN("explorer", "explore");
+  // The POR safety bitvector is computed once, before any shard spawns,
+  // and shared read-only by every ExplorerImpl of this exploration.
+  const std::vector<bool> por_safe_storage = PorSafeRules(catalog, options);
+  const std::vector<bool>* por_safe =
+      por_safe_storage.empty() ? nullptr : &por_safe_storage;
   Result<ExplorationResult> result = [&]() -> Result<ExplorationResult> {
     if (options.num_threads >= 1 && !options.record_graph) {
       return ExploreSharded(catalog, initial_db, initial_transition,
-                            options);
+                            options, por_safe);
     }
-    ExplorerImpl impl(catalog, initial_db, options);
+    ExplorerImpl impl(catalog, initial_db, options, por_safe);
     return impl.Run(initial_transition);
   }();
   if (result.ok()) FlushExplorationMetrics(result.value());

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/commutativity.h"
 #include "common/status.h"
 #include "engine/database.h"
 #include "rules/processor.h"
@@ -62,12 +63,40 @@ struct ExplorerOptions {
   /// `may_not_terminate` are identical for any num_threads >= 1.
   /// Divergences from the classic mode (all deterministic): states shared
   /// between sibling subtrees are re-explored per shard (counters such as
-  /// `states_visited` aggregate per-shard work), `max_total_steps` is a
-  /// per-shard budget, and when the union of per-shard stream sets exceeds
+  /// `states_visited` aggregate per-shard work), `max_total_steps` is
+  /// divided across the shards in rule order (remainder to the first
+  /// shards) so the aggregate step budget matches the classic mode — a
+  /// classic budget trip implies a sharded budget trip, though an
+  /// unbalanced shard may trip its slice when the classic walk would have
+  /// squeaked under — and when the union of per-shard stream sets exceeds
   /// `max_streams` the lexicographically-first `max_streams` are kept and
   /// the result is marked incomplete. Ignored (classic mode) when
   /// `record_graph` is set, which needs globally dense node ids.
   int num_threads = 0;
+  /// Commutativity-guided partial-order reduction (ample-set style). At a
+  /// state whose eligible set contains a "safe" rule — one that (a)
+  /// commutes with every other rule in the catalog per the Lemma 6.1
+  /// analysis plus `por_certifications`, (b) has no observable actions
+  /// (so pruning a path never drops an observable stream — ROLLBACK
+  /// counts as observable), (c) never triggers itself, and (d) carries no
+  /// priority edge to or from any other rule — only the lowest-indexed
+  /// safe rule is expanded; the sibling orders it proves equivalent are
+  /// pruned and counted in `ExplorationStats::por_pruned_orders`.
+  /// `final_states`, `final_databases`, `observable_streams`, `complete`,
+  /// and `may_not_terminate` are preserved exactly (see
+  /// docs/analysis_guide.md for the soundness argument); path-count
+  /// counters (`steps_taken`, `states_visited`, ...) shrink.
+  ///
+  ///   kDefault  follow the STARBURST_POR environment variable ("1" or
+  ///             "true" enables reduction; unset/other disables it).
+  ///   kOff      enumerate every interleaving (historic behavior).
+  ///   kCommute  prune via the commutativity matrix as described above.
+  enum class PorMode { kDefault, kOff, kCommute };
+  PorMode por = PorMode::kDefault;
+  /// Extra user-certified commutative pairs OR-ed into the syntactic
+  /// Lemma 6.1 matrix before the safe-rule computation (same semantics as
+  /// Analyzer certifications; pair names are case-insensitive).
+  CommutativityCertifications por_certifications;
   /// When true, process-wide metrics collection (common/metrics.h) is held
   /// on for the duration of the exploration; the explorer flushes its
   /// `explorer.*` counters into the registry at end of run. Equivalent to
@@ -100,6 +129,10 @@ struct ExplorationStats {
   /// Undo-log backend only: number of delta reverts taken while
   /// backtracking (0 in the snapshot-copy backend).
   long delta_reverts = 0;
+  /// Sibling expansion orders pruned by commutativity-guided partial-order
+  /// reduction (ExplorerOptions::por). 0 when reduction is off or never
+  /// applicable.
+  long por_pruned_orders = 0;
   /// Wall-clock time spent exploring, in seconds.
   double wall_seconds = 0.0;
 };
@@ -121,6 +154,13 @@ struct ExplorationResult {
   /// Distinct observable streams over all terminating paths, serialized
   /// (Section 8: observably deterministic iff exactly one).
   std::set<std::string> observable_streams;
+  /// False when the exploration did not enumerate observable streams at
+  /// all (ExplorerOptions::dedup_subtrees leaves `observable_streams`
+  /// empty BY DESIGN — an empty set then means "not evaluated", not
+  /// "deterministic"). Consumers must check this before deriving any
+  /// observable-determinism verdict; `observable_determinism()` folds the
+  /// check in.
+  bool streams_evaluated = true;
   /// Distinct execution states visited, including the synthetic rollback
   /// state when a rollback path exists (consistent with the recorded
   /// graph's node accounting).
@@ -147,8 +187,24 @@ struct ExplorationResult {
   bool unique_final_state() const {
     return !may_not_terminate && final_states.size() == 1;
   }
+
+  /// Three-valued observable-determinism verdict (Section 8).
+  /// kNotEvaluated when streams were not enumerated (dedup_subtrees mode):
+  /// an empty `observable_streams` is never read as "deterministic" then.
+  enum class ObservableDeterminism {
+    kDeterministic,
+    kNondeterministic,
+    kNotEvaluated,
+  };
+  ObservableDeterminism observable_determinism() const {
+    if (!streams_evaluated) return ObservableDeterminism::kNotEvaluated;
+    if (may_not_terminate || observable_streams.size() > 1) {
+      return ObservableDeterminism::kNondeterministic;
+    }
+    return ObservableDeterminism::kDeterministic;
+  }
   bool unique_observable_stream() const {
-    return !may_not_terminate && observable_streams.size() <= 1;
+    return observable_determinism() == ObservableDeterminism::kDeterministic;
   }
 };
 

@@ -50,6 +50,11 @@ std::vector<RuleIndex> TriggeredRules(const RuleCatalog& catalog,
   return out;
 }
 
+std::vector<RuleIndex> EligibleRules(const RuleCatalog& catalog,
+                                     const std::vector<RuleIndex>& triggered) {
+  return catalog.priority().Choose(triggered);
+}
+
 Result<StepOutcome> ConsiderRule(const RuleCatalog& catalog,
                                  RuleProcessingState* state, RuleIndex r) {
   const RuleDef& rule = catalog.rule(r);
@@ -270,7 +275,7 @@ Result<ProcessingResult> RuleProcessor::AssertRules() {
           "rule processing exceeded " + std::to_string(options_.max_steps) +
           " considerations; the rule set may not terminate");
     }
-    std::vector<RuleIndex> eligible = catalog_->priority().Choose(triggered);
+    std::vector<RuleIndex> eligible = EligibleRules(*catalog_, triggered);
     size_t pick = options_.choice(eligible, result.steps);
     if (pick >= eligible.size()) pick = 0;
     RuleIndex r = eligible[pick];

@@ -36,6 +36,13 @@ struct RuleProcessingState {
 std::vector<RuleIndex> TriggeredRules(const RuleCatalog& catalog,
                                       const RuleProcessingState& state);
 
+/// The eligible subset of an already-computed triggered set: the maximal
+/// elements under the priority partial order (Section 2's conflict set).
+/// Ascending rule index, like `triggered`. Shared by the processor's
+/// consideration loop and the explorer's per-state expansion.
+std::vector<RuleIndex> EligibleRules(const RuleCatalog& catalog,
+                                     const std::vector<RuleIndex>& triggered);
+
 /// Outcome of considering one rule (one execution-graph edge, Section 4).
 struct StepOutcome {
   bool condition_was_true = false;

@@ -25,6 +25,7 @@ constexpr const char* kOracleNames[kNumOracles] = {
     "backend_equivalence",
     "round_trip",
     "delta_equivalence",
+    "por_equivalence",
 };
 
 OracleOutcome Pass() { return {OracleVerdict::kPass, ""}; }
@@ -232,6 +233,22 @@ OracleOutcome BackendEquivalence(const GeneratedRuleSet& set,
     if (!sharded.ok()) return Fail(sharded.status().ToString());
     std::string where = "sharded explorer (num_threads=" +
                         std::to_string(threads) + ") diverged from classic: ";
+    if (!classic.value().complete) {
+      // The sharded step budget is a division of the classic budget, so a
+      // classic budget trip must also trip some shard; incomplete
+      // enumerations are otherwise not comparable set-for-set.
+      if (sharded.value().complete) {
+        return Fail(where + "complete where the classic walk tripped its "
+                            "budget");
+      }
+      continue;
+    }
+    if (!sharded.value().complete) {
+      // An unbalanced shard may trip its budget slice where the classic
+      // walk squeaked under the same total; that is a legitimate
+      // divergence of the divided budget, not a soundness bug.
+      continue;
+    }
     if (sharded.value().final_states != classic.value().final_states) {
       return Fail(where + "final-state sets differ");
     }
@@ -242,9 +259,6 @@ OracleOutcome BackendEquivalence(const GeneratedRuleSet& set,
     if (sharded.value().may_not_terminate !=
         classic.value().may_not_terminate) {
       return Fail(where + "termination verdicts differ");
-    }
-    if (sharded.value().complete != classic.value().complete) {
-      return Fail(where + "completeness differs");
     }
   }
   return Pass();
@@ -295,6 +309,22 @@ OracleOutcome DeltaEquivalence(const GeneratedRuleSet& set,
     std::string where =
         "undo-log explorer (num_threads=" + std::to_string(threads) +
         ") diverged from snapshot-copy classic: ";
+    if (threads >= 1) {
+      // Sharded runs divide the classic step budget across shards: a
+      // classic budget trip must trip some shard, and an unbalanced shard
+      // may trip its slice where the classic walk squeaked under — only
+      // two complete enumerations are comparable set-for-set.
+      if (!reference.value().complete) {
+        if (undo.value().complete) {
+          return Fail(where + "complete where the classic walk tripped "
+                              "its budget");
+        }
+        continue;
+      }
+      if (!undo.value().complete) continue;
+    } else if (undo.value().complete != reference.value().complete) {
+      return Fail(where + "completeness differs");
+    }
     if (undo.value().final_states != reference.value().final_states) {
       return Fail(where + "final-state sets differ");
     }
@@ -305,9 +335,6 @@ OracleOutcome DeltaEquivalence(const GeneratedRuleSet& set,
     if (undo.value().may_not_terminate !=
         reference.value().may_not_terminate) {
       return Fail(where + "termination verdicts differ");
-    }
-    if (undo.value().complete != reference.value().complete) {
-      return Fail(where + "completeness differs");
     }
     // Classic vs classic only: sharded-mode counters intentionally
     // aggregate per-shard work. Equal counts mean the fingerprint
@@ -324,6 +351,75 @@ OracleOutcome DeltaEquivalence(const GeneratedRuleSet& set,
     return Fail(
         "FullReportToJson is not bit-identical before and after backend "
         "exploration");
+  }
+  return Pass();
+}
+
+/// Differential check of commutativity-guided partial-order reduction
+/// (ExplorerOptions::por): the reduced exploration must reach exactly the
+/// final states, observable streams, and may-not-terminate verdict of the
+/// full enumeration — classic and at every sharded worker count. POR only
+/// prunes paths, so a complete full enumeration implies a complete POR
+/// enumeration; the converse budget trips are impossible by construction
+/// and are treated as failures.
+OracleOutcome PorEquivalence(const GeneratedRuleSet& set, uint64_t data_seed,
+                             const OracleOptions& options) {
+  auto prepared = Prepare(set, data_seed, options);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+
+  ExplorerOptions full_options = ExploreOptions(options);
+  full_options.por = ExplorerOptions::PorMode::kOff;
+  auto full = Explorer::Explore(prepared.value().catalog, prepared.value().db,
+                                prepared.value().initial, full_options);
+  if (!full.ok()) return Fail(full.status().ToString());
+  if (!full.value().complete) return Skip("exploration budget exhausted");
+
+  ExplorerOptions por_options = full_options;
+  por_options.por = ExplorerOptions::PorMode::kCommute;
+  auto por = Explorer::Explore(prepared.value().catalog, prepared.value().db,
+                               prepared.value().initial, por_options);
+  if (!por.ok()) return Fail(por.status().ToString());
+  if (!por.value().complete) {
+    return Fail("POR exploration incomplete where the full enumeration is "
+                "complete (reduction may only prune paths)");
+  }
+  if (por.value().final_states != full.value().final_states) {
+    return Fail("POR changed the final-state set");
+  }
+  if (por.value().observable_streams != full.value().observable_streams) {
+    return Fail("POR changed the observable-stream set");
+  }
+  if (por.value().may_not_terminate != full.value().may_not_terminate) {
+    return Fail("POR changed the may-not-terminate verdict");
+  }
+
+  // The reduction must also commute with the sharded merge path: every
+  // worker count sees the same reduced tree. A shard may trip its slice
+  // of the divided budget where the classic POR walk fit the total; only
+  // complete runs are comparable.
+  for (int threads : options.backend_thread_counts) {
+    ExplorerOptions sharded_options = por_options;
+    sharded_options.num_threads = threads;
+    auto sharded = Explorer::Explore(prepared.value().catalog,
+                                     prepared.value().db,
+                                     prepared.value().initial,
+                                     sharded_options);
+    if (!sharded.ok()) return Fail(sharded.status().ToString());
+    if (!sharded.value().complete) continue;
+    std::string where = "sharded POR explorer (num_threads=" +
+                        std::to_string(threads) +
+                        ") diverged from the full enumeration: ";
+    if (sharded.value().final_states != full.value().final_states) {
+      return Fail(where + "final-state sets differ");
+    }
+    if (sharded.value().observable_streams !=
+        full.value().observable_streams) {
+      return Fail(where + "observable-stream sets differ");
+    }
+    if (sharded.value().may_not_terminate !=
+        full.value().may_not_terminate) {
+      return Fail(where + "termination verdicts differ");
+    }
   }
   return Pass();
 }
@@ -395,6 +491,8 @@ OracleOutcome RunOracle(OracleId id, const GeneratedRuleSet& set,
       return RoundTrip(set);
     case OracleId::kDeltaEquivalence:
       return DeltaEquivalence(set, data_seed, options);
+    case OracleId::kPorEquivalence:
+      return PorEquivalence(set, data_seed, options);
   }
   return Skip("unknown oracle");
 }

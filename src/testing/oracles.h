@@ -39,6 +39,14 @@ namespace fuzzing {
 ///                               verdicts — classic and at every sharded
 ///                               worker count — and exploration leaves
 ///                               FullReportToJson bit-identical.
+///   kPorEquivalence             commutativity-guided partial-order
+///                               reduction (ExplorerOptions::por) prunes
+///                               only redundant orders: POR and full
+///                               exploration produce identical final
+///                               states, observable streams, and
+///                               may-not-terminate verdicts, classic and
+///                               at every sharded worker count (the
+///                               Lemma 6.1 ample-set soundness contract).
 enum class OracleId {
   kTerminationSound,
   kConfluenceSound,
@@ -46,9 +54,10 @@ enum class OracleId {
   kBackendEquivalence,
   kRoundTrip,
   kDeltaEquivalence,
+  kPorEquivalence,
 };
 
-inline constexpr int kNumOracles = 6;
+inline constexpr int kNumOracles = 7;
 
 /// Stable snake_case name ("termination_sound", ...), used by the
 /// fuzz_driver --oracle flag and corpus file headers.

@@ -127,8 +127,14 @@ Result<std::string> RunTransaction(RuleProcessor* processor,
 std::string ExplorationSummary(const ExplorationResult& r) {
   std::ostringstream out;
   out << "exploration: " << r.states_visited << " state(s), " << r.steps_taken
-      << " step(s), " << r.final_states.size() << " final state(s), "
-      << r.observable_streams.size() << " observable stream(s)\n";
+      << " step(s), " << r.final_states.size() << " final state(s), ";
+  // Dedup mode skips stream enumeration entirely; say so instead of
+  // printing the misleading "0 observable stream(s)".
+  if (r.streams_evaluated) {
+    out << r.observable_streams.size() << " observable stream(s)\n";
+  } else {
+    out << "observable streams not evaluated\n";
+  }
   out << "  complete: " << (r.complete ? "yes" : "no")
       << "  may-not-terminate: " << (r.may_not_terminate ? "yes" : "no")
       << "\n";
@@ -137,8 +143,8 @@ std::string ExplorationSummary(const ExplorationResult& r) {
   out << "  interned " << s.states_interned << " state(s), hit rate "
       << (lookups > 0 ? 100.0 * s.interner_hits / lookups : 0.0)
       << "%, dedup prunes " << s.dedup_hits << ", delta reverts "
-      << s.delta_reverts << ", peak stack depth " << s.peak_stack_depth
-      << "\n";
+      << s.delta_reverts << ", POR pruned orders " << s.por_pruned_orders
+      << ", peak stack depth " << s.peak_stack_depth << "\n";
   return out.str();
 }
 

@@ -1,6 +1,6 @@
 // Corpus regression test: every checked-in .rules file under tests/corpus/
 // (the directory is baked in as STARBURST_CORPUS_DIR) must replay cleanly
-// through all five theorem oracles. Minimized reproducers from fuzzing
+// through every theorem oracle. Minimized reproducers from fuzzing
 // campaigns get committed here once the underlying bug is fixed, so a
 // reintroduced bug fails this test instead of waiting for the fuzzer to
 // rediscover it.

@@ -55,7 +55,11 @@ TEST_F(ExplorerTest, ConfluentPairHasOneFinalState) {
        "create table c (x int);",
        "create rule wb on a when inserted then insert into b values (1); "
        "create rule wc on a when inserted then insert into c values (1);");
-  ExplorationResult r = Explore({"insert into a values (1)"});
+  // This test checks the FULL enumeration converges; POR would collapse
+  // the orders up front (covered by por_test).
+  ExplorerOptions options;
+  options.por = ExplorerOptions::PorMode::kOff;
+  ExplorationResult r = Explore({"insert into a values (1)"}, options);
   EXPECT_TRUE(r.complete);
   EXPECT_EQ(r.final_states.size(), 1u);
   // Both orders were explored (two paths), but they converge.
@@ -303,19 +307,58 @@ TEST_F(ExplorerTest, DedupSubtreesPreservesFinalStates) {
        "then insert into b values (3); "
        "create rule act on a when inserted "
        "then insert into b values (9);");
-  ExplorationResult full = Explore({"insert into a values (1)"});
-  ExplorerOptions options;
+  // All four rules are silent and commute, so POR would collapse the
+  // permutations before the memo ever gets a revisit; this test is about
+  // the memo, so reduction is pinned off.
+  ExplorerOptions full_options;
+  full_options.por = ExplorerOptions::PorMode::kOff;
+  ExplorationResult full = Explore({"insert into a values (1)"}, full_options);
+  ExplorerOptions options = full_options;
   options.dedup_subtrees = true;
   ExplorationResult dedup = Explore({"insert into a values (1)"}, options);
   EXPECT_EQ(dedup.final_states, full.final_states);
   EXPECT_EQ(dedup.may_not_terminate, full.may_not_terminate);
   EXPECT_TRUE(dedup.complete);
   EXPECT_TRUE(dedup.observable_streams.empty());
+  // Satellite regression: dedup mode skips stream enumeration, so the
+  // empty set must read as "not evaluated", never as "deterministic".
+  EXPECT_FALSE(dedup.streams_evaluated);
+  EXPECT_EQ(dedup.observable_determinism(),
+            ExplorationResult::ObservableDeterminism::kNotEvaluated);
+  EXPECT_FALSE(dedup.unique_observable_stream());
+  EXPECT_TRUE(full.streams_evaluated);
   // Permutations of the false-condition rules re-converge, so the memo
   // must actually be hit and strictly fewer steps taken than the full
   // enumeration.
   EXPECT_GT(dedup.stats.dedup_hits, 0);
   EXPECT_LT(dedup.steps_taken, full.steps_taken);
+}
+
+// Satellite regression: with dedup_subtrees on an observably
+// NONdeterministic set, the empty stream set must surface as "not
+// evaluated" — never as a (vacuously) unique observable stream.
+TEST_F(ExplorerTest, DedupObservableVerdictIsNotEvaluated) {
+  Load("create table a (x int);",
+       "create rule s1 on a when inserted then select 1 from a; "
+       "create rule s2 on a when inserted then select 2 from a;");
+  ExplorerOptions full_options;
+  ExplorationResult full = Explore({"insert into a values (0)"},
+                                   full_options);
+  EXPECT_TRUE(full.streams_evaluated);
+  EXPECT_EQ(full.observable_determinism(),
+            ExplorationResult::ObservableDeterminism::kNondeterministic);
+  EXPECT_FALSE(full.unique_observable_stream());
+
+  ExplorerOptions dedup_options;
+  dedup_options.dedup_subtrees = true;
+  ExplorationResult dedup = Explore({"insert into a values (0)"},
+                                    dedup_options);
+  EXPECT_TRUE(dedup.observable_streams.empty());
+  EXPECT_FALSE(dedup.streams_evaluated);
+  EXPECT_EQ(dedup.observable_determinism(),
+            ExplorationResult::ObservableDeterminism::kNotEvaluated);
+  // The historic landmine: an empty set must not read as deterministic.
+  EXPECT_FALSE(dedup.unique_observable_stream());
 }
 
 TEST_F(ExplorerTest, DedupSubtreesDetectsNontermination) {
@@ -481,6 +524,8 @@ TEST(ExplorerEquivalenceTest, MatchesReferenceOnRandomWorkloads) {
     ExplorerOptions options;
     options.max_depth = 24;
     options.max_total_steps = 8000;
+    // The reference explorer enumerates every order; compare like-for-like.
+    options.por = ExplorerOptions::PorMode::kOff;
     ReferenceExplorer reference(catalog.value(), db, options);
     auto expected = reference.Run(initial);
     ASSERT_TRUE(expected.ok()) << expected.status().ToString();
@@ -667,6 +712,71 @@ TEST_F(ShardedExplorerTest, QuiescenceAtStepBudgetMatchesClassic) {
   ExplorerOptions options;
   options.max_total_steps = 4;  // see QuiescenceExactlyAtStepBudgetIsComplete
   ExpectShardedMatchesClassic({"insert into a values (0)"}, options);
+}
+
+// Satellite regression (budget division): the classic `max_total_steps`
+// budget is DIVIDED across shards, not handed out per shard — before the
+// fix, num_threads=8 silently got up to 8x the classic exploration budget
+// and could report complete where the classic walk tripped. Three
+// non-commuting rules give a 15-step full tree; a budget of 8 trips the
+// classic walk, so every sharded pool size must trip too, with identical
+// results at 1 vs 8 threads.
+TEST_F(ShardedExplorerTest, StepBudgetIsDividedAcrossShards) {
+  Load("create table a (x int);",
+       "create rule w1 on a when inserted then update a set x = 1; "
+       "create rule w2 on a when inserted then update a set x = 2; "
+       "create rule w3 on a when inserted then update a set x = 3;");
+  ExplorerOptions options;
+  options.max_total_steps = 8;
+  options.num_threads = 0;
+  ExplorationResult classic = Explore({"insert into a values (0)"}, options);
+  EXPECT_FALSE(classic.complete);
+
+  options.num_threads = 1;
+  ExplorationResult one = Explore({"insert into a values (0)"}, options);
+  options.num_threads = 8;
+  ExplorationResult eight = Explore({"insert into a values (0)"}, options);
+  // The regression: with a per-shard budget, 3 shards x 8 steps >= 15
+  // total and both sharded runs would (wrongly) come back complete.
+  EXPECT_FALSE(one.complete);
+  EXPECT_FALSE(eight.complete);
+  // 1-vs-8-thread equivalence holds even on the truncated enumeration.
+  EXPECT_EQ(one.final_states, eight.final_states);
+  EXPECT_EQ(one.observable_streams, eight.observable_streams);
+  EXPECT_EQ(one.may_not_terminate, eight.may_not_terminate);
+  EXPECT_EQ(one.steps_taken, eight.steps_taken);
+
+  // With the full 15-step budget everything completes and the sharded
+  // division leaves the classic equivalence intact.
+  options.max_total_steps = 15;
+  ExpectShardedMatchesClassic({"insert into a values (0)"}, options);
+}
+
+// Satellite regression (stream-cap merge boundary): a sharded union of
+// EXACTLY max_streams fully enumerated streams is complete — only the
+// cap-plus-one union truncates. Pins the `>` (not `>=`) comparison in the
+// sharded merge.
+TEST_F(ShardedExplorerTest, StreamCapExactlyAtCapStaysComplete) {
+  Load("create table a (x int);",
+       "create rule s1 on a when inserted then select 1 from a; "
+       "create rule s2 on a when inserted then select 2 from a;");
+  // Two observable rules, two orders: the union holds exactly 2 streams.
+  ExplorerOptions options;
+  options.max_streams = 2;
+  for (int threads : {0, 1, 2, 8}) {
+    options.num_threads = threads;
+    ExplorationResult r = Explore({"insert into a values (0)"}, options);
+    EXPECT_EQ(r.observable_streams.size(), 2u) << "num_threads=" << threads;
+    EXPECT_TRUE(r.complete) << "num_threads=" << threads;
+  }
+  // Cap-plus-one: the same union against max_streams = 1 truncates.
+  options.max_streams = 1;
+  for (int threads : {0, 1, 2, 8}) {
+    options.num_threads = threads;
+    ExplorationResult r = Explore({"insert into a values (0)"}, options);
+    EXPECT_EQ(r.observable_streams.size(), 1u) << "num_threads=" << threads;
+    EXPECT_FALSE(r.complete) << "num_threads=" << threads;
+  }
 }
 
 TEST_F(ShardedExplorerTest, MoreThreadsThanShards) {
