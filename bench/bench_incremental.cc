@@ -1,0 +1,228 @@
+// bench_incremental: plain-chrono comparison of full re-analysis vs
+// incremental re-certification after a single-rule edit on a 10,000-rule
+// sparse catalog (workload/random_gen.h GenerateSparseCatalog), with a
+// --check mode the CI perf-smoke job runs against the checked-in
+// BENCH_incremental.json baseline.
+//
+// cold: first Analyze() on a freshly registered IncrementalAnalyzer —
+//       every overlapping pair's Lemma 6.1 verdict is computed. This is
+//       the from-scratch certification cost (registration excluded, which
+//       only makes the gate below harder to pass).
+// warm: RemoveRule + AddRule of one rule, then Analyze() — only the pairs
+//       involving the edited rule recompute; everything else is reused.
+//
+// Both paths cap the confluence report at the same violation budget so
+// the fixpoint cost is identical and the difference isolates pair-check
+// reuse.
+//
+// Usage:
+//   bench_incremental                        print a timing report
+//   bench_incremental --json                 print the report as JSON
+//   bench_incremental --check FILE [--max-ratio R]
+//       re-time both paths and exit 1 when the live warm/cold ratio
+//       exceeds R (default R = 0.05: a single-rule edit must re-certify
+//       in at most 5% of the full-analysis wall time). The ratio is
+//       machine-independent, so the gate holds across CI hardware; FILE
+//       is read only to confirm the checked-in baseline exists and has a
+//       ratio field.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/incremental.h"
+#include "workload/random_gen.h"
+
+using namespace starburst;  // NOLINT: tool brevity
+
+namespace {
+
+/// Truncating at a small violation cap keeps both paths' confluence
+/// fixpoint cost identical and small; the catalogs here are not confluent
+/// by design (clusters share tables), so an unlimited report would just
+/// enumerate violations.
+constexpr int kMaxViolations = 8;
+
+double ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void Die(const Status& status) {
+  std::fprintf(stderr, "analysis failed: %s\n", status.ToString().c_str());
+  std::exit(2);
+}
+
+/// Registers every rule of `set` into a fresh analyzer.
+IncrementalAnalyzer Register(const GeneratedRuleSet& set) {
+  IncrementalAnalyzer inc(set.schema.get());
+  for (const RuleDef& rule : set.rules) {
+    Status status = inc.AddRule(rule.Clone());
+    if (!status.ok()) Die(status);
+  }
+  return inc;
+}
+
+struct Measurement {
+  double cold_ns = 0;
+  double warm_ns = 0;
+  long cold_pairs_computed = 0;
+  long warm_pairs_computed = 0;
+  long warm_pairs_reused = 0;
+  long warm_components_reused = 0;
+};
+
+/// Medians over kReps repetitions. The cold path is one big Analyze() per
+/// repetition; the warm path loops edits until 0.2s of work accumulates
+/// (each edit removes and re-adds the same rule, so the catalog returns
+/// to an equivalent state every iteration).
+Measurement Measure(const GeneratedRuleSet& set) {
+  Measurement m;
+  constexpr int kReps = 5;
+
+  std::vector<double> cold_runs;
+  for (int rep = 0; rep < kReps; ++rep) {
+    IncrementalAnalyzer inc = Register(set);
+    auto start = std::chrono::steady_clock::now();
+    auto result = inc.Analyze({}, kMaxViolations);
+    cold_runs.push_back(ElapsedNs(start));
+    if (!result.ok()) Die(result.status());
+    m.cold_pairs_computed = result.value().stats.pair_checks_computed;
+  }
+  std::sort(cold_runs.begin(), cold_runs.end());
+  m.cold_ns = cold_runs[cold_runs.size() / 2];
+
+  // One long-lived analyzer for the warm path: the first Analyze() above
+  // the loop warms it, then every iteration is edit + re-certify.
+  IncrementalAnalyzer inc = Register(set);
+  if (auto warmup = inc.Analyze({}, kMaxViolations); !warmup.ok()) {
+    Die(warmup.status());
+  }
+  const RuleDef& edited = set.rules[set.rules.size() / 2];
+  std::vector<double> warm_runs;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    int iters = 0;
+    double elapsed_ns = 0;
+    while (elapsed_ns < 0.2 * 1e9) {
+      if (Status s = inc.RemoveRule(edited.name); !s.ok()) Die(s);
+      if (Status s = inc.AddRule(edited.Clone()); !s.ok()) Die(s);
+      auto result = inc.Analyze({}, kMaxViolations);
+      if (!result.ok()) Die(result.status());
+      m.warm_pairs_computed = result.value().stats.pair_checks_computed;
+      m.warm_pairs_reused = result.value().stats.pair_checks_reused;
+      m.warm_components_reused =
+          result.value().stats.termination_components_reused;
+      ++iters;
+      elapsed_ns = ElapsedNs(start);
+    }
+    warm_runs.push_back(elapsed_ns / iters);
+  }
+  std::sort(warm_runs.begin(), warm_runs.end());
+  m.warm_ns = warm_runs[warm_runs.size() / 2];
+  return m;
+}
+
+/// Minimal extraction of `"key": <number>` from the baseline JSON; good
+/// enough for the file this tool writes itself.
+double JsonNumber(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  std::string check_path;
+  double max_ratio = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (arg == "--max-ratio" && i + 1 < argc) {
+      max_ratio = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_incremental [--json] [--check FILE "
+                   "[--max-ratio R]]\n");
+      return 2;
+    }
+  }
+
+  SparseCatalogParams params;  // 10k rules, 100 clusters, 5% overlap.
+  GeneratedRuleSet set = RandomRuleSetGenerator::GenerateSparseCatalog(params);
+  Measurement m = Measure(set);
+  double ratio = m.warm_ns / m.cold_ns;
+
+  if (!check_path.empty()) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", check_path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    double baseline_ratio = JsonNumber(buffer.str(), "ratio");
+    if (baseline_ratio <= 0) {
+      std::fprintf(stderr, "baseline %s has no ratio\n", check_path.c_str());
+      return 2;
+    }
+    std::printf(
+        "incremental re-certification: %.2f%% of full analysis "
+        "(baseline %.2f%%, limit %.1f%%)\n",
+        100 * ratio, 100 * baseline_ratio, 100 * max_ratio);
+    if (ratio > max_ratio) {
+      std::fprintf(stderr, "PERF REGRESSION: %.2f%% > %.1f%%\n", 100 * ratio,
+                   100 * max_ratio);
+      return 1;
+    }
+    return 0;
+  }
+
+  double speedup = m.cold_ns / m.warm_ns;
+  if (as_json) {
+    std::printf(
+        "{\n"
+        "  \"workload\": \"sparse_catalog_n%d_c%d_overlap%.2f\",\n"
+        "  \"num_rules\": %d,\n"
+        "  \"cold_ns\": %.0f,\n"
+        "  \"warm_ns\": %.0f,\n"
+        "  \"ratio\": %.6f,\n"
+        "  \"speedup\": %.1f,\n"
+        "  \"cold_pairs_computed\": %ld,\n"
+        "  \"warm_pairs_computed\": %ld,\n"
+        "  \"warm_pairs_reused\": %ld,\n"
+        "  \"warm_components_reused\": %ld\n"
+        "}\n",
+        params.num_rules, params.num_clusters, params.overlap_density,
+        params.num_rules, m.cold_ns, m.warm_ns, ratio, speedup,
+        m.cold_pairs_computed, m.warm_pairs_computed, m.warm_pairs_reused,
+        m.warm_components_reused);
+  } else {
+    std::printf("workload: %d rules, %d clusters, %.0f%% overlap density\n",
+                params.num_rules, params.num_clusters,
+                100 * params.overlap_density);
+    std::printf("full analysis (cold):          %12.0f ns  (%ld pair checks "
+                "computed)\n",
+                m.cold_ns, m.cold_pairs_computed);
+    std::printf("one-rule re-certify (warm):    %12.0f ns  (%ld computed, "
+                "%ld reused, %ld components reused)\n",
+                m.warm_ns, m.warm_pairs_computed, m.warm_pairs_reused,
+                m.warm_components_reused);
+    std::printf("warm/cold ratio: %.3f%%  (speedup %.0fx)\n", 100 * ratio,
+                speedup);
+  }
+  return 0;
+}

@@ -62,49 +62,58 @@ CommutativityAnalyzer::CommutativityAnalyzer(
       certifications_(std::move(certifications)) {
   int n = prelim_.num_rules();
   STARBURST_TRACE_SPAN("analysis", "pair_sweep");
-  // The total (upper-triangle pair count) is a pure function of n, so the
-  // counter is identical for any thread count. Incremented per row chunk
-  // in the parallel branch so a mid-run snapshot shows sweep progress.
-  syntactically_commute_.assign(n, std::vector<bool>(n, false));
+  // Sparse sweep: rules with disjoint table footprints commute by
+  // construction (see rule_index.h), so only overlap candidates are
+  // checked. Pairs default to commuting; the sweep records the
+  // noncommuting exceptions. The pairs_swept counter counts materialized
+  // candidate pairs — at high overlap density it approaches n(n-1)/2, on
+  // sparse catalogs it is far smaller. Incremented per row chunk so a
+  // mid-run snapshot shows sweep progress; the total is a pure function of
+  // the catalog, identical for any thread count.
+  syntactically_commute_.assign(n, std::vector<bool>(n, true));
+  const RuleFootprintIndex& index = prelim_.index();
+  auto sweep_row = [&](RuleIndex i) {
+    // Per-row noncommute list: candidates j > i only (symmetry mirrors
+    // them), counted as the swept pairs for this row.
+    std::vector<RuleIndex> noncommute;
+    int64_t pairs = 0;
+    for (RuleIndex j : index.OverlapCandidates(i)) {
+      if (j <= i) continue;
+      ++pairs;
+      if (!SyntacticallyCommutePair(prelim_, i, j)) noncommute.push_back(j);
+    }
+    return std::make_pair(std::move(noncommute), pairs);
+  };
   if (n < 16) {
     // Too few pairs to amortize a pool wakeup.
-    STARBURST_METRIC_COUNT("analysis.pairs_swept",
-                           static_cast<int64_t>(n) * (n - 1) / 2);
     for (RuleIndex i = 0; i < n; ++i) {
-      syntactically_commute_[i][i] = true;
-      for (RuleIndex j = i + 1; j < n; ++j) {
-        bool syntactic = SyntacticallyCommutePair(prelim_, i, j);
-        syntactically_commute_[i][j] = syntactically_commute_[j][i] =
-            syntactic;
+      auto [noncommute, pairs] = sweep_row(i);
+      STARBURST_METRIC_COUNT("analysis.pairs_swept", pairs);
+      for (RuleIndex j : noncommute) {
+        syntactically_commute_[i][j] = syntactically_commute_[j][i] = false;
       }
     }
   } else {
-    // Each (i, j) verdict is a pure function of (prelim, i, j), so the
-    // upper triangle is computed in parallel. Workers write disjoint bytes
-    // of a flat buffer (vector<bool> packs bits, so rows are mirrored into
-    // it sequentially afterwards); verdicts are identical for any thread
+    // Each (i, j) verdict is a pure function of (prelim, i, j), so rows
+    // are swept in parallel. Workers fill disjoint per-row noncommute
+    // lists (vector<bool> packs bits, so the matrix itself is written
+    // sequentially afterwards); verdicts are identical for any thread
     // count.
-    std::vector<uint8_t> upper(static_cast<size_t>(n) * n, 0);
-    ParallelFor(static_cast<size_t>(n), 1, [&](size_t row_begin,
-                                               size_t row_end) {
-      int64_t pairs = 0;
-      for (size_t i = row_begin; i < row_end; ++i) {
-        pairs += n - 1 - static_cast<int64_t>(i);
-        for (int j = static_cast<int>(i) + 1; j < n; ++j) {
-          upper[i * n + j] =
-              SyntacticallyCommutePair(prelim_, static_cast<RuleIndex>(i), j)
-                  ? 1
-                  : 0;
-        }
-      }
-      STARBURST_METRIC_COUNT("analysis.pairs_swept", pairs);
-    });
+    std::vector<std::vector<RuleIndex>> rows(n);
+    ParallelFor(static_cast<size_t>(n), 1,
+                [&](size_t row_begin, size_t row_end) {
+                  int64_t pairs = 0;
+                  for (size_t i = row_begin; i < row_end; ++i) {
+                    auto [noncommute, row_pairs] =
+                        sweep_row(static_cast<RuleIndex>(i));
+                    rows[i] = std::move(noncommute);
+                    pairs += row_pairs;
+                  }
+                  STARBURST_METRIC_COUNT("analysis.pairs_swept", pairs);
+                });
     for (RuleIndex i = 0; i < n; ++i) {
-      syntactically_commute_[i][i] = true;
-      for (RuleIndex j = i + 1; j < n; ++j) {
-        bool syntactic = upper[static_cast<size_t>(i) * n + j] != 0;
-        syntactically_commute_[i][j] = syntactically_commute_[j][i] =
-            syntactic;
+      for (RuleIndex j : rows[i]) {
+        syntactically_commute_[i][j] = syntactically_commute_[j][i] = false;
       }
     }
   }
@@ -123,16 +132,15 @@ CommutativityAnalyzer::CommutativityAnalyzer(
 }
 
 void CommutativityAnalyzer::ApplyCertifications() {
-  int n = prelim_.num_rules();
-  commute_.assign(n, std::vector<bool>(n, false));
-  for (RuleIndex i = 0; i < n; ++i) {
-    commute_[i][i] = true;
-    for (RuleIndex j = i + 1; j < n; ++j) {
-      bool commute = syntactically_commute_[i][j] ||
-                     certifications_.Contains(prelim_.rule(i).name,
-                                              prelim_.rule(j).name);
-      commute_[i][j] = commute_[j][i] = commute;
-    }
+  // Certification-driven: start from the syntactic verdicts and upgrade
+  // only the certified pairs (O(n²) per-pair name lookups would dominate
+  // large catalogs).
+  commute_ = syntactically_commute_;
+  for (const auto& [a, b] : certifications_.pairs()) {
+    RuleIndex i = prelim_.FindRule(a);
+    RuleIndex j = prelim_.FindRule(b);
+    if (i < 0 || j < 0) continue;  // certification for an absent rule
+    commute_[i][j] = commute_[j][i] = true;
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef STARBURST_ANALYSIS_CONFLUENCE_H_
 #define STARBURST_ANALYSIS_CONFLUENCE_H_
 
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -80,6 +81,49 @@ class ConfluenceAnalyzer {
 
   const CommutativityAnalyzer& commutativity_;
   const PriorityOrder& priority_;
+};
+
+/// Sparse confluence scan over the full rule set, driven by the per-rule
+/// noncommute adjacency maintained by the incremental analyzer instead of
+/// a dense commutativity matrix.
+///
+/// The scan materializes a pair (a, b) only when it can matter:
+///   - the pair can *grow* beyond singleton sets — possible only when
+///     can-seed(a) or can-seed(b), where can-seed(x) ⇔ some rule triggered
+///     by x has a lower-priority rule (a sound over-approximation of the
+///     first Definition 6.5 growth step); or
+///   - the singleton pair is syntactically noncommutative (b appears in
+///     noncommute[a]).
+/// Every other unordered pair keeps singleton sets {a}, {b} that commute,
+/// so it contributes to the statistics but cannot produce a violation; the
+/// statistics are reconstructed in closed form. Verdicts, violations (and
+/// their order), and statistics are bit-identical to ConfluenceAnalyzer
+/// over the same rule set.
+class SparseConfluenceAnalyzer {
+ public:
+  /// `noncommute[i]` must be the sorted list of rules j ≠ i that fail the
+  /// Lemma 6.1 syntactic check against i (symmetric, certifications NOT
+  /// applied). All references must outlive the analyzer.
+  SparseConfluenceAnalyzer(
+      const PrelimAnalysis& prelim, const PriorityOrder& priority,
+      const std::vector<std::vector<RuleIndex>>& noncommute,
+      const CommutativityCertifications& certifications);
+
+  /// Mirrors ConfluenceAnalyzer::Analyze over the full rule set.
+  ConfluenceReport Analyze(bool termination_guaranteed,
+                           int max_violations = -1) const;
+
+  /// True when i and j are (conservatively) guaranteed to commute, with
+  /// certifications applied — the sparse equivalent of
+  /// CommutativityAnalyzer::Commute.
+  bool Commute(RuleIndex i, RuleIndex j) const;
+
+ private:
+  const PrelimAnalysis& prelim_;
+  const PriorityOrder& priority_;
+  const std::vector<std::vector<RuleIndex>>& noncommute_;
+  /// Certified pairs resolved to normalized (lo, hi) index pairs.
+  std::set<std::pair<RuleIndex, RuleIndex>> certified_;
 };
 
 }  // namespace starburst

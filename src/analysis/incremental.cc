@@ -1,6 +1,7 @@
 #include "analysis/incremental.h"
 
 #include <cstdint>
+#include <utility>
 
 #include "analysis/priority.h"
 #include "common/metrics.h"
@@ -9,112 +10,230 @@
 
 namespace starburst {
 
-namespace {
-
-std::pair<std::string, std::string> PairKey(const std::string& a,
-                                            const std::string& b) {
-  std::string x = ToLower(a);
-  std::string y = ToLower(b);
-  if (y < x) std::swap(x, y);
-  return {std::move(x), std::move(y)};
-}
-
-}  // namespace
-
 IncrementalAnalyzer::IncrementalAnalyzer(
     const Schema* schema, CommutativityCertifications certifications)
     : schema_(schema), certifications_(std::move(certifications)) {}
 
+const std::string& IncrementalAnalyzer::rule_name(RuleIndex i) const {
+  return prelim_.rule(i).name;
+}
+
+void IncrementalAnalyzer::RebuildPriorityEdges() {
+  int n = prelim_.num_rules();
+  prio_out_.assign(n, {});
+  have_dangling_ = false;
+  for (int i = 0; i < n; ++i) {
+    for (const std::string& other : rules_[i].precedes) {
+      RuleIndex j = prelim_.FindRule(other);
+      if (j < 0) {
+        have_dangling_ = true;
+        continue;
+      }
+      prio_out_[i].push_back(j);
+    }
+    for (const std::string& other : rules_[i].follows) {
+      RuleIndex j = prelim_.FindRule(other);
+      if (j < 0) {
+        have_dangling_ = true;
+        continue;
+      }
+      prio_out_[j].push_back(i);
+    }
+  }
+  prio_edges_stale_ = have_dangling_;
+}
+
+Status IncrementalAnalyzer::CheckPriorityAcyclic(
+    const std::vector<RuleIndex>& out_targets,
+    const std::vector<RuleIndex>& in_sources) const {
+  if (out_targets.empty() || in_sources.empty()) return Status::OK();
+  int n = prelim_.num_rules();
+  std::vector<char> is_source(n, 0);
+  for (RuleIndex s : in_sources) is_source[s] = 1;
+  // DFS from the new rule's lower neighbors; reaching a higher neighbor
+  // closes a cycle through the new rule. Parents reconstruct the path.
+  std::vector<RuleIndex> parent(n, -2);  // -2 = unvisited, -1 = DFS root
+  std::vector<RuleIndex> stack;
+  RuleIndex hit = -1;
+  for (RuleIndex t : out_targets) {
+    if (parent[t] != -2) continue;
+    parent[t] = -1;
+    if (is_source[t]) {
+      hit = t;
+      break;
+    }
+    stack.push_back(t);
+  }
+  while (hit < 0 && !stack.empty()) {
+    RuleIndex v = stack.back();
+    stack.pop_back();
+    for (RuleIndex w : prio_out_[v]) {
+      if (parent[w] != -2) continue;
+      parent[w] = v;
+      if (is_source[w]) {
+        hit = w;
+        break;
+      }
+      stack.push_back(w);
+    }
+  }
+  if (hit < 0) return Status::OK();
+  RuleIndex min_node = hit;
+  for (RuleIndex v = parent[hit]; v >= 0; v = parent[v]) {
+    min_node = std::min(min_node, v);
+  }
+  const std::string& who = prelim_.rule(min_node).name;
+  return Status::SemanticError(
+      "priority ordering is cyclic (rule '" + who +
+      "' transitively precedes itself); precedes/follows must define a "
+      "partial order");
+}
+
 Status IncrementalAnalyzer::AddRule(RuleDef rule) {
-  // Validate against the current set before committing.
-  std::vector<RuleDef> candidate;
-  candidate.reserve(rules_.size() + 1);
-  for (const RuleDef& r : rules_) candidate.push_back(r.Clone());
-  candidate.push_back(rule.Clone());
-  auto prelim = PrelimAnalysis::Compute(*schema_, candidate);
-  if (!prelim.ok()) return prelim.status();
-  auto priority = PriorityOrder::Build(prelim.value(), candidate);
-  if (!priority.ok()) return priority.status();
+  if (prelim_.FindRule(rule.name) >= 0) {
+    return Status::SemanticError("duplicate rule name '" + rule.name + "'");
+  }
+  auto computed = PrelimAnalysis::ComputeRule(*schema_, rule);
+  ++rule_validations_;
+  if (!computed.ok()) return computed.status();
+
+  // Validate the new rule's priority clauses against the committed set.
+  if (prio_edges_stale_) RebuildPriorityEdges();
+  std::vector<RuleIndex> out_targets, in_sources;
+  for (const std::string& other : rule.precedes) {
+    if (EqualsIgnoreCase(other, rule.name)) {
+      return Status::SemanticError(
+          "priority ordering is cyclic (rule '" + rule.name +
+          "' transitively precedes itself); precedes/follows must define a "
+          "partial order");
+    }
+    RuleIndex j = prelim_.FindRule(other);
+    if (j < 0) {
+      return Status::SemanticError("rule '" + rule.name +
+                                   "' precedes unknown rule '" + other + "'");
+    }
+    out_targets.push_back(j);
+  }
+  for (const std::string& other : rule.follows) {
+    if (EqualsIgnoreCase(other, rule.name)) {
+      return Status::SemanticError(
+          "priority ordering is cyclic (rule '" + rule.name +
+          "' transitively precedes itself); precedes/follows must define a "
+          "partial order");
+    }
+    RuleIndex j = prelim_.FindRule(other);
+    if (j < 0) {
+      return Status::SemanticError("rule '" + rule.name +
+                                   "' follows unknown rule '" + other + "'");
+    }
+    in_sources.push_back(j);
+  }
+  STARBURST_RETURN_IF_ERROR(CheckPriorityAcyclic(out_targets, in_sources));
+
+  // Commit.
+  RuleIndex n = prelim_.AppendComputed(std::move(computed).value());
   rules_.push_back(std::move(rule));
+  term_cache_.rule_versions[ToLower(rules_.back().name)] = next_version_++;
+  noncommute_.emplace_back();
+  dirty_.push_back(1);
+  if (!prio_edges_stale_) {
+    prio_out_.push_back(std::move(out_targets));
+    for (RuleIndex s : in_sources) prio_out_[s].push_back(n);
+  }
+  overlap_pairs_ +=
+      static_cast<long>(prelim_.index().OverlapCandidates(n).size());
   return Status::OK();
 }
 
 Status IncrementalAnalyzer::RemoveRule(const std::string& name) {
-  for (size_t i = 0; i < rules_.size(); ++i) {
-    if (EqualsIgnoreCase(rules_[i].name, name)) {
-      std::string key = ToLower(name);
-      for (auto it = pair_cache_.begin(); it != pair_cache_.end();) {
-        if (it->first.first == key || it->first.second == key) {
-          it = pair_cache_.erase(it);
-        } else {
-          ++it;
-        }
-      }
-      rules_.erase(rules_.begin() + static_cast<long>(i));
-      return Status::OK();
-    }
+  RuleIndex r = prelim_.FindRule(name);
+  if (r < 0) return Status::NotFound("no rule named '" + name + "'");
+  overlap_pairs_ -=
+      static_cast<long>(prelim_.index().OverlapCandidates(r).size());
+  for (std::vector<RuleIndex>& row : noncommute_) {
+    auto it = std::lower_bound(row.begin(), row.end(), r);
+    if (it != row.end() && *it == r) it = row.erase(it);
+    for (; it != row.end(); ++it) --*it;
   }
-  return Status::NotFound("no rule named '" + name + "'");
+  noncommute_.erase(noncommute_.begin() + r);
+  dirty_.erase(dirty_.begin() + r);
+  term_cache_.rule_versions.erase(ToLower(rules_[r].name));
+  rules_.erase(rules_.begin() + r);
+  prelim_.RemoveRuleAt(r);
+  // Indices shifted; rebuild the direct priority edges lazily.
+  prio_out_.clear();
+  prio_edges_stale_ = true;
+  return Status::OK();
 }
 
 Result<IncrementalAnalyzer::RunResult> IncrementalAnalyzer::Analyze(
     const TerminationCertifications& certs, int max_violations) {
-  STARBURST_ASSIGN_OR_RETURN(PrelimAnalysis prelim,
-                             PrelimAnalysis::Compute(*schema_, rules_));
+  // Full clause resolution every analysis: this is where dangling
+  // precedes/follows left by RemoveRule surface as errors.
   STARBURST_ASSIGN_OR_RETURN(PriorityOrder priority,
-                             PriorityOrder::Build(prelim, rules_));
+                             PriorityOrder::Build(prelim_, rules_));
   RunResult result;
 
-  // Build the syntactic matrix, reusing cached pair verdicts. Misses are
-  // collected first, computed in parallel (each verdict is a pure function
-  // of the pair), then folded back into the cache sequentially — so the
-  // cache contents, the matrix, and the reuse counters are identical for
-  // any thread count.
-  int n = prelim.num_rules();
-  std::vector<std::vector<bool>> syntactic(n, std::vector<bool>(n, false));
+  // Pair sweep over dirty rules only. A dirty rule is always newly added
+  // (a redefinition is Remove + Add), so its noncommute row is empty and
+  // there are no stale verdicts to purge. Misses are computed in parallel
+  // (each verdict is a pure function of the pair), then folded back
+  // sequentially — the adjacency and the counters are identical for any
+  // thread count.
+  int n = prelim_.num_rules();
   struct Miss {
-    RuleIndex i;
-    RuleIndex j;
-    std::pair<std::string, std::string> key;
+    RuleIndex d;
+    RuleIndex c;
   };
   std::vector<Miss> misses;
-  for (RuleIndex i = 0; i < n; ++i) {
-    syntactic[i][i] = true;
-    for (RuleIndex j = i + 1; j < n; ++j) {
-      auto key = PairKey(prelim.rule(i).name, prelim.rule(j).name);
-      auto it = pair_cache_.find(key);
-      if (it != pair_cache_.end()) {
-        ++result.stats.pair_checks_reused;
-        syntactic[i][j] = syntactic[j][i] = it->second;
-      } else {
-        misses.push_back({i, j, std::move(key)});
-      }
+  for (RuleIndex d = 0; d < n; ++d) {
+    if (!dirty_[d]) continue;
+    for (RuleIndex c : prelim_.index().OverlapCandidates(d)) {
+      if (dirty_[c] && c < d) continue;  // pair enumerated from c's sweep
+      misses.push_back({d, c});
     }
   }
   std::vector<uint8_t> verdicts(misses.size(), 0);
   ParallelFor(misses.size(), 8, [&](size_t begin, size_t end) {
     for (size_t k = begin; k < end; ++k) {
       verdicts[k] = CommutativityAnalyzer::SyntacticallyCommutePair(
-                        prelim, misses[k].i, misses[k].j)
+                        prelim_, misses[k].d, misses[k].c)
                         ? 1
                         : 0;
     }
   });
+  std::vector<RuleIndex> touched;
   for (size_t k = 0; k < misses.size(); ++k) {
-    bool verdict = verdicts[k] != 0;
-    syntactic[misses[k].i][misses[k].j] =
-        syntactic[misses[k].j][misses[k].i] = verdict;
-    pair_cache_.emplace(std::move(misses[k].key), verdict);
-    ++result.stats.pair_checks_computed;
+    if (verdicts[k] != 0) continue;
+    noncommute_[misses[k].d].push_back(misses[k].c);
+    noncommute_[misses[k].c].push_back(misses[k].d);
+    touched.push_back(misses[k].d);
+    touched.push_back(misses[k].c);
   }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (RuleIndex t : touched) {
+    std::sort(noncommute_[t].begin(), noncommute_[t].end());
+  }
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  result.stats.pair_checks_computed = static_cast<long>(misses.size());
+  result.stats.pair_checks_reused =
+      overlap_pairs_ - result.stats.pair_checks_computed;
   STARBURST_METRIC_COUNT("analysis.pair_cache_hits",
                          result.stats.pair_checks_reused);
   STARBURST_METRIC_COUNT("analysis.pair_cache_misses",
                          result.stats.pair_checks_computed);
-  CommutativityAnalyzer commutativity(prelim, *schema_, certifications_,
-                                      std::move(syntactic));
-  result.termination = TerminationAnalyzer::Analyze(prelim, certs);
-  ConfluenceAnalyzer confluence(commutativity, priority);
+
+  long hits_before = term_cache_.hits;
+  long misses_before = term_cache_.misses;
+  result.termination = TerminationAnalyzer::Analyze(prelim_, certs,
+                                                    &term_cache_);
+  result.stats.termination_components_reused = term_cache_.hits - hits_before;
+  result.stats.termination_components_recomputed =
+      term_cache_.misses - misses_before;
+
+  SparseConfluenceAnalyzer confluence(prelim_, priority, noncommute_,
+                                      certifications_);
   result.confluence =
       confluence.Analyze(result.termination.guaranteed, max_violations);
   return result;

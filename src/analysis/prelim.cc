@@ -298,6 +298,75 @@ bool CanUntriggerWith(const OperationSet& ops, const RulePrelim& prelim) {
 
 }  // namespace
 
+Result<RulePrelim> PrelimAnalysis::ComputeRule(const Schema& schema,
+                                               const RuleDef& rule) {
+  RulePrelim prelim;
+  prelim.name = rule.name;
+  TableId t = schema.FindTable(rule.table);
+  if (t == kInvalidTableId) {
+    return Status::SemanticError("rule '" + rule.name + "': unknown table '" +
+                                 rule.table + "'");
+  }
+  prelim.table = t;
+  prelim.referenced_tables.insert(t);
+  if (rule.events.empty()) {
+    return Status::SemanticError("rule '" + rule.name +
+                                 "' has no triggering operations");
+  }
+  // Triggered-By from the transition predicate.
+  for (const TriggerEvent& ev : rule.events) {
+    switch (ev.kind) {
+      case TriggerEvent::Kind::kInserted:
+        prelim.triggered_by.insert(Operation::Insert(t));
+        break;
+      case TriggerEvent::Kind::kDeleted:
+        prelim.triggered_by.insert(Operation::Delete(t));
+        break;
+      case TriggerEvent::Kind::kUpdated:
+        if (ev.columns.empty()) {
+          for (ColumnId c = 0; c < schema.table(t).num_columns(); ++c) {
+            prelim.triggered_by.insert(Operation::Update(t, c));
+          }
+        } else {
+          for (const std::string& col : ev.columns) {
+            ColumnId c = schema.table(t).FindColumn(col);
+            if (c == kInvalidColumnId) {
+              return Status::SemanticError("rule '" + rule.name +
+                                           "': no column '" + col +
+                                           "' in table '" + rule.table + "'");
+            }
+            prelim.triggered_by.insert(Operation::Update(t, c));
+          }
+        }
+        break;
+    }
+  }
+  RuleWalker walker(schema, rule, &prelim);
+  STARBURST_RETURN_IF_ERROR(walker.Walk());
+  return prelim;
+}
+
+std::vector<RuleIndex> PrelimAnalysis::ComputeTriggersRow(RuleIndex i) const {
+  // A rule rj can only be triggered by operations on its own table, so the
+  // targets of i's edges all live in the RulesOn() buckets of the tables i
+  // performs operations on — each candidate appears in exactly one bucket.
+  std::vector<RuleIndex> row;
+  TableId last = kInvalidTableId;
+  for (const Operation& op : prelims_[i].performs) {
+    if (op.table == last) continue;  // performs is table-ordered
+    last = op.table;
+    for (RuleIndex j : index_.RulesOn(op.table)) {
+      if (Intersects(prelims_[i].performs, prelims_[j].triggered_by)) {
+        row.push_back(j);
+      }
+    }
+  }
+  // Invariant: Triggers() rows are sorted ascending. TriggersRule() and
+  // TriggeringGraph::HasEdge() binary-search them.
+  std::sort(row.begin(), row.end());
+  return row;
+}
+
 Result<PrelimAnalysis> PrelimAnalysis::Compute(
     const Schema& schema, const std::vector<RuleDef>& rules) {
   PrelimAnalysis analysis;
@@ -307,66 +376,54 @@ Result<PrelimAnalysis> PrelimAnalysis::Compute(
     if (!names.insert(ToLower(rule.name)).second) {
       return Status::SemanticError("duplicate rule name '" + rule.name + "'");
     }
-    RulePrelim prelim;
-    prelim.name = rule.name;
-    TableId t = schema.FindTable(rule.table);
-    if (t == kInvalidTableId) {
-      return Status::SemanticError("rule '" + rule.name +
-                                   "': unknown table '" + rule.table + "'");
-    }
-    prelim.table = t;
-    prelim.referenced_tables.insert(t);
-    if (rule.events.empty()) {
-      return Status::SemanticError("rule '" + rule.name +
-                                   "' has no triggering operations");
-    }
-    // Triggered-By from the transition predicate.
-    for (const TriggerEvent& ev : rule.events) {
-      switch (ev.kind) {
-        case TriggerEvent::Kind::kInserted:
-          prelim.triggered_by.insert(Operation::Insert(t));
-          break;
-        case TriggerEvent::Kind::kDeleted:
-          prelim.triggered_by.insert(Operation::Delete(t));
-          break;
-        case TriggerEvent::Kind::kUpdated:
-          if (ev.columns.empty()) {
-            for (ColumnId c = 0; c < schema.table(t).num_columns(); ++c) {
-              prelim.triggered_by.insert(Operation::Update(t, c));
-            }
-          } else {
-            for (const std::string& col : ev.columns) {
-              ColumnId c = schema.table(t).FindColumn(col);
-              if (c == kInvalidColumnId) {
-                return Status::SemanticError(
-                    "rule '" + rule.name + "': no column '" + col +
-                    "' in table '" + rule.table + "'");
-              }
-              prelim.triggered_by.insert(Operation::Update(t, c));
-            }
-          }
-          break;
-      }
-    }
-    RuleWalker walker(schema, rule, &prelim);
-    STARBURST_RETURN_IF_ERROR(walker.Walk());
+    STARBURST_ASSIGN_OR_RETURN(RulePrelim prelim, ComputeRule(schema, rule));
     analysis.prelims_.push_back(std::move(prelim));
   }
 
-  // Triggers relation.
+  // Triggers relation, enumerated sparsely through the footprint index
+  // instead of the all-pairs product.
   int n = analysis.num_rules();
-  analysis.triggers_.assign(n, {});
-  analysis.triggers_matrix_.assign(n, std::vector<bool>(n, false));
+  analysis.index_.Build(analysis.prelims_);
+  analysis.triggers_.reserve(n);
   for (RuleIndex i = 0; i < n; ++i) {
-    for (RuleIndex j = 0; j < n; ++j) {
-      if (Intersects(analysis.prelims_[i].performs,
-                     analysis.prelims_[j].triggered_by)) {
-        analysis.triggers_[i].push_back(j);
-        analysis.triggers_matrix_[i][j] = true;
-      }
-    }
+    analysis.triggers_.push_back(analysis.ComputeTriggersRow(i));
+    analysis.name_index_[ToLower(analysis.prelims_[i].name)] = i;
   }
   return analysis;
+}
+
+RuleIndex PrelimAnalysis::AppendComputed(RulePrelim prelim) {
+  RuleIndex n = num_rules();
+  prelims_.push_back(std::move(prelim));
+  index_.Append(prelims_[n]);
+  name_index_[ToLower(prelims_[n].name)] = n;
+  // In-edges: only rules touching the new rule's table can perform an
+  // operation that triggers it. Appending index n keeps rows sorted.
+  for (RuleIndex j : index_.RulesTouching(prelims_[n].table)) {
+    if (j != n && Intersects(prelims_[j].performs, prelims_[n].triggered_by)) {
+      triggers_[j].push_back(n);
+    }
+  }
+  // Out-edges (including a possible self-loop).
+  triggers_.push_back(ComputeTriggersRow(n));
+  return n;
+}
+
+void PrelimAnalysis::RemoveRuleAt(RuleIndex r) {
+  // Drop in-edges to r and close the index gap; rows stay sorted because
+  // the erase/decrement pass preserves relative order.
+  for (std::vector<RuleIndex>& row : triggers_) {
+    auto it = std::lower_bound(row.begin(), row.end(), r);
+    if (it != row.end() && *it == r) it = row.erase(it);
+    for (; it != row.end(); ++it) --*it;
+  }
+  triggers_.erase(triggers_.begin() + r);
+  name_index_.erase(ToLower(prelims_[r].name));
+  for (auto& [name, idx] : name_index_) {
+    if (idx > r) --idx;
+  }
+  prelims_.erase(prelims_.begin() + r);
+  index_.Remove(r);
 }
 
 std::vector<RuleIndex> PrelimAnalysis::CanUntrigger(
@@ -390,14 +447,15 @@ PrelimAnalysis PrelimAnalysis::ExtendWithObservableTable(
     prelim.performs.insert(Operation::Insert(obs_table));
     prelim.reads.insert(TableColumn{obs_table, 0});
   }
+  // Rebuild the footprint index: every observable rule now touches Obs, so
+  // observable pairs must surface as overlap candidates.
+  extended.index_.Build(extended.prelims_);
   return extended;
 }
 
 RuleIndex PrelimAnalysis::FindRule(const std::string& name) const {
-  for (RuleIndex i = 0; i < num_rules(); ++i) {
-    if (EqualsIgnoreCase(prelims_[i].name, name)) return i;
-  }
-  return -1;
+  auto it = name_index_.find(ToLower(name));
+  return it == name_index_.end() ? -1 : it->second;
 }
 
 }  // namespace starburst

@@ -1,19 +1,19 @@
 #ifndef STARBURST_ANALYSIS_PRELIM_H_
 #define STARBURST_ANALYSIS_PRELIM_H_
 
+#include <algorithm>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/ops.h"
+#include "analysis/rule_index.h"
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "rulelang/ast.h"
 
 namespace starburst {
-
-/// Dense index of a rule within the analyzed rule set R.
-using RuleIndex = int;
 
 /// The per-rule sets of Section 3, computed by syntactic analysis.
 struct RulePrelim {
@@ -50,19 +50,30 @@ class PrelimAnalysis {
   static Result<PrelimAnalysis> Compute(const Schema& schema,
                                         const std::vector<RuleDef>& rules);
 
+  /// Validates and analyzes a single rule in isolation — the per-rule body
+  /// of Compute(), minus the duplicate-name check (which needs the whole
+  /// set). The incremental analyzer builds on this so a k-rule catalog
+  /// costs k single-rule validations, not O(k²).
+  static Result<RulePrelim> ComputeRule(const Schema& schema,
+                                        const RuleDef& rule);
+
   int num_rules() const { return static_cast<int>(prelims_.size()); }
   const RulePrelim& rule(RuleIndex i) const { return prelims_[i]; }
   const std::vector<RulePrelim>& rules() const { return prelims_; }
 
   /// Triggers(r): rules that can become triggered by r's action
   /// (Performs(r) ∩ Triggered-By(r') ≠ ∅), possibly including r itself.
+  /// Rows are sorted ascending (see the build-site invariant note in
+  /// prelim.cc); TriggeringGraph::HasEdge binary-searches them.
   const std::vector<RuleIndex>& Triggers(RuleIndex r) const {
     return triggers_[r];
   }
 
-  /// True iff rj ∈ Triggers(ri).
+  /// True iff rj ∈ Triggers(ri). O(log |Triggers(ri)|) over the sorted
+  /// adjacency row (no dense matrix is materialized).
   bool TriggersRule(RuleIndex ri, RuleIndex rj) const {
-    return triggers_matrix_[ri][rj];
+    const std::vector<RuleIndex>& row = triggers_[ri];
+    return std::binary_search(row.begin(), row.end(), rj);
   }
 
   /// Can-Untrigger(O): rules that can be untriggered by the operations in
@@ -76,17 +87,37 @@ class PrelimAnalysis {
   /// Finds a rule by (case-insensitive) name; -1 if absent.
   RuleIndex FindRule(const std::string& name) const;
 
+  /// The inverted table -> rules index over the current rule set, used for
+  /// sparse pair enumeration (only overlapping pairs can be
+  /// noncommutative — see rule_index.h).
+  const RuleFootprintIndex& index() const { return index_; }
+
+  /// Appends an already-validated rule prelim (from ComputeRule) as the new
+  /// highest index, updating the Triggers relation and the footprint index
+  /// incrementally. Precondition: the name is not already present.
+  RuleIndex AppendComputed(RulePrelim prelim);
+
+  /// Removes rule `r`; every index above `r` shifts down by one. The
+  /// Triggers relation and the footprint index are updated in place.
+  void RemoveRuleAt(RuleIndex r);
+
   /// Returns a copy with the Section 8 extensions Reads_obs / Performs_obs:
   /// every observable rule additionally performs (I, Obs) and reads Obs.c,
   /// where Obs is the fictional log table identified by `obs_table` (use a
   /// pseudo id outside the schema, e.g. schema.num_tables()). The Triggers
-  /// relation is unchanged (no rule is triggered by operations on Obs).
+  /// relation is unchanged (no rule is triggered by operations on Obs);
+  /// the footprint index is rebuilt so observable rules overlap on Obs.
   PrelimAnalysis ExtendWithObservableTable(TableId obs_table) const;
 
  private:
+  /// Out-edges of rule `i` via the index: candidates are the rules defined
+  /// on a table that i performs operations on. Returns a sorted row.
+  std::vector<RuleIndex> ComputeTriggersRow(RuleIndex i) const;
+
   std::vector<RulePrelim> prelims_;
   std::vector<std::vector<RuleIndex>> triggers_;
-  std::vector<std::vector<bool>> triggers_matrix_;
+  RuleFootprintIndex index_;
+  std::unordered_map<std::string, RuleIndex> name_index_;  // lowercased
 };
 
 }  // namespace starburst

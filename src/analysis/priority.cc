@@ -1,46 +1,64 @@
 #include "analysis/priority.h"
 
+#include <utility>
+
 namespace starburst {
 
-namespace {
-
-/// Transitive closure + strictness check. `higher[i][j]` holds direct
-/// edges i > j on entry; on exit it is the closure. Returns SemanticError
-/// when the relation is cyclic.
-Status CloseAndCheck(std::vector<std::vector<bool>>& higher,
-                     const std::vector<std::string>* names) {
-  int n = static_cast<int>(higher.size());
-  // Floyd-Warshall style closure.
-  for (int k = 0; k < n; ++k) {
-    for (int i = 0; i < n; ++i) {
-      if (!higher[i][k]) continue;
-      for (int j = 0; j < n; ++j) {
-        if (higher[k][j]) higher[i][j] = true;
+Status PriorityOrder::CloseAndCheck(const PrelimAnalysis* prelim) {
+  // On entry below_ holds the direct i > j edges; on exit it is the sorted
+  // transitive closure. Per-source DFS with a stamp array: O(sources with
+  // edges · reachable edges), so a catalog with few priority clauses pays
+  // nearly nothing regardless of n.
+  std::vector<std::vector<RuleIndex>> direct = std::move(below_);
+  below_.assign(n_, {});
+  above_.assign(n_, {});
+  ordered_pairs_ = 0;
+  std::vector<int> stamp(n_, -1);
+  std::vector<RuleIndex> stack;
+  for (RuleIndex i = 0; i < n_; ++i) {
+    if (direct[i].empty()) continue;
+    std::vector<RuleIndex>& reach = below_[i];
+    stack.assign(direct[i].begin(), direct[i].end());
+    for (RuleIndex w : stack) stamp[w] = i;
+    while (!stack.empty()) {
+      RuleIndex v = stack.back();
+      stack.pop_back();
+      reach.push_back(v);
+      for (RuleIndex w : direct[v]) {
+        if (stamp[w] != i) {
+          stamp[w] = i;
+          stack.push_back(w);
+        }
       }
     }
-  }
-  for (int i = 0; i < n; ++i) {
-    if (higher[i][i]) {
-      std::string who = names != nullptr ? (*names)[i] : std::to_string(i);
+    std::sort(reach.begin(), reach.end());
+    reach.erase(std::unique(reach.begin(), reach.end()), reach.end());
+    if (std::binary_search(reach.begin(), reach.end(), i)) {
+      // Report the first (ascending) rule on a cycle, matching the old
+      // dense closure's diagonal scan.
+      std::string who =
+          prelim != nullptr ? prelim->rule(i).name : std::to_string(i);
       return Status::SemanticError(
           "priority ordering is cyclic (rule '" + who +
           "' transitively precedes itself); precedes/follows must define a "
           "partial order");
     }
   }
+  for (RuleIndex i = 0; i < n_; ++i) {
+    ordered_pairs_ += static_cast<long>(below_[i].size());
+    // Transpose: i ascending keeps each above_ row sorted.
+    for (RuleIndex j : below_[i]) above_[j].push_back(i);
+  }
   return Status::OK();
 }
-
-}  // namespace
 
 Result<PriorityOrder> PriorityOrder::Build(
     const PrelimAnalysis& prelim, const std::vector<RuleDef>& rules,
     const std::vector<std::pair<RuleIndex, RuleIndex>>& extra) {
   int n = prelim.num_rules();
   PriorityOrder order;
-  order.higher_.assign(n, std::vector<bool>(n, false));
-  std::vector<std::string> names(n);
-  for (int i = 0; i < n; ++i) names[i] = prelim.rule(i).name;
+  order.n_ = n;
+  order.below_.assign(n, {});
 
   for (size_t i = 0; i < rules.size(); ++i) {
     const RuleDef& rule = rules[i];
@@ -50,7 +68,7 @@ Result<PriorityOrder> PriorityOrder::Build(
         return Status::SemanticError("rule '" + rule.name +
                                      "' precedes unknown rule '" + other + "'");
       }
-      order.higher_[i][j] = true;
+      order.below_[i].push_back(j);
     }
     for (const std::string& other : rule.follows) {
       RuleIndex j = prelim.FindRule(other);
@@ -58,30 +76,31 @@ Result<PriorityOrder> PriorityOrder::Build(
         return Status::SemanticError("rule '" + rule.name +
                                      "' follows unknown rule '" + other + "'");
       }
-      order.higher_[j][i] = true;
+      order.below_[j].push_back(static_cast<RuleIndex>(i));
     }
   }
   for (const auto& [hi, lo] : extra) {
     if (hi < 0 || hi >= n || lo < 0 || lo >= n) {
       return Status::InvalidArgument("priority edge index out of range");
     }
-    order.higher_[hi][lo] = true;
+    order.below_[hi].push_back(lo);
   }
-  STARBURST_RETURN_IF_ERROR(CloseAndCheck(order.higher_, &names));
+  STARBURST_RETURN_IF_ERROR(order.CloseAndCheck(&prelim));
   return order;
 }
 
 Result<PriorityOrder> PriorityOrder::FromEdges(
     int num_rules, const std::vector<std::pair<RuleIndex, RuleIndex>>& edges) {
   PriorityOrder order;
-  order.higher_.assign(num_rules, std::vector<bool>(num_rules, false));
+  order.n_ = num_rules;
+  order.below_.assign(num_rules, {});
   for (const auto& [hi, lo] : edges) {
     if (hi < 0 || hi >= num_rules || lo < 0 || lo >= num_rules) {
       return Status::InvalidArgument("priority edge index out of range");
     }
-    order.higher_[hi][lo] = true;
+    order.below_[hi].push_back(lo);
   }
-  STARBURST_RETURN_IF_ERROR(CloseAndCheck(order.higher_, nullptr));
+  STARBURST_RETURN_IF_ERROR(order.CloseAndCheck(nullptr));
   return order;
 }
 
@@ -91,7 +110,7 @@ std::vector<RuleIndex> PriorityOrder::Choose(
   for (RuleIndex i : triggered) {
     bool dominated = false;
     for (RuleIndex j : triggered) {
-      if (j != i && higher_[j][i]) {
+      if (j != i && Higher(j, i)) {
         dominated = true;
         break;
       }
@@ -99,16 +118,6 @@ std::vector<RuleIndex> PriorityOrder::Choose(
     if (!dominated) eligible.push_back(i);
   }
   return eligible;
-}
-
-int PriorityOrder::num_ordered_pairs() const {
-  int count = 0;
-  for (const auto& row : higher_) {
-    for (bool b : row) {
-      if (b) ++count;
-    }
-  }
-  return count;
 }
 
 }  // namespace starburst

@@ -1,6 +1,7 @@
 #ifndef STARBURST_ANALYSIS_PRIORITY_H_
 #define STARBURST_ANALYSIS_PRIORITY_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,10 @@ namespace starburst {
 ///
 /// `ri > rj` ("ri has precedence over rj") holds when ri names rj in its
 /// precedes list, rj names ri in its follows list, or transitively.
+///
+/// The closure is stored sparsely as per-rule sorted neighbor lists rather
+/// than an n×n matrix, so a 10k-rule catalog with a handful of priority
+/// edges costs memory proportional to the number of ordered pairs.
 class PriorityOrder {
  public:
   /// Builds the order from the rules' precedes/follows clauses, plus any
@@ -31,14 +36,33 @@ class PriorityOrder {
   static Result<PriorityOrder> FromEdges(
       int num_rules, const std::vector<std::pair<RuleIndex, RuleIndex>>& edges);
 
-  int num_rules() const { return static_cast<int>(higher_.size()); }
+  int num_rules() const { return n_; }
 
   /// True iff ri > rj in P (including transitively).
-  bool Higher(RuleIndex ri, RuleIndex rj) const { return higher_[ri][rj]; }
+  bool Higher(RuleIndex ri, RuleIndex rj) const {
+    const std::vector<RuleIndex>& row = below_[ri];
+    return std::binary_search(row.begin(), row.end(), rj);
+  }
 
   /// True when neither ri > rj nor rj > ri (Section 6.2, "unordered").
   bool Unordered(RuleIndex ri, RuleIndex rj) const {
-    return !higher_[ri][rj] && !higher_[rj][ri];
+    return !Higher(ri, rj) && !Higher(rj, ri);
+  }
+
+  /// True when some rule is below `ri` in P. Only such rules can seed
+  /// growth of the Definition 6.5 R1/R2 sets — the sparse confluence scan
+  /// uses this to keep disjoint-footprint pairs out of the fixpoint.
+  bool HasLowerRule(RuleIndex ri) const { return !below_[ri].empty(); }
+
+  /// Number of partners j with index j > ri that are ordered relative to
+  /// ri (either direction). Supports the truncated unordered-pair count in
+  /// the sparse confluence scan.
+  int NumOrderedPartnersAbove(RuleIndex ri) const {
+    const std::vector<RuleIndex>& up = above_[ri];
+    const std::vector<RuleIndex>& down = below_[ri];
+    return static_cast<int>(
+        (up.end() - std::upper_bound(up.begin(), up.end(), ri)) +
+        (down.end() - std::upper_bound(down.begin(), down.end(), ri)));
   }
 
   /// Choose(R') of Section 3: the triggered rules in `triggered` with no
@@ -46,10 +70,17 @@ class PriorityOrder {
   std::vector<RuleIndex> Choose(const std::vector<RuleIndex>& triggered) const;
 
   /// Number of ordered pairs (i, j) with i > j.
-  int num_ordered_pairs() const;
+  int num_ordered_pairs() const { return static_cast<int>(ordered_pairs_); }
 
  private:
-  std::vector<std::vector<bool>> higher_;  // higher_[i][j]: i > j
+  /// Closes the direct-edge lists under transitivity and checks strictness.
+  /// `prelim` (nullable) supplies rule names for the cyclic-order error.
+  Status CloseAndCheck(const PrelimAnalysis* prelim);
+
+  int n_ = 0;
+  std::vector<std::vector<RuleIndex>> below_;  // below_[i]: sorted {j : i > j}
+  std::vector<std::vector<RuleIndex>> above_;  // above_[i]: sorted {j : j > i}
+  long ordered_pairs_ = 0;
 };
 
 }  // namespace starburst

@@ -1,6 +1,8 @@
 #ifndef STARBURST_ANALYSIS_TERMINATION_H_
 #define STARBURST_ANALYSIS_TERMINATION_H_
 
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -44,13 +46,31 @@ struct TerminationReport {
   std::vector<CycleReport> cycles;
 };
 
+/// Cross-Analyze() memo of per-component discharge verdicts, keyed by the
+/// member rules' (name, version) pairs plus the certified names. A cyclic
+/// component whose rules and certifications are unchanged since the last
+/// analysis reuses its AcyclicWithout verdict — after a single-rule edit,
+/// only components containing the edited rule (the dirty SCCs) recompute.
+/// The owner (IncrementalAnalyzer) bumps `rule_versions` on every
+/// add/remove so redefinitions never reuse a stale verdict.
+struct TerminationComponentCache {
+  /// Monotonic per-rule versions (lowercased name -> version).
+  std::map<std::string, uint64_t> rule_versions;
+  /// Component key -> discharge verdict.
+  std::map<std::string, bool> discharged;
+  long hits = 0;
+  long misses = 0;
+};
+
 /// Termination analysis (Section 5): builds TG_R, finds cyclic strong
 /// components, and checks which are discharged by user certifications.
 class TerminationAnalyzer {
  public:
-  /// Analyzes all rules.
+  /// Analyzes all rules. With a non-null `cache`, per-component discharge
+  /// verdicts are memoized across calls (see TerminationComponentCache).
   static TerminationReport Analyze(const PrelimAnalysis& prelim,
-                                   const TerminationCertifications& certs = {});
+                                   const TerminationCertifications& certs = {},
+                                   TerminationComponentCache* cache = nullptr);
 
   /// Analyzes the subset `members` (used by partial confluence, which
   /// needs termination of Sig(T') processed on its own — Section 7).

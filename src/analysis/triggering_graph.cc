@@ -1,15 +1,30 @@
 #include "analysis/triggering_graph.h"
 
 #include <algorithm>
-#include <functional>
 
 namespace starburst {
+
+namespace {
+
+/// HasEdge() binary-searches adjacency rows, so their sortedness is a hard
+/// invariant. PrelimAnalysis::Triggers() rows are built sorted, but the
+/// graph enforces it anyway — a cheap is_sorted scan in the common case.
+void EnsureSorted(std::vector<std::vector<RuleIndex>>* adjacency) {
+  for (std::vector<RuleIndex>& row : *adjacency) {
+    if (!std::is_sorted(row.begin(), row.end())) {
+      std::sort(row.begin(), row.end());
+    }
+  }
+}
+
+}  // namespace
 
 TriggeringGraph::TriggeringGraph(const PrelimAnalysis& prelim) {
   int n = prelim.num_rules();
   is_member_.assign(n, true);
   adjacency_.assign(n, {});
   for (RuleIndex i = 0; i < n; ++i) adjacency_[i] = prelim.Triggers(i);
+  EnsureSorted(&adjacency_);
   ComputeComponents();
 }
 
@@ -25,6 +40,7 @@ TriggeringGraph::TriggeringGraph(const PrelimAnalysis& prelim,
       if (is_member_[j]) adjacency_[i].push_back(j);
     }
   }
+  EnsureSorted(&adjacency_);
   ComputeComponents();
 }
 
@@ -38,9 +54,12 @@ bool TriggeringGraph::HasEdge(RuleIndex from, RuleIndex to) const {
 }
 
 void TriggeringGraph::ComputeComponents() {
-  // Iterative Tarjan SCC.
+  // Iterative Tarjan SCC, emitting into the flat comp_nodes_/comp_start_
+  // arrays (no per-component heap vector).
   int n = num_rules();
-  components_.clear();
+  comp_nodes_.clear();
+  comp_start_.clear();
+  comp_start_.push_back(0);
   std::vector<int> index(n, -1), lowlink(n, 0);
   std::vector<bool> on_stack(n, false);
   std::vector<int> stack;
@@ -50,10 +69,11 @@ void TriggeringGraph::ComputeComponents() {
     int v;
     size_t edge;
   };
+  std::vector<Frame> frames;
 
   for (int root = 0; root < n; ++root) {
     if (!is_member_[root] || index[root] != -1) continue;
-    std::vector<Frame> frames;
+    frames.clear();
     frames.push_back({root, 0});
     index[root] = lowlink[root] = next_index++;
     stack.push_back(root);
@@ -78,30 +98,44 @@ void TriggeringGraph::ComputeComponents() {
                                               lowlink[v]);
         }
         if (lowlink[v] == index[v]) {
-          std::vector<RuleIndex> component;
+          size_t begin = comp_nodes_.size();
           while (true) {
             int w = stack.back();
             stack.pop_back();
             on_stack[w] = false;
-            component.push_back(w);
+            comp_nodes_.push_back(w);
             if (w == v) break;
           }
-          std::sort(component.begin(), component.end());
-          components_.push_back(std::move(component));
+          std::sort(comp_nodes_.begin() + begin, comp_nodes_.end());
+          comp_start_.push_back(static_cast<int>(comp_nodes_.size()));
         }
       }
     }
   }
 }
 
+std::vector<std::vector<RuleIndex>> TriggeringGraph::Components() const {
+  std::vector<std::vector<RuleIndex>> components;
+  size_t num = comp_start_.size() - 1;
+  components.reserve(num);
+  for (size_t c = 0; c < num; ++c) {
+    components.emplace_back(comp_nodes_.begin() + comp_start_[c],
+                            comp_nodes_.begin() + comp_start_[c + 1]);
+  }
+  return components;
+}
+
 std::vector<std::vector<RuleIndex>> TriggeringGraph::CyclicComponents() const {
   std::vector<std::vector<RuleIndex>> cyclic;
-  for (const auto& component : components_) {
-    if (component.size() > 1) {
-      cyclic.push_back(component);
-    } else if (component.size() == 1) {
-      RuleIndex r = component[0];
-      if (HasEdge(r, r)) cyclic.push_back(component);
+  size_t num = comp_start_.size() - 1;
+  for (size_t c = 0; c < num; ++c) {
+    int begin = comp_start_[c], end = comp_start_[c + 1];
+    bool is_cyclic = end - begin > 1 ||
+                     (end - begin == 1 &&
+                      HasEdge(comp_nodes_[begin], comp_nodes_[begin]));
+    if (is_cyclic) {
+      cyclic.emplace_back(comp_nodes_.begin() + begin,
+                          comp_nodes_.begin() + end);
     }
   }
   return cyclic;
@@ -113,21 +147,35 @@ bool TriggeringGraph::AcyclicWithout(
   std::vector<bool> active(num_rules(), false);
   for (RuleIndex r : nodes) active[r] = true;
   for (RuleIndex r : removed) active[r] = false;
-  // DFS cycle check over the active subgraph.
+  // Explicit-stack DFS cycle check over the active subgraph (a recursive
+  // DFS overflows the call stack on deep trigger chains — 10k+ rules).
   enum class Color { kWhite, kGray, kBlack };
   std::vector<Color> color(num_rules(), Color::kWhite);
-  std::function<bool(RuleIndex)> has_cycle = [&](RuleIndex v) -> bool {
-    color[v] = Color::kGray;
-    for (RuleIndex w : adjacency_[v]) {
-      if (!active[w]) continue;
-      if (color[w] == Color::kGray) return true;
-      if (color[w] == Color::kWhite && has_cycle(w)) return true;
-    }
-    color[v] = Color::kBlack;
-    return false;
+  struct Frame {
+    RuleIndex v;
+    size_t edge;
   };
+  std::vector<Frame> frames;
   for (RuleIndex r : nodes) {
-    if (active[r] && color[r] == Color::kWhite && has_cycle(r)) return false;
+    if (!active[r] || color[r] != Color::kWhite) continue;
+    color[r] = Color::kGray;
+    frames.clear();
+    frames.push_back({r, 0});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.edge < adjacency_[frame.v].size()) {
+        RuleIndex w = adjacency_[frame.v][frame.edge++];
+        if (!active[w]) continue;
+        if (color[w] == Color::kGray) return false;
+        if (color[w] == Color::kWhite) {
+          color[w] = Color::kGray;
+          frames.push_back({w, 0});
+        }
+      } else {
+        color[frame.v] = Color::kBlack;
+        frames.pop_back();
+      }
+    }
   }
   return true;
 }

@@ -30,10 +30,10 @@ class TriggeringGraph {
   bool HasEdge(RuleIndex from, RuleIndex to) const;
 
   /// Strongly connected components (Tarjan), in reverse topological order.
-  /// Each component lists global rule indices.
-  const std::vector<std::vector<RuleIndex>>& Components() const {
-    return components_;
-  }
+  /// Each component lists global rule indices, ascending. Materialized on
+  /// demand: the components are stored flat (one array + offsets) so that
+  /// a 10k-rule catalog does not pay 10k vector allocations per graph.
+  std::vector<std::vector<RuleIndex>> Components() const;
 
   /// Components that contain a cycle: size > 1, or a single rule with a
   /// self-loop (a rule that can trigger itself).
@@ -52,7 +52,11 @@ class TriggeringGraph {
 
   std::vector<bool> is_member_;                    // global index -> in graph
   std::vector<std::vector<RuleIndex>> adjacency_;  // global index -> edges
-  std::vector<std::vector<RuleIndex>> components_;
+  /// Flat SCC storage: component c is comp_nodes_[comp_start_[c] ..
+  /// comp_start_[c + 1]), sorted ascending; components in reverse
+  /// topological order.
+  std::vector<RuleIndex> comp_nodes_;
+  std::vector<int> comp_start_;
 };
 
 }  // namespace starburst

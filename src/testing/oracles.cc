@@ -3,8 +3,10 @@
 #include <utility>
 
 #include "analysis/analyzer.h"
+#include "analysis/incremental.h"
 #include "analysis/json_report.h"
 #include "analysis/observable.h"
+#include "analysis/priority.h"
 #include "analysis/termination.h"
 #include "common/thread_pool.h"
 #include "engine/serialize.h"
@@ -26,6 +28,7 @@ constexpr const char* kOracleNames[kNumOracles] = {
     "round_trip",
     "delta_equivalence",
     "por_equivalence",
+    "incremental_equivalence",
 };
 
 OracleOutcome Pass() { return {OracleVerdict::kPass, ""}; }
@@ -424,6 +427,200 @@ OracleOutcome PorEquivalence(const GeneratedRuleSet& set, uint64_t data_seed,
   return Pass();
 }
 
+/// One full-vs-incremental comparison at a given violation cap: verdicts,
+/// reports field-for-field, and (via the caller) the pair matrix must be
+/// identical. Returns an empty string on agreement, else the mismatch.
+std::string CompareFullVsIncremental(const Schema& schema,
+                                     const std::vector<RuleDef>& current,
+                                     IncrementalAnalyzer* inc,
+                                     int max_violations) {
+  // From-scratch reference analysis.
+  Status full_status = Status::OK();
+  auto prelim = PrelimAnalysis::Compute(schema, current);
+  if (!prelim.ok()) full_status = prelim.status();
+  std::optional<PriorityOrder> priority;
+  if (full_status.ok()) {
+    auto built = PriorityOrder::Build(prelim.value(), current);
+    if (built.ok()) {
+      priority = std::move(built).value();
+    } else {
+      full_status = built.status();
+    }
+  }
+  auto run = inc->Analyze({}, max_violations);
+  if (!full_status.ok() || !run.ok()) {
+    // Rejected states (e.g. a dangling follows left by a removal) must be
+    // rejected identically by both paths.
+    if (full_status.ok() != run.ok()) {
+      return "analyzability differs: full='" +
+             (full_status.ok() ? std::string("ok") : full_status.ToString()) +
+             "' incremental='" +
+             (run.ok() ? std::string("ok") : run.status().ToString()) + "'";
+    }
+    if (full_status.ToString() != run.status().ToString()) {
+      return "rejection differs: full='" + full_status.ToString() +
+             "' incremental='" + run.status().ToString() + "'";
+    }
+    return "";
+  }
+
+  CommutativityAnalyzer commutativity(prelim.value(), schema);
+  TerminationReport term = TerminationAnalyzer::Analyze(prelim.value());
+  ConfluenceAnalyzer confluence(commutativity, *priority);
+  ConfluenceReport conf = confluence.Analyze(term.guaranteed, max_violations);
+
+  const TerminationReport& iterm = run.value().termination;
+  const ConfluenceReport& iconf = run.value().confluence;
+  std::string where = " (max_violations=" + std::to_string(max_violations) +
+                      ")";
+  if (term.guaranteed != iterm.guaranteed ||
+      term.acyclic != iterm.acyclic) {
+    return "termination verdict differs" + where;
+  }
+  if (term.cycles.size() != iterm.cycles.size()) {
+    return "cycle-report counts differ" + where;
+  }
+  for (size_t k = 0; k < term.cycles.size(); ++k) {
+    if (term.cycles[k].rules != iterm.cycles[k].rules ||
+        term.cycles[k].certified != iterm.cycles[k].certified ||
+        term.cycles[k].discharged != iterm.cycles[k].discharged) {
+      return "cycle report " + std::to_string(k) + " differs" + where;
+    }
+  }
+  if (conf.requirement_holds != iconf.requirement_holds ||
+      conf.confluent != iconf.confluent) {
+    return "confluence verdict differs" + where;
+  }
+  if (conf.unordered_pairs_checked != iconf.unordered_pairs_checked) {
+    return "unordered_pairs_checked differs: full=" +
+           std::to_string(conf.unordered_pairs_checked) + " incremental=" +
+           std::to_string(iconf.unordered_pairs_checked) + where;
+  }
+  if (conf.max_set_size != iconf.max_set_size) {
+    return "max_set_size differs" + where;
+  }
+  if (conf.violations.size() != iconf.violations.size()) {
+    return "violation counts differ: full=" +
+           std::to_string(conf.violations.size()) + " incremental=" +
+           std::to_string(iconf.violations.size()) + where;
+  }
+  for (size_t k = 0; k < conf.violations.size(); ++k) {
+    const ConfluenceViolation& a = conf.violations[k];
+    const ConfluenceViolation& b = iconf.violations[k];
+    bool causes_equal = a.causes.size() == b.causes.size();
+    for (size_t c = 0; causes_equal && c < a.causes.size(); ++c) {
+      causes_equal = a.causes[c].condition == b.causes[c].condition &&
+                     a.causes[c].actor == b.causes[c].actor &&
+                     a.causes[c].affected == b.causes[c].affected;
+    }
+    if (a.pair_i != b.pair_i || a.pair_j != b.pair_j || a.r1 != b.r1 ||
+        a.r2 != b.r2 || a.set_r1 != b.set_r1 || a.set_r2 != b.set_r2 ||
+        !causes_equal) {
+      return "violation " + std::to_string(k) + " differs" + where;
+    }
+  }
+  // Pair matrix: valid only after a successful Analyze (dirty pairs were
+  // just swept).
+  int n = prelim.value().num_rules();
+  for (RuleIndex i = 0; i < n; ++i) {
+    for (RuleIndex j = i + 1; j < n; ++j) {
+      if (commutativity.Commute(i, j) != inc->PairCommutes(i, j)) {
+        return "pair ('" + prelim.value().rule(i).name + "', '" +
+               prelim.value().rule(j).name + "') commutativity differs" +
+               where;
+      }
+    }
+  }
+  return "";
+}
+
+/// Full-vs-incremental equivalence across a seeded edit sequence: register
+/// every rule one at a time, then apply removes / re-adds / redefinitions
+/// drawn from data_seed, comparing the incremental analyzer against a
+/// from-scratch analysis after every edit (at an unlimited and a truncated
+/// violation cap, pinning the truncation semantics too).
+OracleOutcome IncrementalEquivalence(const GeneratedRuleSet& set,
+                                     uint64_t data_seed) {
+  if (set.rules.empty()) return Skip("no rules");
+  const Schema& schema = *set.schema;
+  IncrementalAnalyzer inc(set.schema.get());
+  std::vector<RuleDef> current;  // mirrors inc's registration order
+  for (const RuleDef& rule : set.rules) {
+    Status st = inc.AddRule(rule.Clone());
+    if (!st.ok()) {
+      // Incremental registration requires priority references to point
+      // backwards; hand-written sets may order rules otherwise.
+      if (st.message().find("unknown rule") != std::string::npos) {
+        return Skip("not incrementally registrable: " + st.ToString());
+      }
+      return Fail("AddRule rejected a valid rule: " + st.ToString());
+    }
+    current.push_back(rule.Clone());
+  }
+
+  SplitMix64 rng(data_seed ^ 0x19c53a11edULL);
+  std::vector<RuleDef> removed_pool;
+  auto compare_both = [&]() -> std::string {
+    for (int cap : {-1, 2}) {
+      std::string mismatch =
+          CompareFullVsIncremental(schema, current, &inc, cap);
+      if (!mismatch.empty()) return mismatch;
+    }
+    if (inc.num_rules() != static_cast<int>(current.size())) {
+      return "rule counts diverged";
+    }
+    return "";
+  };
+  std::string mismatch = compare_both();
+  if (!mismatch.empty()) return Fail("after initial build: " + mismatch);
+
+  constexpr int kEdits = 4;
+  for (int e = 0; e < kEdits; ++e) {
+    int kind = rng.Below(3);
+    std::string step;
+    if (kind == 0 && !current.empty()) {
+      // Remove a random rule (other rules' references to it go dangling —
+      // both analyses must then reject identically).
+      int victim = rng.Below(static_cast<int>(current.size()));
+      step = "remove '" + current[victim].name + "'";
+      Status st = inc.RemoveRule(current[victim].name);
+      if (!st.ok()) return Fail(step + " failed: " + st.ToString());
+      removed_pool.push_back(std::move(current[victim]));
+      current.erase(current.begin() + victim);
+    } else if (kind == 1 && !removed_pool.empty()) {
+      // Re-add a removed rule (same name, same body).
+      RuleDef rule = std::move(removed_pool.back());
+      removed_pool.pop_back();
+      step = "re-add '" + rule.name + "'";
+      Status st = inc.AddRule(rule.Clone());
+      // May legitimately fail (its own references may now dangle); the
+      // state is unchanged then and stays comparable.
+      if (st.ok()) current.push_back(std::move(rule));
+    } else if (!current.empty()) {
+      // Redefine: same name, body borrowed from another rule — stale pair
+      // verdicts for the old definition must not survive.
+      int victim = rng.Below(static_cast<int>(current.size()));
+      int donor = rng.Below(static_cast<int>(current.size()));
+      RuleDef redefined = current[donor].Clone();
+      redefined.name = current[victim].name;
+      redefined.precedes.clear();
+      redefined.follows.clear();
+      step = "redefine '" + redefined.name + "'";
+      Status st = inc.RemoveRule(redefined.name);
+      if (!st.ok()) return Fail(step + " failed: " + st.ToString());
+      current.erase(current.begin() + victim);
+      st = inc.AddRule(redefined.Clone());
+      if (!st.ok()) return Fail(step + " re-add failed: " + st.ToString());
+      current.push_back(std::move(redefined));
+    } else {
+      continue;
+    }
+    mismatch = compare_both();
+    if (!mismatch.empty()) return Fail("after " + step + ": " + mismatch);
+  }
+  return Pass();
+}
+
 OracleOutcome RoundTrip(const GeneratedRuleSet& set) {
   for (const RuleDef& rule : set.rules) {
     std::string text = RuleToString(rule);
@@ -493,6 +690,8 @@ OracleOutcome RunOracle(OracleId id, const GeneratedRuleSet& set,
       return DeltaEquivalence(set, data_seed, options);
     case OracleId::kPorEquivalence:
       return PorEquivalence(set, data_seed, options);
+    case OracleId::kIncrementalEquivalence:
+      return IncrementalEquivalence(set, data_seed);
   }
   return Skip("unknown oracle");
 }

@@ -47,6 +47,13 @@ namespace fuzzing {
 ///                               may-not-terminate verdicts, classic and
 ///                               at every sharded worker count (the
 ///                               Lemma 6.1 ample-set soundness contract).
+///   kIncrementalEquivalence     the §9 incremental analyzer and a
+///                               from-scratch analysis agree exactly —
+///                               termination/confluence reports (at
+///                               unlimited and truncated violation caps)
+///                               and the full pairwise commutativity
+///                               matrix — across a seeded sequence of
+///                               add/remove/redefine edits.
 enum class OracleId {
   kTerminationSound,
   kConfluenceSound,
@@ -55,9 +62,10 @@ enum class OracleId {
   kRoundTrip,
   kDeltaEquivalence,
   kPorEquivalence,
+  kIncrementalEquivalence,
 };
 
-inline constexpr int kNumOracles = 7;
+inline constexpr int kNumOracles = 8;
 
 /// Stable snake_case name ("termination_sound", ...), used by the
 /// fuzz_driver --oracle flag and corpus file headers.

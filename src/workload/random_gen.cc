@@ -173,6 +173,67 @@ GeneratedRuleSet RandomRuleSetGenerator::Generate(
   return out;
 }
 
+GeneratedRuleSet RandomRuleSetGenerator::GenerateSparseCatalog(
+    const SparseCatalogParams& params) {
+  SplitMix64 rng(params.seed);
+  GeneratedRuleSet out;
+  out.schema = std::make_unique<Schema>();
+  int num_tables = params.num_clusters * params.tables_per_cluster;
+  for (int t = 0; t < num_tables; ++t) {
+    std::vector<Column> columns;
+    columns.reserve(params.columns_per_table);
+    for (int c = 0; c < params.columns_per_table; ++c) {
+      columns.push_back(Column{ColumnName(c), ColumnType::kInt});
+    }
+    auto added = out.schema->AddTable(TableName(t), std::move(columns));
+    (void)added;  // cannot fail: names are unique by construction
+  }
+
+  auto cluster_table = [&](int cluster) {
+    return cluster * params.tables_per_cluster +
+           rng.Below(params.tables_per_cluster);
+  };
+
+  out.rules.reserve(params.num_rules);
+  for (int i = 0; i < params.num_rules; ++i) {
+    int cluster = i % params.num_clusters;
+    RuleDef rule;
+    rule.name = "r" + std::to_string(i);
+    rule.table = TableName(cluster_table(cluster));
+    if (rng.Chance(params.p_update_trigger)) {
+      rule.events.push_back(TriggerEvent::Updated(
+          {ColumnName(rng.Below(params.columns_per_table))}));
+    } else {
+      rule.events.push_back(TriggerEvent::Inserted());
+    }
+
+    // One bounded update, usually within the home cluster; with
+    // probability overlap_density it reaches into a foreign cluster,
+    // creating a cross-cluster footprint overlap.
+    int target_cluster = cluster;
+    if (params.num_clusters > 1 && rng.Chance(params.overlap_density)) {
+      target_cluster = rng.Below(params.num_clusters - 1);
+      if (target_cluster >= cluster) ++target_cluster;
+    }
+    std::string table = TableName(cluster_table(target_cluster));
+    std::string col = ColumnName(rng.Below(params.columns_per_table));
+    std::vector<Assignment> sets;
+    sets.emplace_back(col, MakeIntLiteral(params.update_bound));
+    ExprPtr where = MakeBinary(BinaryOp::kLt, MakeColumnRef("", col),
+                               MakeIntLiteral(params.update_bound));
+    rule.actions.push_back(MakeUpdate(table, std::move(sets),
+                                      std::move(where)));
+
+    // Priority chains stay within a cluster and point backwards (the
+    // incremental-registration workflow never sees a dangling name).
+    if (i >= params.num_clusters && rng.Chance(params.priority_density)) {
+      rule.follows.push_back(out.rules[i - params.num_clusters].name);
+    }
+    out.rules.push_back(std::move(rule));
+  }
+  return out;
+}
+
 namespace {
 
 void EraseName(std::vector<std::string>* names, const std::string& name) {

@@ -47,6 +47,33 @@ struct RandomRuleSetParams {
   uint64_t seed = 1;
 };
 
+/// Parameters for GenerateSparseCatalog(): a large clustered catalog
+/// shaped like a production deployment — thousands of rules, each touching
+/// a handful of tables within its home cluster, with cross-cluster table
+/// overlap controlled by `overlap_density`. At low densities most rule
+/// pairs have disjoint footprints, which is exactly the regime the sparse
+/// pair indexes exploit.
+struct SparseCatalogParams {
+  int num_rules = 10000;
+  /// Tables come in clusters of `tables_per_cluster`; rule i lives in
+  /// cluster i % num_clusters.
+  int num_clusters = 100;
+  int tables_per_cluster = 4;
+  int columns_per_table = 3;
+  /// Probability that a rule's action targets a table in a foreign
+  /// cluster instead of its home cluster.
+  double overlap_density = 0.05;
+  /// Probability that rule i declares `follows` on its same-cluster
+  /// predecessor (rule i - num_clusters). References always point
+  /// backwards, so the catalog can be registered one rule at a time.
+  double priority_density = 0.02;
+  /// Probability the trigger is updated(c) instead of inserted.
+  double p_update_trigger = 0.1;
+  /// Bound for the generated updates (`set c = B where c < B`).
+  int update_bound = 8;
+  uint64_t seed = 1;
+};
+
 /// A generated workload: schema plus rules (priorities embedded in the
 /// rules' precedes lists).
 struct GeneratedRuleSet {
@@ -105,6 +132,13 @@ enum class MutationKind {
 class RandomRuleSetGenerator {
  public:
   static GeneratedRuleSet Generate(const RandomRuleSetParams& params);
+
+  /// Generates a clustered catalog per SparseCatalogParams (see above).
+  /// Every rule has one triggering event and one bounded-update action;
+  /// the interesting knob is which *tables* rules share, not what the
+  /// actions compute.
+  static GeneratedRuleSet GenerateSparseCatalog(
+      const SparseCatalogParams& params);
 
   /// Applies one mutation of `kind` to `*set`, drawing choices from `*rng`.
   /// Returns false (leaving the set unchanged) when the mutation is not

@@ -263,6 +263,114 @@ TEST_F(IncrementalTest, StatsExactAcrossRemoveThenAddSequence) {
   EXPECT_EQ(after_add.value().stats.pair_checks_reused, 3);
 }
 
+// Satellite (O(k) registration): building a k-rule catalog one AddRule at
+// a time performs exactly k single-rule validations — no revalidation of
+// the existing catalog per add. A rejected rule costs exactly one more.
+TEST_F(IncrementalTest, AddRuleDoesLinearValidationWork) {
+  IncrementalAnalyzer analyzer(&schema_);
+  constexpr int kRules = 20;
+  for (int i = 0; i < kRules; ++i) {
+    ASSERT_TRUE(analyzer
+                    .AddRule(ParseRule("create rule r" + std::to_string(i) +
+                                       " on t when inserted then update s "
+                                       "set a = 1"))
+                    .ok());
+    EXPECT_EQ(analyzer.rule_validations(), i + 1);
+  }
+  // Semantic rejection (unknown table) still validates once; a duplicate
+  // name is rejected before validation and costs nothing.
+  EXPECT_FALSE(analyzer
+                   .AddRule(ParseRule("create rule bad on nope when "
+                                      "inserted then rollback"))
+                   .ok());
+  EXPECT_EQ(analyzer.rule_validations(), kRules + 1);
+  EXPECT_FALSE(analyzer
+                   .AddRule(ParseRule("create rule r0 on t when inserted "
+                                      "then rollback"))
+                   .ok());
+  EXPECT_EQ(analyzer.rule_validations(), kRules + 1);
+}
+
+// Regression (pair-cache redefinition): Remove -> Add of the same name
+// with different reads/writes must recompute the pair verdict, in both
+// directions — a conflicting pair redefined to commute, then redefined to
+// conflict again. Stale reuse would freeze the first verdict.
+TEST_F(IncrementalTest, RedefinitionFlipsVerdictBothWays) {
+  IncrementalAnalyzer analyzer(&schema_);
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r0 on t when inserted "
+                                     "then update s set a = 1"))
+                  .ok());
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r1 on t when inserted "
+                                     "then update s set a = 2"))
+                  .ok());
+  auto v1 = analyzer.Analyze();
+  ASSERT_TRUE(v1.ok());
+  EXPECT_FALSE(analyzer.PairCommutes(0, 1));  // a = 1 vs a = 2
+  EXPECT_FALSE(v1.value().confluence.requirement_holds);
+
+  // Redefine r1 to write a different table: the pair now commutes.
+  ASSERT_TRUE(analyzer.RemoveRule("r1").ok());
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r1 on t when inserted "
+                                     "then update u set b = 1"))
+                  .ok());
+  auto v2 = analyzer.Analyze();
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value().stats.pair_checks_computed, 1);
+  EXPECT_EQ(v2.value().stats.pair_checks_reused, 0);
+  EXPECT_TRUE(analyzer.PairCommutes(0, 1));
+  EXPECT_TRUE(v2.value().confluence.requirement_holds);
+
+  // Redefine back to a conflicting write: the verdict flips again.
+  ASSERT_TRUE(analyzer.RemoveRule("r1").ok());
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r1 on t when inserted "
+                                     "then update s set a = 3"))
+                  .ok());
+  auto v3 = analyzer.Analyze();
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3.value().stats.pair_checks_computed, 1);
+  EXPECT_FALSE(analyzer.PairCommutes(0, 1));
+  EXPECT_FALSE(v3.value().confluence.requirement_holds);
+}
+
+// Tentpole invariant: pairs with disjoint table footprints commute by
+// construction and are never materialized — they appear in neither the
+// computed nor the reused counter, while the confluence report still
+// covers every unordered pair.
+TEST_F(IncrementalTest, DisjointFootprintPairsCostNothing) {
+  IncrementalAnalyzer analyzer(&schema_);
+  // r0, r1 share footprint {t, s}; r2's footprint is {u}, disjoint.
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r0 on t when inserted "
+                                     "then update s set a = 1"))
+                  .ok());
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r1 on t when inserted "
+                                     "then update s set b = 1"))
+                  .ok());
+  ASSERT_TRUE(analyzer
+                  .AddRule(ParseRule("create rule r2 on u when inserted "
+                                     "then update u set a = 1"))
+                  .ok());
+  auto first = analyzer.Analyze();
+  ASSERT_TRUE(first.ok());
+  // Only the (r0, r1) overlap is checked; (r0, r2) and (r1, r2) cost 0.
+  EXPECT_EQ(first.value().stats.pair_checks_computed, 1);
+  EXPECT_EQ(first.value().stats.pair_checks_reused, 0);
+  // The report still accounts for all C(3, 2) unordered pairs.
+  EXPECT_EQ(first.value().confluence.unordered_pairs_checked, 3);
+  EXPECT_TRUE(analyzer.PairCommutes(0, 2));
+  EXPECT_TRUE(analyzer.PairCommutes(1, 2));
+
+  auto second = analyzer.Analyze();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().stats.pair_checks_computed, 0);
+  EXPECT_EQ(second.value().stats.pair_checks_reused, 1);
+}
+
 TEST_F(IncrementalTest, VerdictsMatchFromScratchAnalysis) {
   IncrementalAnalyzer incremental(&schema_);
   std::vector<std::string> sources = {

@@ -123,6 +123,54 @@ TEST_F(TriggeringGraphTest, AcyclicWithoutRemovedRules) {
   EXPECT_TRUE(g.AcyclicWithout({0, 1}, {1}));
 }
 
+// Regression (sorted-adjacency audit): the member-filtered constructor
+// must keep self-loop edges for member rules — dropping (r, r) would make
+// a self-triggering rule look acyclic in subset analyses.
+TEST_F(TriggeringGraphTest, SelfLoopSurvivesMemberFilteredConstruction) {
+  PrelimAnalysis p = Compute(
+      "create rule r0 on a when inserted then insert into b values (1); "
+      "create rule r1 on c when inserted then insert into c values (1);");
+  TriggeringGraph sub(p, {1});
+  EXPECT_FALSE(sub.IsAcyclic());
+  auto cyclic = sub.CyclicComponents();
+  ASSERT_EQ(cyclic.size(), 1u);
+  EXPECT_EQ(cyclic[0], (std::vector<RuleIndex>{1}));
+  EXPECT_FALSE(sub.AcyclicWithout({1}, {}));
+  EXPECT_TRUE(sub.AcyclicWithout({1}, {1}));
+}
+
+// Regression: AcyclicWithout and the Tarjan pass walk the graph with
+// explicit stacks; a recursive DFS overflows the call stack on a trigger
+// chain this deep. 50k rules r_i on t_i inserting into t_{i+1 mod 50k}
+// form a single 50k-node cycle.
+TEST(TriggeringGraphDeepChainTest, FiftyThousandRuleChainDoesNotOverflow) {
+  constexpr int kN = 50000;
+  Schema schema;
+  std::string src;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(
+        schema.AddTable("t" + std::to_string(i), {{"x", ColumnType::kInt}})
+            .ok());
+  }
+  for (int i = 0; i < kN; ++i) {
+    src += "create rule r" + std::to_string(i) + " on t" + std::to_string(i) +
+           " when inserted then insert into t" + std::to_string((i + 1) % kN) +
+           " values (1); ";
+  }
+  auto script = Parser::ParseScript(src);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  auto prelim = PrelimAnalysis::Compute(schema, script.value().rules);
+  ASSERT_TRUE(prelim.ok()) << prelim.status().ToString();
+  TriggeringGraph g(prelim.value());
+  auto cyclic = g.CyclicComponents();
+  ASSERT_EQ(cyclic.size(), 1u);
+  ASSERT_EQ(cyclic[0].size(), static_cast<size_t>(kN));
+  EXPECT_FALSE(g.AcyclicWithout(cyclic[0], {}));
+  // Removing any one rule breaks the cycle; the check walks the full
+  // 50k-deep chain from every start point.
+  EXPECT_TRUE(g.AcyclicWithout(cyclic[0], {0}));
+}
+
 TEST_F(TriggeringGraphTest, ComponentsInReverseTopologicalOrder) {
   PrelimAnalysis p = Compute(
       "create rule r0 on a when inserted then insert into b values (1); "
