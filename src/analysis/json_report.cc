@@ -152,8 +152,65 @@ std::string ExplorationStatsToJson(const ExplorationStats& stats) {
   return out;
 }
 
+std::string WitnessExtractionToJson(const WitnessExtraction& extraction,
+                                    const RuleCatalog& catalog) {
+  std::string out = "{";
+  switch (extraction.status) {
+    case WitnessStatus::kFound:
+      out += "\"status\":\"found\"";
+      break;
+    case WitnessStatus::kNone:
+      out += "\"status\":\"none\"";
+      break;
+    case WitnessStatus::kNotEvaluated:
+      out += "\"status\":\"not_evaluated\"";
+      break;
+  }
+  if (!extraction.note.empty()) out += ",\"note\":" + Quoted(extraction.note);
+  if (extraction.status != WitnessStatus::kFound) {
+    out += "}";
+    return out;
+  }
+  const DivergenceWitness& w = extraction.witness;
+  out += ",\"witness\":{";
+  out += "\"kind\":";
+  out += w.kind == DivergenceWitness::Kind::kFinalState
+             ? "\"final_state\""
+             : "\"observable_stream\"";
+  out += ",\"sequence_a\":" + RuleArray(catalog, w.sequence_a);
+  out += ",\"sequence_b\":" + RuleArray(catalog, w.sequence_b);
+  out += ",\"prefix_len\":" + std::to_string(w.prefix_len);
+  out += ",\"diverge\":" + RuleArray(catalog, {w.diverge_a, w.diverge_b});
+  out += ",\"pair\":" + RuleArray(catalog, {w.pair_i, w.pair_j});
+  out += ",\"pair_explained\":" + std::string(Bool(w.pair_explained));
+  out += ",\"causes\":[";
+  for (size_t c = 0; c < w.causes.size(); ++c) {
+    if (c > 0) out += ",";
+    const NoncommutativityCause& cause = w.causes[c];
+    out += "{\"condition\":" + std::to_string(cause.condition);
+    out += ",\"actor\":" + Quoted(RuleName(catalog, cause.actor));
+    out += ",\"affected\":" + Quoted(RuleName(catalog, cause.affected));
+    out += "}";
+  }
+  out += "],\"overlap_tables\":[";
+  for (size_t t = 0; t < w.overlap_tables.size(); ++t) {
+    if (t > 0) out += ",";
+    out += Quoted(catalog.schema().table(w.overlap_tables[t]).name());
+  }
+  out += "]";
+  out += ",\"final_a\":" + Quoted(w.final_a);
+  out += ",\"final_b\":" + Quoted(w.final_b);
+  out += ",\"stream_a\":" + Quoted(w.stream_a);
+  out += ",\"stream_b\":" + Quoted(w.stream_b);
+  out += ",\"rollback_a\":" + std::string(Bool(w.rollback_a));
+  out += ",\"rollback_b\":" + std::string(Bool(w.rollback_b));
+  out += "}}";
+  return out;
+}
+
 std::string FullReportToJson(const FullReport& report,
-                             const RuleCatalog& catalog) {
+                             const RuleCatalog& catalog,
+                             const WitnessExtraction* witness) {
   std::string out = "{";
   out += "\"termination\":" +
          TerminationReportToJson(report.termination, catalog);
@@ -172,8 +229,17 @@ std::string FullReportToJson(const FullReport& report,
     out += ",\"rules\":" + RuleArray(catalog, {s.rule_a, s.rule_b});
     out += "}";
   }
-  out += "]}";
+  out += "]";
+  if (witness != nullptr) {
+    out += ",\"witness\":" + WitnessExtractionToJson(*witness, catalog);
+  }
+  out += "}";
   return out;
+}
+
+std::string FullReportToJson(const FullReport& report,
+                             const RuleCatalog& catalog) {
+  return FullReportToJson(report, catalog, nullptr);
 }
 
 }  // namespace starburst

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "analysis/witness.h"
 #include "rules/explorer.h"
 
 namespace starburst {
@@ -30,6 +31,23 @@ std::string ObservableReportToJson(const ObservableDeterminismReport& report,
                                    const RuleCatalog& catalog);
 std::string FullReportToJson(const FullReport& report,
                              const RuleCatalog& catalog);
+
+/// As above, with a divergence-witness section appended as "witness" when
+/// `witness` is non-null. The two-argument overload's output is unchanged
+/// byte for byte (the delta_equivalence fuzz oracle pins it).
+std::string FullReportToJson(const FullReport& report,
+                             const RuleCatalog& catalog,
+                             const WitnessExtraction* witness);
+
+/// The divergence-witness section on its own (the golden-corpus and
+/// tools/explain --json format):
+///
+///   {status: "found"|"none"|"not_evaluated" [, note] [, witness: {kind,
+///    sequence_a, sequence_b, prefix_len, diverge, pair, pair_explained,
+///    causes: [{condition, actor, affected}], overlap_tables, final_a,
+///    final_b, stream_a, stream_b, rollback_a, rollback_b}]}
+std::string WitnessExtractionToJson(const WitnessExtraction& extraction,
+                                    const RuleCatalog& catalog);
 
 /// Exploration instrumentation (states interned, dedup hits, peak stack
 /// depth, canonicalization bytes, wall time) — lets the benches and the

@@ -19,10 +19,7 @@
 
 namespace starburst {
 
-namespace {
-
-/// Serializes an observable stream for set-of-streams comparison.
-std::string StreamToString(const std::vector<ObservableEvent>& stream) {
+std::string ObservableStreamToString(const std::vector<ObservableEvent>& stream) {
   std::string out;
   for (const ObservableEvent& ev : stream) {
     out += ev.kind == ObservableEvent::Kind::kRollback ? "R:" : "S:";
@@ -30,6 +27,13 @@ std::string StreamToString(const std::vector<ObservableEvent>& stream) {
     out += "\n";
   }
   return out;
+}
+
+namespace {
+
+/// Serializes an observable stream for set-of-streams comparison.
+std::string StreamToString(const std::vector<ObservableEvent>& stream) {
+  return ObservableStreamToString(stream);
 }
 
 /// Interns canonical state strings to dense uint32 ids. Keys are looked up

@@ -208,6 +208,12 @@ struct ExplorationResult {
   }
 };
 
+/// Serializes an observable stream in the explorer's set-of-streams form:
+/// one line per event, "R:" (rollback) or "S:" (select) + payload + "\n".
+/// ExplorationResult::observable_streams entries and the divergence-witness
+/// stream fields (analysis/witness.h) use exactly this encoding.
+std::string ObservableStreamToString(const std::vector<ObservableEvent>& stream);
+
 /// Exhaustively enumerates every choice of eligible rule at every step,
 /// starting from `initial_db` with every rule's pending transition equal to
 /// `initial_transition` (the user-generated initial transition of

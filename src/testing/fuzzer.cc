@@ -269,6 +269,55 @@ ShrinkResult ShrinkWith(const GeneratedRuleSet& set,
   return Shrinker(still_fails, rng_seed).Run(set);
 }
 
+FailurePredicate WitnessPairPredicate(const std::string& rule_a,
+                                      const std::string& rule_b,
+                                      uint64_t data_seed,
+                                      const OracleOptions& options) {
+  std::string a = ToLower(rule_a);
+  std::string b = ToLower(rule_b);
+  if (b < a) std::swap(a, b);
+  return [a, b, data_seed, options](const GeneratedRuleSet& candidate) {
+    auto extraction = ExtractWitnessForCase(candidate, data_seed, options);
+    if (!extraction.ok()) {
+      return OracleOutcome{OracleVerdict::kSkip,
+                           extraction.status().ToString()};
+    }
+    switch (extraction.value().status) {
+      case WitnessStatus::kNotEvaluated:
+        return OracleOutcome{OracleVerdict::kSkip, extraction.value().note};
+      case WitnessStatus::kNone:
+        return OracleOutcome{OracleVerdict::kPass, ""};
+      case WitnessStatus::kFound:
+        break;
+    }
+    std::string i = ToLower(extraction.value().witness.pair_name_i);
+    std::string j = ToLower(extraction.value().witness.pair_name_j);
+    if (j < i) std::swap(i, j);
+    if (i == a && j == b) {
+      return OracleOutcome{OracleVerdict::kFail,
+                           "still diverges on witness pair " + a + " vs " + b};
+    }
+    return OracleOutcome{OracleVerdict::kPass, ""};
+  };
+}
+
+std::optional<WitnessShrinkResult> ShrinkPreservingWitnessPair(
+    const GeneratedRuleSet& set, uint64_t data_seed,
+    const OracleOptions& options) {
+  auto extraction = ExtractWitnessForCase(set, data_seed, options);
+  if (!extraction.ok() ||
+      extraction.value().status != WitnessStatus::kFound) {
+    return std::nullopt;
+  }
+  WitnessShrinkResult result;
+  result.pair_a = extraction.value().witness.pair_name_i;
+  result.pair_b = extraction.value().witness.pair_name_j;
+  FailurePredicate predicate =
+      WitnessPairPredicate(result.pair_a, result.pair_b, data_seed, options);
+  result.shrink = ShrinkWith(set, predicate, data_seed);
+  return result;
+}
+
 const std::vector<FuzzDriverFlag>& FuzzDriverFlags() {
   static const std::vector<FuzzDriverFlag>* flags =
       new std::vector<FuzzDriverFlag>{
@@ -324,7 +373,11 @@ std::string FailureToCorpusFile(const FuzzFailure& failure) {
   out += "-- shrunk: " + std::to_string(failure.original_num_rules) +
          " -> " + std::to_string(failure.minimized_num_rules) + " rules in " +
          std::to_string(failure.shrink_steps) + " steps\n";
-  out += "-- failure: " + SanitizeOneLine(failure.message) + "\n\n";
+  out += "-- failure: " + SanitizeOneLine(failure.message) + "\n";
+  if (!failure.witness_pair.empty()) {
+    out += "-- witness pair: " + SanitizeOneLine(failure.witness_pair) + "\n";
+  }
+  out += "\n";
   out += failure.minimized_script;
   return out;
 }
@@ -374,6 +427,18 @@ FuzzReport RunFuzz(const FuzzConfig& config) {
       failure.message = outcome.message;
       failure.original_script = RuleSetToScript(set);
       failure.original_num_rules = static_cast<int>(set.rules.size());
+      // Stamps the minimized case's divergence-witness pair into the
+      // failure, so the corpus reproducer carries its explanation.
+      auto stamp_witness = [&](const GeneratedRuleSet& minimized) {
+        auto extraction =
+            ExtractWitnessForCase(minimized, seed, config.oracle_options);
+        if (extraction.ok() &&
+            extraction.value().status == WitnessStatus::kFound) {
+          failure.witness_pair = extraction.value().witness.pair_name_i +
+                                 " vs " +
+                                 extraction.value().witness.pair_name_j;
+        }
+      };
       if (config.minimize) {
         ShrinkResult shrunk =
             ShrinkFailure(set, oracle, seed, config.oracle_options);
@@ -382,9 +447,11 @@ FuzzReport RunFuzz(const FuzzConfig& config) {
             static_cast<int>(shrunk.minimized.rules.size());
         failure.shrink_steps = shrunk.steps;
         if (!shrunk.message.empty()) failure.message = shrunk.message;
+        stamp_witness(shrunk.minimized);
       } else {
         failure.minimized_script = failure.original_script;
         failure.minimized_num_rules = failure.original_num_rules;
+        stamp_witness(set);
       }
       if (!config.corpus_dir.empty()) {
         std::error_code ec;

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,10 @@ struct FuzzFailure {
   /// Path of the written corpus reproducer; empty when corpus_dir unset or
   /// the write failed.
   std::string corpus_path;
+  /// The minimized case's divergence-witness pair ("r1 vs r2"), when the
+  /// case diverges and a witness was extracted — the reproducer's
+  /// explanation (see analysis/witness.h). Empty otherwise.
+  std::string witness_pair;
 };
 
 struct FuzzStats {
@@ -99,9 +104,37 @@ ShrinkResult ShrinkWith(const GeneratedRuleSet& set,
                         const FailurePredicate& still_fails,
                         uint64_t rng_seed);
 
+/// A FailurePredicate that "fails" exactly when the candidate still
+/// diverges with a divergence witness naming the same non-commuting rule
+/// pair (names compared case-insensitively, order-normalized) on
+/// `data_seed`'s initial state. kNotEvaluated extractions and unpreparable
+/// candidates yield kSkip, so shrinking never commits to an unverified
+/// step. `options` is captured by value.
+FailurePredicate WitnessPairPredicate(const std::string& rule_a,
+                                      const std::string& rule_b,
+                                      uint64_t data_seed,
+                                      const OracleOptions& options);
+
+/// ShrinkWith driven by WitnessPairPredicate: the smallest rule set that
+/// still diverges on the original witness's non-commuting pair — fuzz
+/// reproducers carry their explanation.
+struct WitnessShrinkResult {
+  ShrinkResult shrink;
+  /// The preserved pair (original witness order, original spelling).
+  std::string pair_a;
+  std::string pair_b;
+};
+
+/// Extracts the witness of (set, data_seed) and shrinks toward the
+/// smallest rule set preserving its non-commuting pair. nullopt when the
+/// case has no witness (not divergent, or not evaluated).
+std::optional<WitnessShrinkResult> ShrinkPreservingWitnessPair(
+    const GeneratedRuleSet& set, uint64_t data_seed,
+    const OracleOptions& options);
+
 /// Renders a failure as a corpus file: a `--` comment header (oracle, seed,
-/// message) followed by the minimized script. The result reparses with
-/// ParseRuleSetScript.
+/// message, witness pair when known) followed by the minimized script. The
+/// result reparses with ParseRuleSetScript.
 std::string FailureToCorpusFile(const FuzzFailure& failure);
 
 /// One tools/fuzz_driver command-line flag. The table below is the single

@@ -29,6 +29,7 @@ constexpr const char* kOracleNames[kNumOracles] = {
     "delta_equivalence",
     "por_equivalence",
     "incremental_equivalence",
+    "witness_replay",
 };
 
 OracleOutcome Pass() { return {OracleVerdict::kPass, ""}; }
@@ -39,74 +40,12 @@ OracleOutcome Fail(std::string what) {
   return {OracleVerdict::kFail, std::move(what)};
 }
 
-/// A case ready to explore: catalog + populated database + the randomized
-/// initial transition derived from data_seed.
-struct PreparedCase {
-  RuleCatalog catalog;
-  Database db;
-  Transition initial;
-
-  PreparedCase(RuleCatalog c, Database d)
-      : catalog(std::move(c)), db(std::move(d)) {}
-};
-
-/// Builds the initial transition: one insert into every table, a column
-/// update across one table, one delete from another — so inserted,
-/// updated, and deleted triggering events can all fire, with the touched
-/// tables varying by data_seed.
-Result<PreparedCase> Prepare(const GeneratedRuleSet& set, uint64_t data_seed,
-                             const OracleOptions& options) {
-  std::vector<RuleDef> rules;
-  rules.reserve(set.rules.size());
-  for (const RuleDef& r : set.rules) rules.push_back(r.Clone());
-  auto catalog = RuleCatalog::Build(set.schema.get(), std::move(rules));
-  if (!catalog.ok()) return catalog.status();
-
-  Database db(set.schema.get());
-  STARBURST_RETURN_IF_ERROR(
-      PopulateRandomDatabase(&db, options.rows_per_table, data_seed));
-
-  PreparedCase prepared(std::move(catalog).value(), std::move(db));
-  const Schema& schema = *set.schema;
-  SplitMix64 rng(data_seed ^ 0xf022c45eedULL);
-  for (TableId t = 0; t < schema.num_tables(); ++t) {
-    Tuple tuple(schema.table(t).num_columns(),
-                Value::Int(static_cast<int64_t>(rng.Below(4))));
-    auto rid = prepared.db.storage(t).Insert(tuple);
-    if (!rid.ok()) return rid.status();
-    STARBURST_RETURN_IF_ERROR(
-        prepared.initial.ForTable(t).ApplyInsert(rid.value(), tuple));
-  }
-  if (schema.num_tables() > 0) {
-    TableId updated = static_cast<TableId>(data_seed % schema.num_tables());
-    TableStorage& storage = prepared.db.storage(updated);
-    int64_t value = static_cast<int64_t>(rng.Below(4));
-    std::vector<std::pair<Rid, Tuple>> updates;
-    for (const auto& [rid, tuple] : storage.rows()) {
-      Tuple next = tuple;
-      next[0] = Value::Int(value);
-      if (!(next[0] == tuple[0])) updates.emplace_back(rid, std::move(next));
-    }
-    for (auto& [rid, next] : updates) {
-      Tuple old_tuple = *storage.Get(rid);
-      STARBURST_RETURN_IF_ERROR(storage.Update(rid, next));
-      STARBURST_RETURN_IF_ERROR(prepared.initial.ForTable(updated).ApplyUpdate(
-          rid, std::move(old_tuple), std::move(next)));
-    }
-
-    TableId deleted =
-        static_cast<TableId>((data_seed / 3) % schema.num_tables());
-    TableStorage& del_storage = prepared.db.storage(deleted);
-    if (!del_storage.rows().empty()) {
-      Rid victim = del_storage.rows().begin()->first;
-      Tuple old_tuple = *del_storage.Get(victim);
-      STARBURST_RETURN_IF_ERROR(del_storage.Delete(victim));
-      STARBURST_RETURN_IF_ERROR(
-          prepared.initial.ForTable(deleted).ApplyDelete(victim,
-                                                         std::move(old_tuple)));
-    }
-  }
-  return prepared;
+/// Thin alias so the oracle bodies below read tersely; the setup itself is
+/// the public PrepareOracleCase (shared with tools/explain and the witness
+/// golden corpus).
+Result<OracleCase> Prepare(const GeneratedRuleSet& set, uint64_t data_seed,
+                           const OracleOptions& options) {
+  return PrepareOracleCase(set, data_seed, options);
 }
 
 ExplorerOptions ExploreOptions(const OracleOptions& options) {
@@ -653,7 +592,163 @@ OracleOutcome RoundTrip(const GeneratedRuleSet& set) {
   return Pass();
 }
 
+/// Witness options mirroring the oracle's exploration budgets, so
+/// reconstruction can afford exactly the walk the explorer could.
+WitnessOptions WitnessOptionsFrom(const OracleOptions& options) {
+  WitnessOptions wo;
+  wo.max_depth = options.max_depth;
+  wo.max_total_steps = options.max_total_steps;
+  return wo;
+}
+
+/// The divergence-provenance contract: a divergent exploration (>= 2 final
+/// states or observable streams) must produce a witness whose sequences
+/// replay to exactly the divergent outcomes; a non-divergent one must
+/// produce none. Runs with POR forced off so the verdict is independent of
+/// the STARBURST_POR environment.
+OracleOutcome WitnessReplay(const GeneratedRuleSet& set, uint64_t data_seed,
+                            const OracleOptions& options) {
+  auto prepared = Prepare(set, data_seed, options);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+  const RuleCatalog& catalog = prepared.value().catalog;
+  ExplorerOptions eo = ExploreOptions(options);
+  eo.por = ExplorerOptions::PorMode::kOff;
+  auto result = Explorer::Explore(catalog, prepared.value().db,
+                                  prepared.value().initial, eo);
+  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.value().complete) return Skip("exploration budget exhausted");
+  bool divergent = result.value().final_states.size() >= 2 ||
+                   (result.value().streams_evaluated &&
+                    result.value().observable_streams.size() >= 2);
+  auto extraction =
+      ExtractWitness(catalog, prepared.value().db, prepared.value().initial,
+                     result.value(), WitnessOptionsFrom(options));
+  if (!extraction.ok()) return Fail(extraction.status().ToString());
+  switch (extraction.value().status) {
+    case WitnessStatus::kNotEvaluated:
+      return Skip("witness not evaluated: " + extraction.value().note);
+    case WitnessStatus::kNone:
+      if (divergent) {
+        return Fail("divergent exploration produced no witness");
+      }
+      return Pass();
+    case WitnessStatus::kFound: {
+      if (!divergent) {
+        return Fail("non-divergent exploration produced a witness");
+      }
+      auto replay =
+          ReplayWitness(catalog, prepared.value().db,
+                        prepared.value().initial, extraction.value().witness);
+      if (!replay.ok()) return Fail(replay.status().ToString());
+      if (!replay.value().ok) {
+        return Fail("witness replay failed: " + replay.value().message);
+      }
+      return Pass();
+    }
+  }
+  return Skip("unreachable");
+}
+
 }  // namespace
+
+Result<OracleCase> PrepareOracleCase(const GeneratedRuleSet& set,
+                                     uint64_t data_seed,
+                                     const OracleOptions& options) {
+  std::vector<RuleDef> rules;
+  rules.reserve(set.rules.size());
+  for (const RuleDef& r : set.rules) rules.push_back(r.Clone());
+  auto catalog = RuleCatalog::Build(set.schema.get(), std::move(rules));
+  if (!catalog.ok()) return catalog.status();
+
+  Database db(set.schema.get());
+  STARBURST_RETURN_IF_ERROR(
+      PopulateRandomDatabase(&db, options.rows_per_table, data_seed));
+
+  OracleCase prepared(std::move(catalog).value(), std::move(db));
+  const Schema& schema = *set.schema;
+  SplitMix64 rng(data_seed ^ 0xf022c45eedULL);
+  for (TableId t = 0; t < schema.num_tables(); ++t) {
+    Tuple tuple(schema.table(t).num_columns(),
+                Value::Int(static_cast<int64_t>(rng.Below(4))));
+    auto rid = prepared.db.storage(t).Insert(tuple);
+    if (!rid.ok()) return rid.status();
+    STARBURST_RETURN_IF_ERROR(
+        prepared.initial.ForTable(t).ApplyInsert(rid.value(), tuple));
+  }
+  if (schema.num_tables() > 0) {
+    TableId updated = static_cast<TableId>(data_seed % schema.num_tables());
+    TableStorage& storage = prepared.db.storage(updated);
+    int64_t value = static_cast<int64_t>(rng.Below(4));
+    std::vector<std::pair<Rid, Tuple>> updates;
+    for (const auto& [rid, tuple] : storage.rows()) {
+      Tuple next = tuple;
+      next[0] = Value::Int(value);
+      if (!(next[0] == tuple[0])) updates.emplace_back(rid, std::move(next));
+    }
+    for (auto& [rid, next] : updates) {
+      Tuple old_tuple = *storage.Get(rid);
+      STARBURST_RETURN_IF_ERROR(storage.Update(rid, next));
+      STARBURST_RETURN_IF_ERROR(prepared.initial.ForTable(updated).ApplyUpdate(
+          rid, std::move(old_tuple), std::move(next)));
+    }
+
+    TableId deleted =
+        static_cast<TableId>((data_seed / 3) % schema.num_tables());
+    TableStorage& del_storage = prepared.db.storage(deleted);
+    if (!del_storage.rows().empty()) {
+      Rid victim = del_storage.rows().begin()->first;
+      Tuple old_tuple = *del_storage.Get(victim);
+      STARBURST_RETURN_IF_ERROR(del_storage.Delete(victim));
+      STARBURST_RETURN_IF_ERROR(
+          prepared.initial.ForTable(deleted).ApplyDelete(victim,
+                                                         std::move(old_tuple)));
+    }
+  }
+  return prepared;
+}
+
+Result<WitnessExtraction> ExtractWitnessForCase(const GeneratedRuleSet& set,
+                                                uint64_t data_seed,
+                                                const OracleOptions& options) {
+  STARBURST_ASSIGN_OR_RETURN(OracleCase prepared,
+                             PrepareOracleCase(set, data_seed, options));
+  ExplorerOptions eo = ExploreOptions(options);
+  eo.por = ExplorerOptions::PorMode::kOff;
+  STARBURST_ASSIGN_OR_RETURN(
+      ExplorationResult result,
+      Explorer::Explore(prepared.catalog, prepared.db, prepared.initial, eo));
+  if (!result.complete) {
+    WitnessExtraction extraction;
+    extraction.status = WitnessStatus::kNotEvaluated;
+    extraction.note = "exploration budget exhausted";
+    return extraction;
+  }
+  return ExtractWitness(prepared.catalog, prepared.db, prepared.initial,
+                        result, WitnessOptionsFrom(options));
+}
+
+Result<std::string> WitnessJsonForCase(const GeneratedRuleSet& set,
+                                       uint64_t data_seed,
+                                       const OracleOptions& options) {
+  STARBURST_ASSIGN_OR_RETURN(OracleCase prepared,
+                             PrepareOracleCase(set, data_seed, options));
+  ExplorerOptions eo = ExploreOptions(options);
+  eo.por = ExplorerOptions::PorMode::kOff;
+  STARBURST_ASSIGN_OR_RETURN(
+      ExplorationResult result,
+      Explorer::Explore(prepared.catalog, prepared.db, prepared.initial, eo));
+  WitnessExtraction extraction;
+  if (!result.complete) {
+    extraction.status = WitnessStatus::kNotEvaluated;
+    extraction.note = "exploration budget exhausted";
+  } else {
+    STARBURST_ASSIGN_OR_RETURN(
+        extraction,
+        ExtractWitness(prepared.catalog, prepared.db, prepared.initial,
+                       result, WitnessOptionsFrom(options)));
+  }
+  return WitnessExtractionToJson(extraction, prepared.catalog);
+}
 
 const char* OracleName(OracleId id) {
   return kOracleNames[static_cast<int>(id)];
@@ -692,6 +787,8 @@ OracleOutcome RunOracle(OracleId id, const GeneratedRuleSet& set,
       return PorEquivalence(set, data_seed, options);
     case OracleId::kIncrementalEquivalence:
       return IncrementalEquivalence(set, data_seed);
+    case OracleId::kWitnessReplay:
+      return WitnessReplay(set, data_seed, options);
   }
   return Skip("unknown oracle");
 }

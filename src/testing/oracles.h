@@ -4,9 +4,14 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "analysis/witness.h"
 #include "common/status.h"
+#include "engine/database.h"
+#include "engine/transition.h"
+#include "rules/rule_catalog.h"
 #include "workload/random_gen.h"
 
 namespace starburst {
@@ -54,6 +59,15 @@ namespace fuzzing {
 ///                               and the full pairwise commutativity
 ///                               matrix — across a seeded sequence of
 ///                               add/remove/redefine edits.
+///   kWitnessReplay              divergence provenance (analysis/witness.h)
+///                               is complete and honest: every divergent
+///                               exploration (>= 2 final states or
+///                               observable streams) must yield a
+///                               divergence witness whose two sequences
+///                               replay through the rule processor to
+///                               exactly the divergent outcomes, and every
+///                               non-divergent exploration must yield
+///                               none.
 enum class OracleId {
   kTerminationSound,
   kConfluenceSound,
@@ -63,9 +77,10 @@ enum class OracleId {
   kDeltaEquivalence,
   kPorEquivalence,
   kIncrementalEquivalence,
+  kWitnessReplay,
 };
 
-inline constexpr int kNumOracles = 8;
+inline constexpr int kNumOracles = 9;
 
 /// Stable snake_case name ("termination_sound", ...), used by the
 /// fuzz_driver --oracle flag and corpus file headers.
@@ -111,6 +126,40 @@ struct OracleOutcome {
 /// data_seed, options) triple always produces the same outcome.
 OracleOutcome RunOracle(OracleId id, const GeneratedRuleSet& set,
                         uint64_t data_seed, const OracleOptions& options);
+
+/// A case ready to explore: catalog + populated database + the randomized
+/// initial transition derived from data_seed (the oracles' shared setup,
+/// also used by tools/explain and witness extraction).
+struct OracleCase {
+  RuleCatalog catalog;
+  Database db;
+  Transition initial;
+
+  OracleCase(RuleCatalog c, Database d)
+      : catalog(std::move(c)), db(std::move(d)) {}
+};
+
+/// Builds the initial database and transition for (set, data_seed): one
+/// insert into every table, a column update across one table, one delete
+/// from another — so inserted, updated, and deleted triggering events can
+/// all fire, with the touched tables varying by data_seed.
+Result<OracleCase> PrepareOracleCase(const GeneratedRuleSet& set,
+                                     uint64_t data_seed,
+                                     const OracleOptions& options);
+
+/// Explores (set, data_seed) with POR off — witness verdicts are
+/// independent of the STARBURST_POR environment — and extracts a
+/// divergence witness. An exhausted exploration budget yields
+/// WitnessStatus::kNotEvaluated, never a verdict.
+Result<WitnessExtraction> ExtractWitnessForCase(const GeneratedRuleSet& set,
+                                                uint64_t data_seed,
+                                                const OracleOptions& options);
+
+/// ExtractWitnessForCase rendered as WitnessExtractionToJson — the golden
+/// witness-corpus format and the tools/explain --json output.
+Result<std::string> WitnessJsonForCase(const GeneratedRuleSet& set,
+                                       uint64_t data_seed,
+                                       const OracleOptions& options);
 
 /// Serializes schema + rules as a self-contained, parseable rule-language
 /// script (`create table` statements first, then `create rule`

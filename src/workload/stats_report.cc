@@ -7,6 +7,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/report.h"
+#include "analysis/witness.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "engine/database.h"
@@ -209,6 +210,33 @@ Result<StatsReport> Run(const StatsReportOptions& options) {
       catalog, post_setup, w.sample_transaction, explorer_options);
   if (!explored.ok()) return explored.status();
   summary << ExplorationSummary(explored.value());
+
+  // Divergence provenance (analysis/witness.h): when the exploration is
+  // not confluent / observably deterministic, say which rule pair is
+  // responsible and where the orders split.
+  Result<WitnessExtraction> witness = ExtractWitnessAfterStatements(
+      catalog, post_setup, w.sample_transaction, explorer_options);
+  if (!witness.ok()) return witness.status();
+  switch (witness.value().status) {
+    case WitnessStatus::kNone:
+      summary << "divergence witness: none (all execution orders agree)\n";
+      break;
+    case WitnessStatus::kNotEvaluated:
+      summary << "divergence witness: not evaluated ("
+              << witness.value().note << ")\n";
+      break;
+    case WitnessStatus::kFound: {
+      const DivergenceWitness& dw = witness.value().witness;
+      summary << "divergence witness: "
+              << (dw.kind == DivergenceWitness::Kind::kFinalState
+                      ? "final states"
+                      : "observable streams")
+              << " split after " << dw.prefix_len
+              << " shared firing(s); non-commuting pair " << dw.pair_name_i
+              << " / " << dw.pair_name_j << "\n";
+      break;
+    }
+  }
 
   StatsReport result;
   result.summary = summary.str();

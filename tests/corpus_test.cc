@@ -65,6 +65,40 @@ TEST(CorpusTest, EveryFileParsesAndReplaysCleanThroughAllOracles) {
   }
 }
 
+// Golden divergence witnesses live next to the scenarios they describe:
+// tests/corpus/witness/<stem>.witness.json is the exact
+// WitnessExtractionToJson output for <stem>.rules at data seed 1 (the
+// non-.rules extension keeps them out of CorpusFiles()). Regenerate a
+// golden with `tools/explain tests/corpus/<stem>.rules --json` after an
+// intentional witness-format change.
+TEST(CorpusTest, GoldenWitnessJsonMatches) {
+  const std::filesystem::path golden_dir =
+      std::filesystem::path(STARBURST_CORPUS_DIR) / "witness";
+  ASSERT_TRUE(std::filesystem::is_directory(golden_dir)) << golden_dir;
+  size_t goldens = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(golden_dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++goldens;
+    SCOPED_TRACE(entry.path().string());
+    // foo.witness.json pairs with ../foo.rules.
+    std::string stem = entry.path().stem().stem().string();
+    const std::string rules_path =
+        (std::filesystem::path(STARBURST_CORPUS_DIR) / (stem + ".rules"))
+            .string();
+    auto set = ParseRuleSetScript(ReadFile(rules_path));
+    ASSERT_TRUE(set.ok()) << rules_path << ": " << set.status().ToString();
+    auto json = WitnessJsonForCase(set.value(), /*data_seed=*/1,
+                                   OracleOptions{});
+    ASSERT_TRUE(json.ok()) << json.status().ToString();
+    std::string expected = ReadFile(entry.path().string());
+    while (!expected.empty() && expected.back() == '\n') expected.pop_back();
+    EXPECT_EQ(json.value(), expected);
+  }
+  EXPECT_GE(goldens, 4u)
+      << "the witness_* corpus family should keep at least four golden "
+         "witness JSON files";
+}
+
 TEST(CorpusTest, EveryFileSurvivesAPrintParseRoundTrip) {
   for (const std::string& path : CorpusFiles()) {
     SCOPED_TRACE(path);

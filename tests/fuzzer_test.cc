@@ -342,6 +342,98 @@ TEST(FuzzLoopTest, FailureToCorpusFileReparsesAndNamesTheOracle) {
   EXPECT_EQ(reparsed.value().rules.size(), 2u);
 }
 
+// --- witness_replay oracle and witness-preserving shrinks ----------------
+
+TEST(WitnessOracleTest, NameParsesAndCountsNineOracles) {
+  auto parsed = ParseOracleName("witness_replay");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, OracleId::kWitnessReplay);
+  EXPECT_EQ(kNumOracles, 9);
+}
+
+TEST(WitnessOracleTest, PassesOnDivergentSet) {
+  // Divergent case: a witness must be extracted AND replay cleanly.
+  GeneratedRuleSet set = Parse(kNonConfluentPair);
+  OracleOutcome outcome =
+      RunOracle(OracleId::kWitnessReplay, set, 1, OracleOptions{});
+  EXPECT_EQ(outcome.verdict, OracleVerdict::kPass) << outcome.message;
+}
+
+TEST(WitnessOracleTest, PassesOnConfluentSet) {
+  // Confluent case: extraction must agree there is nothing to witness.
+  GeneratedRuleSet set = Parse(kAcyclicChain);
+  OracleOutcome outcome =
+      RunOracle(OracleId::kWitnessReplay, set, 1, OracleOptions{});
+  EXPECT_EQ(outcome.verdict, OracleVerdict::kPass) << outcome.message;
+}
+
+TEST(WitnessOracleTest, SkipsWhenExplorationBudgetExhausted) {
+  GeneratedRuleSet set = Parse(kNonConfluentPair);
+  OracleOptions options;
+  options.max_total_steps = 1;
+  OracleOutcome outcome =
+      RunOracle(OracleId::kWitnessReplay, set, 1, options);
+  EXPECT_EQ(outcome.verdict, OracleVerdict::kSkip) << outcome.message;
+}
+
+TEST(WitnessShrinkTest, DropsRulesIrrelevantToTheWitnessPair) {
+  // r0/r1 are the divergent pair; the bystander rules never fire from the
+  // oracle's initial transition on t/s and must be shrunk away.
+  GeneratedRuleSet set = Parse(
+      "create table t (a int);\n"
+      "create table s (a int);\n"
+      "create table u (a int, b int);\n"
+      "create rule r0 on t when inserted then update s set a = 1;\n"
+      "create rule r1 on t when inserted then update s set a = 2;\n"
+      "create rule bystander1 on u when updated(b) then select a from u;\n"
+      "create rule bystander2 on u when updated(b) then update u set a = 1;\n");
+  ASSERT_EQ(set.rules.size(), 4u);
+  auto result = ShrinkPreservingWitnessPair(set, /*data_seed=*/1,
+                                            OracleOptions{});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->pair_a, "r0");
+  EXPECT_EQ(result->pair_b, "r1");
+  EXPECT_EQ(result->shrink.minimized.rules.size(), 2u);
+  // The minimized set still diverges on exactly the original pair.
+  std::vector<std::string> names;
+  for (const RuleDef& rule : result->shrink.minimized.rules) {
+    names.push_back(rule.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"r0", "r1"}));
+}
+
+TEST(WitnessShrinkTest, NulloptWhenTheSetIsConfluent) {
+  GeneratedRuleSet set = Parse(kAcyclicChain);
+  EXPECT_FALSE(
+      ShrinkPreservingWitnessPair(set, /*data_seed=*/1, OracleOptions{})
+          .has_value());
+}
+
+TEST(WitnessShrinkTest, PredicateFailsOnlyWhileThePairStillDiverges) {
+  GeneratedRuleSet divergent = Parse(kNonConfluentPair);
+  FailurePredicate predicate =
+      WitnessPairPredicate("r0", "r1", /*data_seed=*/1, OracleOptions{});
+  EXPECT_EQ(predicate(divergent).verdict, OracleVerdict::kFail);
+  // Removing one side of the pair makes the case confluent: kPass.
+  GeneratedRuleSet half = Parse(kNonConfluentPair);
+  half.rules.pop_back();
+  EXPECT_EQ(predicate(half).verdict, OracleVerdict::kPass);
+}
+
+TEST(WitnessShrinkTest, CorpusFileCarriesTheWitnessPairHeader) {
+  FuzzFailure failure;
+  failure.seed = 7;
+  failure.oracle = OracleId::kWitnessReplay;
+  failure.message = "divergent";
+  failure.witness_pair = "r0 vs r1";
+  failure.minimized_script = RuleSetToScript(Parse(kNonConfluentPair));
+  std::string file = FailureToCorpusFile(failure);
+  EXPECT_NE(file.find("-- witness pair: r0 vs r1"), std::string::npos)
+      << file;
+  ASSERT_TRUE(ParseRuleSetScript(file).ok());
+}
+
 }  // namespace
 }  // namespace fuzzing
 }  // namespace starburst
