@@ -88,11 +88,26 @@ BENCHMARK(BM_BatchAnalyzeRuleSets)
     ->ArgNames({"batch", "threads"})
     ->UseRealTime();
 
-// Hot path 3: the sharded explorer. N unordered observable rules give N
-// top-level shards and N! path-sensitive interleavings below them;
-// num_threads = 0 is the classic engine for reference.
-void BM_ShardedExplorer(benchmark::State& state) {
-  int n = 6;
+// Shared reporting for the explorer scaling curves: states/s plus the
+// scheduling telemetry that shows the work really moved between workers.
+void ReportExplorerRun(benchmark::State& state, long steps, long steals,
+                       long fallbacks) {
+  state.counters["steps_per_s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["fallbacks"] = static_cast<double>(fallbacks);
+}
+
+// Hot path 3: the work-stealing explorer on N unordered commuting rules —
+// N! path-sensitive interleavings, with every state interned once in the
+// shared striped set. num_threads = 0 is the classic engine for
+// reference; 1/2/4/8 sweep the scaling curve (parallel efficiency =
+// steps_per_s(T) / (T * steps_per_s(1)), derived in BENCH_parallel.json).
+// The POR axis (range(2)) collapses the commuting fan-out to one chain,
+// so it measures reduction overhead inside the parallel walk rather than
+// raw throughput.
+void BM_WorkStealingExplorer(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
   Schema schema;
   (void)schema.AddTable("src", {{"a", ColumnType::kInt}});
   std::string rules_src;
@@ -109,24 +124,79 @@ void BM_ShardedExplorer(benchmark::State& state) {
   ExplorerOptions options;
   options.max_total_steps = 2000000;
   options.max_streams = 100000;
-  options.num_threads = static_cast<int>(state.range(0));
-  long steps = 0;
+  options.num_threads = static_cast<int>(state.range(1));
+  options.por = state.range(2) != 0 ? ExplorerOptions::PorMode::kCommute
+                                    : ExplorerOptions::PorMode::kOff;
+  long steps = 0, steals = 0, fallbacks = 0;
   for (auto _ : state) {
     auto r = Explorer::ExploreAfterStatements(
         catalog.value(), db, {"insert into src values (1)"}, options);
     steps += r.value().steps_taken;
+    steals += r.value().stats.steals;
+    fallbacks += r.value().stats.parallel_fallbacks;
     benchmark::DoNotOptimize(r.value().final_states.size());
   }
-  state.counters["steps_per_s"] = benchmark::Counter(
-      static_cast<double>(steps), benchmark::Counter::kIsRate);
+  ReportExplorerRun(state, steps, steals, fallbacks);
 }
-BENCHMARK(BM_ShardedExplorer)
-    ->Arg(0)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->ArgName("threads")
+BENCHMARK(BM_WorkStealingExplorer)
+    ->ArgsProduct({{6, 7}, {0, 1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"rules", "threads", "por"})
+    ->UseRealTime();
+
+// Deep-cascade workload: two independent trigger chains of depth 8 fan
+// out from the root, so the tree is DEEP (16-step paths, C(16,8) = 12870
+// interleavings, ~48.6k edges) rather than wide at the top — the shape
+// the old top-level sharding could not balance (two shards, arbitrarily
+// unequal subtrees) and the steal-from-the-shallowest-frame policy is
+// built for. Each firing enables the next chain rule, which keeps the
+// commute certificates inapplicable — the POR axis (range(1)) therefore
+// measures the reduction check's overhead on a POR-resistant shape, not
+// pruning (steps are identical on both axes).
+void BM_DeepCascadeExplorer(benchmark::State& state) {
+  constexpr int kChains = 2;
+  constexpr int kDepth = 8;
+  Schema schema;
+  (void)schema.AddTable("src", {{"a", ColumnType::kInt}});
+  std::string rules_src;
+  for (int c = 0; c < kChains; ++c) {
+    for (int i = 0; i <= kDepth; ++i) {
+      (void)schema.AddTable("c" + std::to_string(c) + "_" + std::to_string(i),
+                            {{"a", ColumnType::kInt}});
+    }
+    rules_src += "create rule root" + std::to_string(c) +
+                 " on src when inserted then insert into c" +
+                 std::to_string(c) + "_0 values (1);";
+    for (int i = 0; i < kDepth; ++i) {
+      std::string from = "c" + std::to_string(c) + "_" + std::to_string(i);
+      std::string to = "c" + std::to_string(c) + "_" + std::to_string(i + 1);
+      rules_src += "create rule step" + std::to_string(c) + "_" +
+                   std::to_string(i) + " on " + from +
+                   " when inserted then insert into " + to + " values (1);";
+    }
+  }
+  auto script = Parser::ParseScript(rules_src);
+  auto catalog = RuleCatalog::Build(&schema, std::move(script.value().rules));
+  Database db(&schema);
+  ExplorerOptions options;
+  options.max_total_steps = 2000000;
+  options.max_depth = 64;
+  options.num_threads = static_cast<int>(state.range(0));
+  options.por = state.range(1) != 0 ? ExplorerOptions::PorMode::kCommute
+                                    : ExplorerOptions::PorMode::kOff;
+  long steps = 0, steals = 0, fallbacks = 0;
+  for (auto _ : state) {
+    auto r = Explorer::ExploreAfterStatements(
+        catalog.value(), db, {"insert into src values (1)"}, options);
+    steps += r.value().steps_taken;
+    steals += r.value().stats.steals;
+    fallbacks += r.value().stats.parallel_fallbacks;
+    benchmark::DoNotOptimize(r.value().final_states.size());
+  }
+  ReportExplorerRun(state, steps, steals, fallbacks);
+}
+BENCHMARK(BM_DeepCascadeExplorer)
+    ->ArgsProduct({{0, 1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"threads", "por"})
     ->UseRealTime();
 
 }  // namespace

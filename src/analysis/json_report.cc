@@ -146,6 +146,10 @@ std::string ExplorationStatsToJson(const ExplorationStats& stats) {
          std::to_string(stats.canonicalization_bytes);
   out += ",\"delta_reverts\":" + std::to_string(stats.delta_reverts);
   out += ",\"por_pruned_orders\":" + std::to_string(stats.por_pruned_orders);
+  out += ",\"steals\":" + std::to_string(stats.steals);
+  out += ",\"shared_interner_hits\":" +
+         std::to_string(stats.shared_interner_hits);
+  out += ",\"parallel_fallbacks\":" + std::to_string(stats.parallel_fallbacks);
   out += ",\"wall_seconds\":";
   out += wall;
   out += "}";

@@ -1,0 +1,107 @@
+#ifndef STARBURST_COMMON_WORK_STEALING_H_
+#define STARBURST_COMMON_WORK_STEALING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace starburst {
+
+/// Per-worker steal deques plus the idle/active termination protocol for a
+/// cooperative work-stealing region — the scheduling substrate of the
+/// explorer's parallel mode (src/rules/explorer.cc), kept generic so the
+/// hammer tests can drive it with trivial task types.
+///
+/// Protocol (owner = the worker whose deque it is; thief = any other):
+///   - The owner pushes a handle when it creates stealable work and removes
+///     it from the BACK (with an identity check) when that work is done.
+///   - Thieves steal from the FRONT — the oldest handle, which in a DFS is
+///     the shallowest frame and therefore the largest expected subtree.
+///   Front-steals remove a prefix and owner-removals a suffix, so a
+///   handle the owner looks for is either still at the back or already
+///   stolen — RemoveBack() never has to search the middle.
+///
+/// Handles are shared_ptrs: a thief may hold (and work on) a handle after
+/// the owner has finished and dropped it; coordination of the work INSIDE
+/// a handle (e.g. an atomic child cursor) is the task type's business.
+///
+/// Termination: workers call MarkActive() while they hold work and
+/// MarkIdle() when their local stack drains. A worker owning work never
+/// idles with handles still in its deque, so `active == 0` implies no
+/// handle anywhere holds unclaimed work and every worker may exit. A thief
+/// that steals between another worker's last MarkIdle and its own
+/// MarkActive merely loses company — the stolen handle's children are also
+/// drained by its (still active) owner, so no work is ever lost.
+template <typename Task>
+class WorkStealingDeques {
+ public:
+  explicit WorkStealingDeques(size_t workers)
+      : deques_(workers), active_(0), steals_(0) {}
+
+  size_t num_workers() const { return deques_.size(); }
+
+  /// Owner `w` publishes `task` as stealable.
+  void Push(size_t w, std::shared_ptr<Task> task) {
+    Deque& d = deques_[w];
+    std::lock_guard<std::mutex> lock(d.mu);
+    d.items.push_back(std::move(task));
+  }
+
+  /// Owner `w` retires `task`: pops it from the back of its own deque when
+  /// it is still there (returns true), or reports it stolen (false).
+  bool RemoveBack(size_t w, const Task* task) {
+    Deque& d = deques_[w];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (!d.items.empty() && d.items.back().get() == task) {
+      d.items.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  /// Thief `w` scans the other workers' deques round-robin (starting after
+  /// itself, so thieves spread across victims) and pops the front of the
+  /// first non-empty one. Returns null when every deque is empty.
+  std::shared_ptr<Task> Steal(size_t w) {
+    const size_t n = deques_.size();
+    for (size_t i = 1; i <= n; ++i) {
+      Deque& d = deques_[(w + i) % n];
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (!d.items.empty()) {
+        std::shared_ptr<Task> task = std::move(d.items.front());
+        d.items.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return task;
+      }
+    }
+    return nullptr;
+  }
+
+  void MarkActive() { active_.fetch_add(1, std::memory_order_acq_rel); }
+  void MarkIdle() { active_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// True when no worker holds work: the region may terminate.
+  bool Quiescent() const {
+    return active_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Successful Steal() calls across the region (exact once quiesced).
+  long steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<std::shared_ptr<Task>> items;
+  };
+
+  std::vector<Deque> deques_;
+  std::atomic<int> active_;
+  std::atomic<long> steals_;
+};
+
+}  // namespace starburst
+
+#endif  // STARBURST_COMMON_WORK_STEALING_H_

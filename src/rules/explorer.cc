@@ -1,18 +1,24 @@
 #include "rules/explorer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "analysis/commutativity.h"
 #include "common/metrics.h"
+#include "common/striped_set.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "common/work_stealing.h"
 #include "engine/exec.h"
 #include "engine/fingerprint.h"
 #include "rulelang/parser.h"
@@ -167,6 +173,15 @@ const std::vector<int64_t>& RevertDepthBounds() {
 /// Inclusive upper edges for the explorer.shard_states histogram (states
 /// visited per top-level shard in sharded mode).
 const std::vector<int64_t>& ShardStatesBounds() {
+  static const std::vector<int64_t>* bounds = new std::vector<int64_t>{
+      1, 10, 100, 1000, 10000, 100000};
+  return *bounds;
+}
+
+/// Inclusive upper edges for the explorer.interner_contention histogram
+/// (contended stripe-lock acquisitions on the shared interner, recorded
+/// once per work-stealing exploration).
+const std::vector<int64_t>& ContentionBounds() {
   static const std::vector<int64_t>* bounds = new std::vector<int64_t>{
       1, 10, 100, 1000, 10000, 100000};
   return *bounds;
@@ -809,12 +824,658 @@ class ExplorerImpl {
   std::string rollback_db_key_;
 };
 
-/// Parallel frontier mode (ExplorerOptions::num_threads >= 1): the root
-/// state is expanded once, then each top-level subtree — one per initial
-/// eligible rule — is explored independently with its own interner, own
-/// step budget, and the root seeded on-path for cycle detection. Shard
-/// results are merged in rule order, so the merged result is identical for
-/// any worker count.
+/// ------------------- Work-stealing parallel exploration -------------------
+///
+/// ExplorerOptions::num_threads >= 2 without dedup_subtrees / record_graph.
+/// Workers run the classic depth-first walk on their OWN database + undo
+/// log; every frame with two or more eligible rules is published as a
+/// StealTask in the owner's deque. An idle worker steals the shallowest
+/// task, replays its firing path from the root on its own state, and then
+/// claims untaken children through the task's shared atomic cursor — so one
+/// frame's children are partitioned between owner and thieves without any
+/// barrier. States are interned in ONE shared striped set keyed by 128-bit
+/// fingerprints, `max_total_steps` is a single atomic claimed per edge, and
+/// POR reduces the eligible set at every state.
+///
+/// Determinism contract: the attempt either COMPLETES — in which case the
+/// enumerated tree is exactly the classic tree (full enumeration never
+/// prunes on the visited set; cycle cuts use the path-local on-path set the
+/// replay reconstructs; POR reduction is a pure function of the state) and
+/// every merged result field and counter equals the classic walk's — or it
+/// ABORTS (budget / depth / stream-cap trip, error) and the caller discards
+/// it and reruns the classic walk, whose truncation order is deterministic.
+/// Work is never lost: an owner drains its own cursors even when a task is
+/// stolen, so completion does not depend on any thief making progress.
+
+/// A stealable DFS frame, shared between the worker that created it and
+/// any thieves. `path` / `path_fps` let a thief reconstruct the frame's
+/// state (and its cycle-detection prefix) from the root by replaying rule
+/// firings on its own database; `next_child` is the one point of
+/// coordination — every worker claims children via fetch_add.
+struct StealTask {
+  /// Rules fired from the exploration root to this state.
+  std::vector<RuleIndex> path;
+  /// Fingerprints of the states along the path, root first, THIS state
+  /// last (path_fps.size() == path.size() + 1).
+  std::vector<Hash128> path_fps;
+  /// POR-reduced eligible rules at this state.
+  std::vector<RuleIndex> eligible;
+  /// Next unclaimed child index (indexes `eligible`).
+  std::atomic<uint32_t> next_child{0};
+};
+
+class WorkStealingExplorer {
+ public:
+  WorkStealingExplorer(const RuleCatalog& catalog, const Database& initial_db,
+                       const ExplorerOptions& options,
+                       const std::vector<bool>* por_safe)
+      : catalog_(catalog),
+        initial_db_(initial_db),
+        options_(options),
+        por_safe_(por_safe),
+        undo_(options.backend == ExplorerOptions::StateBackend::kUndoLog),
+        num_workers_(static_cast<size_t>(options.num_threads)),
+        deques_(num_workers_) {}
+
+  Result<ExplorationResult> Run(const Transition& initial_transition) {
+    auto start = std::chrono::steady_clock::now();
+    root_state_.emplace(&catalog_.schema(), catalog_.num_rules());
+    root_state_->db = initial_db_;
+    for (Transition& t : root_state_->pending) t = initial_transition;
+    // Rendered on this thread before any worker copies the root state, so
+    // the copies start from clean canonical-string caches and workers
+    // never touch a shared mutable one (same contract as sharded mode).
+    size_t db_len = 0;
+    root_key_ = CanonicalStateKey(*root_state_, &db_len);
+    root_db_len_ = db_len;
+    root_fp_ = undo_ ? StateFingerprintUndo(*root_state_)
+                     : HashString128(root_key_);
+    rollback_db_key_ = initial_db_.CanonicalString();
+    initial_fp_ = initial_db_.ContentFingerprint();
+    rollback_fp_ = undo_ ? MixWithSalt(initial_fp_, kRollbackSalt)
+                         : HashString128("ROLLBACK#" + rollback_db_key_);
+    rollback_key_bytes_ =
+        static_cast<long>(9 /* "ROLLBACK#" */ + rollback_db_key_.size());
+
+    locals_.resize(num_workers_);
+    deques_.MarkActive();  // worker 0 owns the root region from the start
+    {
+      // Dedicated threads, NOT ThreadPool::ParallelFor: the pool counts
+      // its chunks (`pool.chunks`, `pool.parallel_for_calls`), and a
+      // chunk-per-worker loop would make those counters a function of
+      // num_threads — breaking the byte-identical-counters contract that
+      // CountersToJson keeps across pool sizes. A long-lived worker loop
+      // is not chunked data-parallel work, so it stays off the pool's
+      // books. Workers never throw (the explorer is Status-based); worker
+      // 0 runs inline so the calling thread participates.
+      std::vector<std::thread> workers;
+      workers.reserve(num_workers_ - 1);
+      for (size_t w = 1; w < num_workers_; ++w) {
+        workers.emplace_back([this, w] { RunWorker(w); });
+      }
+      RunWorker(0);
+      for (std::thread& t : workers) t.join();
+    }
+    if (!aborted_.load(std::memory_order_acquire)) {
+      std::optional<ExplorationResult> merged = Merge(start);
+      if (merged.has_value()) return std::move(*merged);
+    }
+    // Fallback: the attempt hit a limit (or an error) whose truncation
+    // order is schedule-dependent. Discard it and rerun the classic walk,
+    // whose result (including the incomplete flag, the kept streams, and
+    // any error) is deterministic — so every thread count reports exactly
+    // the classic outcome. The rerun is bounded by the same budget that
+    // tripped, capping total work at roughly twice `max_total_steps`.
+    ExplorerImpl impl(catalog_, initial_db_, options_, por_safe_);
+    Result<ExplorationResult> result = impl.Run(initial_transition);
+    if (result.ok()) {
+      result.value().stats.parallel_fallbacks = 1;
+      result.value().stats.steals = deques_.steals();
+    }
+    return result;
+  }
+
+ private:
+  /// Cleanup record for one replayed prefix state: the undo-log delta to
+  /// revert (uncounted — the replay duplicates edges whose accounting
+  /// belongs to the worker that first explored them) and the on-path
+  /// fingerprint to erase when the adopted region is done.
+  struct ReplayMark {
+    bool owns_delta = false;
+    Hash128 fp;
+  };
+
+  struct Frame {
+    /// Shared stealable cursor (frames with >= 2 eligible rules); null for
+    /// the single-eligible fast path, which is never published.
+    std::shared_ptr<StealTask> task;
+    RuleIndex only = -1;
+    bool only_taken = false;
+    /// Undo backend: this frame's entry edge holds an open delta on the
+    /// worker's live state (false for region roots — the exploration root
+    /// or an adopted frame, whose replay deltas are unwound by Reset).
+    bool owns_delta = false;
+    /// Snapshot backend: the frame's full state.
+    std::optional<RuleProcessingState> state;
+    Hash128 fp;
+    size_t restore_stream = 0;
+  };
+
+  /// Per-worker tallies and result fragments, merged after the join. Every
+  /// field is a deterministic function of the (schedule-independent) tree
+  /// partition EXCEPT the partition itself — which sums/unions away.
+  struct WorkerLocal {
+    long steps = 0;
+    long interner_hits = 0;
+    long delta_reverts = 0;
+    long por_pruned = 0;
+    long canonical_bytes = 0;
+    int peak_depth = 0;
+    std::unordered_map<Hash128, Database, Hash128Hasher> finals_undo;
+    std::map<std::string, Database> finals_copy;
+    std::set<std::string> streams;
+  };
+
+  /// One worker's run state: its own database (+ undo log), DFS stack,
+  /// stream, and path-local cycle-detection set.
+  struct Ctx {
+    size_t w = 0;
+    WorkerLocal* local = nullptr;
+    std::optional<RuleProcessingState> cur;  // undo backend
+    TransitionUndoLog pending_undo;          // undo backend
+    std::vector<Frame> frames;
+    std::vector<ReplayMark> replay;
+    /// States below the bottom frame (replayed prefix length); the logical
+    /// DFS depth — what the classic walk's stack_.size() would be — is
+    /// base_depth + frames.size().
+    size_t base_depth = 0;
+    std::vector<ObservableEvent> stream;
+    std::unordered_set<Hash128, Hash128Hasher> on_path;
+    std::vector<RuleIndex> path_rules;  // root -> top frame
+    std::vector<Hash128> path_fps;      // parallel to path_rules, + root
+    size_t last_key_size = 0;           // snapshot key reserve hint
+  };
+
+  size_t Depth(const Ctx& ctx) const {
+    return ctx.base_depth + ctx.frames.size();
+  }
+
+  void Abort() { aborted_.store(true, std::memory_order_release); }
+  bool Aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+  void RunWorker(size_t w) {
+    Ctx ctx;
+    ctx.w = w;
+    ctx.local = &locals_[w];
+    if (undo_) {
+      ctx.cur.emplace(*root_state_);
+      ctx.cur->pending_undo = &ctx.pending_undo;
+    }
+    if (w == 0) {
+      EnterRoot(ctx);
+      DriveLocal(ctx);
+      if (Aborted()) return;
+      ResetRegion(ctx);
+      deques_.MarkIdle();
+    }
+    while (!Aborted()) {
+      std::shared_ptr<StealTask> task = deques_.Steal(w);
+      if (task != nullptr) {
+        deques_.MarkActive();
+        if (task->next_child.load(std::memory_order_relaxed) <
+            task->eligible.size()) {
+          STARBURST_TRACE_SPAN("explorer", "explore.steal_region");
+          STARBURST_METRIC_HISTOGRAM(
+              "explorer.steal_depth", RevertDepthBounds(),
+              static_cast<int64_t>(task->path.size() + 1));
+          Adopt(ctx, task);
+          if (Aborted()) return;
+          DriveLocal(ctx);
+          if (Aborted()) return;
+          ResetRegion(ctx);
+        }
+        deques_.MarkIdle();
+        continue;
+      }
+      if (deques_.Quiescent()) break;
+      std::this_thread::yield();
+    }
+  }
+
+  /// Claims and expands children of the top frame until the local stack
+  /// drains — the classic Drive() loop with the frame's next-child index
+  /// replaced by the task's shared cursor, and the budget by one global
+  /// atomic claimed per edge (a claim at or beyond the budget aborts; the
+  /// classic walk's boundary behavior — a final state reached exactly at
+  /// the trip is kept — is preserved because final children make no
+  /// further claims, so a run with exactly `max_total_steps` edges still
+  /// completes here).
+  void DriveLocal(Ctx& ctx) {
+    while (!ctx.frames.empty()) {
+      if (Aborted()) return;
+      Frame& f = ctx.frames.back();
+      uint32_t k;
+      size_t fan;
+      if (f.task != nullptr) {
+        fan = f.task->eligible.size();
+        k = f.task->next_child.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        fan = 1;
+        k = f.only_taken ? 1u : 0u;
+        f.only_taken = true;
+      }
+      if (k >= fan) {
+        PopFrame(ctx);
+        continue;
+      }
+      RuleIndex r = f.task != nullptr ? f.task->eligible[k] : f.only;
+      long s = steps_claimed_.fetch_add(1, std::memory_order_relaxed);
+      if (s >= options_.max_total_steps) {
+        Abort();
+        return;
+      }
+      ++ctx.local->steps;
+      if (undo_) {
+        ctx.pending_undo.Mark();
+        ctx.cur->db.BeginDelta();
+        auto step = ConsiderRule(catalog_, &*ctx.cur, r);
+        if (!step.ok()) {
+          Abort();
+          return;
+        }
+        size_t mark = ctx.stream.size();
+        for (const ObservableEvent& ev : step.value().observables) {
+          ctx.stream.push_back(ev);
+        }
+        if (step.value().rollback) {
+          ctx.cur->db.RevertDelta();
+          ctx.pending_undo.RevertToMark();
+          NoteRevert(ctx);
+          RecordRollback(ctx);
+          ctx.stream.resize(mark);
+        } else {
+          EnterUndo(ctx, r, mark);
+        }
+        continue;
+      }
+      bool last = k + 1 == fan && f.state.has_value();
+      RuleProcessingState next = last ? std::move(*f.state) : *f.state;
+      auto step = ConsiderRule(catalog_, &next, r);
+      if (!step.ok()) {
+        Abort();
+        return;
+      }
+      size_t mark = ctx.stream.size();
+      for (const ObservableEvent& ev : step.value().observables) {
+        ctx.stream.push_back(ev);
+      }
+      if (step.value().rollback) {
+        RecordRollback(ctx);
+        ctx.stream.resize(mark);
+      } else {
+        EnterCopy(ctx, std::move(next), r, mark);
+      }
+    }
+  }
+
+  /// Evaluates the exploration root on worker 0 — the classic Enter() on a
+  /// region root (no entry delta, restore-to-empty stream).
+  void EnterRoot(Ctx& ctx) {
+    bool fresh = visited_.Insert(root_fp_);
+    if (!fresh) ++ctx.local->interner_hits;
+    if (!undo_) {
+      ctx.local->canonical_bytes += static_cast<long>(root_key_.size());
+    }
+    std::vector<RuleIndex> triggered =
+        TriggeredRules(catalog_, *root_state_);
+    if (triggered.empty()) {
+      if (undo_) {
+        ctx.local->finals_undo.try_emplace(initial_fp_, root_state_->db);
+      } else {
+        ctx.local->finals_copy.try_emplace(
+            root_key_.substr(0, root_db_len_), root_state_->db);
+      }
+      RecordStream(ctx);
+      return;
+    }
+    if (static_cast<int>(Depth(ctx)) >= options_.max_depth) {
+      Abort();  // classic reports incomplete + may_not_terminate
+      return;
+    }
+    Frame frame;
+    frame.fp = root_fp_;
+    frame.restore_stream = 0;
+    if (!undo_) frame.state.emplace(*root_state_);
+    PushFrame(ctx, std::move(frame), triggered, /*via=*/-1);
+  }
+
+  /// Undo-backend child entry: the live state sits at the child (delta
+  /// open). Terminal outcomes revert; non-terminal ones push a frame that
+  /// owns the delta.
+  void EnterUndo(Ctx& ctx, RuleIndex via, size_t restore_stream) {
+    Hash128 fp = StateFingerprintUndo(*ctx.cur);
+    bool fresh = visited_.Insert(fp);
+    if (!fresh) ++ctx.local->interner_hits;
+    auto leave = [&] {
+      ctx.cur->db.RevertDelta();
+      ctx.pending_undo.RevertToMark();
+      NoteRevert(ctx);
+      ctx.stream.resize(restore_stream);
+    };
+    if (!fresh && ctx.on_path.count(fp) != 0) {
+      may_not_terminate_.store(true, std::memory_order_relaxed);
+      leave();
+      return;
+    }
+    std::vector<RuleIndex> triggered = TriggeredRules(catalog_, *ctx.cur);
+    if (triggered.empty()) {
+      ctx.local->finals_undo.try_emplace(ctx.cur->db.ContentFingerprint(),
+                                         ctx.cur->db);
+      RecordStream(ctx);
+      leave();
+      return;
+    }
+    if (static_cast<int>(Depth(ctx)) >= options_.max_depth) {
+      leave();
+      Abort();
+      return;
+    }
+    Frame frame;
+    frame.owns_delta = true;
+    frame.fp = fp;
+    frame.restore_stream = restore_stream;
+    PushFrame(ctx, std::move(frame), triggered, via);
+  }
+
+  /// Snapshot-backend child entry. The shared set is keyed by the hash of
+  /// the canonical state key (the on-path set likewise), so cycle cuts and
+  /// intern counts match the classic string-keyed walk up to 128-bit
+  /// collisions — the same risk class the undo backend always carries.
+  void EnterCopy(Ctx& ctx, RuleProcessingState&& state, RuleIndex via,
+                 size_t restore_stream) {
+    size_t db_len = 0;
+    std::string key =
+        CanonicalStateKey(state, &db_len, ctx.last_key_size + 32);
+    ctx.last_key_size = key.size();
+    ctx.local->canonical_bytes += static_cast<long>(key.size());
+    Hash128 fp = HashString128(key);
+    bool fresh = visited_.Insert(fp);
+    if (!fresh) ++ctx.local->interner_hits;
+    if (!fresh && ctx.on_path.count(fp) != 0) {
+      may_not_terminate_.store(true, std::memory_order_relaxed);
+      ctx.stream.resize(restore_stream);
+      return;
+    }
+    std::vector<RuleIndex> triggered = TriggeredRules(catalog_, state);
+    if (triggered.empty()) {
+      ctx.local->finals_copy.try_emplace(key.substr(0, db_len), state.db);
+      RecordStream(ctx);
+      ctx.stream.resize(restore_stream);
+      return;
+    }
+    if (static_cast<int>(Depth(ctx)) >= options_.max_depth) {
+      ctx.stream.resize(restore_stream);
+      Abort();
+      return;
+    }
+    Frame frame;
+    frame.state.emplace(std::move(state));
+    frame.fp = fp;
+    frame.restore_stream = restore_stream;
+    PushFrame(ctx, std::move(frame), triggered, via);
+  }
+
+  /// Computes the (POR-reduced) eligible set, publishes multi-child frames
+  /// to the steal deque, and pushes the frame. `via` is the rule fired
+  /// into this state (-1 for the exploration root).
+  void PushFrame(Ctx& ctx, Frame&& frame, std::vector<RuleIndex>& triggered,
+                 RuleIndex via) {
+    std::vector<RuleIndex> eligible = EligibleRules(catalog_, triggered);
+    ReduceEligible(por_safe_, &eligible, &ctx.local->por_pruned);
+    ctx.on_path.insert(frame.fp);
+    if (via >= 0) ctx.path_rules.push_back(via);
+    ctx.path_fps.push_back(frame.fp);
+    if (eligible.size() >= 2) {
+      auto task = std::make_shared<StealTask>();
+      task->path = ctx.path_rules;
+      task->path_fps = ctx.path_fps;
+      task->eligible = std::move(eligible);
+      frame.task = task;
+      ctx.frames.push_back(std::move(frame));
+      deques_.Push(ctx.w, std::move(task));
+    } else {
+      frame.only = eligible[0];
+      ctx.frames.push_back(std::move(frame));
+    }
+    ctx.local->peak_depth = std::max(ctx.local->peak_depth,
+                                     static_cast<int>(Depth(ctx)));
+  }
+
+  void PopFrame(Ctx& ctx) {
+    Frame& f = ctx.frames.back();
+    if (f.task != nullptr) deques_.RemoveBack(ctx.w, f.task.get());
+    if (f.owns_delta) {
+      ctx.cur->db.RevertDelta();
+      ctx.pending_undo.RevertToMark();
+      NoteRevert(ctx);
+    }
+    ctx.on_path.erase(f.fp);
+    ctx.stream.resize(f.restore_stream);
+    if (!ctx.path_rules.empty()) ctx.path_rules.pop_back();
+    if (!ctx.path_fps.empty()) ctx.path_fps.pop_back();
+    ctx.frames.pop_back();
+  }
+
+  /// Adopts a stolen task: seeds the on-path prefix from the recorded
+  /// fingerprints, replays the firing path on this worker's own state
+  /// (regenerating the stream prefix; replay steps are not counted — their
+  /// accounting belongs to the worker that first explored those edges),
+  /// and pushes the task's frame so the claim loop takes over.
+  void Adopt(Ctx& ctx, const std::shared_ptr<StealTask>& task) {
+    const size_t len = task->path.size();
+    ctx.replay.push_back({/*owns_delta=*/false, task->path_fps[0]});
+    ctx.on_path.insert(task->path_fps[0]);
+    std::optional<RuleProcessingState> walker;
+    if (!undo_) walker.emplace(*root_state_);
+    for (size_t i = 0; i < len; ++i) {
+      Result<StepOutcome> step = [&] {
+        if (undo_) {
+          ctx.pending_undo.Mark();
+          ctx.cur->db.BeginDelta();
+          return ConsiderRule(catalog_, &*ctx.cur, task->path[i]);
+        }
+        return ConsiderRule(catalog_, &*walker, task->path[i]);
+      }();
+      if (!step.ok()) {
+        Abort();
+        return;
+      }
+      for (const ObservableEvent& ev : step.value().observables) {
+        ctx.stream.push_back(ev);
+      }
+      ctx.replay.push_back({/*owns_delta=*/undo_, task->path_fps[i + 1]});
+      if (i + 1 < len) ctx.on_path.insert(task->path_fps[i + 1]);
+    }
+    ctx.base_depth = len;
+    ctx.path_rules = task->path;
+    ctx.path_fps.assign(task->path_fps.begin(), task->path_fps.end() - 1);
+    Frame frame;
+    frame.task = task;
+    frame.fp = task->path_fps[len];
+    frame.restore_stream = ctx.stream.size();
+    if (!undo_) frame.state.emplace(std::move(*walker));
+    ctx.on_path.insert(frame.fp);
+    ctx.path_fps.push_back(frame.fp);
+    ctx.frames.push_back(std::move(frame));
+    ctx.local->peak_depth = std::max(ctx.local->peak_depth,
+                                     static_cast<int>(Depth(ctx)));
+    // Republish: the task stays stealable from THIS worker's deque too, so
+    // a third worker can join the same frontier.
+    deques_.Push(ctx.w, task);
+  }
+
+  /// Unwinds the replayed prefix after an adopted region completes: revert
+  /// the replay deltas (uncounted), clear the on-path prefix, and return
+  /// the worker to the exploration root.
+  void ResetRegion(Ctx& ctx) {
+    while (!ctx.replay.empty()) {
+      const ReplayMark& mark = ctx.replay.back();
+      if (mark.owns_delta) {
+        ctx.cur->db.RevertDelta();
+        ctx.pending_undo.RevertToMark();
+      }
+      ctx.on_path.erase(mark.fp);
+      ctx.replay.pop_back();
+    }
+    ctx.base_depth = 0;
+    ctx.stream.clear();
+    ctx.path_rules.clear();
+    ctx.path_fps.clear();
+  }
+
+  /// Counts an undo-log revert at the logical (classic-equivalent) depth.
+  void NoteRevert(Ctx& ctx) {
+    ++ctx.local->delta_reverts;
+    STARBURST_METRIC_HISTOGRAM("explorer.revert_depth", RevertDepthBounds(),
+                               static_cast<int64_t>(Depth(ctx)));
+  }
+
+  /// Handles a ROLLBACK edge. The synthetic rollback state is interned
+  /// exactly once globally (matching the classic walk's cached intern);
+  /// every rollback edge still records the final state and its stream.
+  void RecordRollback(Ctx& ctx) {
+    if (!rollback_claimed_.exchange(true, std::memory_order_acq_rel)) {
+      bool fresh = visited_.Insert(rollback_fp_);
+      if (!fresh) ++ctx.local->interner_hits;
+      if (!undo_) ctx.local->canonical_bytes += rollback_key_bytes_;
+    }
+    if (undo_) {
+      ctx.local->finals_undo.try_emplace(initial_fp_, initial_db_);
+    } else {
+      ctx.local->finals_copy.try_emplace(rollback_db_key_, initial_db_);
+    }
+    RecordStream(ctx);
+  }
+
+  /// Records the current path's stream in the worker-local set. A local
+  /// set past the cap proves the global union is past the cap — the
+  /// classic walk would truncate, so abort to it.
+  void RecordStream(Ctx& ctx) {
+    std::string s = StreamToString(ctx.stream);
+    auto [it, fresh] = ctx.local->streams.insert(std::move(s));
+    (void)it;
+    if (fresh && static_cast<int>(ctx.local->streams.size()) >
+                     options_.max_streams) {
+      Abort();
+    }
+  }
+
+  /// Merges the worker fragments into the classic-identical result.
+  /// Returns nullopt when only the merge can see a truncation (stream
+  /// union past the cap with every local set under it) — fall back.
+  std::optional<ExplorationResult> Merge(
+      std::chrono::steady_clock::time_point start) {
+    ExplorationResult out;
+    out.complete = true;
+    out.may_not_terminate =
+        may_not_terminate_.load(std::memory_order_relaxed);
+    out.streams_evaluated = true;
+    for (const WorkerLocal& local : locals_) {
+      out.observable_streams.insert(local.streams.begin(),
+                                    local.streams.end());
+    }
+    if (static_cast<int>(out.observable_streams.size()) >
+        options_.max_streams) {
+      return std::nullopt;
+    }
+    long merge_bytes = 0;
+    if (undo_) {
+      // Distinct final fingerprints across workers; canonical strings are
+      // rendered once per distinct final, exactly like the classic undo
+      // walk's fresh-fingerprint renders.
+      std::unordered_set<Hash128, Hash128Hasher> seen;
+      for (WorkerLocal& local : locals_) {
+        for (auto& [fp, db] : local.finals_undo) {
+          if (!seen.insert(fp).second) continue;
+          std::string db_key = db.CanonicalString();
+          merge_bytes += static_cast<long>(db_key.size());
+          out.final_states.insert(db_key);
+          out.final_databases.emplace(std::move(db_key), std::move(db));
+        }
+      }
+    } else {
+      for (WorkerLocal& local : locals_) {
+        for (auto& [db_key, db] : local.finals_copy) {
+          if (out.final_states.insert(db_key).second) {
+            out.final_databases.emplace(db_key, std::move(db));
+          }
+        }
+      }
+    }
+    for (const WorkerLocal& local : locals_) {
+      out.steps_taken += local.steps;
+      out.stats.interner_hits += local.interner_hits;
+      out.stats.delta_reverts += local.delta_reverts;
+      out.stats.por_pruned_orders += local.por_pruned;
+      out.stats.canonicalization_bytes += local.canonical_bytes;
+      out.stats.peak_stack_depth =
+          std::max(out.stats.peak_stack_depth, local.peak_depth);
+    }
+    out.stats.canonicalization_bytes += merge_bytes;
+    long interned = static_cast<long>(visited_.Size());
+    out.states_visited = interned;
+    out.stats.states_interned = interned;
+    out.stats.shared_interner_hits = out.stats.interner_hits;
+    out.stats.steals = deques_.steals();
+    STARBURST_METRIC_HISTOGRAM("explorer.interner_contention",
+                               ContentionBounds(),
+                               visited_.ContendedLocks());
+    out.stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return out;
+  }
+
+  const RuleCatalog& catalog_;
+  const Database& initial_db_;
+  const ExplorerOptions& options_;
+  const std::vector<bool>* por_safe_;
+  const bool undo_;
+  const size_t num_workers_;
+
+  std::optional<RuleProcessingState> root_state_;
+  std::string root_key_;
+  size_t root_db_len_ = 0;
+  Hash128 root_fp_;
+  Hash128 initial_fp_;
+  Hash128 rollback_fp_;
+  std::string rollback_db_key_;
+  long rollback_key_bytes_ = 0;
+
+  /// The shared concurrent interner: every state any worker visits, keyed
+  /// by 128-bit fingerprint.
+  StripedHashSet<Hash128, Hash128Hasher> visited_;
+  WorkStealingDeques<StealTask> deques_;
+  std::atomic<long> steps_claimed_{0};
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> may_not_terminate_{false};
+  std::atomic<bool> rollback_claimed_{false};
+  std::vector<WorkerLocal> locals_;
+};
+
+/// Legacy deterministic sharding, kept for dedup_subtrees mode (the
+/// subtree memo is schedule-dependent under concurrent workers, so it
+/// cannot ride the work-stealing pool): the root state is expanded once,
+/// then each top-level subtree — one per initial eligible rule — is
+/// explored independently with its own interner, own step-budget slice,
+/// and the root seeded on-path for cycle detection. Shard results are
+/// merged in rule order, so the merged result is identical for any worker
+/// count. When POR (or the workload) reduces the root to a single eligible
+/// rule, the walk IS the classic walk — run it directly instead of paying
+/// pool setup for one shard.
 Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
                                          const Database& initial_db,
                                          const Transition& initial_transition,
@@ -871,6 +1532,14 @@ Result<ExplorationResult> ExploreSharded(const RuleCatalog& catalog,
   // The root state gets the same ample-set reduction as every in-shard
   // state, so classic and sharded POR prune the identical tree.
   ReduceEligible(por_safe, &eligible, &merged.stats.por_pruned_orders);
+  if (eligible.size() == 1) {
+    // POR (or the workload) reduced the root to one eligible rule: the one
+    // "shard" is the whole walk, so run the classic explorer directly
+    // instead of paying pool setup for a single worker. The classic walk
+    // recounts por_pruned_orders from scratch; `merged` is discarded.
+    ExplorerImpl impl(catalog, initial_db, options, por_safe);
+    return impl.Run(initial_transition);
+  }
   // Precomputed on this thread: the rollback fingerprint reads (and fills)
   // initial_db's mutable canonical-string caches.
   std::string rollback_fingerprint = initial_db.CanonicalString();
@@ -1011,10 +1680,25 @@ void FlushExplorationMetrics(const ExplorationResult& r) {
                              r.stats.peak_stack_depth);
   metrics::GetGauge("explorer.wall_us")
       ->Add(static_cast<int64_t>(r.stats.wall_seconds * 1e6));
+  // Work-stealing scheduling telemetry. Gauges, not counters: steal counts
+  // are schedule-dependent and the parallel-mode fields are zero in
+  // classic mode, so none of them may enter the CountersToJson determinism
+  // contract (which is byte-compared across explorer thread counts).
+  if (r.stats.steals > 0) {
+    metrics::GetGauge("explorer.steals")->Add(r.stats.steals);
+  }
+  if (r.stats.shared_interner_hits > 0) {
+    metrics::GetGauge("explorer.shared_interner_hits")
+        ->Add(r.stats.shared_interner_hits);
+  }
+  if (r.stats.parallel_fallbacks > 0) {
+    metrics::GetGauge("explorer.parallel_fallbacks")
+        ->Add(r.stats.parallel_fallbacks);
+  }
 }
 
-/// Dispatches between the classic single-threaded explorer and the sharded
-/// frontier mode.
+/// Dispatches between the classic single-threaded explorer, the
+/// work-stealing parallel mode, and the legacy sharded mode (dedup only).
 Result<ExplorationResult> RunExploration(const RuleCatalog& catalog,
                                          const Database& initial_db,
                                          const Transition& initial_transition,
@@ -1029,8 +1713,20 @@ Result<ExplorationResult> RunExploration(const RuleCatalog& catalog,
       por_safe_storage.empty() ? nullptr : &por_safe_storage;
   Result<ExplorationResult> result = [&]() -> Result<ExplorationResult> {
     if (options.num_threads >= 1 && !options.record_graph) {
-      return ExploreSharded(catalog, initial_db, initial_transition,
-                            options, por_safe);
+      if (options.dedup_subtrees) {
+        // The subtree memo is schedule-dependent under concurrent workers
+        // (memo soundness depends on visit order), so dedup mode keeps the
+        // deterministic top-level sharding.
+        return ExploreSharded(catalog, initial_db, initial_transition,
+                              options, por_safe);
+      }
+      if (options.num_threads >= 2) {
+        WorkStealingExplorer stealing(catalog, initial_db, options,
+                                      por_safe);
+        return stealing.Run(initial_transition);
+      }
+      // num_threads == 1: one worker is the classic walk — skip pool and
+      // shared-structure setup entirely.
     }
     ExplorerImpl impl(catalog, initial_db, options, por_safe);
     return impl.Run(initial_transition);

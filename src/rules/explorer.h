@@ -54,24 +54,34 @@ struct ExplorerOptions {
   /// `observable_streams` is left EMPTY in this mode. Use the default
   /// (false) when stream enumeration matters.
   bool dedup_subtrees = false;
-  /// Opt-in parallel frontier mode. 0 (default) is the classic
-  /// single-threaded exploration. >= 1 shards the top-level subtrees — one
-  /// per initial eligible rule — across a pool of `num_threads` workers;
-  /// each shard explores with its own interner and the shard results are
-  /// merged deterministically in rule order, so `final_states`,
-  /// `final_databases`, `observable_streams`, `complete`, and
-  /// `may_not_terminate` are identical for any num_threads >= 1.
-  /// Divergences from the classic mode (all deterministic): states shared
-  /// between sibling subtrees are re-explored per shard (counters such as
-  /// `states_visited` aggregate per-shard work), `max_total_steps` is
-  /// divided across the shards in rule order (remainder to the first
-  /// shards) so the aggregate step budget matches the classic mode — a
-  /// classic budget trip implies a sharded budget trip, though an
-  /// unbalanced shard may trip its slice when the classic walk would have
-  /// squeaked under — and when the union of per-shard stream sets exceeds
-  /// `max_streams` the lexicographically-first `max_streams` are kept and
-  /// the result is marked incomplete. Ignored (classic mode) when
-  /// `record_graph` is set, which needs globally dense node ids.
+  /// Opt-in parallel exploration. 0 (default) and 1 are the classic
+  /// single-threaded walk (1 skips pool setup entirely). >= 2 runs a
+  /// work-stealing search: each worker owns its own database + undo-log
+  /// backend and walks depth-first; every frame with two or more eligible
+  /// rules is published to the worker's steal deque, and an idle worker
+  /// steals the shallowest one, replays its firing path from the root on
+  /// its own state, and claims untaken children through the frame's shared
+  /// atomic cursor. States are interned in ONE shared striped hash set
+  /// keyed by 128-bit fingerprints (common/striped_set.h), so a state seen
+  /// by any worker is counted once globally, and `max_total_steps` is a
+  /// single atomic claimed per edge — no per-shard budget slices, so an
+  /// unbalanced subtree can never trip a slice when the classic walk would
+  /// fit. POR's ample-set reduction applies at every state.
+  ///
+  /// Results are UNCONDITIONALLY identical to the classic walk — final
+  /// states, observable streams, `complete`, `may_not_terminate`,
+  /// `steps_taken`, and every ExplorationStats counter except the
+  /// scheduling telemetry (`steals`, `shared_interner_hits`,
+  /// `parallel_fallbacks`), for any num_threads and either backend: a parallel attempt either completes
+  /// (the enumerated tree is provably the classic tree) or is discarded
+  /// and the classic walk is rerun once (budget / depth / stream-cap trips
+  /// and errors are schedule-dependent mid-flight, so truncated results
+  /// always come from the deterministic classic walk; the rerun is bounded
+  /// by the same limits that tripped, and is counted in
+  /// `ExplorationStats::parallel_fallbacks`). Two carve-outs use the
+  /// legacy deterministic top-level sharding instead of stealing:
+  /// `record_graph` (needs globally dense node ids — classic mode) and
+  /// `dedup_subtrees` (the memo is schedule-dependent under concurrency).
   int num_threads = 0;
   /// Commutativity-guided partial-order reduction (ample-set style). At a
   /// state whose eligible set contains a "safe" rule — one that (a)
@@ -133,6 +143,20 @@ struct ExplorationStats {
   /// reduction (ExplorerOptions::por). 0 when reduction is off or never
   /// applicable.
   long por_pruned_orders = 0;
+  /// Work-stealing mode only: frames successfully stolen from another
+  /// worker's deque. Schedule-dependent (surfaced as the explorer.steals
+  /// gauge, never a determinism-contract counter); 0 in classic mode.
+  long steals = 0;
+  /// Work-stealing mode only: lookups in the shared concurrent interner
+  /// that found an already-interned state. Equal to `interner_hits` on the
+  /// parallel fast path (the shared set IS the interner there); 0 in
+  /// classic mode.
+  long shared_interner_hits = 0;
+  /// Work-stealing mode only: 1 when the parallel attempt was discarded
+  /// (budget / depth / stream-cap trip or error) and the classic walk was
+  /// rerun to produce this result; else 0. Deterministic for a given
+  /// workload + options.
+  long parallel_fallbacks = 0;
   /// Wall-clock time spent exploring, in seconds.
   double wall_seconds = 0.0;
 };

@@ -159,48 +159,46 @@ OracleOutcome BackendEquivalence(const GeneratedRuleSet& set,
   ThreadPool::SetDefaultThreadCount(original_threads);
   if (!divergence.empty()) return Fail(divergence);
 
-  // Explorer: classic vs every sharded worker count must agree on the
-  // final-state set, the observable streams, and both verdicts.
+  // Explorer: classic vs every work-stealing pool size must agree on the
+  // final-state set, the observable streams, both verdicts, and the visit
+  // accounting — UNCONDITIONALLY. The parallel engine shares one atomic
+  // step budget and one interner, and any bound trip aborts the parallel
+  // attempt and reruns the classic walk, so even truncated enumerations
+  // must be bit-identical (the old per-shard budget slices allowed
+  // different truncation frontiers; that escape hatch is gone).
   ExplorerOptions classic_options = ExploreOptions(options);
   auto classic = Explorer::Explore(prepared.value().catalog,
                                    prepared.value().db,
                                    prepared.value().initial, classic_options);
   if (!classic.ok()) return Fail(classic.status().ToString());
   for (int threads : options.backend_thread_counts) {
-    ExplorerOptions sharded_options = classic_options;
-    sharded_options.num_threads = threads;
-    auto sharded = Explorer::Explore(
+    ExplorerOptions stealing_options = classic_options;
+    stealing_options.num_threads = threads;
+    auto stealing = Explorer::Explore(
         prepared.value().catalog, prepared.value().db,
-        prepared.value().initial, sharded_options);
-    if (!sharded.ok()) return Fail(sharded.status().ToString());
-    std::string where = "sharded explorer (num_threads=" +
+        prepared.value().initial, stealing_options);
+    if (!stealing.ok()) return Fail(stealing.status().ToString());
+    std::string where = "work-stealing explorer (num_threads=" +
                         std::to_string(threads) + ") diverged from classic: ";
-    if (!classic.value().complete) {
-      // The sharded step budget is a division of the classic budget, so a
-      // classic budget trip must also trip some shard; incomplete
-      // enumerations are otherwise not comparable set-for-set.
-      if (sharded.value().complete) {
-        return Fail(where + "complete where the classic walk tripped its "
-                            "budget");
-      }
-      continue;
+    if (stealing.value().complete != classic.value().complete) {
+      return Fail(where + "completeness differs");
     }
-    if (!sharded.value().complete) {
-      // An unbalanced shard may trip its budget slice where the classic
-      // walk squeaked under the same total; that is a legitimate
-      // divergence of the divided budget, not a soundness bug.
-      continue;
-    }
-    if (sharded.value().final_states != classic.value().final_states) {
+    if (stealing.value().final_states != classic.value().final_states) {
       return Fail(where + "final-state sets differ");
     }
-    if (sharded.value().observable_streams !=
+    if (stealing.value().observable_streams !=
         classic.value().observable_streams) {
       return Fail(where + "observable-stream sets differ");
     }
-    if (sharded.value().may_not_terminate !=
+    if (stealing.value().may_not_terminate !=
         classic.value().may_not_terminate) {
       return Fail(where + "termination verdicts differ");
+    }
+    if (stealing.value().steps_taken != classic.value().steps_taken) {
+      return Fail(where + "step counts differ");
+    }
+    if (stealing.value().states_visited != classic.value().states_visited) {
+      return Fail(where + "visited-state counts differ");
     }
   }
   return Pass();
@@ -236,7 +234,10 @@ OracleOutcome DeltaEquivalence(const GeneratedRuleSet& set,
   if (!reference.ok()) return Fail(reference.status().ToString());
 
   // Sweep: the undo-log backend in classic mode (num_threads=0) and at
-  // every sharded pool size.
+  // every work-stealing pool size. The parallel engine either completes
+  // with a provably classic-identical enumeration or falls back to the
+  // classic walk, so every leg of the sweep is compared unconditionally —
+  // truncated runs included.
   std::vector<int> sweep = {0};
   sweep.insert(sweep.end(), options.backend_thread_counts.begin(),
                options.backend_thread_counts.end());
@@ -251,20 +252,7 @@ OracleOutcome DeltaEquivalence(const GeneratedRuleSet& set,
     std::string where =
         "undo-log explorer (num_threads=" + std::to_string(threads) +
         ") diverged from snapshot-copy classic: ";
-    if (threads >= 1) {
-      // Sharded runs divide the classic step budget across shards: a
-      // classic budget trip must trip some shard, and an unbalanced shard
-      // may trip its slice where the classic walk squeaked under — only
-      // two complete enumerations are comparable set-for-set.
-      if (!reference.value().complete) {
-        if (undo.value().complete) {
-          return Fail(where + "complete where the classic walk tripped "
-                              "its budget");
-        }
-        continue;
-      }
-      if (!undo.value().complete) continue;
-    } else if (undo.value().complete != reference.value().complete) {
+    if (undo.value().complete != reference.value().complete) {
       return Fail(where + "completeness differs");
     }
     if (undo.value().final_states != reference.value().final_states) {
@@ -278,11 +266,10 @@ OracleOutcome DeltaEquivalence(const GeneratedRuleSet& set,
         reference.value().may_not_terminate) {
       return Fail(where + "termination verdicts differ");
     }
-    // Classic vs classic only: sharded-mode counters intentionally
-    // aggregate per-shard work. Equal counts mean the fingerprint
-    // equivalence classes match the canonical-string classes exactly.
-    if (threads == 0 &&
-        undo.value().states_visited != reference.value().states_visited) {
+    // Equal counts mean the fingerprint equivalence classes match the
+    // canonical-string classes exactly; the shared interner keeps the
+    // count pool-size-invariant, so the check covers every leg.
+    if (undo.value().states_visited != reference.value().states_visited) {
       return Fail(where + "visited-state counts differ");
     }
   }
@@ -300,7 +287,7 @@ OracleOutcome DeltaEquivalence(const GeneratedRuleSet& set,
 /// Differential check of commutativity-guided partial-order reduction
 /// (ExplorerOptions::por): the reduced exploration must reach exactly the
 /// final states, observable streams, and may-not-terminate verdict of the
-/// full enumeration — classic and at every sharded worker count. POR only
+/// full enumeration — classic and at every parallel worker count. POR only
 /// prunes paths, so a complete full enumeration implies a complete POR
 /// enumeration; the converse budget trips are impossible by construction
 /// and are treated as failures.
@@ -335,30 +322,33 @@ OracleOutcome PorEquivalence(const GeneratedRuleSet& set, uint64_t data_seed,
     return Fail("POR changed the may-not-terminate verdict");
   }
 
-  // The reduction must also commute with the sharded merge path: every
-  // worker count sees the same reduced tree. A shard may trip its slice
-  // of the divided budget where the classic POR walk fit the total; only
-  // complete runs are comparable.
+  // The reduction must also commute with the work-stealing engine: every
+  // worker count sees the same reduced tree. The classic POR walk was
+  // complete, so the parallel run — which explores the identical reduced
+  // tree under the same shared budget, or falls back to the classic walk —
+  // must be complete too; incompleteness is a bug, not a skip.
   for (int threads : options.backend_thread_counts) {
-    ExplorerOptions sharded_options = por_options;
-    sharded_options.num_threads = threads;
-    auto sharded = Explorer::Explore(prepared.value().catalog,
-                                     prepared.value().db,
-                                     prepared.value().initial,
-                                     sharded_options);
-    if (!sharded.ok()) return Fail(sharded.status().ToString());
-    if (!sharded.value().complete) continue;
-    std::string where = "sharded POR explorer (num_threads=" +
+    ExplorerOptions stealing_options = por_options;
+    stealing_options.num_threads = threads;
+    auto stealing = Explorer::Explore(prepared.value().catalog,
+                                      prepared.value().db,
+                                      prepared.value().initial,
+                                      stealing_options);
+    if (!stealing.ok()) return Fail(stealing.status().ToString());
+    std::string where = "work-stealing POR explorer (num_threads=" +
                         std::to_string(threads) +
                         ") diverged from the full enumeration: ";
-    if (sharded.value().final_states != full.value().final_states) {
+    if (!stealing.value().complete) {
+      return Fail(where + "incomplete where the classic POR walk completed");
+    }
+    if (stealing.value().final_states != full.value().final_states) {
       return Fail(where + "final-state sets differ");
     }
-    if (sharded.value().observable_streams !=
+    if (stealing.value().observable_streams !=
         full.value().observable_streams) {
       return Fail(where + "observable-stream sets differ");
     }
-    if (sharded.value().may_not_terminate !=
+    if (stealing.value().may_not_terminate !=
         full.value().may_not_terminate) {
       return Fail(where + "termination verdicts differ");
     }

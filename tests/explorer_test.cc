@@ -586,8 +586,19 @@ class ShardedExplorerTest : public ExplorerTest {
       EXPECT_EQ(sharded.may_not_terminate, classic.may_not_terminate);
       EXPECT_EQ(sharded.complete, classic.complete);
       EXPECT_EQ(sharded.steps_taken, classic.steps_taken);
-      // states_visited is NOT compared: states shared between sibling
-      // subtrees are re-interned per shard (a documented divergence).
+      // The shared interner makes even the visit accounting identical to
+      // classic (under the legacy top-level sharding, states shared
+      // between sibling subtrees were re-interned per shard).
+      EXPECT_EQ(sharded.states_visited, classic.states_visited);
+      EXPECT_EQ(sharded.stats.states_interned, classic.stats.states_interned);
+      EXPECT_EQ(sharded.stats.interner_hits, classic.stats.interner_hits);
+      EXPECT_EQ(sharded.stats.delta_reverts, classic.stats.delta_reverts);
+      EXPECT_EQ(sharded.stats.canonicalization_bytes,
+                classic.stats.canonicalization_bytes);
+      EXPECT_EQ(sharded.stats.peak_stack_depth,
+                classic.stats.peak_stack_depth);
+      EXPECT_EQ(sharded.stats.por_pruned_orders,
+                classic.stats.por_pruned_orders);
     }
   }
 };
@@ -787,6 +798,80 @@ TEST_F(ShardedExplorerTest, MoreThreadsThanShards) {
   ExplorationResult r = Explore({"insert into a values (1)"}, options);
   EXPECT_TRUE(r.complete);
   EXPECT_EQ(r.final_states.size(), 1u);
+}
+
+// Satellite regression (POR x parallel degenerate case): two commuting
+// rules with commutativity certified, so the reduction collapses the root
+// to a SINGLE eligible rule. There is nothing to parallelize; the engine
+// must degrade to the classic walk's exact answer — including the pruned
+// count and visit accounting — for every pool size, and the dedup path
+// (which still runs the legacy top-level sharding) must short-circuit to
+// the classic engine rather than spin up a one-shard pool.
+TEST_F(ShardedExplorerTest, PorSingleEligibleRootDegradesToClassic) {
+  Load("create table a (x int); create table b (x int); "
+       "create table c (x int);",
+       "create rule wb on a when inserted then insert into b values (1); "
+       "create rule wc on a when inserted then insert into c values (1);");
+  ExplorerOptions options;
+  options.por = ExplorerOptions::PorMode::kCommute;
+  options.num_threads = 0;
+  ExplorationResult classic = Explore({"insert into a values (1)"}, options);
+  ASSERT_TRUE(classic.complete);
+  EXPECT_GT(classic.stats.por_pruned_orders, 0);
+  ExpectShardedMatchesClassic({"insert into a values (1)"}, options);
+
+  // Same degenerate root under dedup mode (legacy sharded walk): one
+  // eligible rule means zero shards to distribute, handled classically.
+  options.dedup_subtrees = true;
+  options.num_threads = 0;
+  ExplorationResult dedup_classic =
+      Explore({"insert into a values (1)"}, options);
+  for (int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    ExplorationResult dedup = Explore({"insert into a values (1)"}, options);
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    EXPECT_EQ(dedup.final_states, dedup_classic.final_states);
+    EXPECT_EQ(dedup.complete, dedup_classic.complete);
+    EXPECT_EQ(dedup.steps_taken, dedup_classic.steps_taken);
+    EXPECT_EQ(dedup.states_visited, dedup_classic.states_visited);
+    EXPECT_EQ(dedup.stats.dedup_hits, dedup_classic.stats.dedup_hits);
+  }
+}
+
+// Satellite regression (global step budget): under the legacy top-level
+// sharding the budget was SLICED across shards, so an asymmetric tree —
+// one heavy subtree, one light — could trip the heavy shard's slice and
+// report incomplete where the classic walk finishes comfortably inside
+// the same total budget. The shared atomic budget hands every step to
+// whichever worker claims it, so a budget exactly equal to the classic
+// step count completes at every pool size with identical results.
+TEST_F(ShardedExplorerTest, GlobalBudgetHasNoPerShardPessimism) {
+  // Root eligible = {small, big}: the `small` subtree quiesces quickly,
+  // the `big` subtree cascades through b and c, so the two top-level
+  // shards need very different step counts.
+  Load("create table a (x int); create table b (x int); "
+       "create table c (x int);",
+       "create rule small on a when inserted then select 1 from a; "
+       "create rule big on a when inserted then insert into b values (1); "
+       "create rule bb on b when inserted then insert into c values (1);");
+  ExplorerOptions options;
+  options.por = ExplorerOptions::PorMode::kOff;
+  options.num_threads = 0;
+  ExplorationResult classic = Explore({"insert into a values (0)"}, options);
+  ASSERT_TRUE(classic.complete);
+  const long total_steps = classic.steps_taken;
+  ASSERT_GT(total_steps, 2);
+
+  // An even split would starve the heavy shard: it needs more than half
+  // the total. The global budget must not reintroduce that pessimism.
+  options.max_total_steps = total_steps;
+  ExpectShardedMatchesClassic({"insert into a values (0)"}, options);
+  for (int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    ExplorationResult r = Explore({"insert into a values (0)"}, options);
+    EXPECT_TRUE(r.complete) << "num_threads=" << threads;
+    EXPECT_EQ(r.steps_taken, total_steps) << "num_threads=" << threads;
+  }
 }
 
 }  // namespace
