@@ -1,0 +1,35 @@
+#include "service/admin.h"
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace starburst {
+namespace service {
+namespace {
+
+std::string ServiceObject(const TenantRegistry& registry) {
+  return "{\"tenants\":" + std::to_string(registry.size()) +
+         ",\"pool_threads\":" +
+         std::to_string(ThreadPool::Default().num_threads()) + "}";
+}
+
+}  // namespace
+
+std::string StatsJson(const TenantRegistry& registry,
+                      const std::string& section) {
+  if (section == "service") return ServiceObject(registry);
+  metrics::Snapshot snapshot = metrics::Collect();
+  if (section == "counters") return metrics::CountersToJson(snapshot);
+  // Splice the service object in front of MetricsToJson's three sections.
+  std::string metrics_json = metrics::MetricsToJson(snapshot);
+  return "{\"service\":" + ServiceObject(registry) + "," +
+         metrics_json.substr(1);
+}
+
+std::string HealthJson(const TenantRegistry& registry) {
+  return "{\"status\":\"ok\",\"tenants\":" + std::to_string(registry.size()) +
+         "}";
+}
+
+}  // namespace service
+}  // namespace starburst

@@ -1,0 +1,29 @@
+#ifndef STARBURST_SERVICE_ADMIN_H_
+#define STARBURST_SERVICE_ADMIN_H_
+
+#include <string>
+
+#include "service/tenant.h"
+
+namespace starburst {
+namespace service {
+
+/// The /stats body:
+///   {"service":{"tenants":N,"pool_threads":T},
+///    "counters":{...},"gauges":{...},"histograms":{...}}
+/// with the three metric sections spliced verbatim from
+/// metrics::MetricsToJson (each sorted by name). `section` narrows the
+/// body: "counters" yields metrics::CountersToJson(snapshot) alone — the
+/// thread-count- and pool-size-deterministic slice the byte-identity tests
+/// compare — and "service" yields just the service object; empty means
+/// everything.
+std::string StatsJson(const TenantRegistry& registry,
+                      const std::string& section = "");
+
+/// The /healthz body: {"status":"ok","tenants":N}.
+std::string HealthJson(const TenantRegistry& registry);
+
+}  // namespace service
+}  // namespace starburst
+
+#endif  // STARBURST_SERVICE_ADMIN_H_

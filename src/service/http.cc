@@ -1,0 +1,469 @@
+#include "service/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace starburst {
+namespace service {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) s.remove_suffix(1);
+  return s;
+}
+
+/// Finds the end of the header block: the index just past the first blank
+/// line. Accepts both CRLF and bare LF line endings. npos when incomplete.
+size_t FindHeaderEnd(const std::string& buffer) {
+  if (size_t p = buffer.find("\r\n\r\n"); p != std::string::npos) return p + 4;
+  if (size_t p = buffer.find("\n\n"); p != std::string::npos) return p + 2;
+  return std::string::npos;
+}
+
+/// Splits the header block into lines (line endings stripped).
+std::vector<std::string_view> HeaderLines(std::string_view block) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start < block.size()) {
+    size_t nl = block.find('\n', start);
+    if (nl == std::string_view::npos) nl = block.size();
+    std::string_view line = block.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) lines.push_back(line);
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Parses shared header semantics: lower-cased names, Content-Length,
+/// Connection. Returns false on a malformed Content-Length.
+bool ParseHeaderFields(const std::vector<std::string_view>& lines,
+                       std::vector<std::pair<std::string, std::string>>* headers,
+                       long* content_length, bool* keep_alive,
+                       bool http10) {
+  *content_length = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    size_t colon = lines[i].find(':');
+    if (colon == std::string_view::npos) continue;  // tolerate junk lines
+    std::string name = ToLower(Trim(lines[i].substr(0, colon)));
+    std::string value(Trim(lines[i].substr(colon + 1)));
+    if (name == "content-length") {
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) return false;
+      *content_length = parsed;
+    } else if (name == "connection") {
+      std::string lowered = ToLower(value);
+      if (lowered == "close") *keep_alive = false;
+      if (lowered == "keep-alive") *keep_alive = true;
+    }
+    headers->emplace_back(std::move(name), std::move(value));
+  }
+  if (http10 && *keep_alive) {
+    // HTTP/1.0 defaults to close; an explicit keep-alive header above
+    // already flipped it back on.
+    bool explicit_ka = false;
+    for (const auto& [name, value] : *headers) {
+      if (name == "connection" && ToLower(value) == "keep-alive") explicit_ka = true;
+    }
+    *keep_alive = explicit_ka;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::QueryParam(std::string_view key) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::Header(std::string_view name) const {
+  std::string lowered = ToLower(name);
+  for (const auto& [k, v] : headers) {
+    if (k == lowered) return &v;
+  }
+  return nullptr;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        return std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+      };
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+HttpRequestParser::State HttpRequestParser::SetError(int status,
+                                                     std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(message);
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(const char* data, size_t n) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data, n);
+  if (state_ == State::kComplete) return state_;  // pipelined bytes queue up
+  return Parse();
+}
+
+HttpRequestParser::State HttpRequestParser::Parse() {
+  size_t header_end = FindHeaderEnd(buffer_);
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > kMaxHeaderBytes) {
+      return SetError(431, "header block exceeds limit");
+    }
+    state_ = State::kNeedMore;
+    return state_;
+  }
+  if (header_end > kMaxHeaderBytes) {
+    return SetError(431, "header block exceeds limit");
+  }
+  std::vector<std::string_view> lines =
+      HeaderLines(std::string_view(buffer_).substr(0, header_end));
+  if (lines.empty()) return SetError(400, "empty request");
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  std::string_view line = lines[0];
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    return SetError(400, "malformed request line");
+  }
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(Trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  std::string_view version = Trim(line.substr(sp2 + 1));
+  if (version.rfind("HTTP/", 0) != 0 || req.target.empty() ||
+      req.target[0] != '/') {
+    return SetError(400, "malformed request line");
+  }
+  bool http10 = version == "HTTP/1.0";
+
+  size_t qmark = req.target.find('?');
+  req.path = PercentDecode(std::string_view(req.target).substr(0, qmark));
+  if (qmark != std::string::npos) {
+    std::string_view qs = std::string_view(req.target).substr(qmark + 1);
+    size_t start = 0;
+    while (start <= qs.size()) {
+      size_t amp = qs.find('&', start);
+      if (amp == std::string_view::npos) amp = qs.size();
+      std::string_view pair = qs.substr(start, amp - start);
+      if (!pair.empty()) {
+        size_t eq = pair.find('=');
+        if (eq == std::string_view::npos) {
+          req.query.emplace_back(PercentDecode(pair), "");
+        } else {
+          req.query.emplace_back(PercentDecode(pair.substr(0, eq)),
+                                 PercentDecode(pair.substr(eq + 1)));
+        }
+      }
+      if (amp == qs.size()) break;
+      start = amp + 1;
+    }
+  }
+
+  long content_length = 0;
+  if (!ParseHeaderFields(lines, &req.headers, &content_length,
+                         &req.keep_alive, http10)) {
+    return SetError(400, "malformed Content-Length");
+  }
+  if (content_length > static_cast<long>(kMaxBodyBytes)) {
+    return SetError(413, "body exceeds limit");
+  }
+  if (buffer_.size() < header_end + static_cast<size_t>(content_length)) {
+    state_ = State::kNeedMore;
+    return state_;
+  }
+  req.body = buffer_.substr(header_end, static_cast<size_t>(content_length));
+  buffer_.erase(0, header_end + static_cast<size_t>(content_length));
+  request_ = std::move(req);
+  state_ = State::kComplete;
+  return state_;
+}
+
+void HttpRequestParser::Consume() {
+  if (state_ != State::kComplete) return;
+  request_ = HttpRequest();
+  state_ = State::kNeedMore;
+  Parse();  // a pipelined request may already be complete
+}
+
+HttpResponseParser::State HttpResponseParser::SetError(std::string message) {
+  state_ = State::kError;
+  error_ = std::move(message);
+  return state_;
+}
+
+HttpResponseParser::State HttpResponseParser::Feed(const char* data,
+                                                   size_t n) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data, n);
+  if (state_ == State::kComplete) return state_;
+  return Parse();
+}
+
+HttpResponseParser::State HttpResponseParser::Parse() {
+  size_t header_end = FindHeaderEnd(buffer_);
+  if (header_end == std::string::npos) {
+    state_ = State::kNeedMore;
+    return state_;
+  }
+  std::vector<std::string_view> lines =
+      HeaderLines(std::string_view(buffer_).substr(0, header_end));
+  if (lines.empty()) return SetError("empty response");
+  std::string_view line = lines[0];
+  if (line.rfind("HTTP/", 0) != 0) return SetError("malformed status line");
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return SetError("malformed status line");
+  HttpResponse resp;
+  resp.status = std::atoi(std::string(Trim(line.substr(sp1 + 1))).c_str());
+  if (resp.status < 100 || resp.status > 599) {
+    return SetError("malformed status code");
+  }
+  long content_length = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (!ParseHeaderFields(lines, &headers, &content_length, &resp.keep_alive,
+                         line.rfind("HTTP/1.0", 0) == 0)) {
+    return SetError("malformed Content-Length");
+  }
+  for (const auto& [name, value] : headers) {
+    if (name == "content-type") resp.content_type = value;
+  }
+  if (buffer_.size() < header_end + static_cast<size_t>(content_length)) {
+    state_ = State::kNeedMore;
+    return state_;
+  }
+  resp.body = buffer_.substr(header_end, static_cast<size_t>(content_length));
+  buffer_.erase(0, header_end + static_cast<size_t>(content_length));
+  response_ = std::move(resp);
+  state_ = State::kComplete;
+  return state_;
+}
+
+void HttpResponseParser::Consume() {
+  if (state_ != State::kComplete) return;
+  response_ = HttpResponse();
+  state_ = State::kNeedMore;
+  Parse();
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += response.keep_alive ? "Connection: keep-alive\r\n"
+                             : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string SerializeRequest(const std::string& method,
+                             const std::string& target,
+                             const std::string& body, const std::string& host,
+                             bool keep_alive) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: " + host + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+Result<ParsedUrl> ParseUrl(const std::string& url) {
+  const std::string scheme = "http://";
+  if (url.rfind(scheme, 0) != 0) {
+    return Status::InvalidArgument("only http:// URLs are supported: '" +
+                                   url + "'");
+  }
+  std::string rest = url.substr(scheme.size());
+  size_t slash = rest.find('/');
+  std::string authority = rest.substr(0, slash);
+  ParsedUrl parsed;
+  parsed.target = slash == std::string::npos ? "/" : rest.substr(slash);
+  size_t colon = authority.rfind(':');
+  if (colon == std::string::npos) {
+    parsed.host = authority;
+    parsed.port = 80;
+  } else {
+    parsed.host = authority.substr(0, colon);
+    parsed.port = std::atoi(authority.substr(colon + 1).c_str());
+  }
+  if (parsed.host.empty() || parsed.port <= 0 || parsed.port > 65535) {
+    return Status::InvalidArgument("malformed URL authority: '" + url + "'");
+  }
+  return parsed;
+}
+
+Result<HttpClientConnection> HttpClientConnection::Connect(
+    const std::string& host, int port, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::ExecutionError(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::ExecutionError("connect " + host + ":" +
+                                  std::to_string(port) + ": " +
+                                  std::strerror(saved));
+  }
+  return HttpClientConnection(fd, host + ":" + std::to_string(port));
+}
+
+HttpClientConnection::HttpClientConnection(
+    HttpClientConnection&& other) noexcept
+    : fd_(other.fd_), host_(std::move(other.host_)),
+      parser_(std::move(other.parser_)) {
+  other.fd_ = -1;
+}
+
+HttpClientConnection& HttpClientConnection::operator=(
+    HttpClientConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    host_ = std::move(other.host_);
+    parser_ = std::move(other.parser_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+HttpClientConnection::~HttpClientConnection() { Close(); }
+
+void HttpClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<HttpResponse> HttpClientConnection::RoundTrip(
+    const std::string& method, const std::string& target,
+    const std::string& body) {
+  if (fd_ < 0) return Status::ExecutionError("connection is closed");
+  std::string wire = SerializeRequest(method, target, body, host_);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      Close();
+      return Status::ExecutionError(std::string("send: ") +
+                                    std::strerror(saved));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  char buf[8192];
+  while (parser_.state() != HttpResponseParser::State::kComplete) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return Status::ExecutionError("connection closed mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      Close();
+      return Status::ExecutionError(std::string("recv: ") +
+                                    std::strerror(saved));
+    }
+    if (parser_.Feed(buf, static_cast<size_t>(n)) ==
+        HttpResponseParser::State::kError) {
+      std::string error = parser_.error();
+      Close();
+      return Status::ExecutionError("malformed response: " + error);
+    }
+  }
+  HttpResponse response = parser_.response();
+  parser_.Consume();
+  if (!response.keep_alive) Close();
+  return response;
+}
+
+Result<HttpResponse> HttpFetch(const std::string& url, int timeout_ms) {
+  STARBURST_ASSIGN_OR_RETURN(ParsedUrl parsed, ParseUrl(url));
+  STARBURST_ASSIGN_OR_RETURN(
+      HttpClientConnection conn,
+      HttpClientConnection::Connect(parsed.host, parsed.port, timeout_ms));
+  return conn.RoundTrip("GET", parsed.target);
+}
+
+}  // namespace service
+}  // namespace starburst

@@ -1,0 +1,177 @@
+#ifndef STARBURST_SERVICE_HTTP_H_
+#define STARBURST_SERVICE_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starburst {
+namespace service {
+
+/// HTTP/1.1 framing for the `ruled` daemon and its clients. Deliberately a
+/// subset: request-line + headers + Content-Length bodies, keep-alive and
+/// pipelining, no chunked transfer encoding, no TLS. The parser is
+/// incremental (feed bytes as they arrive from a socket) and is shared by
+/// the server connection loop, the blocking client used by `rule_load` and
+/// `stats_report --from-url`, and the unit tests, so both directions of the
+/// wire protocol are exercised by one implementation.
+
+/// One parsed request. Header names are lower-cased; the query string is
+/// split and percent-decoded.
+struct HttpRequest {
+  std::string method;  // as sent, upper-case by convention
+  std::string target;  // raw request target, e.g. "/v1/tenants/a?commit=1"
+  std::string path;    // target before '?', percent-decoded
+  std::vector<std::pair<std::string, std::string>> query;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// False when the client sent `Connection: close` (or HTTP/1.0 without
+  /// `Connection: keep-alive`).
+  bool keep_alive = true;
+
+  /// First value for `key` (exact match, already decoded); null if absent.
+  const std::string* QueryParam(std::string_view key) const;
+  /// First value for `name` (case-insensitive); null if absent.
+  const std::string* Header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Whether the connection stays open after this response; serialized as
+  /// the Connection header.
+  bool keep_alive = true;
+};
+
+/// Standard reason phrase for the status codes the service emits
+/// ("Not Found", ...); "Unknown" otherwise.
+const char* HttpReasonPhrase(int status);
+
+/// Percent-decodes `%XX` sequences and '+' (as space). Invalid escapes are
+/// kept verbatim.
+std::string PercentDecode(std::string_view s);
+
+/// Incremental request parser. Feed() appends bytes; once it returns
+/// kComplete, read request() and call Consume() to drop the parsed request
+/// and resume on any pipelined remainder. kError is terminal for the
+/// connection (error() says why; the server answers 400 and closes).
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  /// Hard limits; exceeding them is a parse error (the server answers 431
+  /// or 413).
+  static constexpr size_t kMaxHeaderBytes = 64 * 1024;
+  static constexpr size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+  State Feed(const char* data, size_t n);
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+  const std::string& error() const { return error_; }
+  /// HTTP status to answer when state() == kError (400, 413, or 431).
+  int error_status() const { return error_status_; }
+
+  /// Drops the completed request, keeps pipelined bytes, and re-parses
+  /// them (state() may be kComplete again immediately).
+  void Consume();
+
+  /// True when no unparsed bytes are buffered (the connection is between
+  /// requests — safe to close on drain).
+  bool Empty() const { return buffer_.empty(); }
+
+ private:
+  State Parse();
+  State SetError(int status, std::string message);
+
+  std::string buffer_;
+  HttpRequest request_;
+  std::string error_;
+  int error_status_ = 400;
+  State state_ = State::kNeedMore;
+};
+
+/// Incremental response parser (client side): status line + headers +
+/// Content-Length body.
+class HttpResponseParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  State Feed(const char* data, size_t n);
+  State state() const { return state_; }
+  const HttpResponse& response() const { return response_; }
+  const std::string& error() const { return error_; }
+  void Consume();
+
+ private:
+  State Parse();
+  State SetError(std::string message);
+
+  std::string buffer_;
+  HttpResponse response_;
+  std::string error_;
+  State state_ = State::kNeedMore;
+};
+
+/// Serializes a response with Content-Length and Connection headers.
+std::string SerializeResponse(const HttpResponse& response);
+
+/// Serializes a request with Host, Content-Length, and Connection headers.
+std::string SerializeRequest(const std::string& method,
+                             const std::string& target,
+                             const std::string& body, const std::string& host,
+                             bool keep_alive = true);
+
+/// A parsed `http://host:port/path` URL (the only scheme supported).
+struct ParsedUrl {
+  std::string host;
+  int port = 80;
+  std::string target;  // path + query, at least "/"
+};
+Result<ParsedUrl> ParseUrl(const std::string& url);
+
+/// A blocking keep-alive client connection over a TCP socket. Used by the
+/// load generator (one per driver connection) and the one-shot HttpFetch.
+/// Not thread-safe; move-only.
+class HttpClientConnection {
+ public:
+  static Result<HttpClientConnection> Connect(const std::string& host,
+                                              int port,
+                                              int timeout_ms = 5000);
+
+  HttpClientConnection(HttpClientConnection&& other) noexcept;
+  HttpClientConnection& operator=(HttpClientConnection&& other) noexcept;
+  HttpClientConnection(const HttpClientConnection&) = delete;
+  HttpClientConnection& operator=(const HttpClientConnection&) = delete;
+  ~HttpClientConnection();
+
+  /// Sends one request and reads one response. An ExecutionError Status
+  /// means the transport failed (closed socket, timeout) — distinct from
+  /// an HTTP error status, which is a successful round trip.
+  Result<HttpResponse> RoundTrip(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body = "");
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  HttpClientConnection(int fd, std::string host)
+      : fd_(fd), host_(std::move(host)) {}
+
+  int fd_ = -1;
+  std::string host_;
+  HttpResponseParser parser_;
+};
+
+/// One-shot GET: connect, request, read, close.
+Result<HttpResponse> HttpFetch(const std::string& url, int timeout_ms = 5000);
+
+}  // namespace service
+}  // namespace starburst
+
+#endif  // STARBURST_SERVICE_HTTP_H_

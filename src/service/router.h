@@ -1,0 +1,64 @@
+#ifndef STARBURST_SERVICE_ROUTER_H_
+#define STARBURST_SERVICE_ROUTER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "service/http.h"
+#include "service/tenant.h"
+
+namespace starburst {
+namespace service {
+
+/// Maps a Status to the wire error code: the HTTP status plus the
+/// snake_case code string that appears in the error body (documented in
+/// docs/service.md). A duplicate-tenant InvalidArgument maps to 409.
+int HttpStatusFor(const Status& status);
+std::string ErrorCodeFor(const Status& status);
+
+/// The error body: {"error":{"code":"...","message":"..."}}.
+std::string ErrorJson(const std::string& code, const std::string& message);
+
+/// Routes one parsed request to the tenant registry and the analysis
+/// machinery. Thread-safe: may be called concurrently from many connection
+/// threads. Tenant endpoints serialize on the tenant's strand (requests
+/// for one tenant are ordered; different tenants run in parallel); admin
+/// endpoints never take a strand.
+///
+/// Endpoints (wire contract pinned by docs/service.md and service_test):
+///   GET    /healthz                      liveness
+///   GET    /stats[?section=...]          metrics snapshot
+///   GET    /v1/tenants                   sorted tenant list
+///   POST   /v1/tenants/{name}            load catalog (body = .rules script)
+///   GET    /v1/tenants/{name}            tenant info
+///   DELETE /v1/tenants/{name}            unload
+///   POST   /v1/tenants/{name}/transition submit statements, run to
+///                                        quiescence (?commit=0 to discard)
+///   POST   /v1/tenants/{name}/analyze    full analysis; the body is the
+///                                        batch FullReportToJson bytes
+///   POST   /v1/tenants/{name}/certify    ?kind=quiescent&rule=R |
+///                                        ?kind=commute&a=R1&b=R2
+///   POST   /v1/tenants/{name}/witness    divergence witness for the body's
+///                                        statements
+class ServiceRouter {
+ public:
+  explicit ServiceRouter(TenantRegistry* registry) : registry_(registry) {}
+
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse Dispatch(const HttpRequest& request);
+  HttpResponse HandleTenantCollection(const HttpRequest& request);
+  HttpResponse HandleTenant(const HttpRequest& request,
+                            const std::string& name);
+  HttpResponse HandleTenantVerb(const HttpRequest& request,
+                                const std::string& name,
+                                const std::string& verb);
+
+  TenantRegistry* registry_;
+};
+
+}  // namespace service
+}  // namespace starburst
+
+#endif  // STARBURST_SERVICE_ROUTER_H_

@@ -1,0 +1,297 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/metrics.h"
+#include "service/admin.h"
+
+namespace starburst {
+namespace service {
+namespace {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SetRecvTimeout(int fd, int ms) {
+  struct timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+RuledServer::RuledServer(TenantRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(std::move(options)), router_(registry) {}
+
+RuledServer::~RuledServer() { Stop(); }
+
+Status RuledServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::ExecutionError(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = Status::ExecutionError(
+        "bind " + options_.bind_address + ":" +
+        std::to_string(options_.port) + ": " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status status =
+        Status::ExecutionError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RuledServer::RequestStop() {
+  stop_.store(true, std::memory_order_relaxed);
+  // Closing the listener wakes the blocking accept() immediately. close()
+  // and the atomic store are both async-signal-safe, so this is callable
+  // from a SIGTERM handler (tools/ruled does exactly that).
+  int fd = listen_fd_;
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void RuledServer::Stop() {
+  if (!started_ || joined_) return;
+  RequestStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Connections notice stop_ within poll_interval_ms and finish their
+  // in-flight request first. After drain_timeout_ms any connection still
+  // alive gets its socket shut down hard, so a peer that went away
+  // mid-request (recv blocked on a half-received body) cannot stall
+  // shutdown; the join after that only waits for handlers already past
+  // their socket I/O.
+  std::vector<Connection> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads.swap(connection_threads_);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_timeout_ms);
+  for (bool all_done = false; !all_done;) {
+    all_done = true;
+    for (const Connection& c : threads) {
+      if (!c.done->load(std::memory_order_acquire)) all_done = false;
+    }
+    if (all_done || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (Connection& c : threads) {
+    if (!c.done->load(std::memory_order_acquire)) {
+      ::shutdown(c.fd, SHUT_RDWR);
+    }
+  }
+  for (Connection& c : threads) {
+    if (c.thread.joinable()) c.thread.join();
+    ::close(c.fd);
+  }
+  joined_ = true;
+}
+
+void RuledServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stop_.load(std::memory_order_relaxed)) break;
+      // Transient accept failure (EMFILE under load): brief backoff.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      metrics::GetCounter("service.rejected_connections")->Add(1);
+      HttpResponse busy;
+      busy.status = 503;
+      busy.keep_alive = false;
+      busy.body = ErrorJson("overloaded", "connection limit reached");
+      SendAll(fd, SerializeResponse(busy));
+      ::close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    metrics::GetCounter("service.connections")->Add(1);
+    metrics::GetGauge("service.active_connections")
+        ->Set(active_connections_.load(std::memory_order_relaxed));
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    // Reap connections that have already finished so the handle list stays
+    // bounded by the concurrent-connection cap over the daemon's lifetime.
+    for (size_t i = 0; i < connection_threads_.size();) {
+      if (connection_threads_[i].done->load(std::memory_order_acquire)) {
+        connection_threads_[i].thread.join();
+        ::close(connection_threads_[i].fd);
+        connection_threads_[i] = std::move(connection_threads_.back());
+        connection_threads_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    Connection connection;
+    connection.fd = fd;
+    connection.done = done;
+    connection.thread = std::thread([this, fd, done] {
+      ServeConnection(fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      metrics::GetGauge("service.active_connections")
+          ->Set(active_connections_.load(std::memory_order_relaxed));
+      done->store(true, std::memory_order_release);
+    });
+    connection_threads_.push_back(std::move(connection));
+  }
+}
+
+void RuledServer::ServeConnection(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetRecvTimeout(fd, options_.poll_interval_ms);
+
+  HttpRequestParser parser;
+  char buf[16 * 1024];
+  bool open = true;
+  while (open) {
+    // Drain every already-buffered (pipelined) request before reading.
+    while (open && parser.state() == HttpRequestParser::State::kComplete) {
+      HttpRequest request = parser.request();
+      parser.Consume();
+      HttpResponse response = router_.Handle(request);
+      response.keep_alive = request.keep_alive && response.keep_alive &&
+                            !stop_.load(std::memory_order_relaxed);
+      if (!SendAll(fd, SerializeResponse(response))) open = false;
+      if (!response.keep_alive) open = false;
+    }
+    if (!open) break;
+    if (parser.state() == HttpRequestParser::State::kError) {
+      metrics::GetCounter("service.http_errors")->Add(1);
+      HttpResponse bad;
+      bad.status = parser.error_status();
+      bad.keep_alive = false;
+      bad.body = ErrorJson("bad_request", parser.error());
+      SendAll(fd, SerializeResponse(bad));
+      break;
+    }
+    // A drain closes idle connections; one mid-request keeps reading so
+    // the in-flight request completes.
+    if (stop_.load(std::memory_order_relaxed) && parser.Empty()) break;
+
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // poll tick
+      break;
+    }
+    parser.Feed(buf, static_cast<size_t>(n));
+  }
+  // Terminate the TCP conversation now, but leave the descriptor open: the
+  // joiner (reap loop or Stop) closes it after the join, so Stop's
+  // hard-shutdown path can never race a close and hit a recycled fd.
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+const std::vector<RuledFlag>& RuledFlags() {
+  static const std::vector<RuledFlag> flags = {
+      {"--port", "N", "Listen port (0 picks a free port; default 7341)"},
+      {"--bind", "ADDR", "Listen address (default 127.0.0.1)"},
+      {"--max-connections", "N",
+       "Concurrent connection cap; excess accepts get 503 (default 256)"},
+      {"--preload", "NAME=PATH",
+       "Load a tenant from a .rules catalog at startup (repeatable)"},
+      {"--port-file", "PATH",
+       "Write the bound port to PATH once listening (for scripts and tests)"},
+      {"--threads", "N",
+       "Analysis thread-pool size (default: STARBURST_THREADS or hardware)"},
+      {"--drain-timeout-ms", "N",
+       "How long shutdown waits for in-flight requests (default 5000)"},
+      {"--help", "", "Print this usage text and exit"},
+  };
+  return flags;
+}
+
+std::string RuledUsage() {
+  std::string usage =
+      "usage: ruled [flags]\n"
+      "\n"
+      "Long-running multi-tenant rule service: loads independent rule\n"
+      "catalogs as tenants and serves analysis, transitions, certifications,\n"
+      "and divergence witnesses over HTTP/1.1 (see docs/service.md).\n"
+      "Stop with SIGINT/SIGTERM: the listener closes, in-flight requests\n"
+      "finish, then the process exits 0.\n"
+      "\n"
+      "flags:\n";
+  for (const RuledFlag& flag : RuledFlags()) {
+    std::string head = "  ";
+    head += flag.name;
+    if (flag.arg[0] != '\0') {
+      head += " ";
+      head += flag.arg;
+    }
+    if (head.size() < 28) head.resize(28, ' ');
+    usage += head + " " + flag.summary + "\n";
+  }
+  return usage;
+}
+
+}  // namespace service
+}  // namespace starburst

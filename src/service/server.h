@@ -1,0 +1,118 @@
+#ifndef STARBURST_SERVICE_SERVER_H_
+#define STARBURST_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/router.h"
+#include "service/tenant.h"
+
+namespace starburst {
+namespace service {
+
+struct ServerOptions {
+  /// Port to listen on; 0 asks the kernel for a free port (read it back
+  /// from port() — the tests and --port-file use this).
+  int port = 7341;
+  /// Listen address. The service speaks plaintext HTTP with no
+  /// authentication, so the default only accepts loopback clients.
+  std::string bind_address = "127.0.0.1";
+  /// Concurrent-connection cap; further accepts are answered 503 and
+  /// closed. Each connection holds one thread, so this bounds the server's
+  /// thread count.
+  int max_connections = 256;
+  /// How long Stop() waits for in-flight connections before returning
+  /// anyway.
+  int drain_timeout_ms = 5000;
+  /// Socket receive timeout; also the granularity at which idle
+  /// connections notice a stop request.
+  int poll_interval_ms = 200;
+};
+
+/// The ruled daemon's listener: accepts connections, parses requests with
+/// HttpRequestParser (keep-alive and pipelining included), and answers
+/// them through a ServiceRouter. Thread-per-connection, bounded by
+/// max_connections; per-tenant ordering is the router's strand, so the
+/// connection layer imposes no cross-connection ordering of its own.
+///
+/// Lifecycle: Start() binds and spawns the accept loop; RequestStop() (an
+/// async-signal-safe nudge) begins a drain — the listener closes, idle
+/// keep-alive connections close at their next poll tick, in-flight
+/// requests finish; Stop() (or the destructor) then joins everything.
+class RuledServer {
+ public:
+  RuledServer(TenantRegistry* registry, ServerOptions options = {});
+  ~RuledServer();
+
+  RuledServer(const RuledServer&) = delete;
+  RuledServer& operator=(const RuledServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread.
+  Status Start();
+
+  /// The bound port (after Start(); resolves port 0).
+  int port() const { return port_; }
+
+  /// Begins draining. Async-signal-safe: flips the stop flag and closes
+  /// the listening socket (wakes the accept loop). Idempotent.
+  void RequestStop();
+
+  /// RequestStop() plus joining the accept loop and every connection
+  /// thread (up to drain_timeout_ms, after which sockets are shut down
+  /// hard). Idempotent; called by the destructor.
+  void Stop();
+
+  bool stopping() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  TenantRegistry* registry_;
+  ServerOptions options_;
+  ServiceRouter router_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_connections_{0};
+  std::thread accept_thread_;
+  /// Connection threads plus a per-thread done flag so the accept loop can
+  /// reap finished ones (joining only threads that have already exited)
+  /// instead of accumulating handles for the life of the daemon.
+  struct Connection {
+    std::thread thread;
+    int fd = -1;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex threads_mu_;
+  std::vector<Connection> connection_threads_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+/// One ruled command-line flag; RuledFlags() is the single source of truth
+/// mirrored by `ruled --help` and the flag table in docs/service.md (the
+/// doc-consistency test pins both, same discipline as FuzzDriverFlags).
+struct RuledFlag {
+  const char* name;     // e.g. "--port"
+  const char* arg;      // metavariable, "" when the flag takes none
+  const char* summary;  // one line, sentence case, no trailing period
+};
+
+/// Every flag tools/ruled accepts, in display order.
+const std::vector<RuledFlag>& RuledFlags();
+
+/// The daemon's full usage text, rendered from RuledFlags().
+std::string RuledUsage();
+
+}  // namespace service
+}  // namespace starburst
+
+#endif  // STARBURST_SERVICE_SERVER_H_

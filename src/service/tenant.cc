@@ -1,0 +1,98 @@
+#include "service/tenant.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "testing/oracles.h"
+
+namespace starburst {
+namespace service {
+namespace {
+
+bool ValidTenantName(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+TenantInfo InfoFor(const Tenant& tenant) {
+  TenantInfo info;
+  info.name = tenant.name();
+  info.num_rules = tenant.catalog().num_rules();
+  info.num_tables = tenant.catalog().schema().num_tables();
+  return info;
+}
+
+}  // namespace
+
+Result<TenantInfo> TenantRegistry::Load(const std::string& name,
+                                        const std::string& script) {
+  if (!ValidTenantName(name)) {
+    return Status::InvalidArgument(
+        "tenant name must match [A-Za-z0-9_-]{1,64}: '" + name + "'");
+  }
+  // Parse and compile before touching the map, so a bad catalog leaves the
+  // registry unchanged and other tenants unaffected.
+  STARBURST_ASSIGN_OR_RETURN(GeneratedRuleSet set,
+                             fuzzing::ParseRuleSetScript(script));
+  STARBURST_ASSIGN_OR_RETURN(
+      Analyzer analyzer,
+      Analyzer::Create(set.schema.get(), std::move(set.rules)));
+  std::shared_ptr<Tenant> tenant(
+      new Tenant(name, std::move(set.schema), std::move(analyzer)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = tenants_.emplace(name, tenant);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("tenant '" + name + "' already loaded");
+    }
+    metrics::GetGauge("service.tenants")
+        ->Set(static_cast<int64_t>(tenants_.size()));
+  }
+  metrics::GetCounter("service.tenant_loads")->Add(1);
+  return InfoFor(*tenant);
+}
+
+Status TenantRegistry::Unload(const std::string& name) {
+  std::shared_ptr<Tenant> victim;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return Status::NotFound("no tenant named '" + name + "'");
+    }
+    victim = std::move(it->second);
+    tenants_.erase(it);
+    metrics::GetGauge("service.tenants")
+        ->Set(static_cast<int64_t>(tenants_.size()));
+  }
+  metrics::GetCounter("service.tenant_unloads")->Add(1);
+  return Status::OK();
+}
+
+std::shared_ptr<Tenant> TenantRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::vector<TenantInfo> TenantRegistry::List() const {
+  std::vector<TenantInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) out.push_back(InfoFor(*tenant));
+  return out;  // std::map iteration is already name-sorted
+}
+
+int TenantRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tenants_.size());
+}
+
+}  // namespace service
+}  // namespace starburst

@@ -1,0 +1,100 @@
+#ifndef STARBURST_SERVICE_TENANT_H_
+#define STARBURST_SERVICE_TENANT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace starburst {
+namespace service {
+
+/// One loaded tenant: an isolated Schema + RuleCatalog + Analyzer +
+/// Database. Tenants share nothing mutable with each other — only the
+/// process-wide read-only/append-only infrastructure (the deterministic
+/// thread pool, the metrics registry). That isolation is what makes the
+/// per-tenant determinism contract (docs/service.md) hold under concurrent
+/// load on other tenants.
+///
+/// Concurrency: all request handling for a tenant happens under strand()
+/// — the per-tenant serialization lock. Requests for one tenant are
+/// ordered (lock-acquisition order); different tenants proceed in
+/// parallel. The registry hands out shared_ptrs, so an unloaded tenant
+/// stays alive until its last in-flight request finishes.
+class Tenant {
+ public:
+  const std::string& name() const { return name_; }
+  const RuleCatalog& catalog() const { return analyzer_.catalog(); }
+
+  /// Guarded by strand(): the analyzer carries mutable certification
+  /// state, and the database is the tenant's committed state.
+  Analyzer& analyzer() { return analyzer_; }
+  Database& db() { return db_; }
+  std::mutex& strand() { return strand_; }
+
+  /// The tenant's `service.tenant.<name>.requests` counter.
+  metrics::Counter* requests() { return requests_; }
+
+ private:
+  friend class TenantRegistry;
+  Tenant(std::string name, std::unique_ptr<Schema> schema, Analyzer analyzer)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        analyzer_(std::move(analyzer)),
+        db_(schema_.get()),
+        requests_(metrics::GetCounter("service.tenant." + name_ +
+                                      ".requests")) {}
+
+  std::string name_;
+  std::unique_ptr<Schema> schema_;  // must outlive analyzer_ and db_
+  Analyzer analyzer_;
+  Database db_;
+  std::mutex strand_;
+  metrics::Counter* requests_;
+};
+
+struct TenantInfo {
+  std::string name;
+  int num_rules = 0;
+  int num_tables = 0;
+};
+
+/// The name -> tenant map behind /v1/tenants. Thread-safe; the map lock is
+/// held only for lookups and registration, never across request execution.
+class TenantRegistry {
+ public:
+  /// Validates `name` ([A-Za-z0-9_-]{1,64}), parses `script` (the corpus
+  /// `.rules` format: `create table` statements then rule definitions),
+  /// compiles the catalog, and registers the tenant. Any failure leaves
+  /// the registry unchanged. A duplicate name fails with InvalidArgument
+  /// and a message containing "already loaded" (the router answers 409).
+  Result<TenantInfo> Load(const std::string& name, const std::string& script);
+
+  /// Unregisters the tenant. In-flight requests holding the shared_ptr
+  /// complete normally on the detached tenant; NotFound for unknown names.
+  Status Unload(const std::string& name);
+
+  /// The tenant, or null. Holding the result keeps the tenant alive across
+  /// an Unload.
+  std::shared_ptr<Tenant> Find(const std::string& name) const;
+
+  /// All tenants, sorted by name.
+  std::vector<TenantInfo> List() const;
+
+  int size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+};
+
+}  // namespace service
+}  // namespace starburst
+
+#endif  // STARBURST_SERVICE_TENANT_H_

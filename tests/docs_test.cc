@@ -3,7 +3,13 @@
 //  - every ```sql block in docs/rule_language.md parses, and its rules
 //    survive a print -> parse -> print round trip,
 //  - the fuzz_driver flag table in docs/fuzzing.md and the --help text
-//    both match FuzzDriverFlags(), the single source of truth.
+//    both match FuzzDriverFlags(), the single source of truth,
+//  - likewise the ruled flag table in docs/service.md against
+//    RuledFlags(),
+//  - the README tool table against the add_executable() names in
+//    tools/CMakeLists.txt,
+//  - the worked /stats example in docs/observability.md is valid JSON
+//    with the snapshot's section shape.
 // The repo root comes from the STARBURST_REPO_DIR compile definition set
 // in tests/CMakeLists.txt (same pattern as corpus_test).
 
@@ -18,7 +24,9 @@
 
 #include "rulelang/parser.h"
 #include "rulelang/printer.h"
+#include "service/server.h"
 #include "testing/fuzzer.h"
+#include "json_lint.h"
 
 namespace starburst {
 namespace {
@@ -38,6 +46,7 @@ const std::vector<std::string>& CheckedDocs() {
       "docs/fuzzing.md",
       "docs/observability.md",
       "docs/rule_language.md",
+      "docs/service.md",
   };
   return *docs;
 }
@@ -183,12 +192,144 @@ TEST(DocsTest, ObservabilityDocCoversEnvVarsAndTools) {
   for (const char* needle :
        {"STARBURST_METRICS", "STARBURST_TRACE", "STARBURST_NO_METRICS",
         "STARBURST_NO_TRACE", "stats_report", "--metrics-json",
-        "CountersToJson", "metrics.dropped"}) {
+        "CountersToJson", "metrics.dropped",
+        // The service surface added by docs/service.md's daemon.
+        "service.requests", "service.request_us", "service.queue_depth",
+        "/stats", "--from-url"}) {
     EXPECT_NE(doc.find(needle), std::string::npos)
         << "docs/observability.md does not mention " << needle;
   }
   std::string arch = ReadDoc("docs/architecture.md");
   EXPECT_NE(arch.find("STARBURST_THREADS"), std::string::npos);
+}
+
+TEST(DocsTest, RuledHelpMentionsEveryFlag) {
+  std::string usage = service::RuledUsage();
+  for (const service::RuledFlag& flag : service::RuledFlags()) {
+    EXPECT_NE(usage.find(flag.name), std::string::npos)
+        << "ruled --help does not mention " << flag.name;
+  }
+}
+
+TEST(DocsTest, ServiceDocFlagTableMatchesRuledFlags) {
+  std::string doc = ReadDoc("docs/service.md");
+  std::set<std::string> in_code;
+  for (const service::RuledFlag& flag : service::RuledFlags()) {
+    in_code.insert(flag.name);
+  }
+  // Rows of the form "| `--flag ARG` | ... |": the flag name is the
+  // backticked text up to the first space.
+  std::set<std::string> in_doc;
+  std::istringstream in(doc);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("| `--", 0) != 0) continue;
+    size_t end = line.find('`', 3);
+    ASSERT_NE(end, std::string::npos) << line;
+    std::string name = line.substr(3, end - 3);
+    if (size_t space = name.find(' '); space != std::string::npos) {
+      name = name.substr(0, space);
+    }
+    in_doc.insert(name);
+  }
+  EXPECT_EQ(in_doc, in_code)
+      << "docs/service.md flag table and RuledFlags() disagree";
+}
+
+TEST(DocsTest, ServiceDocCoversEveryErrorCode) {
+  std::string doc = ReadDoc("docs/service.md");
+  for (const char* code :
+       {"invalid_argument", "parse_error", "semantic_error", "bad_request",
+        "not_found", "method_not_allowed", "conflict", "execution_error",
+        "limit_exceeded", "internal", "overloaded"}) {
+    EXPECT_NE(doc.find(code), std::string::npos)
+        << "docs/service.md error-code table does not mention " << code;
+  }
+  // And the endpoints, so the spec cannot silently fall behind the router.
+  for (const char* endpoint :
+       {"/healthz", "/stats", "/v1/tenants", "transition", "analyze",
+        "certify", "witness"}) {
+    EXPECT_NE(doc.find(endpoint), std::string::npos)
+        << "docs/service.md does not mention endpoint " << endpoint;
+  }
+}
+
+TEST(DocsTest, ReadmeToolTableMatchesToolsCMake) {
+  // The tools that actually build: add_executable(NAME ...) in
+  // tools/CMakeLists.txt.
+  std::string cmake = ReadDoc("tools/CMakeLists.txt");
+  std::set<std::string> built;
+  const std::string needle = "add_executable(";
+  for (size_t at = cmake.find(needle); at != std::string::npos;
+       at = cmake.find(needle, at + 1)) {
+    size_t start = at + needle.size();
+    size_t end = cmake.find_first_of(" )", start);
+    ASSERT_NE(end, std::string::npos);
+    built.insert(cmake.substr(start, end - start));
+  }
+  ASSERT_FALSE(built.empty());
+
+  // The README's "### Command-line tools" table rows: "| `tool` | ... |".
+  std::string readme = ReadDoc("README.md");
+  size_t section = readme.find("### Command-line tools");
+  ASSERT_NE(section, std::string::npos)
+      << "README.md lost its Command-line tools section";
+  size_t section_end = readme.find("\n## ", section);
+  if (section_end == std::string::npos) section_end = readme.size();
+  std::set<std::string> documented;
+  std::istringstream in(readme.substr(section, section_end - section));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    size_t end = line.find('`', 3);
+    ASSERT_NE(end, std::string::npos) << line;
+    documented.insert(line.substr(3, end - 3));
+  }
+  EXPECT_EQ(documented, built)
+      << "README.md tool table and tools/CMakeLists.txt disagree";
+}
+
+std::vector<std::string> JsonBlocks(const std::string& text) {
+  std::vector<std::string> blocks;
+  std::istringstream in(text);
+  std::string line;
+  bool in_json = false;
+  std::string current;
+  while (std::getline(in, line)) {
+    if (line.rfind("```", 0) == 0) {
+      if (in_json) {
+        blocks.push_back(current);
+        current.clear();
+      }
+      in_json = line.rfind("```json", 0) == 0;
+      continue;
+    }
+    if (in_json) current += line + "\n";
+  }
+  return blocks;
+}
+
+TEST(DocsTest, ObservabilityStatsExampleHasSnapshotShape) {
+  std::vector<std::string> blocks =
+      JsonBlocks(ReadDoc("docs/observability.md"));
+  bool found = false;
+  for (const std::string& block : blocks) {
+    if (block.find("\"service\"") == std::string::npos) continue;
+    found = true;
+    EXPECT_TRUE(testing::IsValidJson(block))
+        << "the /stats example is not valid JSON:\n" << block;
+    // The exact section shape StatsJson produces: service summary first,
+    // then the three MetricsToJson sections.
+    for (const char* key : {"\"service\"", "\"counters\"", "\"gauges\"",
+                            "\"histograms\"", "\"tenants\"",
+                            "\"pool_threads\"", "\"service.requests\"",
+                            "\"service.request_us\""}) {
+      EXPECT_NE(block.find(key), std::string::npos)
+          << "the /stats example lost " << key;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "docs/observability.md has no worked /stats example json block";
 }
 
 }  // namespace

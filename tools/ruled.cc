@@ -1,0 +1,175 @@
+// ruled: the long-running multi-tenant rule service daemon.
+//
+//   ruled [--port N] [--bind ADDR] [--max-connections N]
+//         [--preload NAME=PATH]... [--port-file PATH] [--threads N]
+//         [--drain-timeout-ms N]
+//
+// Serves the wire protocol documented in docs/service.md: tenant
+// load/unload, transitions run to quiescence, full analysis, pair
+// certification, divergence witnesses, and the /stats & /healthz admin
+// endpoints. SIGINT/SIGTERM drains: the listener closes, in-flight
+// requests finish, and the process exits 0.
+//
+// Exit status: 0 on clean shutdown, 2 on usage errors, 1 on startup
+// failure.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "service/server.h"
+
+using namespace starburst;  // NOLINT: tool brevity
+
+namespace {
+
+int Usage() {
+  std::fputs(service::RuledUsage().c_str(), stderr);
+  return 2;
+}
+
+/// The signal handler needs the server; RequestStop() is
+/// async-signal-safe (an atomic store plus shutdown(2)).
+service::RuledServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+bool ParseInt(const char* text, long* out) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerOptions options;
+  std::vector<std::pair<std::string, std::string>> preloads;
+  std::string port_file;
+  int threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    long value = 0;
+    if (arg == "--help") {
+      std::fputs(service::RuledUsage().c_str(), stdout);
+      return 0;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &value) || value < 0 ||
+          value > 65535) {
+        return Usage();
+      }
+      options.port = static_cast<int>(value);
+    } else if (arg == "--bind") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.bind_address = v;
+    } else if (arg == "--max-connections") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &value) || value < 1) return Usage();
+      options.max_connections = static_cast<int>(value);
+    } else if (arg == "--preload") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "ruled: --preload wants NAME=PATH, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      port_file = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &value) || value < 1) return Usage();
+      threads = static_cast<int>(value);
+    } else if (arg == "--drain-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &value) || value < 0) return Usage();
+      options.drain_timeout_ms = static_cast<int>(value);
+    } else {
+      std::fprintf(stderr, "ruled: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  if (threads > 0) ThreadPool::SetDefaultThreadCount(threads);
+
+  // The daemon keeps metrics collection on for its whole life: /stats is
+  // an advertised endpoint, not an opt-in debugging mode.
+  metrics::ScopedCollect collect;
+
+  service::TenantRegistry registry;
+  for (const auto& [name, path] : preloads) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "ruled: cannot read --preload catalog '%s'\n",
+                   path.c_str());
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    Result<service::TenantInfo> info = registry.Load(name, script.str());
+    if (!info.ok()) {
+      std::fprintf(stderr, "ruled: preload '%s' failed: %s\n", name.c_str(),
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ruled: loaded tenant '%s' (%d rules, %d tables)\n",
+                 name.c_str(), info.value().num_rules,
+                 info.value().num_tables);
+  }
+
+  service::RuledServer server(&registry, options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "ruled: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "ruled: cannot write --port-file '%s'\n",
+                   port_file.c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "ruled: listening on %s:%d (%d tenants)\n",
+               options.bind_address.c_str(), server.port(), registry.size());
+
+  while (!server.stopping()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "ruled: draining\n");
+  server.Stop();
+  std::fprintf(stderr, "ruled: shutdown complete\n");
+  return 0;
+}

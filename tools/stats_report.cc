@@ -6,18 +6,23 @@
 //   stats_report <workload> [--metrics-json PATH] [--trace PATH]
 //                [--threads N] [--snapshot-backend]
 //                [--rows N] [--data-seed N]
+//   stats_report --from-url URL [--metrics-json PATH]
 //
 // <workload> is a bundled application name (power_network, salary_control,
 // inventory, versioning) or a path to a self-contained .rules script.
+// With --from-url the metrics snapshot is fetched from a live ruled /stats
+// endpoint instead of running a workload locally; the JSON is written
+// through the same --metrics-json path ('-' = stdout, default).
 // See docs/observability.md for the metric catalog and trace workflow.
 //
-// Exit status: 0 on success, 2 on usage or workload errors.
+// Exit status: 0 on success, 2 on usage, workload, or fetch errors.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 
+#include "service/http.h"
 #include "workload/stats_report.h"
 
 using namespace starburst;  // NOLINT: tool brevity
@@ -33,6 +38,8 @@ int Usage() {
                "usage: stats_report <workload> [flags]\n"
                "\n"
                "flags:\n"
+               "  --from-url URL        fetch the snapshot from a live ruled "
+               "/stats endpoint instead of running a workload\n"
                "  --metrics-json PATH   write the metrics registry snapshot "
                "as JSON to PATH ('-' = stdout)\n"
                "  --trace PATH          write a Chrome trace-event JSON file "
@@ -52,11 +59,30 @@ int Usage() {
   return 2;
 }
 
+// Shared by the local-workload and --from-url paths: '-' (or empty) means
+// stdout, anything else is a file. Returns 0 on success, 2 on I/O error.
+int WriteMetricsJson(const std::string& path, const std::string& json) {
+  if (path.empty() || path == "-") {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << json << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                 path.c_str());
+    return 2;
+  }
+  std::printf("metrics written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   StatsReportOptions options;
   std::string metrics_json_path;
+  std::string from_url;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -75,6 +101,9 @@ int main(int argc, char** argv) {
     if (flag == "--metrics-json") {
       if (value.empty()) return Usage();
       metrics_json_path = value;
+    } else if (flag == "--from-url") {
+      if (value.empty()) return Usage();
+      from_url = value;
     } else if (flag == "--trace") {
       if (value.empty()) return Usage();
       options.trace_path = value;
@@ -95,6 +124,22 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
+  if (!from_url.empty()) {
+    if (!options.workload.empty()) return Usage();
+    Result<service::HttpResponse> fetched = service::HttpFetch(from_url);
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   fetched.status().ToString().c_str());
+      return 2;
+    }
+    if (fetched.value().status != 200) {
+      std::fprintf(stderr, "error: %s answered HTTP %d: %s\n",
+                   from_url.c_str(), fetched.value().status,
+                   fetched.value().body.c_str());
+      return 2;
+    }
+    return WriteMetricsJson(metrics_json_path, fetched.value().body);
+  }
   if (options.workload.empty()) return Usage();
 
   Result<StatsReport> report = RunStatsReport(options);
@@ -107,19 +152,8 @@ int main(int argc, char** argv) {
     std::printf("trace written to %s\n", options.trace_path.c_str());
   }
   if (!metrics_json_path.empty()) {
-    if (metrics_json_path == "-") {
-      std::printf("%s\n", report.value().metrics_json.c_str());
-    } else {
-      std::ofstream out(metrics_json_path,
-                        std::ios::binary | std::ios::trunc);
-      out << report.value().metrics_json << "\n";
-      if (!out) {
-        std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
-                     metrics_json_path.c_str());
-        return 2;
-      }
-      std::printf("metrics written to %s\n", metrics_json_path.c_str());
-    }
+    int rc = WriteMetricsJson(metrics_json_path, report.value().metrics_json);
+    if (rc != 0) return rc;
   }
   return 0;
 }
